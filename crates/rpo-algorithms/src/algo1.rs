@@ -1,0 +1,238 @@
+//! Algorithm 1: optimal reliability on fully homogeneous platforms.
+//!
+//! `F(i, k)` is the optimal reliability when mapping the first `i` tasks onto
+//! exactly `k` processors; the recurrence tries every possible last interval
+//! and every possible replication level `q ≤ min(K, k)` for it:
+//!
+//! `F(i, k) = max_{j < i, 1 ≤ q ≤ min(K,k)} F(j, k−q) · (1 − (1 − r_comm,j · Π r_l · r_comm,i)^q)`
+//!
+//! The paper only returns the optimal reliability value; this implementation
+//! additionally keeps the dynamic-programming choices and reconstructs an
+//! actual [`Mapping`] achieving it.
+
+use rpo_model::{reliability, Interval, MappedInterval, Mapping, Platform, TaskChain};
+use serde::{Deserialize, Serialize};
+
+use crate::{AlgoError, Result};
+
+/// A mapping together with the reliability the dynamic program computed for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimalMapping {
+    /// The reconstructed mapping.
+    pub mapping: Mapping,
+    /// Its reliability (Eq. 9), as computed by the dynamic program.
+    pub reliability: f64,
+}
+
+/// Reliability of an interval replicated on `q` identical processors of a
+/// homogeneous platform, including its incoming and outgoing communications
+/// (the inner term of Eq. 9).
+pub(crate) fn replicated_homogeneous_reliability(
+    chain: &TaskChain,
+    platform: &Platform,
+    interval: Interval,
+    q: usize,
+) -> f64 {
+    let input_size =
+        if interval.first == 0 { 0.0 } else { chain.output_size(interval.first - 1) };
+    let block = reliability::replica_block_reliability(
+        chain,
+        platform,
+        0,
+        interval,
+        input_size,
+        interval.output_size(chain),
+    );
+    1.0 - (1.0 - block).powi(q as i32)
+}
+
+/// The dynamic program shared by Algorithms 1 and 2; `admissible` restricts
+/// which (interval, replication) pairs may be used (Algorithm 1 admits
+/// everything, Algorithm 2 enforces the period bound).
+pub(crate) fn reliability_dp(
+    chain: &TaskChain,
+    platform: &Platform,
+    admissible: impl Fn(Interval) -> bool,
+) -> Option<OptimalMapping> {
+    let n = chain.len();
+    let p = platform.num_processors();
+    let k_max = platform.max_replication().min(p);
+
+    // f[i][k]: best reliability for the first i tasks on exactly k processors
+    // (negative = unreachable). choice[i][k]: (previous boundary j, replicas q).
+    let mut f = vec![vec![-1.0f64; p + 1]; n + 1];
+    let mut choice = vec![vec![None::<(usize, usize)>; p + 1]; n + 1];
+    f[0][0] = 1.0;
+
+    for i in 1..=n {
+        for j in 0..i {
+            let interval = Interval { first: j, last: i - 1 };
+            if !admissible(interval) {
+                continue;
+            }
+            for q in 1..=k_max {
+                let rel_interval = replicated_homogeneous_reliability(chain, platform, interval, q);
+                for k in q..=p {
+                    let prev = f[j][k - q];
+                    if prev < 0.0 {
+                        continue;
+                    }
+                    let rel = prev * rel_interval;
+                    if rel > f[i][k] {
+                        f[i][k] = rel;
+                        choice[i][k] = Some((j, q));
+                    }
+                }
+            }
+        }
+    }
+
+    // Best over every possible total processor count.
+    let (best_k, best_rel) = (1..=p)
+        .map(|k| (k, f[n][k]))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite reliabilities"))?;
+    if best_rel < 0.0 {
+        return None;
+    }
+
+    // Traceback: rebuild intervals and replica counts from the end.
+    let mut segments: Vec<(usize, usize, usize)> = Vec::new(); // (first, last, replicas)
+    let (mut i, mut k) = (n, best_k);
+    while i > 0 {
+        let (j, q) = choice[i][k].expect("reachable state has a recorded choice");
+        segments.push((j, i - 1, q));
+        i = j;
+        k -= q;
+    }
+    segments.reverse();
+
+    // Assign concrete processor identifiers in order (the platform is
+    // homogeneous, so which processors are picked does not matter).
+    let mut next_processor = 0;
+    let mapped = segments
+        .into_iter()
+        .map(|(first, last, q)| {
+            let processors: Vec<usize> = (next_processor..next_processor + q).collect();
+            next_processor += q;
+            MappedInterval::new(Interval { first, last }, processors)
+        })
+        .collect();
+    let mapping = Mapping::new(mapped, chain, platform)
+        .expect("dynamic program only builds structurally valid mappings");
+    Some(OptimalMapping { mapping, reliability: best_rel })
+}
+
+/// Algorithm 1: computes a mapping of maximal reliability on a fully
+/// homogeneous platform, in time `O(n² p K)`.
+///
+/// # Errors
+///
+/// Returns [`AlgoError::HeterogeneousPlatform`] if the platform is not
+/// homogeneous (the dynamic program is only optimal in the homogeneous case).
+pub fn optimize_reliability_homogeneous(
+    chain: &TaskChain,
+    platform: &Platform,
+) -> Result<OptimalMapping> {
+    if !platform.is_homogeneous() {
+        return Err(AlgoError::HeterogeneousPlatform);
+    }
+    reliability_dp(chain, platform, |_| true).ok_or(AlgoError::NoFeasibleMapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpo_model::{MappingEvaluation, PlatformBuilder};
+
+    fn chain() -> TaskChain {
+        TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0), (40.0, 3.0)]).unwrap()
+    }
+
+    fn platform(p: usize, k: usize) -> Platform {
+        PlatformBuilder::new()
+            .identical_processors(p, 1.0, 1e-3)
+            .bandwidth(1.0)
+            .link_failure_rate(1e-4)
+            .max_replication(k)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_heterogeneous_platform() {
+        let c = chain();
+        let p = PlatformBuilder::new()
+            .processor(1.0, 1e-3)
+            .processor(2.0, 1e-3)
+            .max_replication(2)
+            .build()
+            .unwrap();
+        assert_eq!(
+            optimize_reliability_homogeneous(&c, &p).unwrap_err(),
+            AlgoError::HeterogeneousPlatform
+        );
+    }
+
+    #[test]
+    fn reported_reliability_matches_evaluation_of_returned_mapping() {
+        let c = chain();
+        let p = platform(6, 3);
+        let sol = optimize_reliability_homogeneous(&c, &p).unwrap();
+        let eval = MappingEvaluation::evaluate(&c, &p, &sol.mapping);
+        assert!((sol.reliability - eval.reliability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_processor_forces_single_unreplicated_interval() {
+        let c = chain();
+        let p = platform(1, 3);
+        let sol = optimize_reliability_homogeneous(&c, &p).unwrap();
+        assert_eq!(sol.mapping.num_intervals(), 1);
+        assert_eq!(sol.mapping.processors_used(), 1);
+    }
+
+    #[test]
+    fn plenty_of_processors_replicates_every_interval_k_times() {
+        let c = chain();
+        let p = platform(12, 3);
+        let sol = optimize_reliability_homogeneous(&c, &p).unwrap();
+        for mi in sol.mapping.intervals() {
+            assert_eq!(mi.replication(), 3);
+        }
+    }
+
+    #[test]
+    fn optimum_matches_brute_force_on_small_instance() {
+        let c = TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0)]).unwrap();
+        let p = platform(4, 2);
+        let sol = optimize_reliability_homogeneous(&c, &p).unwrap();
+        let brute = crate::exact::brute_force(&c, &p, f64::INFINITY, f64::INFINITY).unwrap();
+        assert!((sol.reliability - brute.reliability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_processors_never_hurt_reliability() {
+        let c = chain();
+        let mut previous = 0.0;
+        for p_count in 1..=8 {
+            let p = platform(p_count, 3);
+            let sol = optimize_reliability_homogeneous(&c, &p).unwrap();
+            assert!(sol.reliability >= previous - 1e-15);
+            previous = sol.reliability;
+        }
+    }
+
+    #[test]
+    fn replicated_homogeneous_reliability_includes_communications() {
+        let c = chain();
+        let p = platform(4, 3);
+        let itv = Interval { first: 1, last: 2 };
+        let r1 = replicated_homogeneous_reliability(&c, &p, itv, 1);
+        // Manual: in-comm o_0 = 2, W = 35, out-comm o_2 = 1.
+        let expected = (-1e-4f64 * 2.0).exp() * (-1e-3f64 * 35.0).exp() * (-1e-4f64 * 1.0).exp();
+        assert!((r1 - expected).abs() < 1e-12);
+        let r2 = replicated_homogeneous_reliability(&c, &p, itv, 2);
+        assert!((r2 - (1.0 - (1.0 - expected).powi(2))).abs() < 1e-12);
+        assert!(r2 > r1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Exhaustive exact solver for homogeneous platforms.
+
+use rpo_model::{timing, IntervalPartition, MappingEvaluation, Platform, TaskChain};
+
+use crate::algo1::{replicated_homogeneous_reliability, OptimalMapping};
+use crate::alloc::algo_alloc_plan;
+use crate::{AlgoError, Result};
+
+/// Chains longer than this are rejected (the enumeration is `O(2^{n−1})`).
+pub const MAX_EXHAUSTIVE_TASKS: usize = 26;
+
+fn check_inputs(chain: &TaskChain, platform: &Platform, period: f64, latency: f64) -> Result<()> {
+    if !platform.is_homogeneous() {
+        return Err(AlgoError::HeterogeneousPlatform);
+    }
+    if !(period > 0.0) || period.is_nan() {
+        return Err(AlgoError::InvalidBound("period bound"));
+    }
+    if !(latency > 0.0) || latency.is_nan() {
+        return Err(AlgoError::InvalidBound("latency bound"));
+    }
+    assert!(
+        chain.len() <= MAX_EXHAUSTIVE_TASKS,
+        "exhaustive solver limited to {MAX_EXHAUSTIVE_TASKS} tasks, chain has {}",
+        chain.len()
+    );
+    Ok(())
+}
+
+/// Iterates over every interval partition of the chain (as cut-point masks).
+fn partitions(chain: &TaskChain) -> impl Iterator<Item = IntervalPartition> + '_ {
+    let n = chain.len();
+    (0u64..(1u64 << (n - 1))).map(move |mask| {
+        let cuts: Vec<usize> = (0..n - 1).filter(|&i| mask & (1 << i) != 0).collect();
+        IntervalPartition::from_cut_points(&cuts, n).expect("masks yield valid partitions")
+    })
+}
+
+/// Whether a partition respects the period and latency bounds on a homogeneous
+/// platform (these do not depend on the processor assignment).
+fn partition_feasible(
+    chain: &TaskChain,
+    platform: &Platform,
+    partition: &IntervalPartition,
+    period_bound: f64,
+    latency_bound: f64,
+) -> bool {
+    let speed = platform.speed(0);
+    let period_ok = partition.intervals().iter().all(|&itv| {
+        timing::interval_period_requirement(chain, platform, itv, speed) <= period_bound
+    });
+    if !period_ok {
+        return false;
+    }
+    let latency: f64 = partition
+        .intervals()
+        .iter()
+        .map(|itv| itv.work(chain) / speed + platform.comm_time(itv.output_size(chain)))
+        .sum();
+    latency <= latency_bound
+}
+
+/// Certified-optimal solver for the tri-criteria problem on homogeneous
+/// platforms: maximize reliability subject to worst-case period and latency
+/// bounds (use `f64::INFINITY` for an absent bound).
+///
+/// Every interval partition is enumerated; feasible ones receive their optimal
+/// processor allocation from Algo-Alloc (Theorem 4), and the most reliable
+/// result is returned.
+///
+/// # Errors
+///
+/// * [`AlgoError::HeterogeneousPlatform`], [`AlgoError::InvalidBound`] on bad
+///   inputs;
+/// * [`AlgoError::NoFeasibleMapping`] if no partition meets the bounds.
+///
+/// # Panics
+///
+/// Panics if the chain exceeds [`MAX_EXHAUSTIVE_TASKS`] tasks.
+pub fn optimal_homogeneous(
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: f64,
+    latency_bound: f64,
+) -> Result<OptimalMapping> {
+    check_inputs(chain, platform, period_bound, latency_bound)?;
+    let p = platform.num_processors();
+
+    let mut best: Option<OptimalMapping> = None;
+    for partition in partitions(chain) {
+        if partition.len() > p
+            || !partition_feasible(chain, platform, &partition, period_bound, latency_bound)
+        {
+            continue;
+        }
+        let plan = algo_alloc_plan(chain, platform, &partition)?;
+        let reliability: f64 = partition
+            .intervals()
+            .iter()
+            .zip(&plan.replicas)
+            .map(|(&itv, &q)| replicated_homogeneous_reliability(chain, platform, itv, q))
+            .product();
+        if best.as_ref().map_or(true, |b| reliability > b.reliability) {
+            let mapping = plan.into_mapping(&partition, chain, platform)?;
+            best = Some(OptimalMapping { mapping, reliability });
+        }
+    }
+    best.ok_or(AlgoError::NoFeasibleMapping)
+}
+
+/// Reference brute force: enumerates partitions **and** replica-count vectors
+/// (instead of relying on Algo-Alloc), evaluates each candidate mapping with
+/// the full evaluator and returns the most reliable one meeting the bounds.
+/// Exponential in both `n` and the number of intervals; only for validating
+/// the other solvers on tiny instances.
+pub fn brute_force(
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: f64,
+    latency_bound: f64,
+) -> Result<OptimalMapping> {
+    check_inputs(chain, platform, period_bound, latency_bound)?;
+    let p = platform.num_processors();
+    let k_max = platform.max_replication();
+
+    let mut best: Option<OptimalMapping> = None;
+    for partition in partitions(chain) {
+        let m = partition.len();
+        if m > p {
+            continue;
+        }
+        // Enumerate replica counts in {1..K}^m with sum <= p.
+        let mut counts = vec![1usize; m];
+        'vectors: loop {
+            if counts.iter().sum::<usize>() <= p {
+                let plan = crate::alloc::AllocationPlan { replicas: counts.clone() };
+                let mapping = plan.into_mapping(&partition, chain, platform)?;
+                let eval = MappingEvaluation::evaluate(chain, platform, &mapping);
+                if eval.worst_case_period <= period_bound
+                    && eval.worst_case_latency <= latency_bound
+                    && best.as_ref().map_or(true, |b| eval.reliability > b.reliability)
+                {
+                    best = Some(OptimalMapping { mapping, reliability: eval.reliability });
+                }
+            }
+            let mut idx = 0;
+            loop {
+                if idx == m {
+                    break 'vectors;
+                }
+                if counts[idx] < k_max {
+                    counts[idx] += 1;
+                    break;
+                }
+                counts[idx] = 1;
+                idx += 1;
+            }
+        }
+    }
+    best.ok_or(AlgoError::NoFeasibleMapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpo_model::PlatformBuilder;
+
+    fn chain() -> TaskChain {
+        TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0), (40.0, 3.0)]).unwrap()
+    }
+
+    fn platform(p: usize, k: usize) -> Platform {
+        PlatformBuilder::new()
+            .identical_processors(p, 1.0, 1e-3)
+            .bandwidth(1.0)
+            .link_failure_rate(1e-4)
+            .max_replication(k)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_with_and_without_bounds() {
+        let c = chain();
+        let p = platform(5, 2);
+        for (period, latency) in [
+            (f64::INFINITY, f64::INFINITY),
+            (70.0, f64::INFINITY),
+            (f64::INFINITY, 115.0),
+            (45.0, 120.0),
+        ] {
+            let fast = optimal_homogeneous(&c, &p, period, latency).unwrap();
+            let slow = brute_force(&c, &p, period, latency).unwrap();
+            assert!(
+                (fast.reliability - slow.reliability).abs() < 1e-13,
+                "bounds ({period}, {latency}): {} vs {}",
+                fast.reliability,
+                slow.reliability
+            );
+        }
+    }
+
+    #[test]
+    fn unconstrained_matches_algorithm_1() {
+        let c = chain();
+        let p = platform(6, 3);
+        let exhaustive = optimal_homogeneous(&c, &p, f64::INFINITY, f64::INFINITY).unwrap();
+        let dp = crate::optimize_reliability_homogeneous(&c, &p).unwrap();
+        assert!((exhaustive.reliability - dp.reliability).abs() < 1e-13);
+    }
+
+    #[test]
+    fn period_only_matches_algorithm_2() {
+        let c = chain();
+        let p = platform(6, 3);
+        for period in [40.0, 50.0, 70.0, 110.0] {
+            let exhaustive = optimal_homogeneous(&c, &p, period, f64::INFINITY).unwrap();
+            let dp = crate::optimize_reliability_with_period_bound(&c, &p, period).unwrap();
+            assert!(
+                (exhaustive.reliability - dp.reliability).abs() < 1e-13,
+                "period {period}: {} vs {}",
+                exhaustive.reliability,
+                dp.reliability
+            );
+        }
+    }
+
+    #[test]
+    fn returned_mapping_respects_bounds() {
+        let c = chain();
+        let p = platform(6, 3);
+        let sol = optimal_homogeneous(&c, &p, 45.0, 120.0).unwrap();
+        let eval = MappingEvaluation::evaluate(&c, &p, &sol.mapping);
+        assert!(eval.worst_case_period <= 45.0 + 1e-12);
+        assert!(eval.worst_case_latency <= 120.0 + 1e-12);
+        assert!((eval.reliability - sol.reliability).abs() < 1e-13);
+    }
+
+    #[test]
+    fn infeasible_bounds_are_reported() {
+        let c = chain();
+        let p = platform(6, 3);
+        assert_eq!(
+            optimal_homogeneous(&c, &p, 39.0, f64::INFINITY).unwrap_err(),
+            AlgoError::NoFeasibleMapping
+        );
+        assert_eq!(
+            optimal_homogeneous(&c, &p, f64::INFINITY, 100.0).unwrap_err(),
+            AlgoError::NoFeasibleMapping
+        );
+    }
+
+    #[test]
+    fn latency_bound_trades_reliability() {
+        let c = chain();
+        let p = platform(8, 2);
+        let loose = optimal_homogeneous(&c, &p, f64::INFINITY, f64::INFINITY).unwrap();
+        // Tight latency forbids splitting (every cut adds communication time),
+        // so fewer intervals and fewer total replicas are available.
+        let tight = optimal_homogeneous(&c, &p, f64::INFINITY, 105.5).unwrap();
+        assert!(tight.mapping.num_intervals() <= loose.mapping.num_intervals());
+        assert!(tight.reliability <= loose.reliability + 1e-15);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let c = chain();
+        let het = PlatformBuilder::new()
+            .processor(1.0, 1e-3)
+            .processor(2.0, 1e-3)
+            .max_replication(2)
+            .build()
+            .unwrap();
+        assert_eq!(
+            optimal_homogeneous(&c, &het, 10.0, 10.0).unwrap_err(),
+            AlgoError::HeterogeneousPlatform
+        );
+        let hom = platform(4, 2);
+        assert_eq!(
+            optimal_homogeneous(&c, &hom, 0.0, 10.0).unwrap_err(),
+            AlgoError::InvalidBound("period bound")
+        );
+        assert_eq!(
+            optimal_homogeneous(&c, &hom, 10.0, f64::NAN).unwrap_err(),
+            AlgoError::InvalidBound("latency bound")
+        );
+    }
+}

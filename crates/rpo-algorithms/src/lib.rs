@@ -1,0 +1,103 @@
+//! Optimal algorithms and heuristics for the multiprocessor interval-mapping
+//! problem of pipelined real-time systems.
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * **Polynomial optimal algorithms on homogeneous platforms**
+//!   * [`algo1`] — Algorithm 1: mono-criterion reliability optimization
+//!     (dynamic programming, `O(n² p K)`);
+//!   * [`algo2`] — Algorithm 2: reliability optimization under a period bound;
+//!   * [`period_opt`] — the converse problem (minimal period under a
+//!     reliability bound) by binary search over candidate periods;
+//!   * [`alloc`] — Algo-Alloc (Theorem 4): optimal greedy allocation of
+//!     processors to a fixed interval partition.
+//! * **Heuristics for the NP-complete cases** (latency bound on homogeneous
+//!   platforms, everything on heterogeneous platforms)
+//!   * [`heur_l`] — Algorithm 3: intervals cut at the smallest communication
+//!     costs (latency-oriented);
+//!   * [`heur_p`] — Algorithm 4: work-balanced intervals by dynamic
+//!     programming (period-oriented);
+//!   * [`alloc_het`] — the Section 7.2 period-aware allocation of
+//!     heterogeneous processors;
+//!   * [`heuristic`] — the complete two-step heuristics used in the
+//!     experiments (interval computation for every possible interval count,
+//!     then allocation, then feasibility filtering).
+//! * **Exact solvers for small instances**
+//!   * [`exact::exhaustive`] — provably optimal homogeneous tri-criteria
+//!     solver by exhaustive partition enumeration + Algo-Alloc;
+//!   * [`exact::ilp`] — the Section 5.4 integer linear program, solved with
+//!     the `rpo-lp` branch-and-bound (the CPLEX substitute);
+//!   * [`exact::brute_force`] — reference brute-force over partitions *and*
+//!     allocations for tiny instances (used to validate everything else).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algo1;
+pub mod algo2;
+pub mod alloc;
+pub mod alloc_het;
+pub mod energy_aware;
+pub mod exact;
+pub mod heur_l;
+pub mod heur_p;
+pub mod heuristic;
+pub mod period_opt;
+
+pub use algo1::optimize_reliability_homogeneous;
+pub use energy_aware::{run_energy_aware_heuristic, EnergyAwareConfig, EnergyAwareSolution};
+pub use algo2::optimize_reliability_with_period_bound;
+pub use alloc::{algo_alloc, exhaustive_alloc};
+pub use alloc_het::algo_alloc_heterogeneous;
+pub use heur_l::heur_l_partition;
+pub use heur_p::heur_p_partition;
+pub use heuristic::{run_heuristic, HeuristicConfig, HeuristicSolution, IntervalHeuristic};
+pub use period_opt::minimize_period_with_reliability_bound;
+
+/// Errors reported by the algorithms of this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgoError {
+    /// The algorithm requires a homogeneous platform.
+    HeterogeneousPlatform,
+    /// There are fewer processors than intervals, so no allocation exists.
+    NotEnoughProcessors {
+        /// Number of intervals to cover.
+        intervals: usize,
+        /// Number of available processors.
+        processors: usize,
+    },
+    /// No mapping satisfies the requested bounds.
+    NoFeasibleMapping,
+    /// A bound argument was not a finite positive number.
+    InvalidBound(&'static str),
+    /// The underlying model rejected a constructed mapping (internal error).
+    Model(rpo_model::ModelError),
+}
+
+impl std::fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoError::HeterogeneousPlatform => {
+                write!(f, "this algorithm is only optimal on homogeneous platforms")
+            }
+            AlgoError::NotEnoughProcessors { intervals, processors } => write!(
+                f,
+                "cannot allocate {intervals} intervals on only {processors} processors"
+            ),
+            AlgoError::NoFeasibleMapping => write!(f, "no mapping satisfies the bounds"),
+            AlgoError::InvalidBound(name) => write!(f, "{name} must be a positive finite number"),
+            AlgoError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}
+
+impl From<rpo_model::ModelError> for AlgoError {
+    fn from(e: rpo_model::ModelError) -> Self {
+        AlgoError::Model(e)
+    }
+}
+
+/// Result alias for the algorithms of this crate.
+pub type Result<T> = std::result::Result<T, AlgoError>;

@@ -1,0 +1,196 @@
+//! Converse of Algorithm 2: minimize the period under a reliability bound, on
+//! fully homogeneous platforms.
+//!
+//! The paper observes (Section 5.2) that this problem is also polynomial: it
+//! suffices to binary-search the period and repeatedly run Algorithm 2. The
+//! worst-case period of any mapping is one of finitely many candidate values
+//! (an interval computation time `W(i..j)/s` or a communication time
+//! `o_i / b`), so the search is performed over that sorted candidate set and
+//! returns a certified optimum.
+
+use rpo_model::{Mapping, Platform, TaskChain};
+use serde::{Deserialize, Serialize};
+
+use crate::algo2::optimize_reliability_with_period_bound;
+use crate::{AlgoError, Result};
+
+/// Result of the period minimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodOptimal {
+    /// The minimal achievable worst-case period under the reliability bound.
+    pub period: f64,
+    /// A mapping achieving it.
+    pub mapping: Mapping,
+    /// The reliability of that mapping (≥ the requested bound).
+    pub reliability: f64,
+}
+
+/// Every value the worst-case period of a mapping can take: computation times
+/// of all intervals and all boundary communication times.
+fn candidate_periods(chain: &TaskChain, platform: &Platform) -> Vec<f64> {
+    let speed = platform.speed(0);
+    let n = chain.len();
+    let mut candidates = Vec::with_capacity(n * (n + 1) / 2 + n);
+    for first in 0..n {
+        for last in first..n {
+            candidates.push(chain.interval_work(first, last) / speed);
+        }
+    }
+    for i in 0..n.saturating_sub(1) {
+        candidates.push(platform.comm_time(chain.output_size(i)));
+    }
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite candidate periods"));
+    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    candidates
+}
+
+/// Minimizes the worst-case period of a mapping whose reliability is at least
+/// `reliability_bound`, on a fully homogeneous platform.
+///
+/// # Errors
+///
+/// * [`AlgoError::HeterogeneousPlatform`] if the platform is not homogeneous;
+/// * [`AlgoError::InvalidBound`] if the reliability bound is not in `(0, 1]`;
+/// * [`AlgoError::NoFeasibleMapping`] if even the unconstrained optimum of
+///   Algorithm 1 does not reach the reliability bound.
+pub fn minimize_period_with_reliability_bound(
+    chain: &TaskChain,
+    platform: &Platform,
+    reliability_bound: f64,
+) -> Result<PeriodOptimal> {
+    if !platform.is_homogeneous() {
+        return Err(AlgoError::HeterogeneousPlatform);
+    }
+    if !(reliability_bound.is_finite() && reliability_bound > 0.0 && reliability_bound <= 1.0) {
+        return Err(AlgoError::InvalidBound("reliability bound"));
+    }
+
+    let candidates = candidate_periods(chain, platform);
+    // Check feasibility at the largest candidate (equivalent to no bound).
+    let largest = *candidates.last().expect("a non-empty chain has candidate periods");
+    let unconstrained = optimize_reliability_with_period_bound(chain, platform, largest)?;
+    if unconstrained.reliability < reliability_bound {
+        return Err(AlgoError::NoFeasibleMapping);
+    }
+
+    // Binary search the smallest candidate period meeting the bound.
+    let feasible = |period: f64| -> Option<crate::algo1::OptimalMapping> {
+        match optimize_reliability_with_period_bound(chain, platform, period) {
+            Ok(solution) if solution.reliability >= reliability_bound => Some(solution),
+            _ => None,
+        }
+    };
+    let (mut lo, mut hi) = (0usize, candidates.len() - 1);
+    let mut best = unconstrained;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match feasible(candidates[mid]) {
+            Some(solution) => {
+                best = solution;
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    Ok(PeriodOptimal {
+        period: candidates[hi],
+        mapping: best.mapping,
+        reliability: best.reliability,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpo_model::{MappingEvaluation, PlatformBuilder};
+
+    fn chain() -> TaskChain {
+        TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0), (40.0, 3.0)]).unwrap()
+    }
+
+    fn platform(p: usize, k: usize) -> Platform {
+        PlatformBuilder::new()
+            .identical_processors(p, 1.0, 1e-3)
+            .bandwidth(1.0)
+            .link_failure_rate(1e-4)
+            .max_replication(k)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn returned_mapping_respects_both_period_and_reliability() {
+        let c = chain();
+        let p = platform(6, 3);
+        let bound = 0.9;
+        let sol = minimize_period_with_reliability_bound(&c, &p, bound).unwrap();
+        let eval = MappingEvaluation::evaluate(&c, &p, &sol.mapping);
+        assert!(eval.reliability >= bound);
+        assert!(eval.worst_case_period <= sol.period + 1e-12);
+    }
+
+    #[test]
+    fn trivial_reliability_bound_gives_minimal_period() {
+        let c = chain();
+        let p = platform(6, 3);
+        // Any mapping is acceptable reliability-wise: the optimum is the best
+        // achievable period, which (with 6 processors and 4 tasks) is the
+        // largest single task work = 40.
+        let sol = minimize_period_with_reliability_bound(&c, &p, 1e-12).unwrap();
+        assert!((sol.period - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_is_the_smallest_feasible_candidate() {
+        let c = chain();
+        let p = platform(6, 3);
+        let bound = 0.95;
+        let sol = minimize_period_with_reliability_bound(&c, &p, bound).unwrap();
+        // Exhaustive check over a fine grid slightly below the optimum: no
+        // strictly smaller period may reach the reliability bound.
+        let probe = sol.period - 1e-6;
+        let below = optimize_reliability_with_period_bound(&c, &p, probe);
+        match below {
+            Err(AlgoError::NoFeasibleMapping) => {}
+            Ok(solution) => assert!(solution.reliability < bound),
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_reliability_bound_is_reported() {
+        let c = chain();
+        // Single processor, no replication possible: reliability is bounded
+        // away from 1, so a bound of 0.999999999 is unreachable.
+        let p = platform(1, 1);
+        let unconstrained = crate::optimize_reliability_homogeneous(&c, &p).unwrap();
+        let impossible = (unconstrained.reliability + 1.0) / 2.0;
+        assert_eq!(
+            minimize_period_with_reliability_bound(&c, &p, impossible).unwrap_err(),
+            AlgoError::NoFeasibleMapping
+        );
+    }
+
+    #[test]
+    fn tighter_reliability_bounds_never_decrease_the_period() {
+        let c = chain();
+        let p = platform(6, 3);
+        let relaxed = minimize_period_with_reliability_bound(&c, &p, 0.5).unwrap();
+        let max_rel = crate::optimize_reliability_homogeneous(&c, &p).unwrap().reliability;
+        let tight =
+            minimize_period_with_reliability_bound(&c, &p, max_rel * 0.999999).unwrap();
+        assert!(tight.period >= relaxed.period - 1e-12);
+    }
+
+    #[test]
+    fn invalid_bounds_are_rejected() {
+        let c = chain();
+        let p = platform(4, 2);
+        for bad in [0.0, -1.0, 1.5, f64::NAN] {
+            assert_eq!(
+                minimize_period_with_reliability_bound(&c, &p, bad).unwrap_err(),
+                AlgoError::InvalidBound("reliability bound")
+            );
+        }
+    }
+}

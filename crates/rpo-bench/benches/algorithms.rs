@@ -1,0 +1,121 @@
+//! Scaling benchmarks of the optimization algorithms: Algorithms 1 and 2 in
+//! the number of tasks and processors, the two full heuristics, the converse
+//! period minimization, and the exact solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpo_algorithms::{
+    exact, minimize_period_with_reliability_bound, optimize_reliability_homogeneous,
+    optimize_reliability_with_period_bound, run_heuristic, HeuristicConfig, IntervalHeuristic,
+};
+use rpo_bench::{bench_chain, bench_het_platform, bench_hom_platform};
+use std::hint::black_box;
+
+fn algorithm1_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_reliability_dp");
+    for &n in &[10usize, 15, 20, 30] {
+        let chain = bench_chain(n, 7);
+        let platform = bench_hom_platform(10);
+        group.bench_with_input(BenchmarkId::new("tasks", n), &n, |b, _| {
+            b.iter(|| optimize_reliability_homogeneous(black_box(&chain), black_box(&platform)))
+        });
+    }
+    for &p in &[5usize, 10, 20, 40] {
+        let chain = bench_chain(15, 7);
+        let platform = bench_hom_platform(p);
+        group.bench_with_input(BenchmarkId::new("processors", p), &p, |b, _| {
+            b.iter(|| optimize_reliability_homogeneous(black_box(&chain), black_box(&platform)))
+        });
+    }
+    group.finish();
+}
+
+fn algorithm2_period_bound(c: &mut Criterion) {
+    let chain = bench_chain(15, 7);
+    let platform = bench_hom_platform(10);
+    let mut group = c.benchmark_group("algorithm2_period_bound");
+    for &period in &[150.0f64, 250.0, 400.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &period| {
+            b.iter(|| {
+                optimize_reliability_with_period_bound(
+                    black_box(&chain),
+                    black_box(&platform),
+                    black_box(period),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn period_minimization(c: &mut Criterion) {
+    let chain = bench_chain(15, 7);
+    let platform = bench_hom_platform(10);
+    c.bench_function("period_minimization_reliability_0_99999", |b| {
+        b.iter(|| {
+            minimize_period_with_reliability_bound(
+                black_box(&chain),
+                black_box(&platform),
+                black_box(0.99999),
+            )
+        })
+    });
+}
+
+fn heuristics(c: &mut Criterion) {
+    let chain = bench_chain(15, 7);
+    let hom = bench_hom_platform(10);
+    let het = bench_het_platform(10, 3);
+    let mut group = c.benchmark_group("full_heuristics");
+    for (name, heuristic) in
+        [("heur_p", IntervalHeuristic::MinPeriod), ("heur_l", IntervalHeuristic::MinLatency)]
+    {
+        let config = HeuristicConfig {
+            interval_heuristic: heuristic,
+            period_bound: 250.0,
+            latency_bound: 750.0,
+        };
+        group.bench_function(format!("{name}_homogeneous"), |b| {
+            b.iter(|| run_heuristic(black_box(&chain), black_box(&hom), black_box(&config)))
+        });
+        let het_config = HeuristicConfig {
+            interval_heuristic: heuristic,
+            period_bound: 50.0,
+            latency_bound: 150.0,
+        };
+        group.bench_function(format!("{name}_heterogeneous"), |b| {
+            b.iter(|| run_heuristic(black_box(&chain), black_box(&het), black_box(&het_config)))
+        });
+    }
+    group.finish();
+}
+
+fn exact_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solvers");
+    group.sample_size(10);
+    let chain15 = bench_chain(15, 7);
+    let platform = bench_hom_platform(10);
+    group.bench_function("exhaustive_n15", |b| {
+        b.iter(|| {
+            exact::optimal_homogeneous(black_box(&chain15), black_box(&platform), 250.0, 750.0)
+        })
+    });
+    group.bench_function("profile_set_build_n15", |b| {
+        b.iter(|| exact::ProfileSet::build(black_box(&chain15), black_box(&platform)))
+    });
+    let chain8 = bench_chain(8, 7);
+    let platform6 = bench_hom_platform(6);
+    group.bench_function("ilp_branch_and_bound_n8", |b| {
+        b.iter(|| exact::optimal_by_ilp(black_box(&chain8), black_box(&platform6), 300.0, 800.0))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    algorithm1_scaling,
+    algorithm2_period_bound,
+    period_minimization,
+    heuristics,
+    exact_solvers
+);
+criterion_main!(benches);

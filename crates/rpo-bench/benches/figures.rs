@@ -1,0 +1,45 @@
+//! One benchmark per paper figure: each runs a scaled-down version of the
+//! experiment sweep that regenerates the figure (fewer instances than the
+//! paper's 100 so a full `cargo bench` stays affordable; the `reproduce`
+//! binary runs the full-size version).
+//!
+//! Figures sharing an experiment (6/7, 8/9, 10/11, 12/13, 14/15) are measured
+//! separately, as the per-figure extraction is part of the measured path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpo_experiments::experiments::SweepOptions;
+use rpo_experiments::figures::{run_figure, FigureId};
+use std::hint::black_box;
+
+const BENCH_INSTANCES: usize = 4;
+
+fn bench_figure(c: &mut Criterion, id: FigureId) {
+    let options = SweepOptions { num_instances: BENCH_INSTANCES, seed: 1 };
+    let name = match id {
+        FigureId::Fig6 => "fig06_solutions_vs_period",
+        FigureId::Fig7 => "fig07_failure_vs_period",
+        FigureId::Fig8 => "fig08_solutions_vs_latency",
+        FigureId::Fig9 => "fig09_failure_vs_latency",
+        FigureId::Fig10 => "fig10_solutions_l3p",
+        FigureId::Fig11 => "fig11_failure_l3p",
+        FigureId::Fig12 => "fig12_het_solutions_vs_period",
+        FigureId::Fig13 => "fig13_het_failure_vs_period",
+        FigureId::Fig14 => "fig14_het_solutions_vs_latency",
+        FigureId::Fig15 => "fig15_het_failure_vs_latency",
+    };
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter(|| black_box(run_figure(black_box(id), black_box(&options))))
+    });
+    group.finish();
+}
+
+fn figures(c: &mut Criterion) {
+    for id in FigureId::all() {
+        bench_figure(c, id);
+    }
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

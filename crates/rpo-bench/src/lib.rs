@@ -1,0 +1,60 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! The benches themselves live in `benches/`:
+//!
+//! * `figures` — one benchmark per paper figure (6–15), running a scaled-down
+//!   version of the corresponding experiment sweep;
+//! * `algorithms` — scaling of Algorithms 1/2, the heuristics and the exact
+//!   solvers in the number of tasks and processors;
+//! * `evaluation` — the Eq. (9) closed form, the series-parallel RBD and the
+//!   partition-profile construction;
+//! * `ablation` — design-choice ablations (routing operations vs exact RBD
+//!   evaluation, greedy vs exhaustive allocation, profile sweep vs exhaustive
+//!   re-solve, exhaustive vs ILP);
+//! * `simulator` — Monte-Carlo and pipelined discrete-event throughput.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rpo_model::{Platform, TaskChain};
+use rpo_workload::{ChainSpec, HeterogeneousPlatformSpec, HomogeneousPlatformSpec};
+
+/// A deterministic paper-style chain with `n` tasks.
+pub fn bench_chain(n: usize, seed: u64) -> TaskChain {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    ChainSpec::paper_with_tasks(n).generate(&mut rng)
+}
+
+/// The paper's homogeneous platform with `p` processors.
+pub fn bench_hom_platform(p: usize) -> Platform {
+    let spec = HomogeneousPlatformSpec { num_processors: p, ..HomogeneousPlatformSpec::paper() };
+    spec.build()
+}
+
+/// A homogeneous platform with failure rates large enough that reliabilities
+/// are far from 1 (useful for simulator benches).
+pub fn bench_noisy_platform(p: usize) -> Platform {
+    Platform::homogeneous(p, 1.0, 1e-3, 1.0, 1e-4, 3).expect("valid platform")
+}
+
+/// A deterministic paper-style heterogeneous platform with `p` processors.
+pub fn bench_het_platform(p: usize, seed: u64) -> Platform {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let spec =
+        HeterogeneousPlatformSpec { num_processors: p, ..HeterogeneousPlatformSpec::paper() };
+    spec.generate(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic_and_well_formed() {
+        assert_eq!(bench_chain(15, 1), bench_chain(15, 1));
+        assert_eq!(bench_chain(15, 1).len(), 15);
+        assert!(bench_hom_platform(10).is_homogeneous());
+        assert_eq!(bench_hom_platform(10).num_processors(), 10);
+        assert!(!bench_het_platform(10, 2).is_homogeneous());
+        assert!(bench_noisy_platform(4).failure_rate(0) > 1e-4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Command-line entry point regenerating the paper's figures.
+//!
+//! ```text
+//! reproduce [--all] [--figure N] [--instances I] [--seed S] [--out DIR] [--list]
+//! ```
+//!
+//! Without arguments, `--all` is assumed: the five experiments run once each
+//! (in parallel over instances) and the ten figures are printed as console
+//! tables and written as CSV files under `--out` (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rpo_experiments::experiments::SweepOptions;
+use rpo_experiments::figures::{run_all, run_figure, FigureId};
+use rpo_experiments::{csv, report};
+
+struct Args {
+    figures: Vec<FigureId>,
+    all: bool,
+    list: bool,
+    options: SweepOptions,
+    out_dir: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: reproduce [--all] [--figure N]... [--instances I] [--seed S] [--out DIR] [--list]\n\
+     \n\
+     --all           run every experiment and emit Figures 6-15 (default)\n\
+     --figure N      run only Figure N (6..=15); may be repeated\n\
+     --instances I   number of random instances per experiment (default 100)\n\
+     --seed S        base seed of the instance generator (default 20100613)\n\
+     --out DIR       directory for the CSV files (default results/)\n\
+     --list          list the available figures and exit\n"
+}
+
+fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        figures: Vec::new(),
+        all: false,
+        list: false,
+        options: SweepOptions::default(),
+        out_dir: PathBuf::from("results"),
+    };
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--all" => args.all = true,
+            "--list" => args.list = true,
+            "--figure" => {
+                let value = raw.next().ok_or("--figure needs a number")?;
+                let number: u32 =
+                    value.parse().map_err(|_| format!("invalid figure number: {value}"))?;
+                let id = FigureId::from_number(number)
+                    .ok_or(format!("figure {number} is not part of the evaluation (6..=15)"))?;
+                args.figures.push(id);
+            }
+            "--instances" => {
+                let value = raw.next().ok_or("--instances needs a count")?;
+                args.options.num_instances =
+                    value.parse().map_err(|_| format!("invalid instance count: {value}"))?;
+            }
+            "--seed" => {
+                let value = raw.next().ok_or("--seed needs a value")?;
+                args.options.seed =
+                    value.parse().map_err(|_| format!("invalid seed: {value}"))?;
+            }
+            "--out" => {
+                let value = raw.next().ok_or("--out needs a directory")?;
+                args.out_dir = PathBuf::from(value);
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument: {other}\n\n{}", usage())),
+        }
+    }
+    if args.figures.is_empty() {
+        args.all = true;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for id in FigureId::all() {
+            println!("{:>2}  {}", id.number(), id.title());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let results = if args.all {
+        eprintln!(
+            "running all experiments with {} instances (seed {})",
+            args.options.num_instances, args.options.seed
+        );
+        run_all(&args.options)
+    } else {
+        args.figures.iter().map(|&id| run_figure(id, &args.options)).collect()
+    };
+
+    for figure in &results {
+        report::print_table(figure);
+        println!();
+        match csv::write_csv(figure, &args.out_dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(error) => {
+                eprintln!("failed to write CSV for {}: {error}", figure.id);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,87 @@
+//! Command-line solver for one concrete problem described in JSON.
+//!
+//! ```text
+//! solve path/to/problem.json          # read from a file
+//! solve -                             # read from standard input
+//! solve --example                     # print an example problem file
+//! ```
+//!
+//! The answer (both heuristics plus, on homogeneous platforms, the exact
+//! optimum) is printed as JSON on standard output.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use rpo_experiments::problem_io::{report_to_json, solve, ProblemSpec};
+
+const EXAMPLE: &str = r#"{
+  "tasks": [
+    {"work": 30, "output_size": 2},
+    {"work": 10, "output_size": 8},
+    {"work": 25, "output_size": 1},
+    {"work": 40}
+  ],
+  "platform": {
+    "processors": [
+      {"speed": 1, "failure_rate": 1e-6},
+      {"speed": 1, "failure_rate": 1e-6},
+      {"speed": 1, "failure_rate": 1e-6},
+      {"speed": 1, "failure_rate": 1e-6},
+      {"speed": 1, "failure_rate": 1e-6}
+    ],
+    "bandwidth": 1,
+    "link_failure_rate": 1e-7,
+    "max_replication": 2
+  },
+  "period_bound": 70,
+  "latency_bound": 130
+}"#;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag] if flag == "--example" => {
+            println!("{EXAMPLE}");
+            ExitCode::SUCCESS
+        }
+        [path] => {
+            let text = if path == "-" {
+                let mut buffer = String::new();
+                if let Err(error) = std::io::stdin().read_to_string(&mut buffer) {
+                    eprintln!("failed to read standard input: {error}");
+                    return ExitCode::FAILURE;
+                }
+                buffer
+            } else {
+                match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(error) => {
+                        eprintln!("failed to read {path}: {error}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            let spec = match ProblemSpec::from_json(&text) {
+                Ok(spec) => spec,
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match solve(&spec) {
+                Ok(report) => {
+                    println!("{}", report_to_json(&report));
+                    ExitCode::SUCCESS
+                }
+                Err(message) => {
+                    eprintln!("{message}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: solve <problem.json | -> | solve --example");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! CSV export of figure results.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::series::FigureResult;
+
+/// Renders a figure as CSV text: one `x` column followed by one column per
+/// series. Undefined values (NaN) are rendered as empty cells.
+pub fn to_csv(figure: &FigureResult) -> String {
+    let mut out = String::new();
+    out.push_str("x");
+    for series in &figure.series {
+        out.push(',');
+        out.push_str(&series.label);
+    }
+    out.push('\n');
+
+    let xs = figure.x_values();
+    for (row, &x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x}"));
+        for series in &figure.series {
+            out.push(',');
+            if let Some(&(_, y)) = series.points.get(row) {
+                if !y.is_nan() {
+                    out.push_str(&format!("{y}"));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the figure to `<dir>/<id>.csv` and returns the path.
+///
+/// # Errors
+///
+/// Propagates any I/O error (directory creation or file write).
+pub fn write_csv(figure: &FigureResult, dir: &Path) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.csv", figure.id));
+    let mut file = fs::File::create(&path)?;
+    file.write_all(to_csv(figure).as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn figure() -> FigureResult {
+        FigureResult {
+            id: "fig42".to_string(),
+            title: "t".to_string(),
+            x_label: "x".to_string(),
+            y_label: "y".to_string(),
+            num_instances: 2,
+            series: vec![
+                Series::new("A", vec![(1.0, 2.0), (2.0, 3.0)]),
+                Series::new("B", vec![(1.0, f64::NAN), (2.0, 0.5)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_layout_and_nan_handling() {
+        let csv = to_csv(&figure());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,A,B");
+        assert_eq!(lines[1], "1,2,");
+        assert_eq!(lines[2], "2,3,0.5");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn write_creates_the_file() {
+        let dir = std::env::temp_dir().join(format!("rpo-csv-test-{}", std::process::id()));
+        let path = write_csv(&figure(), &dir).unwrap();
+        assert!(path.ends_with("fig42.csv"));
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, to_csv(&figure()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,280 @@
+//! Per-figure entry points: every figure of the paper's evaluation section is
+//! one view (solution counts or average failure probability) of one of the
+//! five experiments of [`crate::experiments`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::{ExperimentData, ExperimentSpec, SweepOptions};
+use crate::series::{FigureResult, Series};
+
+/// The figures of the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FigureId {
+    /// Number of solutions for `L = 750` on homogeneous platforms.
+    Fig6,
+    /// Average failure probability for `L = 750` on homogeneous platforms.
+    Fig7,
+    /// Number of solutions for `P = 250` on homogeneous platforms.
+    Fig8,
+    /// Average failure probability for `P = 250` on homogeneous platforms.
+    Fig9,
+    /// Number of solutions for `L = 3P` on homogeneous platforms.
+    Fig10,
+    /// Average failure probability for `L = 3P` on homogeneous platforms.
+    Fig11,
+    /// Number of solutions for `L = 150`, homogeneous vs heterogeneous.
+    Fig12,
+    /// Average failure probability for `L = 150`, homogeneous vs heterogeneous.
+    Fig13,
+    /// Number of solutions for `P = 50`, homogeneous vs heterogeneous.
+    Fig14,
+    /// Average failure probability for `P = 50`, homogeneous vs heterogeneous.
+    Fig15,
+}
+
+/// Which view of the experiment data a figure shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum View {
+    SolutionCount,
+    AverageFailure,
+}
+
+impl FigureId {
+    /// Every figure, in paper order.
+    pub fn all() -> Vec<FigureId> {
+        use FigureId::*;
+        vec![Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Fig14, Fig15]
+    }
+
+    /// Parses a figure number (6–15).
+    pub fn from_number(number: u32) -> Option<FigureId> {
+        use FigureId::*;
+        match number {
+            6 => Some(Fig6),
+            7 => Some(Fig7),
+            8 => Some(Fig8),
+            9 => Some(Fig9),
+            10 => Some(Fig10),
+            11 => Some(Fig11),
+            12 => Some(Fig12),
+            13 => Some(Fig13),
+            14 => Some(Fig14),
+            15 => Some(Fig15),
+            _ => None,
+        }
+    }
+
+    /// The paper figure number (6–15).
+    pub fn number(&self) -> u32 {
+        use FigureId::*;
+        match self {
+            Fig6 => 6,
+            Fig7 => 7,
+            Fig8 => 8,
+            Fig9 => 9,
+            Fig10 => 10,
+            Fig11 => 11,
+            Fig12 => 12,
+            Fig13 => 13,
+            Fig14 => 14,
+            Fig15 => 15,
+        }
+    }
+
+    /// Machine-friendly identifier (`"fig06"` … `"fig15"`).
+    pub fn id(&self) -> String {
+        format!("fig{:02}", self.number())
+    }
+
+    /// Caption of the figure, mirroring the paper.
+    pub fn title(&self) -> &'static str {
+        use FigureId::*;
+        match self {
+            Fig6 => "Number of solutions for L = 750 on homogeneous platforms",
+            Fig7 => "Average failure rate for L = 750 on homogeneous platforms",
+            Fig8 => "Number of solutions for P = 250 on homogeneous platforms",
+            Fig9 => "Average failure rate for P = 250 on homogeneous platforms",
+            Fig10 => "Number of solutions for L = 3P on homogeneous platforms",
+            Fig11 => "Average failure rate for L = 3P on homogeneous platforms",
+            Fig12 => "Number of solutions for L = 150 on homogeneous and heterogeneous platforms",
+            Fig13 => "Average failure rate for L = 150 on homogeneous and heterogeneous platforms",
+            Fig14 => "Number of solutions for P = 50 on homogeneous and heterogeneous platforms",
+            Fig15 => "Average failure rate for P = 50 on homogeneous and heterogeneous platforms",
+        }
+    }
+
+    /// The experiment providing this figure's data.
+    fn spec(&self) -> ExperimentSpec {
+        use FigureId::*;
+        match self {
+            Fig6 | Fig7 => ExperimentSpec::homogeneous_period_sweep(),
+            Fig8 | Fig9 => ExperimentSpec::homogeneous_latency_sweep(),
+            Fig10 | Fig11 => ExperimentSpec::homogeneous_proportional_sweep(),
+            Fig12 | Fig13 => ExperimentSpec::heterogeneous_period_sweep(),
+            Fig14 | Fig15 => ExperimentSpec::heterogeneous_latency_sweep(),
+        }
+    }
+
+    fn view(&self) -> View {
+        use FigureId::*;
+        match self {
+            Fig6 | Fig8 | Fig10 | Fig12 | Fig14 => View::SolutionCount,
+            Fig7 | Fig9 | Fig11 | Fig13 | Fig15 => View::AverageFailure,
+        }
+    }
+
+    /// The figure sharing the same experiment (count ↔ failure view).
+    pub fn sibling(&self) -> FigureId {
+        use FigureId::*;
+        match self {
+            Fig6 => Fig7,
+            Fig7 => Fig6,
+            Fig8 => Fig9,
+            Fig9 => Fig8,
+            Fig10 => Fig11,
+            Fig11 => Fig10,
+            Fig12 => Fig13,
+            Fig13 => Fig12,
+            Fig14 => Fig15,
+            Fig15 => Fig14,
+        }
+    }
+}
+
+/// Extracts one figure from its experiment data.
+fn extract(id: FigureId, data: &ExperimentData) -> FigureResult {
+    let x_label = if id.spec().rule.sweeps_period() { "Bound on period" } else { "Bound on latency" };
+    let (y_label, series): (&str, Vec<Series>) = match id.view() {
+        View::SolutionCount => (
+            "Number of solutions",
+            data.curves
+                .iter()
+                .map(|curve| {
+                    Series::new(
+                        curve.label.clone(),
+                        data.x_values
+                            .iter()
+                            .zip(&curve.solved)
+                            .map(|(&x, &count)| (x, count as f64))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        ),
+        View::AverageFailure => (
+            "Average failure probability",
+            data.curves
+                .iter()
+                .map(|curve| {
+                    Series::new(
+                        curve.label.clone(),
+                        data.x_values
+                            .iter()
+                            .zip(&curve.avg_failure)
+                            .map(|(&x, &failure)| (x, failure))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        ),
+    };
+    FigureResult {
+        id: id.id(),
+        title: id.title().to_string(),
+        x_label: x_label.to_string(),
+        y_label: y_label.to_string(),
+        num_instances: data.num_instances,
+        series,
+    }
+}
+
+/// Runs the experiment behind `id` and returns that single figure.
+pub fn run_figure(id: FigureId, options: &SweepOptions) -> FigureResult {
+    let data = id.spec().run(options);
+    extract(id, &data)
+}
+
+/// Runs every experiment once and returns all ten figures (the two views of
+/// each experiment are extracted from the same run).
+pub fn run_all(options: &SweepOptions) -> Vec<FigureResult> {
+    let mut results = Vec::with_capacity(10);
+    for pair in [
+        (FigureId::Fig6, FigureId::Fig7),
+        (FigureId::Fig8, FigureId::Fig9),
+        (FigureId::Fig10, FigureId::Fig11),
+        (FigureId::Fig12, FigureId::Fig13),
+        (FigureId::Fig14, FigureId::Fig15),
+    ] {
+        let data = pair.0.spec().run(options);
+        results.push(extract(pair.0, &data));
+        results.push(extract(pair.1, &data));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_round_trips() {
+        for id in FigureId::all() {
+            assert_eq!(FigureId::from_number(id.number()), Some(id));
+            assert_eq!(id.sibling().sibling(), id);
+        }
+        assert_eq!(FigureId::from_number(5), None);
+        assert_eq!(FigureId::from_number(16), None);
+        assert_eq!(FigureId::Fig6.id(), "fig06");
+        assert_eq!(FigureId::Fig15.id(), "fig15");
+        assert_eq!(FigureId::all().len(), 10);
+    }
+
+    #[test]
+    fn siblings_share_the_same_experiment() {
+        for id in FigureId::all() {
+            assert_eq!(id.spec(), id.sibling().spec());
+            assert_ne!(id.view(), id.sibling().view());
+        }
+    }
+
+    #[test]
+    fn run_figure_produces_expected_series() {
+        let options = SweepOptions { num_instances: 3, seed: 99 };
+        let fig6 = run_figure(FigureId::Fig6, &options);
+        assert_eq!(fig6.id, "fig06");
+        assert_eq!(fig6.series.len(), 3);
+        assert_eq!(fig6.num_instances, 3);
+        assert!(fig6.series_by_label("ILP").is_some());
+        assert!(fig6.series_by_label("Heur-L").is_some());
+        assert!(fig6.series_by_label("Heur-P").is_some());
+        assert_eq!(fig6.x_values().len(), 20);
+        // Solution counts are integers within [0, 3].
+        for series in &fig6.series {
+            for y in series.ys() {
+                assert!((0.0..=3.0).contains(&y));
+                assert_eq!(y.fract(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_view_yields_probabilities() {
+        let options = SweepOptions { num_instances: 3, seed: 99 };
+        let fig7 = run_figure(FigureId::Fig7, &options);
+        assert_eq!(fig7.series.len(), 3);
+        for series in &fig7.series {
+            for y in series.ys() {
+                assert!(y.is_nan() || (0.0..=1.0).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_figures_have_four_series() {
+        let options = SweepOptions { num_instances: 2, seed: 5 };
+        let fig12 = run_figure(FigureId::Fig12, &options);
+        assert_eq!(fig12.series.len(), 4);
+        assert!(fig12.series_by_label("Heur-P_HET").is_some());
+        assert!(fig12.series_by_label("Heur-L_HOM").is_some());
+    }
+}

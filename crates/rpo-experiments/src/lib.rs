@@ -1,0 +1,38 @@
+//! Experiment harness reproducing the evaluation of Section 8 of the paper
+//! (Figures 6–15).
+//!
+//! The paper's evaluation generates 100 random instances (15 tasks, 10
+//! processors, `K = 3`) and, for a sweep of period/latency bounds, reports
+//! for each method — the ILP-computed optimum, Heur-L, Heur-P — how many
+//! instances admit a feasible mapping and the average failure probability of
+//! the mappings found. Figures 6–11 use homogeneous platforms; Figures 12–15
+//! compare heuristics on heterogeneous platforms against a speed-5
+//! homogeneous platform.
+//!
+//! * [`experiments`] — the five underlying experiments (each produces the data
+//!   of two figures: a solution-count view and an average-failure view);
+//! * [`figures`] — the per-figure entry points ([`figures::run_figure`],
+//!   [`figures::run_all`]);
+//! * [`series`] — plain data types for figure series;
+//! * [`csv`] / [`report`] — CSV files and console tables.
+//!
+//! The `reproduce` binary drives everything:
+//!
+//! ```text
+//! reproduce --all --instances 100 --out results/
+//! reproduce --figure 6
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod experiments;
+pub mod figures;
+pub mod problem_io;
+pub mod report;
+pub mod series;
+
+pub use experiments::{ExperimentData, MethodCurve, SweepOptions};
+pub use figures::{run_all, run_figure, FigureId};
+pub use series::{FigureResult, Series};

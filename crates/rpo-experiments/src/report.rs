@@ -1,0 +1,83 @@
+//! Console rendering of figure results.
+
+use crate::series::FigureResult;
+
+/// Renders a figure as a fixed-width console table.
+pub fn to_table(figure: &FigureResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — {} ({} instances)\n",
+        figure.id, figure.title, figure.num_instances
+    ));
+    out.push_str(&format!("{:>12}", figure.x_label));
+    for series in &figure.series {
+        out.push_str(&format!("{:>14}", series.label));
+    }
+    out.push('\n');
+
+    let xs = figure.x_values();
+    for (row, &x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x:>12.1}"));
+        for series in &figure.series {
+            match series.points.get(row) {
+                Some(&(_, y)) if !y.is_nan() => {
+                    if y.fract() == 0.0 && y.abs() < 1e6 && figure.y_label.contains("Number") {
+                        out.push_str(&format!("{y:>14.0}"));
+                    } else {
+                        out.push_str(&format!("{y:>14.3e}"));
+                    }
+                }
+                _ => out.push_str(&format!("{:>14}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints the table to standard output.
+pub fn print_table(figure: &FigureResult) {
+    print!("{}", to_table(figure));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    #[test]
+    fn table_contains_labels_values_and_placeholders() {
+        let figure = FigureResult {
+            id: "fig06".to_string(),
+            title: "Number of solutions".to_string(),
+            x_label: "Bound on period".to_string(),
+            y_label: "Number of solutions".to_string(),
+            num_instances: 10,
+            series: vec![
+                Series::new("ILP", vec![(50.0, 7.0), (100.0, 10.0)]),
+                Series::new("Heur-P", vec![(50.0, f64::NAN), (100.0, 9.0)]),
+            ],
+        };
+        let table = to_table(&figure);
+        assert!(table.contains("fig06"));
+        assert!(table.contains("ILP"));
+        assert!(table.contains("Heur-P"));
+        assert!(table.contains('7'));
+        assert!(table.contains('-'));
+        assert_eq!(table.lines().count(), 4);
+    }
+
+    #[test]
+    fn failure_view_uses_scientific_notation() {
+        let figure = FigureResult {
+            id: "fig07".to_string(),
+            title: "Average failure rate".to_string(),
+            x_label: "Bound on period".to_string(),
+            y_label: "Average failure probability".to_string(),
+            num_instances: 10,
+            series: vec![Series::new("ILP", vec![(50.0, 1.25e-7)])],
+        };
+        let table = to_table(&figure);
+        assert!(table.contains("e-7") || table.contains("E-7"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Plain data types describing a figure: labelled series of `(x, y)` points.
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled curve of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Label shown in the legend (e.g. `"ILP"`, `"Heur-P"`, `"Heur-L_HET"`).
+    pub label: String,
+    /// `(x, y)` points; `y` may be NaN where the value is undefined (e.g. the
+    /// average failure probability when no instance was solved).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    /// The y values only.
+    pub fn ys(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, y)| y)
+    }
+}
+
+/// The full reproduction of one paper figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Machine-friendly identifier (`"fig06"` … `"fig15"`).
+    pub id: String,
+    /// Human-readable title (mirrors the paper's caption).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Number of instances behind each point.
+    pub num_instances: usize,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// The common x values of the figure (taken from the first series).
+    pub fn x_values(&self) -> Vec<f64> {
+        self.series.first().map(|s| s.points.iter().map(|&(x, _)| x).collect()).unwrap_or_default()
+    }
+
+    /// Looks a series up by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure() -> FigureResult {
+        FigureResult {
+            id: "fig99".to_string(),
+            title: "test".to_string(),
+            x_label: "x".to_string(),
+            y_label: "y".to_string(),
+            num_instances: 3,
+            series: vec![
+                Series::new("A", vec![(1.0, 10.0), (2.0, 20.0)]),
+                Series::new("B", vec![(1.0, 5.0), (2.0, f64::NAN)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn x_values_come_from_the_first_series() {
+        assert_eq!(figure().x_values(), vec![1.0, 2.0]);
+        let empty = FigureResult { series: vec![], ..figure() };
+        assert!(empty.x_values().is_empty());
+    }
+
+    #[test]
+    fn lookup_by_label() {
+        let f = figure();
+        assert_eq!(f.series_by_label("A").unwrap().points[1].1, 20.0);
+        assert!(f.series_by_label("C").is_none());
+    }
+
+    #[test]
+    fn ys_iterator() {
+        let f = figure();
+        let ys: Vec<f64> = f.series[0].ys().collect();
+        assert_eq!(ys, vec![10.0, 20.0]);
+    }
+}

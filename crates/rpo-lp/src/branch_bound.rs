@@ -1,0 +1,313 @@
+//! Branch-and-bound for integer variables on top of the LP relaxation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{simplex, ConstraintOp, LpStatus, Objective, Problem};
+
+/// Integrality tolerance: a relaxation value within this distance of an
+/// integer is considered integral.
+const INT_TOL: f64 = 1e-6;
+
+/// Outcome status of an ILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IlpStatus {
+    /// An optimal integer solution was found.
+    Optimal,
+    /// No integer-feasible point exists.
+    Infeasible,
+    /// The relaxation (and hence the ILP) is unbounded.
+    Unbounded,
+    /// The node limit was reached before optimality could be proven; the
+    /// incumbent (if any) is returned as a best-effort solution.
+    NodeLimit,
+}
+
+/// Result of solving an integer linear program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IlpSolution {
+    /// Solve status.
+    pub status: IlpStatus,
+    /// Best integer solution found (empty if none).
+    pub x: Vec<f64>,
+    /// Objective value of `x` in the problem's own sense.
+    pub objective: f64,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+/// Default limit on explored branch-and-bound nodes.
+pub const DEFAULT_NODE_LIMIT: usize = 200_000;
+
+/// Solves a mixed 0-1 / integer linear program by depth-first branch-and-bound
+/// with LP-relaxation bounds, exploring at most [`DEFAULT_NODE_LIMIT`] nodes.
+pub fn solve_ilp(problem: &Problem) -> IlpSolution {
+    solve_ilp_with_limit(problem, DEFAULT_NODE_LIMIT)
+}
+
+/// Same as [`solve_ilp`] with an explicit node limit.
+pub fn solve_ilp_with_limit(problem: &Problem, node_limit: usize) -> IlpSolution {
+    let mut state = Search {
+        problem,
+        node_limit,
+        nodes: 0,
+        incumbent: None,
+        hit_limit: false,
+    };
+    let root_status = state.explore(problem.clone());
+    if root_status == Some(LpStatus::Unbounded) && state.incumbent.is_none() {
+        return IlpSolution {
+            status: IlpStatus::Unbounded,
+            x: Vec::new(),
+            objective: 0.0,
+            nodes: state.nodes,
+        };
+    }
+    match state.incumbent {
+        Some((x, objective)) => IlpSolution {
+            status: if state.hit_limit { IlpStatus::NodeLimit } else { IlpStatus::Optimal },
+            x,
+            objective,
+            nodes: state.nodes,
+        },
+        None => IlpSolution {
+            status: if state.hit_limit { IlpStatus::NodeLimit } else { IlpStatus::Infeasible },
+            x: Vec::new(),
+            objective: 0.0,
+            nodes: state.nodes,
+        },
+    }
+}
+
+struct Search<'a> {
+    problem: &'a Problem,
+    node_limit: usize,
+    nodes: usize,
+    /// Best integer solution found so far, with its objective value.
+    incumbent: Option<(Vec<f64>, f64)>,
+    hit_limit: bool,
+}
+
+impl Search<'_> {
+    /// Whether `candidate` improves on the incumbent in the problem's sense.
+    fn improves(&self, candidate: f64) -> bool {
+        match &self.incumbent {
+            None => true,
+            Some((_, best)) => match self.problem.objective {
+                Objective::Maximize => candidate > *best + 1e-12,
+                Objective::Minimize => candidate < *best - 1e-12,
+            },
+        }
+    }
+
+    /// Whether the relaxation bound of a node can still beat the incumbent.
+    fn bound_can_improve(&self, bound: f64) -> bool {
+        match &self.incumbent {
+            None => true,
+            Some((_, best)) => match self.problem.objective {
+                Objective::Maximize => bound > *best + 1e-9,
+                Objective::Minimize => bound < *best - 1e-9,
+            },
+        }
+    }
+
+    /// Explores one node; returns the LP status of its relaxation.
+    fn explore(&mut self, node: Problem) -> Option<LpStatus> {
+        if self.nodes >= self.node_limit {
+            self.hit_limit = true;
+            return None;
+        }
+        self.nodes += 1;
+
+        let relaxation = simplex::solve_lp(&node);
+        match relaxation.status {
+            LpStatus::Infeasible => return Some(LpStatus::Infeasible),
+            LpStatus::Unbounded => return Some(LpStatus::Unbounded),
+            LpStatus::Optimal => {}
+        }
+        if !self.bound_can_improve(relaxation.objective) {
+            return Some(LpStatus::Optimal);
+        }
+
+        // Pick the most fractional integer variable.
+        let fractional = self
+            .problem
+            .integer
+            .iter()
+            .enumerate()
+            .filter(|(_, &is_int)| is_int)
+            .map(|(j, _)| (j, relaxation.x[j]))
+            .map(|(j, v)| (j, v, (v - v.round()).abs()))
+            .filter(|(_, _, frac)| *frac > INT_TOL)
+            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite fractionality"));
+
+        match fractional {
+            None => {
+                // Integer feasible: round the integer coordinates exactly.
+                let mut x = relaxation.x.clone();
+                for (j, &is_int) in self.problem.integer.iter().enumerate() {
+                    if is_int {
+                        x[j] = x[j].round();
+                    }
+                }
+                let objective = self.problem.objective_value(&x);
+                if self.improves(objective) {
+                    self.incumbent = Some((x, objective));
+                }
+            }
+            Some((j, value, _)) => {
+                // Branch x_j <= floor(value) and x_j >= ceil(value).
+                let mut down = node.clone();
+                down.add_sparse_constraint(&[(j, 1.0)], ConstraintOp::Le, value.floor());
+                self.explore(down);
+
+                let mut up = node;
+                up.add_sparse_constraint(&[(j, 1.0)], ConstraintOp::Ge, value.ceil());
+                self.explore(up);
+            }
+        }
+        Some(LpStatus::Optimal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Objective;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c with weights 3a + 4b + 2c <= 6, binary.
+        // Best: a + c = 17? a+b = 23 (weight 7 > 6) no; b + c = 20 (weight 6) yes.
+        let mut p = Problem::new(Objective::Maximize, vec![10.0, 13.0, 7.0]);
+        p.add_constraint(vec![3.0, 4.0, 2.0], ConstraintOp::Le, 6.0);
+        for v in 0..3 {
+            p.set_binary(v);
+        }
+        let s = solve_ilp(&p);
+        assert_eq!(s.status, IlpStatus::Optimal);
+        assert_close(s.objective, 20.0);
+        assert_close(s.x[0], 0.0);
+        assert_close(s.x[1], 1.0);
+        assert_close(s.x[2], 1.0);
+    }
+
+    #[test]
+    fn integer_rounding_differs_from_lp_relaxation() {
+        // max x + y s.t. 2x + 2y <= 3, integer -> LP gives 1.5, ILP gives 1.
+        let mut p = Problem::new(Objective::Maximize, vec![1.0, 1.0]);
+        p.add_constraint(vec![2.0, 2.0], ConstraintOp::Le, 3.0);
+        p.set_integer(0);
+        p.set_integer(1);
+        let lp = simplex::solve_lp(&p);
+        assert_close(lp.objective, 1.5);
+        let s = solve_ilp(&p);
+        assert_eq!(s.status, IlpStatus::Optimal);
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 0.4 <= x <= 0.6 with x integer has no solution.
+        let mut p = Problem::new(Objective::Maximize, vec![1.0]);
+        p.add_constraint(vec![1.0], ConstraintOp::Ge, 0.4);
+        p.add_constraint(vec![1.0], ConstraintOp::Le, 0.6);
+        p.set_integer(0);
+        let s = solve_ilp(&p);
+        assert_eq!(s.status, IlpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_integer_program() {
+        let p = {
+            let mut p = Problem::new(Objective::Maximize, vec![1.0]);
+            p.set_integer(0);
+            p
+        };
+        let s = solve_ilp(&p);
+        assert_eq!(s.status, IlpStatus::Unbounded);
+    }
+
+    #[test]
+    fn minimization_set_cover() {
+        // Cover {1,2,3} with sets A={1,2} (cost 3), B={2,3} (cost 3), C={1,3} (cost 3),
+        // D={1,2,3} (cost 5). Optimal: two of A/B/C (cost 6) vs D (cost 5) -> D.
+        let mut p = Problem::new(Objective::Minimize, vec![3.0, 3.0, 3.0, 5.0]);
+        p.add_constraint(vec![1.0, 0.0, 1.0, 1.0], ConstraintOp::Ge, 1.0); // element 1
+        p.add_constraint(vec![1.0, 1.0, 0.0, 1.0], ConstraintOp::Ge, 1.0); // element 2
+        p.add_constraint(vec![0.0, 1.0, 1.0, 1.0], ConstraintOp::Ge, 1.0); // element 3
+        for v in 0..4 {
+            p.set_binary(v);
+        }
+        let s = solve_ilp(&p);
+        assert_eq!(s.status, IlpStatus::Optimal);
+        assert_close(s.objective, 5.0);
+        assert_close(s.x[3], 1.0);
+    }
+
+    #[test]
+    fn mixed_integer_program() {
+        // max 2x + y, x integer, y continuous, x + y <= 3.7, x <= 2.4.
+        // Optimal: x = 2, y = 1.7 -> 5.7.
+        let mut p = Problem::new(Objective::Maximize, vec![2.0, 1.0]);
+        p.add_constraint(vec![1.0, 1.0], ConstraintOp::Le, 3.7);
+        p.add_constraint(vec![1.0, 0.0], ConstraintOp::Le, 2.4);
+        p.set_integer(0);
+        let s = solve_ilp(&p);
+        assert_eq!(s.status, IlpStatus::Optimal);
+        assert_close(s.objective, 5.7);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 1.7);
+    }
+
+    #[test]
+    fn node_limit_is_reported() {
+        // A feasibility-hard-ish equality knapsack; with a node limit of 1 the
+        // search cannot finish.
+        let mut p = Problem::new(Objective::Maximize, vec![1.0, 1.0, 1.0, 1.0, 1.0]);
+        p.add_constraint(vec![7.0, 5.0, 3.0, 11.0, 13.0], ConstraintOp::Eq, 24.0);
+        for v in 0..5 {
+            p.set_binary(v);
+        }
+        let s = solve_ilp_with_limit(&p, 1);
+        assert_eq!(s.status, IlpStatus::NodeLimit);
+        // With a generous limit the optimum (13 + 11 = 24 or 5 + 3 + 7 + ... ) is found.
+        let s = solve_ilp(&p);
+        assert_eq!(s.status, IlpStatus::Optimal);
+        assert!(p.is_feasible(&s.x, 1e-6));
+    }
+
+    #[test]
+    fn solution_always_feasible_on_assignment_problem() {
+        // 3x3 assignment as an ILP; optimal cost 1 + 2 + 1 = 4 .. just check feasibility
+        // and agreement with brute force.
+        let costs = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let idx = |i: usize, j: usize| i * 3 + j;
+        let flat: Vec<f64> = costs.iter().flatten().copied().collect();
+        let mut p = Problem::new(Objective::Minimize, flat.clone());
+        for i in 0..3 {
+            let row: Vec<(usize, f64)> = (0..3).map(|j| (idx(i, j), 1.0)).collect();
+            p.add_sparse_constraint(&row, ConstraintOp::Eq, 1.0);
+            let col: Vec<(usize, f64)> = (0..3).map(|j| (idx(j, i), 1.0)).collect();
+            p.add_sparse_constraint(&col, ConstraintOp::Eq, 1.0);
+        }
+        for v in 0..9 {
+            p.set_binary(v);
+        }
+        let s = solve_ilp(&p);
+        assert_eq!(s.status, IlpStatus::Optimal);
+        assert!(p.is_feasible(&s.x, 1e-6));
+
+        // Brute-force the 6 permutations.
+        let mut best = f64::INFINITY;
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for perm in perms {
+            let cost: f64 = perm.iter().enumerate().map(|(i, &j)| costs[i][j]).sum();
+            best = best.min(cost);
+        }
+        assert_close(s.objective, best);
+    }
+}

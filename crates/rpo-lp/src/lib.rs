@@ -1,0 +1,28 @@
+//! A small, dependency-free linear-programming and 0-1 integer-programming
+//! solver.
+//!
+//! The paper solves its Section 5.4 integer linear program with CPLEX; this
+//! crate is the open-source substitute used by `rpo-algorithms::exact::ilp`:
+//!
+//! * [`problem`] — a dense LP/ILP description (maximize or minimize a linear
+//!   objective under `≤ / ≥ / =` constraints, non-negative variables,
+//!   optional upper bounds, optional integrality);
+//! * [`simplex`] — a two-phase primal simplex solver for the continuous
+//!   relaxation;
+//! * [`branch_bound`] — depth-first branch-and-bound on the integer
+//!   variables, using the LP relaxation as bound.
+//!
+//! The implementation favours clarity and numerical robustness on the small,
+//! dense problems produced by the paper's formulation (a few hundred
+//! variables); it is not meant to compete with industrial solvers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod branch_bound;
+pub mod problem;
+pub mod simplex;
+
+pub use branch_bound::{solve_ilp, IlpSolution, IlpStatus};
+pub use problem::{Constraint, ConstraintOp, Objective, Problem};
+pub use simplex::{solve_lp, LpSolution, LpStatus};

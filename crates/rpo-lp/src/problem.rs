@@ -1,0 +1,205 @@
+//! Dense LP / ILP problem description.
+
+use serde::{Deserialize, Serialize};
+
+/// Sense of the objective function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `a · x ≤ b`
+    Le,
+    /// `a · x ≥ b`
+    Ge,
+    /// `a · x = b`
+    Eq,
+}
+
+/// A linear constraint `coeffs · x (≤ | ≥ | =) rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Coefficients, one per variable (dense).
+    pub coeffs: Vec<f64>,
+    /// Comparison operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables, with optional upper bounds
+/// and optional integrality markers (making it a mixed 0-1 / integer
+/// program).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    /// Number of decision variables.
+    num_vars: usize,
+    /// Objective sense.
+    pub objective: Objective,
+    /// Objective coefficients (dense, one per variable).
+    pub objective_coeffs: Vec<f64>,
+    /// Constraints.
+    pub constraints: Vec<Constraint>,
+    /// Optional upper bound per variable (`None` = unbounded above).
+    pub upper_bounds: Vec<Option<f64>>,
+    /// Whether each variable is required to take an integer value.
+    pub integer: Vec<bool>,
+}
+
+impl Problem {
+    /// Creates a problem with `num_vars` non-negative continuous variables and
+    /// the given objective.
+    pub fn new(objective: Objective, objective_coeffs: Vec<f64>) -> Self {
+        let num_vars = objective_coeffs.len();
+        Problem {
+            num_vars,
+            objective,
+            objective_coeffs,
+            constraints: Vec::new(),
+            upper_bounds: vec![None; num_vars],
+            integer: vec![false; num_vars],
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient vector has the wrong length or contains
+    /// non-finite values.
+    pub fn add_constraint(&mut self, coeffs: Vec<f64>, op: ConstraintOp, rhs: f64) {
+        assert_eq!(coeffs.len(), self.num_vars, "constraint arity mismatch");
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()) && rhs.is_finite(),
+            "constraint coefficients must be finite"
+        );
+        self.constraints.push(Constraint { coeffs, op, rhs });
+    }
+
+    /// Adds a sparse constraint given as `(variable, coefficient)` pairs.
+    pub fn add_sparse_constraint(
+        &mut self,
+        terms: &[(usize, f64)],
+        op: ConstraintOp,
+        rhs: f64,
+    ) {
+        let mut coeffs = vec![0.0; self.num_vars];
+        for &(var, coeff) in terms {
+            assert!(var < self.num_vars, "variable index out of range");
+            coeffs[var] += coeff;
+        }
+        self.add_constraint(coeffs, op, rhs);
+    }
+
+    /// Declares an upper bound for a variable.
+    pub fn set_upper_bound(&mut self, var: usize, bound: f64) {
+        assert!(var < self.num_vars, "variable index out of range");
+        self.upper_bounds[var] = Some(bound);
+    }
+
+    /// Declares a variable as integer.
+    pub fn set_integer(&mut self, var: usize) {
+        assert!(var < self.num_vars, "variable index out of range");
+        self.integer[var] = true;
+    }
+
+    /// Declares a variable as binary (integer in `[0, 1]`).
+    pub fn set_binary(&mut self, var: usize) {
+        self.set_integer(var);
+        self.set_upper_bound(var, 1.0);
+    }
+
+    /// Whether the problem has at least one integer variable.
+    pub fn has_integer_vars(&self) -> bool {
+        self.integer.iter().any(|&b| b)
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective_coeffs.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks whether `x` satisfies all constraints and bounds, within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars {
+            return false;
+        }
+        for (i, &v) in x.iter().enumerate() {
+            if v < -tol {
+                return false;
+            }
+            if let Some(ub) = self.upper_bounds[i] {
+                if v > ub + tol {
+                    return false;
+                }
+            }
+            if self.integer[i] && (v - v.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+            match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_feasibility() {
+        let mut p = Problem::new(Objective::Maximize, vec![3.0, 2.0]);
+        p.add_constraint(vec![1.0, 1.0], ConstraintOp::Le, 4.0);
+        p.add_sparse_constraint(&[(0, 1.0)], ConstraintOp::Le, 2.0);
+        p.set_upper_bound(1, 3.0);
+        assert_eq!(p.num_vars(), 2);
+        assert!(p.is_feasible(&[2.0, 2.0], 1e-9));
+        assert!(!p.is_feasible(&[3.0, 0.0], 1e-9)); // violates x0 <= 2
+        assert!(!p.is_feasible(&[1.0, 3.5], 1e-9)); // violates upper bound
+        assert!(!p.is_feasible(&[-0.1, 0.0], 1e-9)); // negative
+        assert_eq!(p.objective_value(&[2.0, 2.0]), 10.0);
+    }
+
+    #[test]
+    fn binary_marker_sets_bound_and_integrality() {
+        let mut p = Problem::new(Objective::Minimize, vec![1.0]);
+        p.set_binary(0);
+        assert!(p.has_integer_vars());
+        assert!(p.is_feasible(&[1.0], 1e-9));
+        assert!(!p.is_feasible(&[0.5], 1e-9));
+        assert!(!p.is_feasible(&[2.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut p = Problem::new(Objective::Maximize, vec![1.0, 1.0]);
+        p.add_constraint(vec![1.0], ConstraintOp::Le, 1.0);
+    }
+
+    #[test]
+    fn equality_constraints_checked_both_ways() {
+        let mut p = Problem::new(Objective::Maximize, vec![1.0, 1.0]);
+        p.add_constraint(vec![1.0, 1.0], ConstraintOp::Eq, 3.0);
+        assert!(p.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!p.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[2.0, 2.0], 1e-9));
+    }
+}

@@ -1,0 +1,415 @@
+//! Two-phase primal simplex for the continuous relaxation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ConstraintOp, Objective, Problem};
+
+/// Numerical tolerance used by the solver.
+const TOL: f64 = 1e-9;
+/// Number of Dantzig pivots before switching to Bland's rule (anti-cycling).
+const BLAND_THRESHOLD: usize = 10_000;
+/// Hard cap on pivots, as a defence against numerical stalling.
+const MAX_PIVOTS: usize = 200_000;
+
+/// Outcome status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints are infeasible.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Result of solving a linear program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Optimal variable values (empty unless status is [`LpStatus::Optimal`]).
+    pub x: Vec<f64>,
+    /// Optimal objective value in the problem's own sense
+    /// (meaningless unless status is [`LpStatus::Optimal`]).
+    pub objective: f64,
+}
+
+impl LpSolution {
+    fn infeasible() -> Self {
+        LpSolution { status: LpStatus::Infeasible, x: Vec::new(), objective: 0.0 }
+    }
+    fn unbounded() -> Self {
+        LpSolution { status: LpStatus::Unbounded, x: Vec::new(), objective: 0.0 }
+    }
+}
+
+/// Solves the continuous relaxation of `problem` (integrality markers are
+/// ignored) with a dense two-phase primal simplex.
+pub fn solve_lp(problem: &Problem) -> LpSolution {
+    Tableau::build(problem).solve(problem)
+}
+
+/// Dense simplex tableau.
+///
+/// Column layout: the `n` structural variables, then one slack/surplus column
+/// per inequality constraint, then one artificial column per `≥`/`=`
+/// constraint (and per `≤` row whose right-hand side had to be negated).
+struct Tableau {
+    /// Number of rows (constraints).
+    m: usize,
+    /// Total number of columns, excluding the right-hand side.
+    cols: usize,
+    /// `m x (cols + 1)` matrix; the last column is the right-hand side.
+    a: Vec<Vec<f64>>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Column indices of artificial variables.
+    artificials: Vec<usize>,
+    /// Number of structural variables of the original problem.
+    n_structural: usize,
+}
+
+impl Tableau {
+    /// Builds the phase-1 tableau: upper bounds become explicit `≤` rows, all
+    /// right-hand sides are made non-negative, slack/surplus/artificial
+    /// variables are appended and an initial basis of slacks/artificials is
+    /// chosen.
+    fn build(problem: &Problem) -> Self {
+        let n = problem.num_vars();
+
+        // Materialize upper bounds as plain constraints.
+        let mut rows: Vec<(Vec<f64>, ConstraintOp, f64)> = problem
+            .constraints
+            .iter()
+            .map(|c| (c.coeffs.clone(), c.op, c.rhs))
+            .collect();
+        for (var, ub) in problem.upper_bounds.iter().enumerate() {
+            if let Some(ub) = ub {
+                let mut coeffs = vec![0.0; n];
+                coeffs[var] = 1.0;
+                rows.push((coeffs, ConstraintOp::Le, *ub));
+            }
+        }
+
+        // Normalize to non-negative right-hand sides.
+        for (coeffs, op, rhs) in &mut rows {
+            if *rhs < 0.0 {
+                for c in coeffs.iter_mut() {
+                    *c = -*c;
+                }
+                *rhs = -*rhs;
+                *op = match *op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
+            }
+        }
+
+        let m = rows.len();
+        let num_slacks =
+            rows.iter().filter(|(_, op, _)| !matches!(op, ConstraintOp::Eq)).count();
+        let num_artificials = rows
+            .iter()
+            .filter(|(_, op, _)| matches!(op, ConstraintOp::Ge | ConstraintOp::Eq))
+            .count();
+        let cols = n + num_slacks + num_artificials;
+
+        let mut a = vec![vec![0.0; cols + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut artificials = Vec::with_capacity(num_artificials);
+        let mut next_slack = n;
+        let mut next_artificial = n + num_slacks;
+
+        for (i, (coeffs, op, rhs)) in rows.iter().enumerate() {
+            a[i][..n].copy_from_slice(coeffs);
+            a[i][cols] = *rhs;
+            match op {
+                ConstraintOp::Le => {
+                    a[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                ConstraintOp::Ge => {
+                    a[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    a[i][next_artificial] = 1.0;
+                    basis[i] = next_artificial;
+                    artificials.push(next_artificial);
+                    next_artificial += 1;
+                }
+                ConstraintOp::Eq => {
+                    a[i][next_artificial] = 1.0;
+                    basis[i] = next_artificial;
+                    artificials.push(next_artificial);
+                    next_artificial += 1;
+                }
+            }
+        }
+
+        Tableau { m, cols, a, basis, artificials, n_structural: n }
+    }
+
+    /// Runs both simplex phases and extracts the solution.
+    fn solve(mut self, problem: &Problem) -> LpSolution {
+        // Phase 1: minimize the sum of artificial variables, i.e. maximize its
+        // negation.
+        if !self.artificials.is_empty() {
+            let mut phase1_cost = vec![0.0; self.cols];
+            for &j in &self.artificials {
+                phase1_cost[j] = -1.0;
+            }
+            match self.optimize(&phase1_cost) {
+                PivotOutcome::Optimal => {}
+                // Phase 1 objective is bounded by 0, so this cannot happen.
+                PivotOutcome::Unbounded => unreachable!("phase-1 objective is bounded"),
+                PivotOutcome::Stalled => return LpSolution::infeasible(),
+            }
+            let infeasibility: f64 = self
+                .basis
+                .iter()
+                .enumerate()
+                .filter(|(_, &j)| self.artificials.contains(&j))
+                .map(|(i, _)| self.a[i][self.cols])
+                .sum();
+            if infeasibility > 1e-6 {
+                return LpSolution::infeasible();
+            }
+            self.drive_out_artificials();
+        }
+
+        // Phase 2: the real objective (internally always maximized).
+        let mut cost = vec![0.0; self.cols];
+        let sign = match problem.objective {
+            Objective::Maximize => 1.0,
+            Objective::Minimize => -1.0,
+        };
+        for (j, &c) in problem.objective_coeffs.iter().enumerate() {
+            cost[j] = sign * c;
+        }
+        // Artificial columns must never re-enter the basis.
+        for &j in &self.artificials {
+            cost[j] = f64::NEG_INFINITY;
+        }
+        match self.optimize(&cost) {
+            PivotOutcome::Optimal => {}
+            PivotOutcome::Unbounded => return LpSolution::unbounded(),
+            PivotOutcome::Stalled => return LpSolution::infeasible(),
+        }
+
+        let mut x = vec![0.0; self.n_structural];
+        for (i, &j) in self.basis.iter().enumerate() {
+            if j < self.n_structural {
+                x[j] = self.a[i][self.cols];
+            }
+        }
+        let objective = problem.objective_value(&x);
+        LpSolution { status: LpStatus::Optimal, x, objective }
+    }
+
+    /// After phase 1, pivot basic artificial variables (all at value 0) out of
+    /// the basis whenever possible so that phase 2 starts from a clean basis.
+    fn drive_out_artificials(&mut self) {
+        for i in 0..self.m {
+            if !self.artificials.contains(&self.basis[i]) {
+                continue;
+            }
+            // Find any non-artificial column with a non-zero coefficient.
+            let col = (0..self.n_structural + (self.cols - self.n_structural))
+                .filter(|j| !self.artificials.contains(j))
+                .find(|&j| self.a[i][j].abs() > TOL);
+            if let Some(j) = col {
+                self.pivot(i, j);
+            }
+            // If no such column exists the row is redundant; the artificial
+            // stays basic at value 0, which is harmless because its phase-2
+            // cost is -inf and its value is 0.
+        }
+    }
+
+    /// Primal simplex iterations for the given (maximization) cost vector.
+    fn optimize(&mut self, cost: &[f64]) -> PivotOutcome {
+        for iteration in 0..MAX_PIVOTS {
+            let bland = iteration >= BLAND_THRESHOLD;
+            // Reduced costs: rc_j = cost_j − Σ_i cost_basis(i) · a[i][j].
+            let entering = self.choose_entering(cost, bland);
+            let Some(col) = entering else { return PivotOutcome::Optimal };
+            // Ratio test.
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                if self.a[i][col] > TOL {
+                    let ratio = self.a[i][self.cols] / self.a[i][col];
+                    let better = match best {
+                        None => true,
+                        Some((bi, br)) => {
+                            ratio < br - TOL || ((ratio - br).abs() <= TOL && self.basis[i] < self.basis[bi])
+                        }
+                    };
+                    if better {
+                        best = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = best else { return PivotOutcome::Unbounded };
+            self.pivot(row, col);
+        }
+        PivotOutcome::Stalled
+    }
+
+    fn choose_entering(&self, cost: &[f64], bland: bool) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.cols {
+            if self.basis.contains(&j) || cost[j] == f64::NEG_INFINITY {
+                continue;
+            }
+            let mut rc = cost[j];
+            for i in 0..self.m {
+                let cb = cost[self.basis[i]];
+                if cb != 0.0 && cb != f64::NEG_INFINITY {
+                    rc -= cb * self.a[i][j];
+                }
+            }
+            if rc > TOL {
+                if bland {
+                    return Some(j);
+                }
+                if best.map_or(true, |(_, brc)| rc > brc) {
+                    best = Some((j, rc));
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_value = self.a[row][col];
+        debug_assert!(pivot_value.abs() > TOL, "pivot on a near-zero element");
+        for j in 0..=self.cols {
+            self.a[row][j] /= pivot_value;
+        }
+        for i in 0..self.m {
+            if i != row && self.a[i][col].abs() > 0.0 {
+                let factor = self.a[i][col];
+                for j in 0..=self.cols {
+                    self.a[i][j] -= factor * self.a[row][j];
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+enum PivotOutcome {
+    Optimal,
+    Unbounded,
+    Stalled,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Objective;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> optimum 36 at (2, 6).
+        let mut p = Problem::new(Objective::Maximize, vec![3.0, 5.0]);
+        p.add_constraint(vec![1.0, 0.0], ConstraintOp::Le, 4.0);
+        p.add_constraint(vec![0.0, 2.0], ConstraintOp::Le, 12.0);
+        p.add_constraint(vec![3.0, 2.0], ConstraintOp::Le, 18.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 3 -> optimum at (10, 0) = 20.
+        let mut p = Problem::new(Objective::Minimize, vec![2.0, 3.0]);
+        p.add_constraint(vec![1.0, 1.0], ConstraintOp::Ge, 10.0);
+        p.add_constraint(vec![1.0, 0.0], ConstraintOp::Ge, 3.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 20.0);
+        assert_close(s.x[0], 10.0);
+        assert_close(s.x[1], 0.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y s.t. x + y = 5, x <= 3 -> (0..3, rest y): best x=0, y=5 -> 10.
+        let mut p = Problem::new(Objective::Maximize, vec![1.0, 2.0]);
+        p.add_constraint(vec![1.0, 1.0], ConstraintOp::Eq, 5.0);
+        p.add_constraint(vec![1.0, 0.0], ConstraintOp::Le, 3.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 10.0);
+        assert_close(s.x[1], 5.0);
+    }
+
+    #[test]
+    fn infeasible_problem_detected() {
+        let mut p = Problem::new(Objective::Maximize, vec![1.0]);
+        p.add_constraint(vec![1.0], ConstraintOp::Le, 1.0);
+        p.add_constraint(vec![1.0], ConstraintOp::Ge, 2.0);
+        assert_eq!(solve_lp(&p).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem_detected() {
+        let mut p = Problem::new(Objective::Maximize, vec![1.0, 0.0]);
+        p.add_constraint(vec![0.0, 1.0], ConstraintOp::Le, 1.0);
+        assert_eq!(solve_lp(&p).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_are_respected() {
+        let mut p = Problem::new(Objective::Maximize, vec![1.0, 1.0]);
+        p.set_upper_bound(0, 2.5);
+        p.set_upper_bound(1, 1.5);
+        p.add_constraint(vec![1.0, 1.0], ConstraintOp::Le, 10.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x - y <= -2  (i.e. y >= x + 2), minimize y  -> x = 0, y = 2.
+        let mut p = Problem::new(Objective::Minimize, vec![0.0, 1.0]);
+        p.add_constraint(vec![1.0, -1.0], ConstraintOp::Le, -2.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate LP; mostly checks anti-cycling / termination.
+        let mut p = Problem::new(Objective::Maximize, vec![10.0, -57.0, -9.0, -24.0]);
+        p.add_constraint(vec![0.5, -5.5, -2.5, 9.0], ConstraintOp::Le, 0.0);
+        p.add_constraint(vec![0.5, -1.5, -0.5, 1.0], ConstraintOp::Le, 0.0);
+        p.add_constraint(vec![1.0, 0.0, 0.0, 0.0], ConstraintOp::Le, 1.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_random_like_problem() {
+        let mut p = Problem::new(Objective::Maximize, vec![1.0, 2.0, 3.0, 1.5, 0.5]);
+        p.add_constraint(vec![1.0, 1.0, 1.0, 1.0, 1.0], ConstraintOp::Le, 10.0);
+        p.add_constraint(vec![2.0, 1.0, 0.0, 3.0, 1.0], ConstraintOp::Le, 15.0);
+        p.add_constraint(vec![0.0, 1.0, 2.0, 1.0, 0.0], ConstraintOp::Le, 12.0);
+        p.add_constraint(vec![1.0, 0.0, 1.0, 0.0, 1.0], ConstraintOp::Ge, 2.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(p.is_feasible(&s.x, 1e-6));
+    }
+}

@@ -1,0 +1,214 @@
+//! Energy and power model — the "power consumption" criterion listed as
+//! future work in the paper's conclusion.
+//!
+//! Replication is good for reliability but costs energy: every replica of an
+//! interval executes the same work. This module quantifies that cost so that
+//! energy/power can be traded against reliability, period and latency:
+//!
+//! * a processor running at speed `s` draws `P_static + κ · s^α` watts while
+//!   computing (the classical CMOS model, `α ≈ 2–3`);
+//! * transmitting one unit of data costs `e_comm` joules on a link;
+//! * the **energy per data set** of a mapping sums, over every interval
+//!   replica, the energy of its computation and of its output communication;
+//! * the **average power** of the pipeline in steady state is that energy
+//!   divided by the period.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Mapping, Platform, TaskChain};
+
+/// Power/energy parameters of the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static power drawn by a processor while it executes (per time unit).
+    pub static_power: f64,
+    /// Coefficient `κ` of the dynamic power `κ · s^α`.
+    pub dynamic_coefficient: f64,
+    /// Exponent `α` of the dynamic power (2–3 for CMOS).
+    pub dynamic_exponent: f64,
+    /// Energy cost of transmitting one unit of data on a link.
+    pub comm_energy_per_unit: f64,
+}
+
+impl PowerModel {
+    /// A reasonable default CMOS-like model: no static power, cubic dynamic
+    /// power with unit coefficient, and negligible communication energy.
+    pub fn cubic() -> Self {
+        PowerModel {
+            static_power: 0.0,
+            dynamic_coefficient: 1.0,
+            dynamic_exponent: 3.0,
+            comm_energy_per_unit: 0.0,
+        }
+    }
+
+    /// Power drawn by a processor of speed `speed` while computing.
+    pub fn compute_power(&self, speed: f64) -> f64 {
+        self.static_power + self.dynamic_coefficient * speed.powf(self.dynamic_exponent)
+    }
+
+    /// Energy spent executing `work` units of work at speed `speed`
+    /// (`power × work / speed`).
+    pub fn compute_energy(&self, work: f64, speed: f64) -> f64 {
+        self.compute_power(speed) * work / speed
+    }
+
+    /// Energy spent transmitting `size` units of data once.
+    pub fn comm_energy(&self, size: f64) -> f64 {
+        self.comm_energy_per_unit * size
+    }
+}
+
+/// Energy-oriented evaluation of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyEvaluation {
+    /// Total energy consumed to process one data set (all replicas included).
+    pub energy_per_dataset: f64,
+    /// Average power in steady state: energy per data set divided by the
+    /// worst-case period.
+    pub average_power: f64,
+    /// Number of processors enrolled by the mapping.
+    pub processors_enabled: usize,
+}
+
+/// Energy consumed by one data set under `mapping`: every replica executes its
+/// interval (dynamic + static energy) and forwards the interval output once.
+pub fn energy_per_dataset(
+    chain: &TaskChain,
+    platform: &Platform,
+    mapping: &Mapping,
+    model: &PowerModel,
+) -> f64 {
+    mapping
+        .intervals()
+        .iter()
+        .map(|mi| {
+            let work = mi.interval.work(chain);
+            let output = mi.interval.output_size(chain);
+            mi.processors
+                .iter()
+                .map(|&u| {
+                    model.compute_energy(work, platform.speed(u)) + model.comm_energy(output)
+                })
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+/// Full energy evaluation of a mapping (energy per data set, average power at
+/// the mapping's worst-case period, processors enabled).
+pub fn evaluate_energy(
+    chain: &TaskChain,
+    platform: &Platform,
+    mapping: &Mapping,
+    model: &PowerModel,
+) -> EnergyEvaluation {
+    let energy = energy_per_dataset(chain, platform, mapping, model);
+    let period = crate::timing::worst_case_period(chain, platform, mapping);
+    EnergyEvaluation {
+        energy_per_dataset: energy,
+        average_power: energy / period,
+        processors_enabled: mapping.processors_used(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interval, MappedInterval, PlatformBuilder};
+
+    fn setup() -> (TaskChain, Platform) {
+        let chain = TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (30.0, 4.0)]).unwrap();
+        let platform = PlatformBuilder::new()
+            .processor(1.0, 1e-6)
+            .processor(2.0, 1e-6)
+            .processor(1.0, 1e-6)
+            .processor(2.0, 1e-6)
+            .bandwidth(1.0)
+            .link_failure_rate(1e-6)
+            .max_replication(2)
+            .build()
+            .unwrap();
+        (chain, platform)
+    }
+
+    fn mapping(chain: &TaskChain, platform: &Platform, replicate: bool) -> Mapping {
+        let first = if replicate { vec![0, 1] } else { vec![0] };
+        let second = if replicate { vec![2, 3] } else { vec![2] };
+        Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, first),
+                MappedInterval::new(Interval { first: 2, last: 2 }, second),
+            ],
+            chain,
+            platform,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn power_model_formulas() {
+        let model = PowerModel {
+            static_power: 2.0,
+            dynamic_coefficient: 0.5,
+            dynamic_exponent: 3.0,
+            comm_energy_per_unit: 0.1,
+        };
+        assert!((model.compute_power(2.0) - (2.0 + 0.5 * 8.0)).abs() < 1e-12);
+        // Energy = power * time = 6 * (12 / 2).
+        assert!((model.compute_energy(12.0, 2.0) - 36.0).abs() < 1e-12);
+        assert!((model.comm_energy(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(PowerModel::cubic().compute_power(2.0), 8.0);
+    }
+
+    #[test]
+    fn unreplicated_energy_matches_manual_sum() {
+        let (chain, platform) = setup();
+        let model = PowerModel {
+            static_power: 1.0,
+            dynamic_coefficient: 1.0,
+            dynamic_exponent: 2.0,
+            comm_energy_per_unit: 0.5,
+        };
+        let m = mapping(&chain, &platform, false);
+        // Interval 1 on P0 (speed 1): work 30, power 2, time 30 -> 60; comm 6 * 0.5 = 3.
+        // Interval 2 on P2 (speed 1): work 30 -> 60; comm 0.
+        let expected = 60.0 + 3.0 + 60.0;
+        assert!((energy_per_dataset(&chain, &platform, &m, &model) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_multiplies_energy_but_not_latency() {
+        let (chain, platform) = setup();
+        let model = PowerModel::cubic();
+        let single = mapping(&chain, &platform, false);
+        let duplicated = mapping(&chain, &platform, true);
+        let e1 = energy_per_dataset(&chain, &platform, &single, &model);
+        let e2 = energy_per_dataset(&chain, &platform, &duplicated, &model);
+        assert!(e2 > e1 * 1.5, "replication should add close to one full extra execution");
+        // Faster processors burn more energy per unit of work under a cubic model.
+        let faster_only = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, vec![1]),
+                MappedInterval::new(Interval { first: 2, last: 2 }, vec![3]),
+            ],
+            &chain,
+            &platform,
+        )
+        .unwrap();
+        let e_fast = energy_per_dataset(&chain, &platform, &faster_only, &model);
+        assert!(e_fast > e1);
+    }
+
+    #[test]
+    fn evaluate_energy_reports_power_and_processor_count() {
+        let (chain, platform) = setup();
+        let model = PowerModel::cubic();
+        let m = mapping(&chain, &platform, true);
+        let eval = evaluate_energy(&chain, &platform, &m, &model);
+        assert_eq!(eval.processors_enabled, 4);
+        let period = crate::timing::worst_case_period(&chain, &platform, &m);
+        assert!((eval.average_power - eval.energy_per_dataset / period).abs() < 1e-12);
+        assert!(eval.energy_per_dataset > 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type shared by all model constructors and validators.
+
+use std::fmt;
+
+/// Errors raised when building or validating chains, platforms and mappings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A task chain must contain at least one task.
+    EmptyChain,
+    /// Task work must be strictly positive (index of the offending task).
+    NonPositiveWork(usize),
+    /// Output data sizes must be non-negative (index of the offending task).
+    NegativeOutput(usize),
+    /// A platform must contain at least one processor.
+    EmptyPlatform,
+    /// Processor speeds must be strictly positive (index of the offending processor).
+    NonPositiveSpeed(usize),
+    /// Failure rates must be non-negative (description of the offending component).
+    NegativeFailureRate(String),
+    /// Link bandwidth must be strictly positive.
+    NonPositiveBandwidth,
+    /// The replication bound `K` must be at least one.
+    ZeroReplicationBound,
+    /// An interval has `first > last` or exceeds the chain length.
+    InvalidInterval {
+        /// First task index (0-based, inclusive) of the offending interval.
+        first: usize,
+        /// Last task index (0-based, inclusive) of the offending interval.
+        last: usize,
+        /// Number of tasks in the chain being partitioned.
+        chain_len: usize,
+    },
+    /// Intervals do not form a contiguous partition of the chain.
+    NonContiguousPartition {
+        /// Index of the interval at which contiguity is broken.
+        at_interval: usize,
+    },
+    /// The partition does not start at the first task or end at the last task.
+    IncompletePartition,
+    /// An interval is replicated on no processor at all.
+    UnassignedInterval(usize),
+    /// An interval is replicated on more processors than the platform bound `K`.
+    ReplicationBoundExceeded {
+        /// Index of the offending interval.
+        interval: usize,
+        /// Number of replicas requested.
+        replicas: usize,
+        /// Platform replication bound `K`.
+        bound: usize,
+    },
+    /// A processor is assigned to more than one interval.
+    ProcessorReused(usize),
+    /// A processor index is outside the platform.
+    UnknownProcessor(usize),
+    /// A numeric argument was expected to be finite.
+    NotFinite(&'static str),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyChain => write!(f, "task chain is empty"),
+            ModelError::NonPositiveWork(i) => {
+                write!(f, "task {i} has non-positive work")
+            }
+            ModelError::NegativeOutput(i) => {
+                write!(f, "task {i} has a negative output data size")
+            }
+            ModelError::EmptyPlatform => write!(f, "platform has no processor"),
+            ModelError::NonPositiveSpeed(u) => {
+                write!(f, "processor {u} has non-positive speed")
+            }
+            ModelError::NegativeFailureRate(what) => {
+                write!(f, "{what} has a negative failure rate")
+            }
+            ModelError::NonPositiveBandwidth => write!(f, "link bandwidth must be positive"),
+            ModelError::ZeroReplicationBound => {
+                write!(f, "replication bound K must be at least 1")
+            }
+            ModelError::InvalidInterval { first, last, chain_len } => write!(
+                f,
+                "interval [{first}, {last}] is invalid for a chain of {chain_len} tasks"
+            ),
+            ModelError::NonContiguousPartition { at_interval } => write!(
+                f,
+                "interval partition is not contiguous at interval {at_interval}"
+            ),
+            ModelError::IncompletePartition => {
+                write!(f, "interval partition does not cover the whole chain")
+            }
+            ModelError::UnassignedInterval(j) => {
+                write!(f, "interval {j} is mapped on no processor")
+            }
+            ModelError::ReplicationBoundExceeded { interval, replicas, bound } => write!(
+                f,
+                "interval {interval} uses {replicas} replicas, exceeding the bound K = {bound}"
+            ),
+            ModelError::ProcessorReused(u) => {
+                write!(f, "processor {u} is assigned to more than one interval")
+            }
+            ModelError::UnknownProcessor(u) => {
+                write!(f, "processor index {u} is outside the platform")
+            }
+            ModelError::NotFinite(what) => write!(f, "{what} must be a finite number"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::ReplicationBoundExceeded { interval: 2, replicas: 5, bound: 3 };
+        let s = e.to_string();
+        assert!(s.contains("interval 2"));
+        assert!(s.contains("K = 3"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ModelError::EmptyChain);
+    }
+}

@@ -1,0 +1,128 @@
+//! One-stop evaluation of a mapping for all five criteria of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{reliability, timing, Mapping, Platform, TaskChain};
+
+/// The five objective values of a mapping (Section 2.6): reliability,
+/// expected and worst-case latency, expected and worst-case period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MappingEvaluation {
+    /// Reliability `r` of the mapping (Eq. 9).
+    pub reliability: f64,
+    /// Expected input-output latency `EL` (Eq. 5).
+    pub expected_latency: f64,
+    /// Worst-case input-output latency `WL` (Eq. 7).
+    pub worst_case_latency: f64,
+    /// Expected period `EP` (Eq. 6).
+    pub expected_period: f64,
+    /// Worst-case period `WP` (Eq. 8).
+    pub worst_case_period: f64,
+}
+
+impl MappingEvaluation {
+    /// Evaluates `mapping` on `chain` / `platform` for all five criteria.
+    pub fn evaluate(chain: &TaskChain, platform: &Platform, mapping: &Mapping) -> Self {
+        MappingEvaluation {
+            reliability: reliability::mapping_reliability(chain, platform, mapping),
+            expected_latency: timing::expected_latency(chain, platform, mapping),
+            worst_case_latency: timing::worst_case_latency(chain, platform, mapping),
+            expected_period: timing::expected_period(chain, platform, mapping),
+            worst_case_period: timing::worst_case_period(chain, platform, mapping),
+        }
+    }
+
+    /// Failure probability `1 − r`.
+    pub fn failure_probability(&self) -> f64 {
+        1.0 - self.reliability
+    }
+
+    /// Checks the mapping against worst-case bounds on period and latency
+    /// (the real-time constraints used throughout the experiments).
+    pub fn check_bounds(&self, period_bound: f64, latency_bound: f64) -> BoundCheck {
+        BoundCheck {
+            period_ok: self.worst_case_period <= period_bound,
+            latency_ok: self.worst_case_latency <= latency_bound,
+        }
+    }
+
+    /// Whether the mapping meets both worst-case bounds.
+    pub fn meets(&self, period_bound: f64, latency_bound: f64) -> bool {
+        self.check_bounds(period_bound, latency_bound).both()
+    }
+}
+
+/// Result of checking a mapping against period and latency bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundCheck {
+    /// Whether the worst-case period is within the bound.
+    pub period_ok: bool,
+    /// Whether the worst-case latency is within the bound.
+    pub latency_ok: bool,
+}
+
+impl BoundCheck {
+    /// Both bounds hold.
+    pub fn both(&self) -> bool {
+        self.period_ok && self.latency_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interval, MappedInterval, PlatformBuilder};
+
+    fn setup() -> (TaskChain, Platform, Mapping) {
+        let chain = TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (30.0, 4.0)]).unwrap();
+        let platform = PlatformBuilder::new()
+            .identical_processors(4, 1.0, 1e-4)
+            .bandwidth(1.0)
+            .link_failure_rate(1e-5)
+            .max_replication(2)
+            .build()
+            .unwrap();
+        let mapping = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, vec![0, 1]),
+                MappedInterval::new(Interval { first: 2, last: 2 }, vec![2, 3]),
+            ],
+            &chain,
+            &platform,
+        )
+        .unwrap();
+        (chain, platform, mapping)
+    }
+
+    #[test]
+    fn evaluation_bundles_all_objectives() {
+        let (c, p, m) = setup();
+        let e = MappingEvaluation::evaluate(&c, &p, &m);
+        assert!((e.reliability - reliability::mapping_reliability(&c, &p, &m)).abs() < 1e-15);
+        assert!((e.expected_latency - timing::expected_latency(&c, &p, &m)).abs() < 1e-15);
+        assert!((e.worst_case_period - timing::worst_case_period(&c, &p, &m)).abs() < 1e-15);
+        assert!((e.failure_probability() - (1.0 - e.reliability)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn homogeneous_platform_expected_equals_worst_case() {
+        let (c, p, m) = setup();
+        let e = MappingEvaluation::evaluate(&c, &p, &m);
+        assert!((e.expected_latency - e.worst_case_latency).abs() < 1e-12);
+        assert!((e.expected_period - e.worst_case_period).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_checks() {
+        let (c, p, m) = setup();
+        let e = MappingEvaluation::evaluate(&c, &p, &m);
+        // WP = max(30, 6) = 30, WL = 30 + 6 + 30 = 66.
+        assert!((e.worst_case_period - 30.0).abs() < 1e-12);
+        assert!((e.worst_case_latency - 66.0).abs() < 1e-12);
+        assert!(e.meets(30.0, 66.0));
+        assert!(!e.meets(29.9, 66.0));
+        assert!(!e.meets(30.0, 65.9));
+        let check = e.check_bounds(100.0, 10.0);
+        assert!(check.period_ok && !check.latency_ok && !check.both());
+    }
+}

@@ -1,0 +1,268 @@
+//! Intervals of consecutive tasks and interval partitions (Section 2.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, Result, TaskChain};
+
+/// An interval `I_j` of consecutive tasks, given by its first and last task
+/// indices (0-based, both inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Index of the first task of the interval.
+    pub first: usize,
+    /// Index of the last task of the interval (inclusive).
+    pub last: usize,
+}
+
+impl Interval {
+    /// Creates an interval covering tasks `first..=last`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `first > last`.
+    pub fn new(first: usize, last: usize) -> Result<Self> {
+        if first > last {
+            return Err(ModelError::InvalidInterval { first, last, chain_len: usize::MAX });
+        }
+        Ok(Interval { first, last })
+    }
+
+    /// Number of tasks in the interval.
+    pub fn len(&self) -> usize {
+        self.last - self.first + 1
+    }
+
+    /// An interval always contains at least one task.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the interval contains task `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        self.first <= i && i <= self.last
+    }
+
+    /// Total work `W_j` of the interval within `chain`.
+    pub fn work(&self, chain: &TaskChain) -> f64 {
+        chain.interval_work(self.first, self.last)
+    }
+
+    /// Output data size of the interval, i.e. the output size of its last
+    /// task (`o_{l_j}`), following the paper's `o_n = 0` convention.
+    pub fn output_size(&self, chain: &TaskChain) -> f64 {
+        chain.output_size(self.last)
+    }
+
+    /// Iterates over the task indices of the interval.
+    pub fn task_indices(&self) -> impl Iterator<Item = usize> {
+        self.first..=self.last
+    }
+}
+
+/// A partition of a chain of `n` tasks into `m` intervals of consecutive
+/// tasks: `f_1 = 1`, `f_j = l_{j-1} + 1` and `l_m = n` in the paper's
+/// notation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalPartition {
+    intervals: Vec<Interval>,
+    chain_len: usize,
+}
+
+impl IntervalPartition {
+    /// Builds a validated partition of a chain of `chain_len` tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the intervals are not a contiguous cover of
+    /// `0..chain_len`.
+    pub fn new(intervals: Vec<Interval>, chain_len: usize) -> Result<Self> {
+        if intervals.is_empty() || chain_len == 0 {
+            return Err(ModelError::IncompletePartition);
+        }
+        for itv in &intervals {
+            if itv.first > itv.last || itv.last >= chain_len {
+                return Err(ModelError::InvalidInterval {
+                    first: itv.first,
+                    last: itv.last,
+                    chain_len,
+                });
+            }
+        }
+        if intervals[0].first != 0 || intervals[intervals.len() - 1].last != chain_len - 1 {
+            return Err(ModelError::IncompletePartition);
+        }
+        for j in 1..intervals.len() {
+            if intervals[j].first != intervals[j - 1].last + 1 {
+                return Err(ModelError::NonContiguousPartition { at_interval: j });
+            }
+        }
+        Ok(IntervalPartition { intervals, chain_len })
+    }
+
+    /// Builds the partition defined by the (sorted, strictly increasing) list
+    /// of last-task indices of every interval except the implicit last one.
+    ///
+    /// `from_cut_points(&[2, 4], 7)` produces intervals `[0,2] [3,4] [5,6]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cut points are not strictly increasing or out
+    /// of range.
+    pub fn from_cut_points(cut_after: &[usize], chain_len: usize) -> Result<Self> {
+        let mut intervals = Vec::with_capacity(cut_after.len() + 1);
+        let mut first = 0usize;
+        for &c in cut_after {
+            if c >= chain_len.saturating_sub(1) || c < first {
+                return Err(ModelError::InvalidInterval { first, last: c, chain_len });
+            }
+            intervals.push(Interval { first, last: c });
+            first = c + 1;
+        }
+        intervals.push(Interval { first, last: chain_len.saturating_sub(1) });
+        Self::new(intervals, chain_len)
+    }
+
+    /// The single-interval partition (the whole chain on one interval).
+    pub fn single(chain_len: usize) -> Result<Self> {
+        Self::from_cut_points(&[], chain_len)
+    }
+
+    /// The finest partition (one task per interval).
+    pub fn one_task_per_interval(chain_len: usize) -> Result<Self> {
+        let cuts: Vec<usize> = (0..chain_len.saturating_sub(1)).collect();
+        Self::from_cut_points(&cuts, chain_len)
+    }
+
+    /// Number of intervals `m`.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// A validated partition is never empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The intervals, in pipeline order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The `j`-th interval (0-based).
+    pub fn interval(&self, j: usize) -> Interval {
+        self.intervals[j]
+    }
+
+    /// Length of the chain this partition covers.
+    pub fn chain_len(&self) -> usize {
+        self.chain_len
+    }
+
+    /// The cut points (last-task index of every interval but the final one).
+    pub fn cut_points(&self) -> Vec<usize> {
+        self.intervals[..self.intervals.len() - 1].iter().map(|i| i.last).collect()
+    }
+
+    /// Largest interval work within `chain` (the computation part of the
+    /// worst-case period on a unit-speed platform).
+    pub fn max_interval_work(&self, chain: &TaskChain) -> f64 {
+        self.intervals.iter().map(|i| i.work(chain)).fold(0.0, f64::max)
+    }
+
+    /// Largest boundary communication size of the partition.
+    pub fn max_boundary_output(&self, chain: &TaskChain) -> f64 {
+        self.intervals.iter().map(|i| i.output_size(chain)).fold(0.0, f64::max)
+    }
+
+    /// Sum of the boundary communication sizes of the partition.
+    pub fn total_boundary_output(&self, chain: &TaskChain) -> f64 {
+        self.intervals.iter().map(|i| i.output_size(chain)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskChain;
+
+    fn chain4() -> TaskChain {
+        TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 3.0), (30.0, 4.0), (40.0, 5.0)]).unwrap()
+    }
+
+    #[test]
+    fn interval_basics() {
+        let i = Interval::new(1, 3).unwrap();
+        assert_eq!(i.len(), 3);
+        assert!(i.contains(2));
+        assert!(!i.contains(0));
+        assert!(Interval::new(3, 1).is_err());
+    }
+
+    #[test]
+    fn interval_work_and_output() {
+        let c = chain4();
+        let i = Interval::new(1, 2).unwrap();
+        assert_eq!(i.work(&c), 50.0);
+        assert_eq!(i.output_size(&c), 4.0);
+        let last = Interval::new(2, 3).unwrap();
+        assert_eq!(last.output_size(&c), 0.0);
+    }
+
+    #[test]
+    fn partition_from_cut_points() {
+        let p = IntervalPartition::from_cut_points(&[0, 2], 4).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.interval(0), Interval { first: 0, last: 0 });
+        assert_eq!(p.interval(1), Interval { first: 1, last: 2 });
+        assert_eq!(p.interval(2), Interval { first: 3, last: 3 });
+        assert_eq!(p.cut_points(), vec![0, 2]);
+    }
+
+    #[test]
+    fn partition_rejects_bad_cut_points() {
+        assert!(IntervalPartition::from_cut_points(&[3], 4).is_err());
+        assert!(IntervalPartition::from_cut_points(&[2, 1], 4).is_err());
+        assert!(IntervalPartition::from_cut_points(&[1, 1], 4).is_err());
+    }
+
+    #[test]
+    fn partition_validation() {
+        let ok = IntervalPartition::new(
+            vec![Interval { first: 0, last: 1 }, Interval { first: 2, last: 3 }],
+            4,
+        );
+        assert!(ok.is_ok());
+
+        let gap = IntervalPartition::new(
+            vec![Interval { first: 0, last: 1 }, Interval { first: 3, last: 3 }],
+            4,
+        );
+        assert_eq!(gap.unwrap_err(), ModelError::NonContiguousPartition { at_interval: 1 });
+
+        let incomplete =
+            IntervalPartition::new(vec![Interval { first: 0, last: 2 }], 4).unwrap_err();
+        assert_eq!(incomplete, ModelError::IncompletePartition);
+
+        let out_of_range =
+            IntervalPartition::new(vec![Interval { first: 0, last: 4 }], 4).unwrap_err();
+        assert!(matches!(out_of_range, ModelError::InvalidInterval { .. }));
+    }
+
+    #[test]
+    fn canonical_partitions() {
+        let single = IntervalPartition::single(4).unwrap();
+        assert_eq!(single.len(), 1);
+        let finest = IntervalPartition::one_task_per_interval(4).unwrap();
+        assert_eq!(finest.len(), 4);
+        assert!(IntervalPartition::single(0).is_err());
+    }
+
+    #[test]
+    fn partition_aggregates() {
+        let c = chain4();
+        let p = IntervalPartition::from_cut_points(&[1], 4).unwrap();
+        assert_eq!(p.max_interval_work(&c), 70.0);
+        assert_eq!(p.max_boundary_output(&c), 3.0);
+        assert_eq!(p.total_boundary_output(&c), 3.0);
+    }
+}

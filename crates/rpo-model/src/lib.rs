@@ -1,0 +1,51 @@
+//! Application, platform, failure and replication models for pipelined
+//! real-time systems.
+//!
+//! This crate implements the framework of Section 2 of
+//! *Reliability and performance optimization of pipelined real-time systems*
+//! (Benoit, Dufossé, Girault, Robert — ICPP'10 / JPDC'13):
+//!
+//! * a linear **chain of tasks** `τ_1 → … → τ_n`, each task `τ_i` described by
+//!   its amount of work `w_i` and its output data size `o_i` ([`Task`],
+//!   [`TaskChain`]);
+//! * a **distributed platform** of `p` processors with individual speeds and
+//!   failure rates, homogeneous point-to-point links of bandwidth `b` and
+//!   failure rate `λ_ℓ`, and a bounded multi-port constraint `K`
+//!   ([`Processor`], [`Platform`]);
+//! * **interval mappings with replication**: the chain is split into intervals
+//!   of consecutive tasks, and each interval is replicated on at most `K`
+//!   processors ([`Interval`], [`IntervalPartition`], [`Mapping`]);
+//! * the **evaluation** of a mapping for the five criteria of the paper:
+//!   reliability (Eq. 9), expected and worst-case latency (Eqs. 5, 7),
+//!   expected and worst-case period (Eqs. 6, 8), built from the per-interval
+//!   expected cost (Eq. 3), worst-case cost (Eq. 4) and the exponential
+//!   reliability model (Eqs. 1, 2) — see [`evaluate`], [`reliability`] and
+//!   [`timing`].
+//!
+//! The crate is deliberately free of any solver logic: optimal algorithms and
+//! heuristics live in `rpo-algorithms`, reliability block diagrams in
+//! `rpo-rbd`, and the failure-injection simulator in `rpo-sim`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod energy;
+pub mod error;
+pub mod evaluate;
+pub mod interval;
+pub mod mapping;
+pub mod platform;
+pub mod reliability;
+pub mod task;
+pub mod timing;
+
+pub use energy::{EnergyEvaluation, PowerModel};
+pub use error::ModelError;
+pub use evaluate::{BoundCheck, MappingEvaluation};
+pub use interval::{Interval, IntervalPartition};
+pub use mapping::{MappedInterval, Mapping};
+pub use platform::{Platform, PlatformBuilder, Processor, ProcessorId};
+pub use task::{Task, TaskChain};
+
+/// Convenient result alias used across the model crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,248 @@
+//! Replicated interval mappings (Sections 2.5 and 2.6).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    Interval, IntervalPartition, ModelError, Platform, ProcessorId, Result, TaskChain,
+};
+
+/// One interval of the mapping together with the set of processors that
+/// replicate it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappedInterval {
+    /// The interval of consecutive tasks.
+    pub interval: Interval,
+    /// Processors executing a replica of the interval (at least one, at most
+    /// `K`, all distinct).
+    pub processors: Vec<ProcessorId>,
+}
+
+impl MappedInterval {
+    /// Creates a mapped interval.
+    pub fn new(interval: Interval, processors: Vec<ProcessorId>) -> Self {
+        MappedInterval { interval, processors }
+    }
+
+    /// Number of replicas of the interval.
+    pub fn replication(&self) -> usize {
+        self.processors.len()
+    }
+}
+
+/// A complete interval mapping with replication: a contiguous partition of the
+/// chain into intervals, each replicated on a disjoint set of processors.
+///
+/// A mapping is only ever produced through [`Mapping::new`], which validates
+/// every structural constraint of the paper's model:
+///
+/// * the intervals form a contiguous partition of the chain;
+/// * every interval is assigned at least one processor;
+/// * no interval uses more than `K` processors (bounded multi-port);
+/// * every processor executes at most one interval;
+/// * processor indices refer to actual platform processors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    intervals: Vec<MappedInterval>,
+}
+
+impl Mapping {
+    /// Builds a validated mapping of `chain` onto `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural constraint, if any.
+    pub fn new(
+        intervals: Vec<MappedInterval>,
+        chain: &TaskChain,
+        platform: &Platform,
+    ) -> Result<Self> {
+        // Validate the partition structure first.
+        let partition: Vec<Interval> = intervals.iter().map(|mi| mi.interval).collect();
+        IntervalPartition::new(partition, chain.len())?;
+
+        let mut used: HashSet<ProcessorId> = HashSet::new();
+        for (j, mi) in intervals.iter().enumerate() {
+            if mi.processors.is_empty() {
+                return Err(ModelError::UnassignedInterval(j));
+            }
+            if mi.processors.len() > platform.max_replication() {
+                return Err(ModelError::ReplicationBoundExceeded {
+                    interval: j,
+                    replicas: mi.processors.len(),
+                    bound: platform.max_replication(),
+                });
+            }
+            for &u in &mi.processors {
+                if u >= platform.num_processors() {
+                    return Err(ModelError::UnknownProcessor(u));
+                }
+                if !used.insert(u) {
+                    return Err(ModelError::ProcessorReused(u));
+                }
+            }
+        }
+        Ok(Mapping { intervals })
+    }
+
+    /// Builds a mapping from an interval partition and one processor set per
+    /// interval (in the same order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of processor sets differs from the
+    /// number of intervals, or if [`Mapping::new`] rejects the result.
+    pub fn from_partition(
+        partition: &IntervalPartition,
+        processor_sets: Vec<Vec<ProcessorId>>,
+        chain: &TaskChain,
+        platform: &Platform,
+    ) -> Result<Self> {
+        if processor_sets.len() != partition.len() {
+            return Err(ModelError::IncompletePartition);
+        }
+        let intervals = partition
+            .intervals()
+            .iter()
+            .zip(processor_sets)
+            .map(|(&interval, processors)| MappedInterval { interval, processors })
+            .collect();
+        Self::new(intervals, chain, platform)
+    }
+
+    /// Number of intervals `m`.
+    pub fn num_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The mapped intervals, in pipeline order.
+    pub fn intervals(&self) -> &[MappedInterval] {
+        &self.intervals
+    }
+
+    /// The `j`-th mapped interval.
+    pub fn interval(&self, j: usize) -> &MappedInterval {
+        &self.intervals[j]
+    }
+
+    /// The underlying interval partition (without the processor assignment).
+    pub fn partition(&self, chain: &TaskChain) -> IntervalPartition {
+        IntervalPartition::new(
+            self.intervals.iter().map(|mi| mi.interval).collect(),
+            chain.len(),
+        )
+        .expect("a validated mapping always stores a valid partition")
+    }
+
+    /// Total number of processors used by the mapping.
+    pub fn processors_used(&self) -> usize {
+        self.intervals.iter().map(|mi| mi.processors.len()).sum()
+    }
+
+    /// Average number of replicas per interval (the paper's replication level).
+    pub fn replication_level(&self) -> f64 {
+        self.processors_used() as f64 / self.intervals.len() as f64
+    }
+
+    /// Iterator over `(interval index, mapped interval)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &MappedInterval)> {
+        self.intervals.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlatformBuilder;
+
+    fn chain() -> TaskChain {
+        TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 3.0), (30.0, 4.0)]).unwrap()
+    }
+
+    fn platform(k: usize) -> Platform {
+        PlatformBuilder::new()
+            .identical_processors(5, 1.0, 1e-6)
+            .bandwidth(1.0)
+            .link_failure_rate(1e-5)
+            .max_replication(k)
+            .build()
+            .unwrap()
+    }
+
+    fn mi(first: usize, last: usize, procs: &[usize]) -> MappedInterval {
+        MappedInterval::new(Interval { first, last }, procs.to_vec())
+    }
+
+    #[test]
+    fn valid_mapping() {
+        let c = chain();
+        let p = platform(2);
+        let m = Mapping::new(vec![mi(0, 1, &[0, 1]), mi(2, 2, &[2])], &c, &p).unwrap();
+        assert_eq!(m.num_intervals(), 2);
+        assert_eq!(m.processors_used(), 3);
+        assert!((m.replication_level() - 1.5).abs() < 1e-12);
+        assert_eq!(m.partition(&c).len(), 2);
+    }
+
+    #[test]
+    fn rejects_unassigned_interval() {
+        let c = chain();
+        let p = platform(2);
+        let err = Mapping::new(vec![mi(0, 1, &[0]), mi(2, 2, &[])], &c, &p).unwrap_err();
+        assert_eq!(err, ModelError::UnassignedInterval(1));
+    }
+
+    #[test]
+    fn rejects_replication_bound_violation() {
+        let c = chain();
+        let p = platform(2);
+        let err = Mapping::new(vec![mi(0, 2, &[0, 1, 2])], &c, &p).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::ReplicationBoundExceeded { interval: 0, replicas: 3, bound: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_processor_reuse() {
+        let c = chain();
+        let p = platform(2);
+        let err = Mapping::new(vec![mi(0, 1, &[0, 1]), mi(2, 2, &[1])], &c, &p).unwrap_err();
+        assert_eq!(err, ModelError::ProcessorReused(1));
+        let err = Mapping::new(vec![mi(0, 2, &[3, 3])], &c, &p).unwrap_err();
+        assert_eq!(err, ModelError::ProcessorReused(3));
+    }
+
+    #[test]
+    fn rejects_unknown_processor() {
+        let c = chain();
+        let p = platform(2);
+        let err = Mapping::new(vec![mi(0, 2, &[7])], &c, &p).unwrap_err();
+        assert_eq!(err, ModelError::UnknownProcessor(7));
+    }
+
+    #[test]
+    fn rejects_bad_partition() {
+        let c = chain();
+        let p = platform(2);
+        // Gap between intervals.
+        let err = Mapping::new(vec![mi(0, 0, &[0]), mi(2, 2, &[1])], &c, &p).unwrap_err();
+        assert!(matches!(err, ModelError::NonContiguousPartition { .. }));
+        // Does not end at the last task.
+        let err = Mapping::new(vec![mi(0, 1, &[0])], &c, &p).unwrap_err();
+        assert_eq!(err, ModelError::IncompletePartition);
+    }
+
+    #[test]
+    fn from_partition_builder() {
+        let c = chain();
+        let p = platform(3);
+        let part = IntervalPartition::from_cut_points(&[0], 3).unwrap();
+        let m = Mapping::from_partition(&part, vec![vec![0, 1], vec![2, 3, 4]], &c, &p).unwrap();
+        assert_eq!(m.num_intervals(), 2);
+        assert_eq!(m.interval(1).replication(), 3);
+        // Mismatched number of sets.
+        assert!(Mapping::from_partition(&part, vec![vec![0]], &c, &p).is_err());
+    }
+}

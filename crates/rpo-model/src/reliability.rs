@@ -1,0 +1,258 @@
+//! Reliability model (Section 2.4) and the closed-form reliability of a
+//! replicated interval mapping (Section 4, Eq. 9).
+//!
+//! All hardware components are fail-silent with transient failures following
+//! a constant-rate Poisson process, so the reliability of an operation of
+//! duration `d` on a component of failure rate `λ` is `e^{-λ d}`. Failure
+//! occurrences are statistically independent. Routing operations inserted
+//! between intervals keep the reliability block diagram serial-parallel,
+//! which is what makes Eq. (9) a product over intervals.
+
+use crate::{Interval, Mapping, Platform, ProcessorId, TaskChain};
+
+/// Reliability of a component of failure rate `lambda` during `duration`
+/// time units: `e^{-λ d}` (Section 2.4).
+///
+/// A zero failure rate or a zero duration gives a perfectly reliable
+/// operation (reliability 1).
+pub fn component_reliability(lambda: f64, duration: f64) -> f64 {
+    (-lambda * duration).exp()
+}
+
+/// Reliability of task `i` executed on processor `u` (Eq. 1):
+/// `r_{u,i} = e^{-λ_u w_i / s_u}`.
+pub fn task_reliability(chain: &TaskChain, platform: &Platform, u: ProcessorId, i: usize) -> f64 {
+    component_reliability(platform.failure_rate(u), chain.work(i) / platform.speed(u))
+}
+
+/// Reliability of the interval `interval` executed on processor `u` (Eq. 2):
+/// `r_{u,I} = e^{-λ_u W / s_u} = Π_{τ_i ∈ I} r_{u,i}`.
+pub fn interval_reliability(
+    chain: &TaskChain,
+    platform: &Platform,
+    u: ProcessorId,
+    interval: Interval,
+) -> f64 {
+    component_reliability(
+        platform.failure_rate(u),
+        interval.work(chain) / platform.speed(u),
+    )
+}
+
+/// Reliability of the communication of a data set of size `output_size` on one
+/// link: `r_comm = e^{-λ_ℓ o / b}`.
+pub fn communication_reliability(platform: &Platform, output_size: f64) -> f64 {
+    component_reliability(platform.link_failure_rate(), output_size / platform.bandwidth())
+}
+
+/// Reliability of the `i`-th communication of the chain (the output of task
+/// `τ_i`), `r_comm,i = e^{-λ_ℓ o_i / b}`; the output of the last task is sent
+/// to the environment and has reliability 1.
+pub fn chain_communication_reliability(chain: &TaskChain, platform: &Platform, i: usize) -> f64 {
+    communication_reliability(platform, chain.output_size(i))
+}
+
+/// Reliability of one replica block of an interval: the incoming
+/// communication (from the routing operation that collected the previous
+/// interval's output), the computation itself, and the outgoing communication
+/// (towards the next routing operation): `r_comm,in × r_{u,I} × r_comm,out`.
+///
+/// `input_size` is the output data size of the *previous* interval (0 for the
+/// first interval) and `output_size` the output data size of this interval
+/// (0 for the last interval).
+pub fn replica_block_reliability(
+    chain: &TaskChain,
+    platform: &Platform,
+    u: ProcessorId,
+    interval: Interval,
+    input_size: f64,
+    output_size: f64,
+) -> f64 {
+    communication_reliability(platform, input_size)
+        * interval_reliability(chain, platform, u, interval)
+        * communication_reliability(platform, output_size)
+}
+
+/// Reliability of one replicated interval: `1 − Π_u (1 − block_u)` where the
+/// product ranges over the replica processors (Eq. 9, inner term).
+pub fn replicated_interval_reliability(
+    chain: &TaskChain,
+    platform: &Platform,
+    processors: &[ProcessorId],
+    interval: Interval,
+    input_size: f64,
+    output_size: f64,
+) -> f64 {
+    let all_fail: f64 = processors
+        .iter()
+        .map(|&u| {
+            1.0 - replica_block_reliability(chain, platform, u, interval, input_size, output_size)
+        })
+        .product();
+    1.0 - all_fail
+}
+
+/// Reliability of a complete mapping (Eq. 9), under the routing-operation
+/// model that keeps the reliability block diagram serial-parallel:
+///
+/// `r = Π_j ( 1 − Π_{P_u ∈ P_j} (1 − r_comm,j-1 · r_{u,I_j} · r_comm,j) )`
+///
+/// Routing operations themselves take zero time and have reliability 1, so
+/// they do not appear in the formula. The first interval has no incoming
+/// communication and the last interval no outgoing one.
+pub fn mapping_reliability(chain: &TaskChain, platform: &Platform, mapping: &Mapping) -> f64 {
+    let mut r = 1.0;
+    let mut input_size = 0.0;
+    for mi in mapping.intervals() {
+        let output_size = mi.interval.output_size(chain);
+        r *= replicated_interval_reliability(
+            chain,
+            platform,
+            &mi.processors,
+            mi.interval,
+            input_size,
+            output_size,
+        );
+        input_size = output_size;
+    }
+    r
+}
+
+/// Failure probability of a mapping: `1 − r`.
+pub fn mapping_failure_probability(
+    chain: &TaskChain,
+    platform: &Platform,
+    mapping: &Mapping,
+) -> f64 {
+    1.0 - mapping_reliability(chain, platform, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MappedInterval, Mapping, PlatformBuilder};
+
+    const EPS: f64 = 1e-12;
+
+    fn chain() -> TaskChain {
+        TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 3.0), (30.0, 4.0)]).unwrap()
+    }
+
+    fn platform() -> Platform {
+        PlatformBuilder::new()
+            .identical_processors(4, 2.0, 1e-4)
+            .bandwidth(1.0)
+            .link_failure_rate(1e-3)
+            .max_replication(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn component_reliability_basics() {
+        assert_eq!(component_reliability(0.0, 100.0), 1.0);
+        assert_eq!(component_reliability(1e-3, 0.0), 1.0);
+        assert!((component_reliability(1e-3, 10.0) - (-0.01f64).exp()).abs() < EPS);
+    }
+
+    #[test]
+    fn task_and_interval_reliability_consistency() {
+        let c = chain();
+        let p = platform();
+        // Interval reliability equals the product of its task reliabilities (Eq. 2).
+        let itv = Interval { first: 0, last: 2 };
+        let prod: f64 = (0..3).map(|i| task_reliability(&c, &p, 0, i)).product();
+        let whole = interval_reliability(&c, &p, 0, itv);
+        assert!((prod - whole).abs() < EPS);
+        // Explicit value: λ W / s = 1e-4 * 60 / 2.
+        assert!((whole - (-1e-4f64 * 30.0).exp()).abs() < EPS);
+    }
+
+    #[test]
+    fn communication_reliability_last_task_is_one() {
+        let c = chain();
+        let p = platform();
+        assert_eq!(chain_communication_reliability(&c, &p, 2), 1.0);
+        assert!(
+            (chain_communication_reliability(&c, &p, 0) - (-1e-3f64 * 2.0).exp()).abs() < EPS
+        );
+    }
+
+    #[test]
+    fn replication_improves_reliability() {
+        let c = chain();
+        let p = platform();
+        let itv = Interval { first: 0, last: 2 };
+        let one = replicated_interval_reliability(&c, &p, &[0], itv, 0.0, 0.0);
+        let two = replicated_interval_reliability(&c, &p, &[0, 1], itv, 0.0, 0.0);
+        assert!(two > one);
+        assert!(two <= 1.0);
+        // 1 - (1-r)^2 for identical processors.
+        let r = replica_block_reliability(&c, &p, 0, itv, 0.0, 0.0);
+        assert!((two - (1.0 - (1.0 - r).powi(2))).abs() < EPS);
+    }
+
+    #[test]
+    fn mapping_reliability_matches_manual_computation() {
+        let c = chain();
+        let p = platform();
+        let m = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, vec![0, 1]),
+                MappedInterval::new(Interval { first: 2, last: 2 }, vec![2]),
+            ],
+            &c,
+            &p,
+        )
+        .unwrap();
+
+        // Interval 1: W = 30, o_out = 3, no input comm.
+        let r_block1 = (-1e-4f64 * 15.0).exp() * (-1e-3f64 * 3.0).exp();
+        let r_itv1 = 1.0 - (1.0 - r_block1) * (1.0 - r_block1);
+        // Interval 2: W = 30, input o = 3, output to environment.
+        let r_block2 = (-1e-3f64 * 3.0).exp() * (-1e-4f64 * 15.0).exp();
+        let r_itv2 = r_block2;
+        let expected = r_itv1 * r_itv2;
+
+        assert!((mapping_reliability(&c, &p, &m) - expected).abs() < EPS);
+        assert!(
+            (mapping_failure_probability(&c, &p, &m) - (1.0 - expected)).abs() < EPS
+        );
+    }
+
+    #[test]
+    fn perfect_platform_gives_reliability_one() {
+        let c = chain();
+        let p = PlatformBuilder::new()
+            .identical_processors(2, 1.0, 0.0)
+            .bandwidth(1.0)
+            .link_failure_rate(0.0)
+            .max_replication(1)
+            .build()
+            .unwrap();
+        let m = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, vec![0]),
+                MappedInterval::new(Interval { first: 2, last: 2 }, vec![1]),
+            ],
+            &c,
+            &p,
+        )
+        .unwrap();
+        assert_eq!(mapping_reliability(&c, &p, &m), 1.0);
+    }
+
+    #[test]
+    fn reliability_is_within_unit_interval() {
+        let c = chain();
+        let p = platform();
+        let m = Mapping::new(
+            vec![MappedInterval::new(Interval { first: 0, last: 2 }, vec![0, 3])],
+            &c,
+            &p,
+        )
+        .unwrap();
+        let r = mapping_reliability(&c, &p, &m);
+        assert!(r > 0.0 && r < 1.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Performance model: expected / worst-case interval costs and the latency
+//! and period of a mapping (Section 4, Eqs. 3–8).
+
+use crate::{reliability, Interval, Mapping, Platform, ProcessorId, TaskChain};
+
+/// Expected computation time of interval `interval` on the replica set
+/// `processors` (Eq. 3).
+///
+/// Processors are considered from fastest to slowest; the term for processor
+/// `u` covers the case where all strictly faster replicas fail and `u`
+/// succeeds. The expectation is conditioned on at least one replica
+/// succeeding (hence the normalization by `1 − Π (1 − r_u)`).
+///
+/// Degenerate case: if every replica fails with probability 1 the
+/// normalization is 0; the worst-case time is returned instead so that the
+/// value stays finite and conservative.
+pub fn expected_cost(
+    chain: &TaskChain,
+    platform: &Platform,
+    interval: Interval,
+    processors: &[ProcessorId],
+) -> f64 {
+    assert!(!processors.is_empty(), "expected_cost needs at least one replica");
+    let work = interval.work(chain);
+
+    // Sort the replica set from fastest to slowest (ties by index for determinism).
+    let mut sorted: Vec<ProcessorId> = processors.to_vec();
+    sorted.sort_by(|&a, &b| {
+        platform
+            .speed(b)
+            .partial_cmp(&platform.speed(a))
+            .expect("finite speeds")
+            .then(a.cmp(&b))
+    });
+
+    let mut numerator = 0.0;
+    let mut all_fail = 1.0;
+    for &u in &sorted {
+        let r_u = reliability::interval_reliability(chain, platform, u, interval);
+        numerator += work / platform.speed(u) * r_u * all_fail;
+        all_fail *= 1.0 - r_u;
+    }
+    let denominator = 1.0 - all_fail;
+    if denominator <= 0.0 {
+        // All replicas fail almost surely: fall back to the worst-case time.
+        worst_case_cost(chain, platform, interval, processors)
+    } else {
+        numerator / denominator
+    }
+}
+
+/// Worst-case computation time of interval `interval` on the replica set
+/// `processors` (Eq. 4): the execution time on the slowest replica.
+pub fn worst_case_cost(
+    chain: &TaskChain,
+    platform: &Platform,
+    interval: Interval,
+    processors: &[ProcessorId],
+) -> f64 {
+    assert!(!processors.is_empty(), "worst_case_cost needs at least one replica");
+    let slowest = processors
+        .iter()
+        .map(|&u| platform.speed(u))
+        .fold(f64::INFINITY, f64::min);
+    interval.work(chain) / slowest
+}
+
+/// Expected input-output latency of a mapping (Eq. 5): the sum over intervals
+/// of the expected computation cost plus the output communication time.
+pub fn expected_latency(chain: &TaskChain, platform: &Platform, mapping: &Mapping) -> f64 {
+    mapping
+        .intervals()
+        .iter()
+        .map(|mi| {
+            expected_cost(chain, platform, mi.interval, &mi.processors)
+                + platform.comm_time(mi.interval.output_size(chain))
+        })
+        .sum()
+}
+
+/// Worst-case input-output latency of a mapping (Eq. 7).
+pub fn worst_case_latency(chain: &TaskChain, platform: &Platform, mapping: &Mapping) -> f64 {
+    mapping
+        .intervals()
+        .iter()
+        .map(|mi| {
+            worst_case_cost(chain, platform, mi.interval, &mi.processors)
+                + platform.comm_time(mi.interval.output_size(chain))
+        })
+        .sum()
+}
+
+/// Expected period of a mapping (Eq. 6): the largest of all communication
+/// times and expected interval costs.
+pub fn expected_period(chain: &TaskChain, platform: &Platform, mapping: &Mapping) -> f64 {
+    let comm = mapping
+        .intervals()
+        .iter()
+        .map(|mi| platform.comm_time(mi.interval.output_size(chain)))
+        .fold(0.0, f64::max);
+    let comp = mapping
+        .intervals()
+        .iter()
+        .map(|mi| expected_cost(chain, platform, mi.interval, &mi.processors))
+        .fold(0.0, f64::max);
+    comm.max(comp)
+}
+
+/// Worst-case period of a mapping (Eq. 8).
+pub fn worst_case_period(chain: &TaskChain, platform: &Platform, mapping: &Mapping) -> f64 {
+    let comm = mapping
+        .intervals()
+        .iter()
+        .map(|mi| platform.comm_time(mi.interval.output_size(chain)))
+        .fold(0.0, f64::max);
+    let comp = mapping
+        .intervals()
+        .iter()
+        .map(|mi| worst_case_cost(chain, platform, mi.interval, &mi.processors))
+        .fold(0.0, f64::max);
+    comm.max(comp)
+}
+
+/// Worst-case period of a *bare interval* `(first..=last)` replicated on a set
+/// of processors whose slowest speed is `slowest_speed`, for a chain and
+/// platform: `max(o_{f-1}/b, W/s_slow, o_l/b)`.
+///
+/// This is the feasibility test used by Algorithm 2 and the heuristics: an
+/// interval is admissible under a period bound `P` iff this value is ≤ `P`.
+/// The incoming communication of the first task of the chain and the outgoing
+/// communication of the last task are 0 by convention.
+pub fn interval_period_requirement(
+    chain: &TaskChain,
+    platform: &Platform,
+    interval: Interval,
+    slowest_speed: f64,
+) -> f64 {
+    let incoming = if interval.first == 0 {
+        0.0
+    } else {
+        platform.comm_time(chain.output_size(interval.first - 1))
+    };
+    let outgoing = platform.comm_time(interval.output_size(chain));
+    let compute = interval.work(chain) / slowest_speed;
+    incoming.max(compute).max(outgoing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MappedInterval, Mapping, PlatformBuilder};
+
+    const EPS: f64 = 1e-12;
+
+    fn chain() -> TaskChain {
+        TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (30.0, 4.0)]).unwrap()
+    }
+
+    /// Two fast processors, two slow ones; noticeable failure rates so that the
+    /// expected cost differs from both the best and the worst case.
+    fn platform() -> Platform {
+        PlatformBuilder::new()
+            .processor(2.0, 0.01)
+            .processor(2.0, 0.01)
+            .processor(1.0, 0.02)
+            .processor(1.0, 0.02)
+            .bandwidth(2.0)
+            .link_failure_rate(1e-3)
+            .max_replication(3)
+            .build()
+            .unwrap()
+    }
+
+    fn two_interval_mapping(c: &TaskChain, p: &Platform) -> Mapping {
+        Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, vec![0, 2]),
+                MappedInterval::new(Interval { first: 2, last: 2 }, vec![1, 3]),
+            ],
+            c,
+            p,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn worst_case_cost_uses_slowest_processor() {
+        let c = chain();
+        let p = platform();
+        let itv = Interval { first: 0, last: 1 };
+        assert!((worst_case_cost(&c, &p, itv, &[0, 2]) - 30.0).abs() < EPS);
+        assert!((worst_case_cost(&c, &p, itv, &[0, 1]) - 15.0).abs() < EPS);
+    }
+
+    #[test]
+    fn expected_cost_single_processor_is_plain_execution_time() {
+        let c = chain();
+        let p = platform();
+        let itv = Interval { first: 0, last: 1 };
+        // With a single replica the conditional expectation is W / s.
+        assert!((expected_cost(&c, &p, itv, &[0]) - 15.0).abs() < EPS);
+        assert!((expected_cost(&c, &p, itv, &[2]) - 30.0).abs() < EPS);
+    }
+
+    #[test]
+    fn expected_cost_matches_manual_two_replica_formula() {
+        let c = chain();
+        let p = platform();
+        let itv = Interval { first: 0, last: 1 }; // W = 30
+        let r_fast = (-0.01f64 * 15.0).exp();
+        let r_slow = (-0.02f64 * 30.0).exp();
+        let expected =
+            30.0 * (r_fast / 2.0 + r_slow * (1.0 - r_fast) / 1.0) / (1.0 - (1.0 - r_fast) * (1.0 - r_slow));
+        assert!((expected_cost(&c, &p, itv, &[0, 2]) - expected).abs() < EPS);
+        // Order of the replica list must not matter.
+        assert!((expected_cost(&c, &p, itv, &[2, 0]) - expected).abs() < EPS);
+    }
+
+    #[test]
+    fn expected_cost_between_best_and_worst_case() {
+        let c = chain();
+        let p = platform();
+        let itv = Interval { first: 0, last: 2 };
+        let ec = expected_cost(&c, &p, itv, &[0, 2, 3]);
+        let best = itv.work(&c) / 2.0;
+        let worst = worst_case_cost(&c, &p, itv, &[0, 2, 3]);
+        assert!(ec >= best - EPS);
+        assert!(ec <= worst + EPS);
+    }
+
+    #[test]
+    fn homogeneous_replicas_have_equal_expected_and_worst_case() {
+        let c = chain();
+        let p = PlatformBuilder::new()
+            .identical_processors(3, 2.0, 0.01)
+            .max_replication(3)
+            .build()
+            .unwrap();
+        let itv = Interval { first: 0, last: 2 };
+        let ec = expected_cost(&c, &p, itv, &[0, 1, 2]);
+        let wc = worst_case_cost(&c, &p, itv, &[0, 1, 2]);
+        assert!((ec - wc).abs() < EPS);
+        assert!((ec - 30.0).abs() < EPS);
+    }
+
+    #[test]
+    fn latency_sums_costs_and_communications() {
+        let c = chain();
+        let p = platform();
+        let m = two_interval_mapping(&c, &p);
+        let ec1 = expected_cost(&c, &p, Interval { first: 0, last: 1 }, &[0, 2]);
+        let ec2 = expected_cost(&c, &p, Interval { first: 2, last: 2 }, &[1, 3]);
+        // Interval 1 outputs o_2 = 6 over bandwidth 2; interval 2 outputs to the environment.
+        let expected = ec1 + 6.0 / 2.0 + ec2;
+        assert!((expected_latency(&c, &p, &m) - expected).abs() < EPS);
+
+        let wc1 = worst_case_cost(&c, &p, Interval { first: 0, last: 1 }, &[0, 2]);
+        let wc2 = worst_case_cost(&c, &p, Interval { first: 2, last: 2 }, &[1, 3]);
+        assert!((worst_case_latency(&c, &p, &m) - (wc1 + 3.0 + wc2)).abs() < EPS);
+        assert!(worst_case_latency(&c, &p, &m) >= expected_latency(&c, &p, &m) - EPS);
+    }
+
+    #[test]
+    fn period_is_max_of_stage_costs_and_communications() {
+        let c = chain();
+        let p = platform();
+        let m = two_interval_mapping(&c, &p);
+        let wc1 = worst_case_cost(&c, &p, Interval { first: 0, last: 1 }, &[0, 2]);
+        let wc2 = worst_case_cost(&c, &p, Interval { first: 2, last: 2 }, &[1, 3]);
+        let expected_wp = wc1.max(wc2).max(3.0);
+        assert!((worst_case_period(&c, &p, &m) - expected_wp).abs() < EPS);
+        assert!(worst_case_period(&c, &p, &m) >= expected_period(&c, &p, &m) - EPS);
+        // The period never exceeds the latency.
+        assert!(worst_case_period(&c, &p, &m) <= worst_case_latency(&c, &p, &m) + EPS);
+    }
+
+    #[test]
+    fn interval_period_requirement_accounts_for_both_communications() {
+        let c = chain();
+        let p = platform();
+        // Middle interval: incoming o_0 = 2, outgoing o_1 = 6, W = 20, bandwidth 2.
+        let itv = Interval { first: 1, last: 1 };
+        let req = interval_period_requirement(&c, &p, itv, 1.0);
+        assert!((req - 20.0).abs() < EPS);
+        let req_fast = interval_period_requirement(&c, &p, itv, 10.0);
+        assert!((req_fast - 3.0).abs() < EPS); // outgoing communication dominates
+        // First interval has no incoming communication.
+        let first = Interval { first: 0, last: 0 };
+        assert!((interval_period_requirement(&c, &p, first, 1.0) - 10.0).abs() < EPS);
+        // Last interval has no outgoing communication.
+        let last = Interval { first: 2, last: 2 };
+        assert!((interval_period_requirement(&c, &p, last, 10.0) - 3.0).abs() < EPS);
+    }
+}

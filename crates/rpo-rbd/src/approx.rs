@@ -1,0 +1,231 @@
+//! Approximate reliability of general (non series-parallel) RBDs.
+//!
+//! The paper's conclusion lists, as future work, removing the routing
+//! operations and "accurately approximating the reliability of general
+//! systems (non serial-parallel)". This module provides the standard tools
+//! for that investigation:
+//!
+//! * [`esary_proschan_bounds`] — the classical lower bound (minimal cut sets
+//!   in series) and upper bound (minimal path sets in parallel) on the exact
+//!   reliability;
+//! * [`monte_carlo_reliability`] — an unbiased Monte-Carlo estimator that
+//!   samples block states and checks operability, usable on diagrams far too
+//!   large for exact evaluation.
+//!
+//! Both are validated against the exact evaluators of [`crate::exact`] in the
+//! tests, and compared against the routing-operation model in the ablation
+//! benchmarks.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::cutsets::minimal_cut_sets;
+use crate::{BlockId, Rbd};
+
+/// Esary–Proschan style bounds on the reliability of a general RBD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBounds {
+    /// Lower bound: product over minimal cut sets of their parallel
+    /// reliability (exact when no block belongs to two cuts).
+    pub lower: f64,
+    /// Upper bound: complement of the product over minimal path sets of their
+    /// failure probability (exact when no block belongs to two paths).
+    pub upper: f64,
+}
+
+/// Computes the Esary–Proschan lower and upper bounds of the diagram.
+///
+/// Both enumerations (minimal cut sets and simple paths) are exponential in
+/// general; this is intended for the moderately sized diagrams produced by
+/// interval mappings.
+///
+/// # Panics
+///
+/// Panics if the diagram has more than 30 blocks (same limit as the exact
+/// evaluators).
+pub fn esary_proschan_bounds(rbd: &Rbd) -> ReliabilityBounds {
+    let cuts = minimal_cut_sets(rbd);
+    let lower = cuts
+        .iter()
+        .map(|cut| 1.0 - cut.iter().map(|&b| 1.0 - rbd.block(b).reliability).product::<f64>())
+        .product();
+    let paths = rbd.all_paths();
+    let upper = if paths.is_empty() {
+        0.0
+    } else {
+        1.0 - paths
+            .iter()
+            .map(|path| {
+                1.0 - path.iter().map(|&b| rbd.block(b).reliability).product::<f64>()
+            })
+            .product::<f64>()
+    };
+    ReliabilityBounds { lower, upper }
+}
+
+/// Result of a Monte-Carlo reliability estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloReliability {
+    /// Number of sampled block-state vectors.
+    pub samples: usize,
+    /// Fraction of samples in which the diagram was operational.
+    pub estimate: f64,
+    /// Half-width of the 95% confidence interval (normal approximation).
+    pub confidence95: f64,
+}
+
+/// Estimates the reliability of an arbitrary RBD by sampling the up/down state
+/// of every block independently and checking source-destination operability.
+///
+/// The estimator is unbiased and its cost is `O(samples · (blocks + arcs))`,
+/// regardless of the diagram structure.
+pub fn monte_carlo_reliability(rbd: &Rbd, samples: usize, seed: u64) -> MonteCarloReliability {
+    assert!(samples > 0, "at least one sample is required");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = rbd.num_blocks();
+    let mut up = vec![false; n];
+    let mut operational = 0usize;
+    for _ in 0..samples {
+        for (b, state) in up.iter_mut().enumerate() {
+            *state = rng.gen::<f64>() < rbd.block(b).reliability;
+        }
+        if rbd.is_operational(&|b: BlockId| up[b]) {
+            operational += 1;
+        }
+    }
+    let estimate = operational as f64 / samples as f64;
+    MonteCarloReliability {
+        samples,
+        estimate,
+        confidence95: 1.96 * (estimate * (1.0 - estimate) / samples as f64).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact, Block, Node, Rbd};
+
+    fn bridge(p: f64) -> Rbd {
+        let mut rbd = Rbd::new();
+        let a = rbd.add_block(Block::other(p, "a"));
+        let b = rbd.add_block(Block::other(p, "b"));
+        let c = rbd.add_block(Block::other(p, "c"));
+        let d = rbd.add_block(Block::other(p, "d"));
+        let e = rbd.add_block(Block::other(p, "e"));
+        rbd.add_edge(Node::Source, Node::Block(a));
+        rbd.add_edge(Node::Source, Node::Block(b));
+        rbd.add_edge(Node::Block(a), Node::Block(d));
+        rbd.add_edge(Node::Block(b), Node::Block(e));
+        rbd.add_edge(Node::Block(a), Node::Block(c));
+        rbd.add_edge(Node::Block(b), Node::Block(c));
+        rbd.add_edge(Node::Block(c), Node::Block(d));
+        rbd.add_edge(Node::Block(c), Node::Block(e));
+        rbd.add_edge(Node::Block(d), Node::Destination);
+        rbd.add_edge(Node::Block(e), Node::Destination);
+        rbd
+    }
+
+    fn series_parallel() -> Rbd {
+        let mut rbd = Rbd::new();
+        let a = rbd.add_block(Block::other(0.9, "a"));
+        let b = rbd.add_block(Block::other(0.85, "b"));
+        let c = rbd.add_block(Block::other(0.95, "c"));
+        rbd.add_edge(Node::Source, Node::Block(a));
+        rbd.add_edge(Node::Source, Node::Block(b));
+        rbd.add_edge(Node::Block(a), Node::Block(c));
+        rbd.add_edge(Node::Block(b), Node::Block(c));
+        rbd.add_edge(Node::Block(c), Node::Destination);
+        rbd
+    }
+
+    #[test]
+    fn bounds_bracket_the_exact_reliability_of_the_bridge() {
+        for p in [0.5, 0.8, 0.95, 0.99] {
+            let rbd = bridge(p);
+            let exact = exact::factoring(&rbd);
+            let bounds = esary_proschan_bounds(&rbd);
+            assert!(
+                bounds.lower <= exact + 1e-12 && exact <= bounds.upper + 1e-12,
+                "p = {p}: {} <= {exact} <= {} violated",
+                bounds.lower,
+                bounds.upper
+            );
+            // The bounds tighten as blocks become more reliable.
+            if p >= 0.95 {
+                assert!(bounds.upper - bounds.lower < 0.02);
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_exact_when_cuts_are_disjoint() {
+        // Cuts {a, b} and {c} are disjoint, so the cut-set bound is exact;
+        // the paths {a, c} and {b, c} share block c, so the path bound is a
+        // strict over-approximation.
+        let rbd = series_parallel();
+        let exact = exact::state_enumeration(&rbd);
+        let bounds = esary_proschan_bounds(&rbd);
+        assert!((bounds.lower - exact).abs() < 1e-12);
+        assert!(bounds.upper > exact);
+    }
+
+    #[test]
+    fn upper_bound_is_exact_when_paths_are_disjoint() {
+        // A purely parallel diagram: each path is a single distinct block.
+        let mut rbd = Rbd::new();
+        for r in [0.7, 0.8, 0.9] {
+            let b = rbd.add_block(Block::other(r, "b"));
+            rbd.add_edge(Node::Source, Node::Block(b));
+            rbd.add_edge(Node::Block(b), Node::Destination);
+        }
+        let exact = exact::state_enumeration(&rbd);
+        let bounds = esary_proschan_bounds(&rbd);
+        assert!((bounds.upper - exact).abs() < 1e-12);
+        assert!((bounds.lower - exact).abs() < 1e-12); // the single cut {a,b,c} is also exact
+    }
+
+    #[test]
+    fn monte_carlo_estimate_converges_to_the_exact_value() {
+        let rbd = bridge(0.8);
+        let exact = exact::factoring(&rbd);
+        let mc = monte_carlo_reliability(&rbd, 200_000, 42);
+        assert!(
+            (mc.estimate - exact).abs() < 3.0 * mc.confidence95 + 1e-3,
+            "estimate {} vs exact {exact}",
+            mc.estimate
+        );
+        assert!(mc.confidence95 < 0.01);
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let rbd = bridge(0.7);
+        assert_eq!(
+            monte_carlo_reliability(&rbd, 10_000, 1),
+            monte_carlo_reliability(&rbd, 10_000, 1)
+        );
+        assert_ne!(
+            monte_carlo_reliability(&rbd, 10_000, 1).estimate,
+            monte_carlo_reliability(&rbd, 10_000, 2).estimate
+        );
+    }
+
+    #[test]
+    fn degenerate_diagrams() {
+        // No path to destination: everything is zero.
+        let mut rbd = Rbd::new();
+        let a = rbd.add_block(Block::other(0.9, "a"));
+        rbd.add_edge(Node::Source, Node::Block(a));
+        let bounds = esary_proschan_bounds(&rbd);
+        assert_eq!(bounds.upper, 0.0);
+        assert_eq!(monte_carlo_reliability(&rbd, 100, 3).estimate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        monte_carlo_reliability(&bridge(0.5), 0, 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Blocks of a reliability block diagram.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a block within an [`crate::Rbd`] (0-based insertion order).
+pub type BlockId = usize;
+
+/// What a block of the diagram represents, for labelling and debugging.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// An interval replica executed on a processor (`I_j / P_u`).
+    IntervalOnProcessor {
+        /// Interval index within the mapping.
+        interval: usize,
+        /// Processor index within the platform.
+        processor: usize,
+    },
+    /// A data dependency transmitted on a point-to-point link (`o_j / L_uv`).
+    CommunicationOnLink {
+        /// Interval index whose output is transmitted.
+        interval: usize,
+        /// Sending processor.
+        from: usize,
+        /// Receiving processor.
+        to: usize,
+    },
+    /// A routing operation (zero duration, reliability 1).
+    Routing {
+        /// Interval index after which the routing operation is inserted.
+        after_interval: usize,
+        /// Processor hosting the routing operation.
+        processor: usize,
+    },
+    /// Any other block (used by generic tests and ad-hoc diagrams).
+    Other(String),
+}
+
+/// A block of the diagram: an element of the system together with the
+/// probability that it is operational.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Probability that the block is operational, in `[0, 1]`.
+    pub reliability: f64,
+    /// What the block represents.
+    pub kind: BlockKind,
+}
+
+impl Block {
+    /// Creates a block with an arbitrary label.
+    pub fn other(reliability: f64, label: impl Into<String>) -> Self {
+        Block { reliability, kind: BlockKind::Other(label.into()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_block_stores_label_and_reliability() {
+        let b = Block::other(0.9, "pump");
+        assert_eq!(b.reliability, 0.9);
+        assert_eq!(b.kind, BlockKind::Other("pump".to_string()));
+    }
+}

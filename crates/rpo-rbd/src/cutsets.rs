@@ -1,0 +1,175 @@
+//! Minimal cut sets and the serial cut-set approximation of Section 4.
+//!
+//! A *cut set* is a set of blocks whose removal disconnects the source from
+//! the destination; it is *minimal* if no proper subset is a cut. The paper
+//! notes that the reliability of a general RBD can be approximated by putting
+//! all minimal cut sets in series, each cut set being the parallel composition
+//! of its blocks — a lower bound on the true reliability that is exact for
+//! series-parallel diagrams with distinct blocks per cut.
+
+use crate::{BlockId, Rbd};
+
+/// Enumerates all minimal cut sets of the diagram.
+///
+/// The implementation enumerates the minimal path sets first (every simple
+/// source-destination path) and builds minimal cuts as minimal hitting sets,
+/// by exploring subsets in increasing cardinality. Exponential in general;
+/// intended for small diagrams, consistent with the paper's observation that
+/// the number of minimal cuts itself can be exponential.
+///
+/// # Panics
+///
+/// Panics if the diagram has more than 30 blocks.
+pub fn minimal_cut_sets(rbd: &Rbd) -> Vec<Vec<BlockId>> {
+    let n = rbd.num_blocks();
+    assert!(n <= 30, "minimal cut enumeration limited to 30 blocks, diagram has {n}");
+    let paths = rbd.all_paths();
+    if paths.is_empty() {
+        return Vec::new();
+    }
+    let path_masks: Vec<u64> =
+        paths.iter().map(|p| p.iter().fold(0u64, |m, &b| m | (1 << b))).collect();
+
+    let mut cuts: Vec<u64> = Vec::new();
+    // Enumerate candidate subsets by increasing cardinality so that the first
+    // time a cut is found it cannot have a smaller cut as a subset, and any
+    // superset of an already-found cut is skipped.
+    for size in 1..=n {
+        let mut candidate: Vec<usize> = (0..size).collect();
+        loop {
+            let mask = candidate.iter().fold(0u64, |m, &b| m | (1 << b));
+            let dominated = cuts.iter().any(|&c| c & mask == c);
+            if !dominated && path_masks.iter().all(|&p| p & mask != 0) {
+                cuts.push(mask);
+            }
+            // Next combination of `size` elements out of `n`.
+            let mut i = size;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                if candidate[i] != i + n - size {
+                    candidate[i] += 1;
+                    for j in i + 1..size {
+                        candidate[j] = candidate[j - 1] + 1;
+                    }
+                    break;
+                }
+                if i == 0 {
+                    candidate.clear();
+                    break;
+                }
+            }
+            if candidate.is_empty() {
+                break;
+            }
+        }
+    }
+    cuts.iter()
+        .map(|&mask| (0..n).filter(|&b| mask & (1 << b) != 0).collect())
+        .collect()
+}
+
+/// The serial cut-set approximation of the reliability (Section 4): the
+/// product over minimal cut sets `C` of `1 − Π_{b ∈ C} (1 − r_b)`.
+///
+/// This is a lower bound on the exact reliability (by the Esary–Proschan
+/// inequality), and coincides with it when the diagram is series-parallel and
+/// no block appears in two cuts.
+pub fn cutset_approximation(rbd: &Rbd) -> f64 {
+    minimal_cut_sets(rbd)
+        .iter()
+        .map(|cut| {
+            1.0 - cut.iter().map(|&b| 1.0 - rbd.block(b).reliability).product::<f64>()
+        })
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact, Block, Node, Rbd};
+
+    fn series_parallel_example() -> Rbd {
+        // Two parallel replicas followed by a single block, in series.
+        let mut rbd = Rbd::new();
+        let a = rbd.add_block(Block::other(0.9, "a"));
+        let b = rbd.add_block(Block::other(0.8, "b"));
+        let c = rbd.add_block(Block::other(0.95, "c"));
+        rbd.add_edge(Node::Source, Node::Block(a));
+        rbd.add_edge(Node::Source, Node::Block(b));
+        rbd.add_edge(Node::Block(a), Node::Block(c));
+        rbd.add_edge(Node::Block(b), Node::Block(c));
+        rbd.add_edge(Node::Block(c), Node::Destination);
+        rbd
+    }
+
+    fn bridge() -> Rbd {
+        let mut rbd = Rbd::new();
+        let a = rbd.add_block(Block::other(0.9, "a"));
+        let b = rbd.add_block(Block::other(0.9, "b"));
+        let c = rbd.add_block(Block::other(0.9, "c"));
+        let d = rbd.add_block(Block::other(0.9, "d"));
+        let e = rbd.add_block(Block::other(0.9, "e"));
+        rbd.add_edge(Node::Source, Node::Block(a));
+        rbd.add_edge(Node::Source, Node::Block(b));
+        rbd.add_edge(Node::Block(a), Node::Block(d));
+        rbd.add_edge(Node::Block(b), Node::Block(e));
+        rbd.add_edge(Node::Block(a), Node::Block(c));
+        rbd.add_edge(Node::Block(b), Node::Block(c));
+        rbd.add_edge(Node::Block(c), Node::Block(d));
+        rbd.add_edge(Node::Block(c), Node::Block(e));
+        rbd.add_edge(Node::Block(d), Node::Destination);
+        rbd.add_edge(Node::Block(e), Node::Destination);
+        rbd
+    }
+
+    #[test]
+    fn cuts_of_series_parallel_diagram() {
+        let rbd = series_parallel_example();
+        let mut cuts = minimal_cut_sets(&rbd);
+        cuts.iter_mut().for_each(|c| c.sort());
+        cuts.sort();
+        // {a, b} (both replicas down) and {c}.
+        assert_eq!(cuts, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn approximation_exact_on_disjoint_series_parallel() {
+        let rbd = series_parallel_example();
+        let exact_r = exact::state_enumeration(&rbd);
+        let approx = cutset_approximation(&rbd);
+        assert!((exact_r - approx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cuts_of_bridge_network() {
+        let rbd = bridge();
+        let mut cuts = minimal_cut_sets(&rbd);
+        cuts.iter_mut().for_each(|c| c.sort());
+        cuts.sort();
+        // Classical result: {a,b}, {d,e}, {a,c,e}, {b,c,d}.
+        assert_eq!(cuts, vec![vec![0, 1], vec![0, 2, 4], vec![1, 2, 3], vec![3, 4]]);
+    }
+
+    #[test]
+    fn approximation_is_a_lower_bound_on_bridge() {
+        let rbd = bridge();
+        let exact_r = exact::state_enumeration(&rbd);
+        let approx = cutset_approximation(&rbd);
+        assert!(approx <= exact_r + 1e-12);
+        // And it is reasonably tight for reliable blocks.
+        assert!(exact_r - approx < 1e-2);
+    }
+
+    #[test]
+    fn diagram_without_path_has_no_cut_and_zero_reliability() {
+        let mut rbd = Rbd::new();
+        let a = rbd.add_block(Block::other(0.9, "a"));
+        rbd.add_edge(Node::Source, Node::Block(a));
+        // No arc to the destination.
+        assert!(minimal_cut_sets(&rbd).is_empty());
+        assert_eq!(exact::state_enumeration(&rbd), 0.0);
+    }
+}

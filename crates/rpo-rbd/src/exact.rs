@@ -1,0 +1,189 @@
+//! Exact reliability evaluation of a general RBD.
+//!
+//! Computing the reliability of an arbitrary RBD is exponential in the number
+//! of blocks (Section 4 of the paper). Two exact methods are provided, both
+//! intended for small diagrams (ground truth for tests and ablations):
+//!
+//! * [`state_enumeration`] sums the probability of every operational subset of
+//!   blocks — `O(2^n)` operational checks;
+//! * [`factoring`] uses pivotal (Shannon) decomposition on one block at a
+//!   time, pruning as soon as the diagram becomes surely operational or
+//!   surely failed — same worst case, usually much faster in practice.
+
+use crate::{BlockId, Rbd};
+
+/// Hard bound on the number of blocks accepted by the exact evaluators.
+pub const MAX_EXACT_BLOCKS: usize = 30;
+
+/// Exact reliability by enumeration of all `2^n` block states.
+///
+/// # Panics
+///
+/// Panics if the diagram has more than [`MAX_EXACT_BLOCKS`] blocks.
+pub fn state_enumeration(rbd: &Rbd) -> f64 {
+    let n = rbd.num_blocks();
+    assert!(
+        n <= MAX_EXACT_BLOCKS,
+        "state enumeration limited to {MAX_EXACT_BLOCKS} blocks, diagram has {n}"
+    );
+    let mut reliability = 0.0;
+    for state in 0u64..(1u64 << n) {
+        let up = |b: BlockId| state & (1 << b) != 0;
+        if rbd.is_operational(&up) {
+            let mut p = 1.0;
+            for b in 0..n {
+                let r = rbd.block(b).reliability;
+                p *= if up(b) { r } else { 1.0 - r };
+            }
+            reliability += p;
+        }
+    }
+    reliability
+}
+
+/// Exact reliability by pivotal decomposition (factoring).
+///
+/// Conditioning on block `b`:
+/// `R = r_b · R(diagram | b up) + (1 − r_b) · R(diagram | b down)`.
+/// Blocks are processed in identifier order; recursion stops as soon as the
+/// partially-decided diagram is surely operational (all remaining blocks down
+/// would still leave an up path) or surely failed (all remaining blocks up
+/// would still not connect source and destination).
+///
+/// # Panics
+///
+/// Panics if the diagram has more than [`MAX_EXACT_BLOCKS`] blocks.
+pub fn factoring(rbd: &Rbd) -> f64 {
+    let n = rbd.num_blocks();
+    assert!(
+        n <= MAX_EXACT_BLOCKS,
+        "factoring limited to {MAX_EXACT_BLOCKS} blocks, diagram has {n}"
+    );
+    // decided[b]: None = undecided, Some(true/false) = forced up/down.
+    let mut decided: Vec<Option<bool>> = vec![None; n];
+    factor_rec(rbd, &mut decided, 0)
+}
+
+fn factor_rec(rbd: &Rbd, decided: &mut Vec<Option<bool>>, next: usize) -> f64 {
+    // Pessimistic check: every undecided block down.
+    let surely_up = rbd.is_operational(&|b| decided[b] == Some(true));
+    if surely_up {
+        return 1.0;
+    }
+    // Optimistic check: every undecided block up.
+    let possibly_up = rbd.is_operational(&|b| decided[b] != Some(false));
+    if !possibly_up {
+        return 0.0;
+    }
+    debug_assert!(next < decided.len(), "undecided diagram must have an undecided block");
+    let r = rbd.block(next).reliability;
+    decided[next] = Some(true);
+    let up = factor_rec(rbd, decided, next + 1);
+    decided[next] = Some(false);
+    let down = factor_rec(rbd, decided, next + 1);
+    decided[next] = None;
+    r * up + (1.0 - r) * down
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Block, Node, Rbd};
+
+    fn series(reliabilities: &[f64]) -> Rbd {
+        let mut rbd = Rbd::new();
+        let ids: Vec<_> =
+            reliabilities.iter().map(|&r| rbd.add_block(Block::other(r, "b"))).collect();
+        rbd.add_edge(Node::Source, Node::Block(ids[0]));
+        for w in ids.windows(2) {
+            rbd.add_edge(Node::Block(w[0]), Node::Block(w[1]));
+        }
+        rbd.add_edge(Node::Block(*ids.last().unwrap()), Node::Destination);
+        rbd
+    }
+
+    fn parallel(reliabilities: &[f64]) -> Rbd {
+        let mut rbd = Rbd::new();
+        for &r in reliabilities {
+            let id = rbd.add_block(Block::other(r, "b"));
+            rbd.add_edge(Node::Source, Node::Block(id));
+            rbd.add_edge(Node::Block(id), Node::Destination);
+        }
+        rbd
+    }
+
+    /// The classical 5-block bridge network, which is neither series nor
+    /// parallel: blocks a, b feed from S; d, e reach D; c bridges both sides.
+    fn bridge(r: [f64; 5]) -> Rbd {
+        let mut rbd = Rbd::new();
+        let a = rbd.add_block(Block::other(r[0], "a"));
+        let b = rbd.add_block(Block::other(r[1], "b"));
+        let c = rbd.add_block(Block::other(r[2], "c"));
+        let d = rbd.add_block(Block::other(r[3], "d"));
+        let e = rbd.add_block(Block::other(r[4], "e"));
+        rbd.add_edge(Node::Source, Node::Block(a));
+        rbd.add_edge(Node::Source, Node::Block(b));
+        rbd.add_edge(Node::Block(a), Node::Block(d));
+        rbd.add_edge(Node::Block(b), Node::Block(e));
+        rbd.add_edge(Node::Block(a), Node::Block(c));
+        rbd.add_edge(Node::Block(b), Node::Block(c));
+        rbd.add_edge(Node::Block(c), Node::Block(d));
+        rbd.add_edge(Node::Block(c), Node::Block(e));
+        rbd.add_edge(Node::Block(d), Node::Destination);
+        rbd.add_edge(Node::Block(e), Node::Destination);
+        rbd
+    }
+
+    #[test]
+    fn series_reliability_is_product() {
+        let rbd = series(&[0.9, 0.8, 0.95]);
+        let expected = 0.9 * 0.8 * 0.95;
+        assert!((state_enumeration(&rbd) - expected).abs() < 1e-12);
+        assert!((factoring(&rbd) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_reliability_is_one_minus_product_of_failures() {
+        let rbd = parallel(&[0.9, 0.8, 0.5]);
+        let expected = 1.0 - 0.1 * 0.2 * 0.5;
+        assert!((state_enumeration(&rbd) - expected).abs() < 1e-12);
+        assert!((factoring(&rbd) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bridge_network_matches_known_closed_form() {
+        // For the bridge with identical reliability p on every block, the
+        // system reliability is 2p^2 + 2p^3 - 5p^4 + 2p^5.
+        let p = 0.9f64;
+        let rbd = bridge([p; 5]);
+        let expected = 2.0 * p.powi(2) + 2.0 * p.powi(3) - 5.0 * p.powi(4) + 2.0 * p.powi(5);
+        assert!((state_enumeration(&rbd) - expected).abs() < 1e-12);
+        assert!((factoring(&rbd) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factoring_agrees_with_state_enumeration_on_heterogeneous_bridge() {
+        let rbd = bridge([0.9, 0.75, 0.6, 0.85, 0.95]);
+        let a = state_enumeration(&rbd);
+        let b = factoring(&rbd);
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 0.0 && a < 1.0);
+    }
+
+    #[test]
+    fn perfect_and_broken_blocks() {
+        let rbd = series(&[1.0, 1.0]);
+        assert_eq!(state_enumeration(&rbd), 1.0);
+        assert_eq!(factoring(&rbd), 1.0);
+        let rbd = series(&[1.0, 0.0]);
+        assert_eq!(state_enumeration(&rbd), 0.0);
+        assert_eq!(factoring(&rbd), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state enumeration limited")]
+    fn state_enumeration_rejects_large_diagrams() {
+        let rbd = series(&vec![0.9; MAX_EXACT_BLOCKS + 1]);
+        let _ = state_enumeration(&rbd);
+    }
+}

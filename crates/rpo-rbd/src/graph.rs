@@ -1,0 +1,283 @@
+//! Generic reliability block diagram graphs.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Block, BlockId};
+
+/// A node of the diagram: the virtual source, the virtual destination, or a
+/// block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Node {
+    /// Virtual source `S` (always operational).
+    Source,
+    /// Virtual destination `D` (always operational).
+    Destination,
+    /// A block of the diagram.
+    Block(BlockId),
+}
+
+/// A reliability block diagram: an acyclic oriented graph of blocks between a
+/// source `S` and a destination `D`. The diagram is operational iff at least
+/// one path from `S` to `D` consists only of operational blocks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Rbd {
+    blocks: Vec<Block>,
+    /// Successors of the source.
+    source_out: Vec<BlockId>,
+    /// Blocks with an arc to the destination.
+    dest_in: Vec<BlockId>,
+    /// `succ[b]` = blocks directly reachable from block `b`.
+    succ: Vec<Vec<BlockId>>,
+}
+
+impl Rbd {
+    /// Creates an empty diagram.
+    pub fn new() -> Self {
+        Rbd::default()
+    }
+
+    /// Adds a block and returns its identifier.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = self.blocks.len();
+        self.blocks.push(block);
+        self.succ.push(Vec::new());
+        id
+    }
+
+    /// Adds an arc between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint refers to a block that does not exist, if the arc
+    /// enters the source, leaves the destination, or directly connects source
+    /// to destination.
+    pub fn add_edge(&mut self, from: Node, to: Node) {
+        match (from, to) {
+            (Node::Source, Node::Block(b)) => {
+                assert!(b < self.blocks.len(), "unknown block {b}");
+                self.source_out.push(b);
+            }
+            (Node::Block(b), Node::Destination) => {
+                assert!(b < self.blocks.len(), "unknown block {b}");
+                self.dest_in.push(b);
+            }
+            (Node::Block(a), Node::Block(b)) => {
+                assert!(a < self.blocks.len(), "unknown block {a}");
+                assert!(b < self.blocks.len(), "unknown block {b}");
+                self.succ[a].push(b);
+            }
+            (Node::Source, Node::Destination) => {
+                panic!("source cannot be directly connected to destination")
+            }
+            _ => panic!("invalid arc {from:?} -> {to:?}"),
+        }
+    }
+
+    /// Number of blocks in the diagram.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The blocks of the diagram, indexed by [`BlockId`].
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block with identifier `id`.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id]
+    }
+
+    /// Blocks that are direct successors of the source.
+    pub fn source_successors(&self) -> &[BlockId] {
+        &self.source_out
+    }
+
+    /// Blocks that have an arc to the destination.
+    pub fn destination_predecessors(&self) -> &[BlockId] {
+        &self.dest_in
+    }
+
+    /// Direct successors of block `b`.
+    pub fn successors(&self, b: BlockId) -> &[BlockId] {
+        &self.succ[b]
+    }
+
+    /// Whether the diagram is operational when exactly the blocks of `up` are
+    /// operational: is there a path from `S` to `D` using only blocks of `up`?
+    pub fn is_operational(&self, up: &dyn Fn(BlockId) -> bool) -> bool {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut stack: Vec<BlockId> =
+            self.source_out.iter().copied().filter(|&b| up(b)).collect();
+        let dest: HashSet<BlockId> = self.dest_in.iter().copied().collect();
+        while let Some(b) = stack.pop() {
+            if visited[b] {
+                continue;
+            }
+            visited[b] = true;
+            if dest.contains(&b) {
+                return true;
+            }
+            for &n in &self.succ[b] {
+                if up(n) && !visited[n] {
+                    stack.push(n);
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks that the diagram is acyclic (a structural requirement of RBDs).
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm on the block-to-block arcs only.
+        let n = self.blocks.len();
+        let mut indeg = vec![0usize; n];
+        for succs in &self.succ {
+            for &b in succs {
+                indeg[b] += 1;
+            }
+        }
+        let mut queue: Vec<BlockId> = (0..n).filter(|&b| indeg[b] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(b) = queue.pop() {
+            seen += 1;
+            for &m in &self.succ[b] {
+                indeg[m] -= 1;
+                if indeg[m] == 0 {
+                    queue.push(m);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Enumerates every simple path from the source to the destination, as
+    /// lists of block identifiers. Exponential in general; intended for small
+    /// diagrams and tests.
+    pub fn all_paths(&self) -> Vec<Vec<BlockId>> {
+        let dest: HashSet<BlockId> = self.dest_in.iter().copied().collect();
+        let mut paths = Vec::new();
+        let mut current = Vec::new();
+        for &start in &self.source_out {
+            self.extend_path(start, &dest, &mut current, &mut paths);
+        }
+        paths
+    }
+
+    fn extend_path(
+        &self,
+        b: BlockId,
+        dest: &HashSet<BlockId>,
+        current: &mut Vec<BlockId>,
+        paths: &mut Vec<Vec<BlockId>>,
+    ) {
+        if current.contains(&b) {
+            return;
+        }
+        current.push(b);
+        if dest.contains(&b) {
+            paths.push(current.clone());
+        }
+        for &n in &self.succ[b] {
+            self.extend_path(n, dest, current, paths);
+        }
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Block;
+
+    /// The bridge-free diagram of Figure 4: two interval replicas, four
+    /// communication blocks, two replicas of the next interval.
+    fn figure4_like() -> Rbd {
+        let mut rbd = Rbd::new();
+        let i1p1 = rbd.add_block(Block::other(0.9, "I1/P1"));
+        let i1p2 = rbd.add_block(Block::other(0.9, "I1/P2"));
+        let c13 = rbd.add_block(Block::other(0.99, "o1/L13"));
+        let c14 = rbd.add_block(Block::other(0.99, "o1/L14"));
+        let c23 = rbd.add_block(Block::other(0.99, "o1/L23"));
+        let c24 = rbd.add_block(Block::other(0.99, "o1/L24"));
+        let i2p3 = rbd.add_block(Block::other(0.8, "I2/P3"));
+        let i2p4 = rbd.add_block(Block::other(0.8, "I2/P4"));
+        rbd.add_edge(Node::Source, Node::Block(i1p1));
+        rbd.add_edge(Node::Source, Node::Block(i1p2));
+        rbd.add_edge(Node::Block(i1p1), Node::Block(c13));
+        rbd.add_edge(Node::Block(i1p1), Node::Block(c14));
+        rbd.add_edge(Node::Block(i1p2), Node::Block(c23));
+        rbd.add_edge(Node::Block(i1p2), Node::Block(c24));
+        rbd.add_edge(Node::Block(c13), Node::Block(i2p3));
+        rbd.add_edge(Node::Block(c23), Node::Block(i2p3));
+        rbd.add_edge(Node::Block(c14), Node::Block(i2p4));
+        rbd.add_edge(Node::Block(c24), Node::Block(i2p4));
+        rbd.add_edge(Node::Block(i2p3), Node::Destination);
+        rbd.add_edge(Node::Block(i2p4), Node::Destination);
+        rbd
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let rbd = figure4_like();
+        assert_eq!(rbd.num_blocks(), 8);
+        assert_eq!(rbd.source_successors().len(), 2);
+        assert_eq!(rbd.destination_predecessors().len(), 2);
+        assert!(rbd.is_acyclic());
+    }
+
+    #[test]
+    fn operational_checks() {
+        let rbd = figure4_like();
+        // Everything up: operational.
+        assert!(rbd.is_operational(&|_| true));
+        // Nothing up: not operational.
+        assert!(!rbd.is_operational(&|_| false));
+        // Only the path I1/P1 -> o1/L13 -> I2/P3 up (blocks 0, 2, 6).
+        assert!(rbd.is_operational(&|b| b == 0 || b == 2 || b == 6));
+        // Both first-interval replicas down: not operational.
+        assert!(!rbd.is_operational(&|b| b != 0 && b != 1));
+        // All communications down: not operational.
+        assert!(!rbd.is_operational(&|b| !(2..=5).contains(&b)));
+    }
+
+    #[test]
+    fn all_paths_enumerates_the_four_chains() {
+        let rbd = figure4_like();
+        let mut paths = rbd.all_paths();
+        paths.sort();
+        assert_eq!(paths.len(), 4);
+        assert!(paths.contains(&vec![0, 2, 6]));
+        assert!(paths.contains(&vec![0, 3, 7]));
+        assert!(paths.contains(&vec![1, 4, 6]));
+        assert!(paths.contains(&vec![1, 5, 7]));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut rbd = Rbd::new();
+        let a = rbd.add_block(Block::other(0.9, "a"));
+        let b = rbd.add_block(Block::other(0.9, "b"));
+        rbd.add_edge(Node::Source, Node::Block(a));
+        rbd.add_edge(Node::Block(a), Node::Block(b));
+        rbd.add_edge(Node::Block(b), Node::Block(a));
+        rbd.add_edge(Node::Block(b), Node::Destination);
+        assert!(!rbd.is_acyclic());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn unknown_block_edge_panics() {
+        let mut rbd = Rbd::new();
+        rbd.add_edge(Node::Source, Node::Block(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "source cannot be directly connected")]
+    fn source_to_destination_panics() {
+        let mut rbd = Rbd::new();
+        rbd.add_edge(Node::Source, Node::Destination);
+    }
+}

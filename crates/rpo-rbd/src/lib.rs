@@ -1,0 +1,42 @@
+//! Reliability Block Diagrams (RBDs) for replicated interval mappings.
+//!
+//! Section 4 of the paper evaluates the reliability of a mapping by building
+//! its reliability block diagram: an acyclic oriented graph whose nodes are
+//! blocks (an interval on a processor, or a data dependency on a link) and
+//! which is *operational* iff there is a path from the source to the
+//! destination made of operational blocks only.
+//!
+//! This crate provides the full substrate:
+//!
+//! * a generic RBD graph ([`Rbd`]) with arbitrary structure (the shape of
+//!   Figure 4, which mappings without routing operations produce);
+//! * **exact** reliability evaluation by state enumeration and by pivotal
+//!   (factoring) decomposition ([`exact`]) — exponential, usable as ground
+//!   truth on small diagrams;
+//! * **minimal cut set** enumeration and the serial approximation of the
+//!   reliability described in Section 4 ([`cutsets`]);
+//! * **series-parallel** reliability expressions with linear-time evaluation
+//!   ([`series_parallel`]);
+//! * builders from a mapping: the general RBD of Figure 4 and the
+//!   serial-parallel RBD of Figure 5 obtained by inserting zero-cost routing
+//!   operations between consecutive intervals ([`mapping_rbd`]).
+//!
+//! The closed form of Eq. (9) in `rpo-model` corresponds exactly to the
+//! series-parallel RBD with routing operations; this equivalence is checked
+//! by the tests of [`mapping_rbd`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod approx;
+pub mod block;
+pub mod cutsets;
+pub mod exact;
+pub mod graph;
+pub mod mapping_rbd;
+pub mod series_parallel;
+
+pub use approx::{esary_proschan_bounds, monte_carlo_reliability, ReliabilityBounds};
+pub use block::{Block, BlockId, BlockKind};
+pub use graph::{Node, Rbd};
+pub use series_parallel::SpExpr;

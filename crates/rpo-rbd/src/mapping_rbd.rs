@@ -1,0 +1,295 @@
+//! Building reliability block diagrams from interval mappings.
+//!
+//! Two constructions are provided, mirroring Figures 4 and 5 of the paper:
+//!
+//! * [`general_rbd`]: the *direct* diagram in which every replica of interval
+//!   `I_j` sends its output to every replica of `I_{j+1}` over a dedicated
+//!   point-to-point link block. This diagram has no particular structure and
+//!   its exact evaluation is exponential.
+//! * [`routing_sp_expr`] / [`routing_rbd`]: the *serial-parallel* diagram
+//!   obtained by inserting a zero-cost, perfectly reliable routing operation
+//!   between consecutive intervals. Each replica block then carries its
+//!   incoming and outgoing communications in series, the replicas of one
+//!   interval are in parallel, and the intervals are in series — which is
+//!   exactly the closed form of Eq. (9) implemented in
+//!   [`rpo_model::reliability::mapping_reliability`].
+
+use rpo_model::{reliability, Mapping, Platform, TaskChain};
+
+use crate::{Block, BlockKind, Node, Rbd, SpExpr};
+
+/// Builds the general (non series-parallel) RBD of a mapping, following the
+/// shape of Figure 4: one block per interval replica and one block per
+/// point-to-point communication between consecutive replicas.
+pub fn general_rbd(chain: &TaskChain, platform: &Platform, mapping: &Mapping) -> Rbd {
+    let mut rbd = Rbd::new();
+    let mut previous_layer: Vec<(usize, usize)> = Vec::new(); // (processor, block id)
+
+    for (j, mi) in mapping.iter() {
+        // Interval replica blocks.
+        let mut layer = Vec::with_capacity(mi.processors.len());
+        for &u in &mi.processors {
+            let r = reliability::interval_reliability(chain, platform, u, mi.interval);
+            let id = rbd.add_block(Block {
+                reliability: r,
+                kind: BlockKind::IntervalOnProcessor { interval: j, processor: u },
+            });
+            layer.push((u, id));
+        }
+
+        if j == 0 {
+            for &(_, id) in &layer {
+                rbd.add_edge(Node::Source, Node::Block(id));
+            }
+        } else {
+            // Communication blocks from every replica of the previous interval
+            // to every replica of this one.
+            let prev_interval = mapping.interval(j - 1).interval;
+            let comm_r = reliability::communication_reliability(
+                platform,
+                prev_interval.output_size(chain),
+            );
+            for &(from, from_id) in &previous_layer {
+                for &(to, to_id) in &layer {
+                    let comm = rbd.add_block(Block {
+                        reliability: comm_r,
+                        kind: BlockKind::CommunicationOnLink { interval: j - 1, from, to },
+                    });
+                    rbd.add_edge(Node::Block(from_id), Node::Block(comm));
+                    rbd.add_edge(Node::Block(comm), Node::Block(to_id));
+                }
+            }
+        }
+        previous_layer = layer;
+    }
+
+    for &(_, id) in &previous_layer {
+        rbd.add_edge(Node::Block(id), Node::Destination);
+    }
+    rbd
+}
+
+/// Builds the series-parallel reliability expression of a mapping under the
+/// routing-operation model of Figure 5 (the model evaluated by Eq. 9).
+///
+/// Every replica of interval `I_j` is the series composition of its incoming
+/// communication (from the routing operation collecting `o_{l_{j-1}}`), its
+/// computation, and its outgoing communication (towards the next routing
+/// operation); replicas are parallel; intervals (and the perfectly reliable
+/// routing operations between them) are in series.
+pub fn routing_sp_expr(chain: &TaskChain, platform: &Platform, mapping: &Mapping) -> SpExpr {
+    let mut stages: Vec<SpExpr> = Vec::with_capacity(2 * mapping.num_intervals());
+    let mut input_size = 0.0;
+    for (j, mi) in mapping.iter() {
+        let output_size = mi.interval.output_size(chain);
+        let replicas = mi.processors.iter().map(|&u| {
+            SpExpr::series([
+                SpExpr::Block(reliability::communication_reliability(platform, input_size)),
+                SpExpr::Block(reliability::interval_reliability(
+                    chain, platform, u, mi.interval,
+                )),
+                SpExpr::Block(reliability::communication_reliability(platform, output_size)),
+            ])
+        });
+        stages.push(SpExpr::parallel(replicas));
+        if j + 1 < mapping.num_intervals() {
+            // The routing operation itself: zero duration, reliability 1.
+            stages.push(SpExpr::perfect());
+        }
+        input_size = output_size;
+    }
+    SpExpr::series(stages)
+}
+
+/// Builds the routing-operation diagram of Figure 5 as an explicit [`Rbd`]
+/// graph (including the routing blocks), mainly for cross-checking the
+/// series-parallel evaluation against the exact evaluators on small mappings.
+///
+/// The routing operation after interval `j` is hosted on the first replica
+/// processor of interval `j + 1` (any processor would do: the block is
+/// perfectly reliable and the incoming/outgoing communications are modelled
+/// separately).
+pub fn routing_rbd(chain: &TaskChain, platform: &Platform, mapping: &Mapping) -> Rbd {
+    let mut rbd = Rbd::new();
+    let mut previous: Option<usize> = None; // block id of the previous routing operation
+    let mut input_size = 0.0;
+
+    for (j, mi) in mapping.iter() {
+        let output_size = mi.interval.output_size(chain);
+        let in_comm_r = reliability::communication_reliability(platform, input_size);
+        let out_comm_r = reliability::communication_reliability(platform, output_size);
+
+        let mut replica_tails = Vec::with_capacity(mi.processors.len());
+        for &u in &mi.processors {
+            let compute = rbd.add_block(Block {
+                reliability: reliability::interval_reliability(chain, platform, u, mi.interval)
+                    * in_comm_r,
+                kind: BlockKind::IntervalOnProcessor { interval: j, processor: u },
+            });
+            match previous {
+                None => rbd.add_edge(Node::Source, Node::Block(compute)),
+                Some(route) => rbd.add_edge(Node::Block(route), Node::Block(compute)),
+            }
+            if j + 1 < mapping.num_intervals() {
+                let out_comm = rbd.add_block(Block {
+                    reliability: out_comm_r,
+                    kind: BlockKind::CommunicationOnLink {
+                        interval: j,
+                        from: u,
+                        to: mapping.interval(j + 1).processors[0],
+                    },
+                });
+                rbd.add_edge(Node::Block(compute), Node::Block(out_comm));
+                replica_tails.push(out_comm);
+            } else {
+                replica_tails.push(compute);
+            }
+        }
+
+        if j + 1 < mapping.num_intervals() {
+            let route = rbd.add_block(Block {
+                reliability: 1.0,
+                kind: BlockKind::Routing {
+                    after_interval: j,
+                    processor: mapping.interval(j + 1).processors[0],
+                },
+            });
+            for tail in replica_tails {
+                rbd.add_edge(Node::Block(tail), Node::Block(route));
+            }
+            previous = Some(route);
+        } else {
+            for tail in replica_tails {
+                rbd.add_edge(Node::Block(tail), Node::Destination);
+            }
+        }
+        input_size = output_size;
+    }
+    rbd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use rpo_model::{Interval, MappedInterval, PlatformBuilder};
+
+    fn setup() -> (TaskChain, Platform, Mapping) {
+        let chain =
+            TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (30.0, 4.0), (15.0, 1.0)]).unwrap();
+        let platform = PlatformBuilder::new()
+            .processor(2.0, 0.002)
+            .processor(1.0, 0.001)
+            .processor(3.0, 0.004)
+            .processor(1.5, 0.003)
+            .processor(2.5, 0.002)
+            .bandwidth(2.0)
+            .link_failure_rate(0.01)
+            .max_replication(3)
+            .build()
+            .unwrap();
+        let mapping = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, vec![0, 1]),
+                MappedInterval::new(Interval { first: 2, last: 3 }, vec![2, 3, 4]),
+            ],
+            &chain,
+            &platform,
+        )
+        .unwrap();
+        (chain, platform, mapping)
+    }
+
+    #[test]
+    fn routing_expression_matches_closed_form_eq9() {
+        let (chain, platform, mapping) = setup();
+        let expr = routing_sp_expr(&chain, &platform, &mapping);
+        let closed_form = reliability::mapping_reliability(&chain, &platform, &mapping);
+        assert!((expr.reliability() - closed_form).abs() < 1e-12);
+    }
+
+    #[test]
+    fn routing_rbd_graph_matches_expression() {
+        let (chain, platform, mapping) = setup();
+        let expr = routing_sp_expr(&chain, &platform, &mapping);
+        let graph = routing_rbd(&chain, &platform, &mapping);
+        assert!(graph.is_acyclic());
+        let exact_r = exact::factoring(&graph);
+        assert!((exact_r - expr.reliability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_rbd_structure_matches_figure4() {
+        let (chain, platform, mapping) = setup();
+        let rbd = general_rbd(&chain, &platform, &mapping);
+        // 2 replicas + 3 replicas + 2*3 communications.
+        assert_eq!(rbd.num_blocks(), 11);
+        assert!(rbd.is_acyclic());
+        assert_eq!(rbd.source_successors().len(), 2);
+        assert_eq!(rbd.destination_predecessors().len(), 3);
+        // 2 * 3 simple paths.
+        assert_eq!(rbd.all_paths().len(), 6);
+    }
+
+    #[test]
+    fn routing_model_is_conservative_wrt_general_rbd() {
+        // Inserting routing operations adds an extra communication hop, so the
+        // serial-parallel reliability is a (slightly pessimistic) lower bound
+        // of the exact reliability of the direct diagram.
+        let (chain, platform, mapping) = setup();
+        let direct = exact::factoring(&general_rbd(&chain, &platform, &mapping));
+        let routed = routing_sp_expr(&chain, &platform, &mapping).reliability();
+        assert!(routed <= direct + 1e-12);
+        // The overhead stays small for realistic failure rates (the paper
+        // reports +3.88% on execution time and a negligible reliability gap).
+        assert!(direct - routed < 0.05);
+    }
+
+    #[test]
+    fn single_interval_mapping_has_no_routing_and_no_communication() {
+        let chain = TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0)]).unwrap();
+        let platform = PlatformBuilder::new()
+            .identical_processors(2, 1.0, 0.001)
+            .max_replication(2)
+            .build()
+            .unwrap();
+        let mapping = Mapping::new(
+            vec![MappedInterval::new(Interval { first: 0, last: 1 }, vec![0, 1])],
+            &chain,
+            &platform,
+        )
+        .unwrap();
+        let expr = routing_sp_expr(&chain, &platform, &mapping);
+        let direct = general_rbd(&chain, &platform, &mapping);
+        assert_eq!(direct.num_blocks(), 2);
+        let closed_form = reliability::mapping_reliability(&chain, &platform, &mapping);
+        assert!((expr.reliability() - closed_form).abs() < 1e-15);
+        assert!((exact::state_enumeration(&direct) - closed_form).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unreplicated_mapping_general_and_routing_models_agree() {
+        // Without replication both models degenerate to a serial diagram with
+        // the same blocks except the duplicated communication; with a
+        // perfectly reliable network they coincide exactly.
+        let chain = TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (5.0, 1.0)]).unwrap();
+        let platform = PlatformBuilder::new()
+            .identical_processors(3, 1.0, 0.01)
+            .link_failure_rate(0.0)
+            .max_replication(1)
+            .build()
+            .unwrap();
+        let mapping = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 0 }, vec![0]),
+                MappedInterval::new(Interval { first: 1, last: 2 }, vec![1]),
+            ],
+            &chain,
+            &platform,
+        )
+        .unwrap();
+        let direct = exact::state_enumeration(&general_rbd(&chain, &platform, &mapping));
+        let routed = routing_sp_expr(&chain, &platform, &mapping).reliability();
+        assert!((direct - routed).abs() < 1e-12);
+    }
+}

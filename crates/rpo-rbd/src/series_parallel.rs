@@ -1,0 +1,103 @@
+//! Series-parallel reliability expressions.
+//!
+//! When routing operations are inserted between intervals (Figure 5 of the
+//! paper), the RBD of a mapping is series-parallel by construction and its
+//! reliability can be evaluated in time linear in the number of blocks. This
+//! module provides the corresponding expression tree.
+
+use serde::{Deserialize, Serialize};
+
+/// A series-parallel reliability expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpExpr {
+    /// A single block with the given reliability.
+    Block(f64),
+    /// Series composition: every sub-expression must be operational.
+    Series(Vec<SpExpr>),
+    /// Parallel composition: at least one sub-expression must be operational.
+    Parallel(Vec<SpExpr>),
+}
+
+impl SpExpr {
+    /// A perfectly reliable block (used for routing operations).
+    pub fn perfect() -> Self {
+        SpExpr::Block(1.0)
+    }
+
+    /// Series composition of an iterator of expressions.
+    pub fn series(items: impl IntoIterator<Item = SpExpr>) -> Self {
+        SpExpr::Series(items.into_iter().collect())
+    }
+
+    /// Parallel composition of an iterator of expressions.
+    pub fn parallel(items: impl IntoIterator<Item = SpExpr>) -> Self {
+        SpExpr::Parallel(items.into_iter().collect())
+    }
+
+    /// Evaluates the reliability of the expression.
+    ///
+    /// * series: product of the sub-reliabilities (an empty series is
+    ///   perfectly reliable);
+    /// * parallel: `1 − Π (1 − r_i)` (an empty parallel composition always
+    ///   fails).
+    pub fn reliability(&self) -> f64 {
+        match self {
+            SpExpr::Block(r) => *r,
+            SpExpr::Series(children) => children.iter().map(SpExpr::reliability).product(),
+            SpExpr::Parallel(children) => {
+                1.0 - children.iter().map(|c| 1.0 - c.reliability()).product::<f64>()
+            }
+        }
+    }
+
+    /// Number of elementary blocks in the expression.
+    pub fn num_blocks(&self) -> usize {
+        match self {
+            SpExpr::Block(_) => 1,
+            SpExpr::Series(children) | SpExpr::Parallel(children) => {
+                children.iter().map(SpExpr::num_blocks).sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_evaluation() {
+        assert_eq!(SpExpr::Block(0.75).reliability(), 0.75);
+        assert_eq!(SpExpr::perfect().reliability(), 1.0);
+    }
+
+    #[test]
+    fn series_is_product() {
+        let e = SpExpr::series([SpExpr::Block(0.9), SpExpr::Block(0.8), SpExpr::Block(0.5)]);
+        assert!((e.reliability() - 0.36).abs() < 1e-12);
+        assert_eq!(e.num_blocks(), 3);
+    }
+
+    #[test]
+    fn parallel_is_one_minus_product_of_failures() {
+        let e = SpExpr::parallel([SpExpr::Block(0.9), SpExpr::Block(0.8)]);
+        assert!((e.reliability() - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_expression() {
+        // (0.9 ∥ 0.9) in series with 0.99.
+        let e = SpExpr::series([
+            SpExpr::parallel([SpExpr::Block(0.9), SpExpr::Block(0.9)]),
+            SpExpr::Block(0.99),
+        ]);
+        assert!((e.reliability() - 0.99 * (1.0 - 0.01)).abs() < 1e-12);
+        assert_eq!(e.num_blocks(), 3);
+    }
+
+    #[test]
+    fn empty_compositions() {
+        assert_eq!(SpExpr::series([]).reliability(), 1.0);
+        assert_eq!(SpExpr::parallel([]).reliability(), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Failure injection for a single data set traversing the replicated
+//! pipeline.
+//!
+//! The semantics mirror the analytical model exactly:
+//!
+//! * a replica of interval `I_j` *delivers* the data set iff its incoming
+//!   communication (from the routing operation), its computation, and its
+//!   outgoing communication (towards the next routing operation) all survive
+//!   their transient failures — the inner term of Eq. (9);
+//! * the data set is *successfully processed* iff every interval has at least
+//!   one delivering replica;
+//! * the latency of the data set follows Eq. (3)/(5): per interval, the
+//!   result is taken from the fastest replica whose **computation** succeeded
+//!   (communication failures impact reliability, not the latency
+//!   expectation), and one output communication time is added per interval.
+
+use rand::Rng;
+use rpo_model::{Mapping, Platform, TaskChain};
+
+use crate::failure::FailureModel;
+
+/// Outcome of pushing one data set through the mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetOutcome {
+    /// Whether every interval had at least one fully delivering replica
+    /// (the Eq. 9 success event).
+    pub success: bool,
+    /// End-to-end latency following the Eq. (3)/(5) semantics, when every
+    /// interval had at least one replica whose computation succeeded.
+    pub latency: Option<f64>,
+}
+
+/// Simulates the processing of one data set by `mapping`, drawing every
+/// transient failure from `rng`.
+pub fn simulate_dataset<R: Rng + ?Sized>(
+    chain: &TaskChain,
+    platform: &Platform,
+    mapping: &Mapping,
+    rng: &mut R,
+) -> DatasetOutcome {
+    let link_failures = FailureModel::new(platform.link_failure_rate());
+
+    let mut success = true;
+    let mut latency = Some(0.0);
+    let mut input_size = 0.0;
+
+    for mi in mapping.intervals() {
+        let work = mi.interval.work(chain);
+        let output_size = mi.interval.output_size(chain);
+        let in_comm_time = platform.comm_time(input_size);
+        let out_comm_time = platform.comm_time(output_size);
+
+        let mut delivered = false;
+        let mut fastest_compute: Option<f64> = None;
+        for &u in &mi.processors {
+            let processor_failures = FailureModel::new(platform.failure_rate(u));
+            let compute_time = work / platform.speed(u);
+
+            // Each replica has its own incoming and outgoing transfers (on its
+            // own links to/from the routing operations).
+            let in_ok = !link_failures.operation_fails(in_comm_time, rng);
+            let compute_ok = !processor_failures.operation_fails(compute_time, rng);
+            let out_ok = !link_failures.operation_fails(out_comm_time, rng);
+
+            if in_ok && compute_ok && out_ok {
+                delivered = true;
+            }
+            if compute_ok {
+                fastest_compute = Some(match fastest_compute {
+                    None => compute_time,
+                    Some(best) => best.min(compute_time),
+                });
+            }
+        }
+
+        if !delivered {
+            success = false;
+        }
+        latency = match (latency, fastest_compute) {
+            (Some(total), Some(compute)) => Some(total + compute + out_comm_time),
+            _ => None,
+        };
+        input_size = output_size;
+    }
+
+    DatasetOutcome { success, latency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rpo_model::{Interval, MappedInterval, PlatformBuilder};
+
+    fn setup(proc_rate: f64, link_rate: f64) -> (TaskChain, Platform, Mapping) {
+        let chain = TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (30.0, 4.0)]).unwrap();
+        let platform = PlatformBuilder::new()
+            .identical_processors(4, 2.0, proc_rate)
+            .bandwidth(1.0)
+            .link_failure_rate(link_rate)
+            .max_replication(2)
+            .build()
+            .unwrap();
+        let mapping = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, vec![0, 1]),
+                MappedInterval::new(Interval { first: 2, last: 2 }, vec![2, 3]),
+            ],
+            &chain,
+            &platform,
+        )
+        .unwrap();
+        (chain, platform, mapping)
+    }
+
+    #[test]
+    fn perfect_hardware_always_succeeds_with_worst_case_free_latency() {
+        let (c, p, m) = setup(0.0, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let outcome = simulate_dataset(&c, &p, &m, &mut rng);
+            assert!(outcome.success);
+            // Latency = 30/2 + 6/1 + 30/2 = 36 on this homogeneous platform.
+            assert!((outcome.latency.unwrap() - 36.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn certain_failures_always_fail() {
+        let (c, p, m) = setup(1e6, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let outcome = simulate_dataset(&c, &p, &m, &mut rng);
+        assert!(!outcome.success);
+        assert!(outcome.latency.is_none());
+    }
+
+    #[test]
+    fn latency_can_exist_even_when_communication_fails() {
+        // Links always fail, processors never: the data set is lost (success
+        // = false) but the Eq. 3 latency is still defined.
+        let (c, p, m) = setup(0.0, 1e6);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let outcome = simulate_dataset(&c, &p, &m, &mut rng);
+        assert!(!outcome.success);
+        assert!(outcome.latency.is_some());
+    }
+
+    #[test]
+    fn success_rate_is_between_all_and_nothing_for_moderate_rates() {
+        let (c, p, m) = setup(0.02, 0.01);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let trials = 5000;
+        let successes =
+            (0..trials).filter(|_| simulate_dataset(&c, &p, &m, &mut rng).success).count();
+        assert!(successes > 0 && successes < trials);
+    }
+}

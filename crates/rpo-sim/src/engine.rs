@@ -1,0 +1,145 @@
+//! A minimal discrete-event engine: a time-ordered event queue with stable
+//! FIFO ordering of simultaneous events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event<P> {
+    /// Time at which the event fires.
+    pub time: f64,
+    /// Monotonically increasing sequence number (breaks ties FIFO).
+    pub sequence: u64,
+    /// User payload.
+    pub payload: P,
+}
+
+impl<P> Eq for Event<P> where P: PartialEq {}
+
+impl<P: PartialEq> PartialOrd for Event<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P: PartialEq> Ord for Event<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest event pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must not be NaN")
+            .then(other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// A time-ordered queue of events.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<P: PartialEq> {
+    heap: BinaryHeap<Event<P>>,
+    next_sequence: u64,
+    now: f64,
+}
+
+impl<P: PartialEq> EventQueue<P> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_sequence: 0, now: 0.0 }
+    }
+
+    /// Current simulated time (the time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or lies in the past of the current simulated
+    /// time (events may not be scheduled retroactively).
+    pub fn schedule(&mut self, time: f64, payload: P) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule an event at {time} before the current time {}",
+            self.now
+        );
+        let event = Event { time, sequence: self.next_sequence, payload };
+        self.next_sequence += 1;
+        self.heap.push(event);
+    }
+
+    /// Schedules `payload` after a delay relative to the current time.
+    pub fn schedule_after(&mut self, delay: f64, payload: P) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest pending event and advances the simulated clock.
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        let event = self.heap.pop()?;
+        self.now = event.time;
+        Some(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        q.schedule(1.0, "third");
+        assert_eq!(q.pop().unwrap().payload, "first");
+        assert_eq!(q.pop().unwrap().payload, "second");
+        assert_eq!(q.pop().unwrap().payload, "third");
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(5.0, ());
+        q.schedule_after(2.0, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().time, 2.0);
+        assert_eq!(q.now(), 2.0);
+        q.schedule_after(10.0, ());
+        assert_eq!(q.pop().unwrap().time, 5.0);
+        assert_eq!(q.pop().unwrap().time, 12.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+}

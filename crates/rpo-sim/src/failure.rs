@@ -1,0 +1,105 @@
+//! Transient-failure sampling under the Shatz–Wang model.
+//!
+//! Failures arrive as a Poisson process of constant rate `λ` per time unit
+//! and are transient ("hot" model): a failure only affects the operation
+//! currently executing on the faulty component. The probability that an
+//! operation of duration `d` is hit by at least one failure is therefore
+//! `1 − e^{−λ d}`.
+
+use rand::Rng;
+
+/// Failure sampling for one hardware component (processor or link).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Failure rate `λ` per time unit (non-negative).
+    pub rate: f64,
+}
+
+impl FailureModel {
+    /// Creates a failure model with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative or not finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "failure rate must be finite and non-negative");
+        FailureModel { rate }
+    }
+
+    /// Probability that an operation of duration `duration` fails.
+    pub fn failure_probability(&self, duration: f64) -> f64 {
+        1.0 - (-self.rate * duration).exp()
+    }
+
+    /// Samples whether an operation of duration `duration` fails.
+    pub fn operation_fails<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> bool {
+        if self.rate == 0.0 || duration <= 0.0 {
+            return false;
+        }
+        rng.gen::<f64>() < self.failure_probability(duration)
+    }
+
+    /// Samples the time to the next failure (exponential with rate `λ`).
+    /// Returns `f64::INFINITY` for a zero rate.
+    pub fn sample_time_to_failure<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.rate == 0.0 {
+            return f64::INFINITY;
+        }
+        // Inverse-transform sampling; `1 - u` avoids ln(0).
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn failure_probability_matches_closed_form() {
+        let m = FailureModel::new(0.01);
+        assert!((m.failure_probability(10.0) - (1.0 - (-0.1f64).exp())).abs() < 1e-15);
+        assert_eq!(FailureModel::new(0.0).failure_probability(100.0), 0.0);
+    }
+
+    #[test]
+    fn zero_rate_or_zero_duration_never_fails() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(!FailureModel::new(0.0).operation_fails(100.0, &mut rng));
+        assert!(!FailureModel::new(1.0).operation_fails(0.0, &mut rng));
+    }
+
+    #[test]
+    fn empirical_failure_rate_matches_probability() {
+        let m = FailureModel::new(0.02);
+        let duration = 15.0; // failure probability ≈ 0.259
+        let expected = m.failure_probability(duration);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let trials = 200_000;
+        let failures = (0..trials).filter(|_| m.operation_fails(duration, &mut rng)).count();
+        let empirical = failures as f64 / trials as f64;
+        assert!(
+            (empirical - expected).abs() < 5e-3,
+            "empirical {empirical} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn time_to_failure_has_exponential_mean() {
+        let m = FailureModel::new(0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let samples = 200_000;
+        let mean: f64 =
+            (0..samples).map(|_| m.sample_time_to_failure(&mut rng)).sum::<f64>() / samples as f64;
+        assert!((mean - 2.0).abs() < 0.03, "mean {mean} should be close to 1/λ = 2");
+        assert_eq!(FailureModel::new(0.0).sample_time_to_failure(&mut rng), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure rate must be finite and non-negative")]
+    fn negative_rate_panics() {
+        FailureModel::new(-1.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Parallel Monte-Carlo estimation of the reliability, latency and period of
+//! a mapping, validating the closed forms of Eqs. (3), (5), (6) and (9).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use rpo_model::{Mapping, Platform, TaskChain};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::simulate_dataset;
+use crate::pipeline::{simulate_pipeline, PipelineConfig};
+
+/// Configuration of a Monte-Carlo estimation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Number of independent data sets to simulate.
+    pub num_datasets: usize,
+    /// Base seed of the reproducible random streams.
+    pub seed: u64,
+    /// Number of data sets per parallel work chunk.
+    pub chunk_size: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig { num_datasets: 100_000, seed: 0xC0FFEE, chunk_size: 4096 }
+    }
+}
+
+/// Aggregated Monte-Carlo estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloEstimate {
+    /// Number of simulated data sets.
+    pub datasets: usize,
+    /// Number of data sets processed successfully (Eq. 9 event).
+    pub successes: usize,
+    /// Estimated reliability (`successes / datasets`).
+    pub reliability: f64,
+    /// Mean latency over the data sets for which the Eq. 3 latency is defined.
+    pub mean_latency: f64,
+    /// Achieved steady-state period measured by the pipelined discrete-event
+    /// simulation (see [`crate::pipeline`]).
+    pub achieved_period: f64,
+}
+
+impl MonteCarloEstimate {
+    /// Half-width of the 95% confidence interval on the reliability estimate
+    /// (normal approximation of the binomial).
+    pub fn reliability_confidence95(&self) -> f64 {
+        let p = self.reliability;
+        1.96 * (p * (1.0 - p) / self.datasets as f64).sqrt()
+    }
+}
+
+/// Runs the Monte-Carlo estimation: per-data-set failure injection in
+/// parallel (Rayon) for reliability and latency, plus one pipelined
+/// discrete-event run for the achieved period.
+pub fn monte_carlo(
+    chain: &TaskChain,
+    platform: &Platform,
+    mapping: &Mapping,
+    config: &MonteCarloConfig,
+) -> MonteCarloEstimate {
+    assert!(config.num_datasets > 0, "at least one data set must be simulated");
+    let chunk = config.chunk_size.max(1);
+    let num_chunks = config.num_datasets.div_ceil(chunk);
+
+    let (successes, latency_sum, latency_count) = (0..num_chunks)
+        .into_par_iter()
+        .map(|chunk_index| {
+            // One independent, reproducible stream per chunk.
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(chunk_index as u64));
+            let start = chunk_index * chunk;
+            let count = chunk.min(config.num_datasets - start);
+            let mut successes = 0usize;
+            let mut latency_sum = 0.0f64;
+            let mut latency_count = 0usize;
+            for _ in 0..count {
+                let outcome = simulate_dataset(chain, platform, mapping, &mut rng);
+                if outcome.success {
+                    successes += 1;
+                }
+                if let Some(latency) = outcome.latency {
+                    latency_sum += latency;
+                    latency_count += 1;
+                }
+            }
+            (successes, latency_sum, latency_count)
+        })
+        .reduce(|| (0, 0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2));
+
+    let pipeline = simulate_pipeline(
+        chain,
+        platform,
+        mapping,
+        &PipelineConfig {
+            num_datasets: 2_000.min(config.num_datasets.max(100)),
+            seed: config.seed ^ 0x9E37_79B9,
+            input_period: None,
+        },
+    );
+
+    MonteCarloEstimate {
+        datasets: config.num_datasets,
+        successes,
+        reliability: successes as f64 / config.num_datasets as f64,
+        mean_latency: if latency_count == 0 { f64::NAN } else { latency_sum / latency_count as f64 },
+        achieved_period: pipeline.achieved_period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpo_model::{Interval, MappedInterval, MappingEvaluation, PlatformBuilder};
+
+    /// A mapping with failure rates large enough that the failure probability
+    /// is measurable with a reasonable number of samples.
+    fn setup() -> (TaskChain, Platform, Mapping) {
+        let chain =
+            TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (30.0, 4.0), (15.0, 3.0)]).unwrap();
+        let platform = PlatformBuilder::new()
+            .processor(2.0, 4e-3)
+            .processor(1.0, 2e-3)
+            .processor(3.0, 6e-3)
+            .processor(1.5, 3e-3)
+            .processor(2.5, 5e-3)
+            .bandwidth(1.0)
+            .link_failure_rate(2e-3)
+            .max_replication(3)
+            .build()
+            .unwrap();
+        let mapping = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, vec![0, 1]),
+                MappedInterval::new(Interval { first: 2, last: 3 }, vec![2, 3, 4]),
+            ],
+            &chain,
+            &platform,
+        )
+        .unwrap();
+        (chain, platform, mapping)
+    }
+
+    #[test]
+    fn reliability_estimate_matches_closed_form() {
+        let (c, p, m) = setup();
+        let analytic = MappingEvaluation::evaluate(&c, &p, &m);
+        let estimate = monte_carlo(
+            &c,
+            &p,
+            &m,
+            &MonteCarloConfig { num_datasets: 120_000, seed: 11, chunk_size: 8192 },
+        );
+        let tolerance = 3.0 * estimate.reliability_confidence95().max(1e-3);
+        assert!(
+            (estimate.reliability - analytic.reliability).abs() < tolerance,
+            "simulated {} vs analytic {} (tolerance {tolerance})",
+            estimate.reliability,
+            analytic.reliability
+        );
+    }
+
+    #[test]
+    fn latency_estimate_matches_expected_latency() {
+        let (c, p, m) = setup();
+        let analytic = MappingEvaluation::evaluate(&c, &p, &m);
+        let estimate = monte_carlo(
+            &c,
+            &p,
+            &m,
+            &MonteCarloConfig { num_datasets: 60_000, seed: 12, chunk_size: 4096 },
+        );
+        let relative_error =
+            (estimate.mean_latency - analytic.expected_latency).abs() / analytic.expected_latency;
+        assert!(
+            relative_error < 0.02,
+            "simulated {} vs analytic {} ({}%)",
+            estimate.mean_latency,
+            analytic.expected_latency,
+            relative_error * 100.0
+        );
+    }
+
+    #[test]
+    fn achieved_period_matches_expected_period() {
+        let (c, p, m) = setup();
+        let analytic = MappingEvaluation::evaluate(&c, &p, &m);
+        let estimate = monte_carlo(
+            &c,
+            &p,
+            &m,
+            &MonteCarloConfig { num_datasets: 2_000, seed: 13, chunk_size: 1024 },
+        );
+        let relative_error =
+            (estimate.achieved_period - analytic.expected_period).abs() / analytic.expected_period;
+        assert!(
+            relative_error < 0.05,
+            "simulated period {} vs analytic {} ({}%)",
+            estimate.achieved_period,
+            analytic.expected_period,
+            relative_error * 100.0
+        );
+    }
+
+    #[test]
+    fn estimation_is_reproducible_for_a_seed() {
+        let (c, p, m) = setup();
+        let config = MonteCarloConfig { num_datasets: 20_000, seed: 5, chunk_size: 2048 };
+        let a = monte_carlo(&c, &p, &m, &config);
+        let b = monte_carlo(&c, &p, &m, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perfect_platform_gives_reliability_one() {
+        let chain = TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0)]).unwrap();
+        let platform = PlatformBuilder::new()
+            .identical_processors(2, 1.0, 0.0)
+            .bandwidth(1.0)
+            .link_failure_rate(0.0)
+            .max_replication(1)
+            .build()
+            .unwrap();
+        let mapping = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 0 }, vec![0]),
+                MappedInterval::new(Interval { first: 1, last: 1 }, vec![1]),
+            ],
+            &chain,
+            &platform,
+        )
+        .unwrap();
+        let estimate = monte_carlo(
+            &chain,
+            &platform,
+            &mapping,
+            &MonteCarloConfig { num_datasets: 1_000, seed: 1, chunk_size: 100 },
+        );
+        assert_eq!(estimate.reliability, 1.0);
+        assert_eq!(estimate.reliability_confidence95(), 0.0);
+    }
+}

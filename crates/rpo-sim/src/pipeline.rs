@@ -1,0 +1,287 @@
+//! Event-driven simulation of the pipelined execution of a stream of data
+//! sets through the replicated interval mapping.
+//!
+//! Each interval is a pipeline *stage* that processes data sets in order, one
+//! at a time. Communications are overlapped with computations (Section 2.2):
+//! once a stage finishes a data set it immediately becomes available for the
+//! next one, while the result travels to the next stage for one communication
+//! time. The service time of a stage for a given data set is the computation
+//! time of the fastest replica whose computation survived its transient
+//! failures (the Eq. 3 semantics); if every replica fails, the worst-case
+//! time is charged.
+//!
+//! With data sets injected as fast as possible, the measured steady-state
+//! inter-completion time converges to the expected period of Eq. (6); with a
+//! fixed input period `P ≥ EP`, the mean flow time converges to the expected
+//! latency of Eq. (5).
+
+use std::collections::VecDeque;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rpo_model::{Mapping, Platform, TaskChain};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::EventQueue;
+use crate::failure::FailureModel;
+
+/// Configuration of a pipelined simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Number of data sets pushed through the pipeline.
+    pub num_datasets: usize,
+    /// Seed of the failure-injection stream.
+    pub seed: u64,
+    /// Input period between consecutive data sets; `None` injects all data
+    /// sets at time 0 (saturation, for throughput measurement).
+    pub input_period: Option<f64>,
+}
+
+/// Measurements of a pipelined simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Number of data sets that traversed the pipeline.
+    pub datasets: usize,
+    /// Steady-state average time between consecutive completions (the warm-up
+    /// first 20% of completions is discarded).
+    pub achieved_period: f64,
+    /// Mean flow time (completion − arrival) over all data sets.
+    pub mean_flow_time: f64,
+    /// Completion time of the last data set (makespan of the run).
+    pub makespan: f64,
+}
+
+#[derive(Debug, PartialEq)]
+enum SimEvent {
+    /// Data set `dataset` becomes available at stage `stage`.
+    Arrive { stage: usize, dataset: usize },
+    /// Stage `stage` finishes processing data set `dataset`.
+    Finish { stage: usize, dataset: usize },
+}
+
+struct Stage {
+    busy: bool,
+    ready: VecDeque<usize>,
+}
+
+/// Runs the pipelined discrete-event simulation.
+pub fn simulate_pipeline(
+    chain: &TaskChain,
+    platform: &Platform,
+    mapping: &Mapping,
+    config: &PipelineConfig,
+) -> PipelineReport {
+    assert!(config.num_datasets > 0, "at least one data set must be simulated");
+    let num_stages = mapping.num_intervals();
+    let num_datasets = config.num_datasets;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // Pre-compute per-stage constants.
+    let comm_times: Vec<f64> = mapping
+        .intervals()
+        .iter()
+        .map(|mi| platform.comm_time(mi.interval.output_size(chain)))
+        .collect();
+    let worst_case: Vec<f64> = mapping
+        .intervals()
+        .iter()
+        .map(|mi| {
+            let slowest =
+                mi.processors.iter().map(|&u| platform.speed(u)).fold(f64::INFINITY, f64::min);
+            mi.interval.work(chain) / slowest
+        })
+        .collect();
+
+    // Sample the service time of one stage for one data set: the fastest
+    // replica whose computation survives, or the worst case if none does.
+    let sample_service = |stage: usize, rng: &mut ChaCha8Rng| -> f64 {
+        let mi = mapping.interval(stage);
+        let work = mi.interval.work(chain);
+        let mut best: Option<f64> = None;
+        for &u in &mi.processors {
+            let duration = work / platform.speed(u);
+            let failures = FailureModel::new(platform.failure_rate(u));
+            if !failures.operation_fails(duration, rng) {
+                best = Some(best.map_or(duration, |b: f64| b.min(duration)));
+            }
+        }
+        best.unwrap_or(worst_case[stage])
+    };
+
+    let mut queue: EventQueue<SimEvent> = EventQueue::new();
+    let mut stages: Vec<Stage> =
+        (0..num_stages).map(|_| Stage { busy: false, ready: VecDeque::new() }).collect();
+    let mut arrivals = vec![0.0f64; num_datasets];
+    let mut completions = vec![f64::NAN; num_datasets];
+
+    for dataset in 0..num_datasets {
+        let arrival = config.input_period.map_or(0.0, |period| dataset as f64 * period);
+        arrivals[dataset] = arrival;
+        queue.schedule(arrival, SimEvent::Arrive { stage: 0, dataset });
+    }
+
+    while let Some(event) = queue.pop() {
+        let now = event.time;
+        match event.payload {
+            SimEvent::Arrive { stage, dataset } => {
+                stages[stage].ready.push_back(dataset);
+                if !stages[stage].busy {
+                    let next = stages[stage].ready.pop_front().expect("just pushed");
+                    stages[stage].busy = true;
+                    let service = sample_service(stage, &mut rng);
+                    queue.schedule(now + service, SimEvent::Finish { stage, dataset: next });
+                }
+            }
+            SimEvent::Finish { stage, dataset } => {
+                if stage + 1 < num_stages {
+                    queue.schedule(
+                        now + comm_times[stage],
+                        SimEvent::Arrive { stage: stage + 1, dataset },
+                    );
+                } else {
+                    completions[dataset] = now;
+                }
+                stages[stage].busy = false;
+                if let Some(next) = stages[stage].ready.pop_front() {
+                    stages[stage].busy = true;
+                    let service = sample_service(stage, &mut rng);
+                    queue.schedule(now + service, SimEvent::Finish { stage, dataset: next });
+                }
+            }
+        }
+    }
+
+    debug_assert!(completions.iter().all(|c| c.is_finite()), "every data set must complete");
+
+    // Steady-state period: ignore the first 20% of completions as warm-up.
+    let warmup = num_datasets / 5;
+    let achieved_period = if num_datasets - warmup >= 2 {
+        (completions[num_datasets - 1] - completions[warmup])
+            / (num_datasets - 1 - warmup) as f64
+    } else {
+        completions[num_datasets - 1]
+    };
+    let mean_flow_time = completions
+        .iter()
+        .zip(&arrivals)
+        .map(|(c, a)| c - a)
+        .sum::<f64>()
+        / num_datasets as f64;
+
+    PipelineReport {
+        datasets: num_datasets,
+        achieved_period,
+        mean_flow_time,
+        makespan: completions[num_datasets - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpo_model::{Interval, MappedInterval, MappingEvaluation, PlatformBuilder};
+
+    fn setup(failure_rate: f64) -> (TaskChain, Platform, Mapping) {
+        let chain =
+            TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (30.0, 4.0), (15.0, 3.0)]).unwrap();
+        let platform = PlatformBuilder::new()
+            .processor(2.0, failure_rate)
+            .processor(1.0, failure_rate)
+            .processor(3.0, failure_rate)
+            .processor(1.5, failure_rate)
+            .bandwidth(1.0)
+            .link_failure_rate(0.0)
+            .max_replication(2)
+            .build()
+            .unwrap();
+        let mapping = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, vec![0, 1]),
+                MappedInterval::new(Interval { first: 2, last: 3 }, vec![2, 3]),
+            ],
+            &chain,
+            &platform,
+        )
+        .unwrap();
+        (chain, platform, mapping)
+    }
+
+    #[test]
+    fn failure_free_saturated_period_is_the_bottleneck_stage_time() {
+        let (c, p, m) = setup(0.0);
+        let report = simulate_pipeline(
+            &c,
+            &p,
+            &m,
+            &PipelineConfig { num_datasets: 500, seed: 1, input_period: None },
+        );
+        // Stage costs: fastest replica always succeeds -> 30/2 = 15 and 45/3 = 15.
+        assert!((report.achieved_period - 15.0).abs() < 1e-9);
+        assert!(report.makespan >= 15.0 * 500.0 - 1e-6);
+    }
+
+    #[test]
+    fn failure_free_latency_with_slow_input_matches_expected_latency() {
+        let (c, p, m) = setup(0.0);
+        let analytic = MappingEvaluation::evaluate(&c, &p, &m);
+        let report = simulate_pipeline(
+            &c,
+            &p,
+            &m,
+            &PipelineConfig { num_datasets: 200, seed: 2, input_period: Some(100.0) },
+        );
+        // With an input period far above the bottleneck there is no queueing:
+        // flow time = expected latency (failure-free: fastest replica wins).
+        assert!(
+            (report.mean_flow_time - analytic.expected_latency).abs()
+                < 1e-9 + analytic.expected_latency * 1e-9,
+            "flow time {} vs expected latency {}",
+            report.mean_flow_time,
+            analytic.expected_latency
+        );
+    }
+
+    #[test]
+    fn saturated_period_with_failures_approaches_expected_period() {
+        let (c, p, m) = setup(0.01);
+        let analytic = MappingEvaluation::evaluate(&c, &p, &m);
+        let report = simulate_pipeline(
+            &c,
+            &p,
+            &m,
+            &PipelineConfig { num_datasets: 4_000, seed: 3, input_period: None },
+        );
+        let relative = (report.achieved_period - analytic.expected_period).abs()
+            / analytic.expected_period;
+        assert!(
+            relative < 0.05,
+            "simulated {} vs analytic {} ({}%)",
+            report.achieved_period,
+            analytic.expected_period,
+            relative * 100.0
+        );
+    }
+
+    #[test]
+    fn input_period_throttles_the_pipeline() {
+        let (c, p, m) = setup(0.0);
+        let report = simulate_pipeline(
+            &c,
+            &p,
+            &m,
+            &PipelineConfig { num_datasets: 300, seed: 4, input_period: Some(40.0) },
+        );
+        // Completions are spaced by the (slower) input period, not the stage time.
+        assert!((report.achieved_period - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reproducible_for_a_seed() {
+        let (c, p, m) = setup(0.02);
+        let config = PipelineConfig { num_datasets: 500, seed: 9, input_period: None };
+        assert_eq!(
+            simulate_pipeline(&c, &p, &m, &config),
+            simulate_pipeline(&c, &p, &m, &config)
+        );
+    }
+}

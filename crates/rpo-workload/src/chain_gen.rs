@@ -1,0 +1,97 @@
+//! Random task-chain generation.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rpo_model::{Task, TaskChain};
+use serde::{Deserialize, Serialize};
+
+/// Specification of a random task chain: number of tasks and the uniform
+/// ranges from which computation and communication costs are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainSpec {
+    /// Number of tasks `n`.
+    pub num_tasks: usize,
+    /// Range `[min, max]` of the computation costs `w_i`.
+    pub work_range: (f64, f64),
+    /// Range `[min, max]` of the communication costs `o_i`.
+    pub output_range: (f64, f64),
+}
+
+impl ChainSpec {
+    /// The paper's experimental setup: 15 tasks, `w_i ∈ [1, 100]`,
+    /// `o_i ∈ [1, 10]`.
+    pub fn paper() -> Self {
+        ChainSpec { num_tasks: 15, work_range: (1.0, 100.0), output_range: (1.0, 10.0) }
+    }
+
+    /// Same distribution with a different chain length.
+    pub fn paper_with_tasks(num_tasks: usize) -> Self {
+        ChainSpec { num_tasks, ..Self::paper() }
+    }
+
+    /// Draws a chain from the specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is degenerate (no task, empty ranges or
+    /// non-positive work lower bound).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> TaskChain {
+        assert!(self.num_tasks > 0, "a chain needs at least one task");
+        assert!(
+            self.work_range.0 > 0.0 && self.work_range.1 >= self.work_range.0,
+            "invalid work range"
+        );
+        assert!(
+            self.output_range.0 >= 0.0 && self.output_range.1 >= self.output_range.0,
+            "invalid output range"
+        );
+        let work = Uniform::new_inclusive(self.work_range.0, self.work_range.1);
+        let output = Uniform::new_inclusive(self.output_range.0, self.output_range.1);
+        let tasks: Vec<Task> = (0..self.num_tasks)
+            .map(|_| Task::new(work.sample(rng), output.sample(rng)))
+            .collect();
+        TaskChain::new(tasks).expect("generated costs are within valid ranges")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_spec_produces_costs_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let chain = ChainSpec::paper().generate(&mut rng);
+        assert_eq!(chain.len(), 15);
+        for task in chain.tasks() {
+            assert!((1.0..=100.0).contains(&task.work));
+            assert!((1.0..=10.0).contains(&task.output_size));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = ChainSpec::paper().generate(&mut ChaCha8Rng::seed_from_u64(7));
+        let b = ChainSpec::paper().generate(&mut ChaCha8Rng::seed_from_u64(7));
+        let c = ChainSpec::paper().generate(&mut ChaCha8Rng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn custom_length() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let chain = ChainSpec::paper_with_tasks(6).generate(&mut rng);
+        assert_eq!(chain.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid work range")]
+    fn degenerate_spec_panics() {
+        let spec = ChainSpec { num_tasks: 3, work_range: (0.0, 10.0), output_range: (1.0, 2.0) };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        spec.generate(&mut rng);
+    }
+}

@@ -1,0 +1,119 @@
+//! Complete experiment instances (chain + platforms), generated in batches.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rpo_model::{Platform, TaskChain};
+use serde::{Deserialize, Serialize};
+
+use crate::{ChainSpec, HeterogeneousPlatformSpec, HomogeneousPlatformSpec};
+
+/// One experiment instance, as used in Section 8: a random chain together
+/// with a homogeneous platform and a heterogeneous platform (the paper's
+/// heterogeneous experiments run the same chain on both and compare).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentInstance {
+    /// Index of the instance within its batch.
+    pub index: usize,
+    /// The task chain.
+    pub chain: TaskChain,
+    /// The homogeneous platform.
+    pub homogeneous: Platform,
+    /// The heterogeneous platform.
+    pub heterogeneous: Platform,
+}
+
+/// Deterministic generator of experiment instances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceGenerator {
+    /// Chain specification.
+    pub chain: ChainSpec,
+    /// Homogeneous platform specification.
+    pub homogeneous: HomogeneousPlatformSpec,
+    /// Heterogeneous platform specification.
+    pub heterogeneous: HeterogeneousPlatformSpec,
+    /// Base seed; instance `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl InstanceGenerator {
+    /// The setup of the homogeneous experiments (Figures 6–11): speed-1
+    /// homogeneous platform.
+    pub fn paper_homogeneous(base_seed: u64) -> Self {
+        InstanceGenerator {
+            chain: ChainSpec::paper(),
+            homogeneous: HomogeneousPlatformSpec::paper(),
+            heterogeneous: HeterogeneousPlatformSpec::paper(),
+            base_seed,
+        }
+    }
+
+    /// The setup of the heterogeneous experiments (Figures 12–15): the
+    /// homogeneous comparison platform has speed 5.
+    pub fn paper_heterogeneous(base_seed: u64) -> Self {
+        InstanceGenerator {
+            chain: ChainSpec::paper(),
+            homogeneous: HomogeneousPlatformSpec::paper_speed5(),
+            heterogeneous: HeterogeneousPlatformSpec::paper(),
+            base_seed,
+        }
+    }
+
+    /// Generates the `index`-th instance (deterministic in `base_seed` and
+    /// `index`).
+    pub fn instance(&self, index: usize) -> ExperimentInstance {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.base_seed.wrapping_add(index as u64));
+        let chain = self.chain.generate(&mut rng);
+        let heterogeneous = self.heterogeneous.generate(&mut rng);
+        ExperimentInstance {
+            index,
+            chain,
+            homogeneous: self.homogeneous.build(),
+            heterogeneous,
+        }
+    }
+
+    /// Generates a batch of `count` instances.
+    pub fn batch(&self, count: usize) -> Vec<ExperimentInstance> {
+        (0..count).map(|i| self.instance(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_has_requested_size_and_distinct_chains() {
+        let generator = InstanceGenerator::paper_homogeneous(2024);
+        let batch = generator.batch(10);
+        assert_eq!(batch.len(), 10);
+        for (i, instance) in batch.iter().enumerate() {
+            assert_eq!(instance.index, i);
+            assert_eq!(instance.chain.len(), 15);
+            assert!(instance.homogeneous.is_homogeneous());
+        }
+        assert_ne!(batch[0].chain, batch[1].chain);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = InstanceGenerator::paper_homogeneous(7).instance(3);
+        let b = InstanceGenerator::paper_homogeneous(7).instance(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heterogeneous_setup_uses_speed5_homogeneous_platform() {
+        let generator = InstanceGenerator::paper_heterogeneous(1);
+        let instance = generator.instance(0);
+        assert_eq!(instance.homogeneous.speed(0), 5.0);
+        assert!(!instance.heterogeneous.is_homogeneous());
+    }
+
+    #[test]
+    fn different_seeds_give_different_instances() {
+        let a = InstanceGenerator::paper_homogeneous(1).instance(0);
+        let b = InstanceGenerator::paper_homogeneous(2).instance(0);
+        assert_ne!(a.chain, b.chain);
+    }
+}

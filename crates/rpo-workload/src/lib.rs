@@ -1,0 +1,24 @@
+//! Seeded random workload and platform generators matching the experimental
+//! setup of Section 8 of the paper.
+//!
+//! The paper generates 100 random instances per experiment, each with a chain
+//! of 15 tasks (computation costs uniform in `[1, 100]`, communication costs
+//! uniform in `[1, 10]`) and a platform of 10 processors with `K = 3`:
+//!
+//! * homogeneous experiments: speed 1 (or speed 5 for the comparison runs of
+//!   Figures 12–15), `λ_p = 10⁻⁸`, `λ_ℓ = 10⁻⁵`, bandwidth 1;
+//! * heterogeneous experiments: speeds uniform in `[1, 100]`, `λ_p = 10⁻⁸`.
+//!
+//! All generators are deterministic given a seed (ChaCha8), so every figure,
+//! test and benchmark of this repository is reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chain_gen;
+pub mod instance;
+pub mod platform_gen;
+
+pub use chain_gen::ChainSpec;
+pub use instance::{ExperimentInstance, InstanceGenerator};
+pub use platform_gen::{HeterogeneousPlatformSpec, HomogeneousPlatformSpec};

@@ -1,0 +1,158 @@
+//! Random platform generation (homogeneous and heterogeneous).
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rpo_model::{Platform, Processor};
+use serde::{Deserialize, Serialize};
+
+/// Specification of a fully homogeneous platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HomogeneousPlatformSpec {
+    /// Number of processors `p`.
+    pub num_processors: usize,
+    /// Common processor speed `s`.
+    pub speed: f64,
+    /// Common processor failure rate `λ_p` per time unit.
+    pub failure_rate: f64,
+    /// Link bandwidth `b`.
+    pub bandwidth: f64,
+    /// Link failure rate `λ_ℓ` per time unit.
+    pub link_failure_rate: f64,
+    /// Replication bound `K`.
+    pub max_replication: usize,
+}
+
+impl HomogeneousPlatformSpec {
+    /// The paper's homogeneous setup: 10 processors, speed 1, `λ_p = 10⁻⁸`,
+    /// bandwidth 1, `λ_ℓ = 10⁻⁵`, `K = 3`.
+    pub fn paper() -> Self {
+        HomogeneousPlatformSpec {
+            num_processors: 10,
+            speed: 1.0,
+            failure_rate: 1e-8,
+            bandwidth: 1.0,
+            link_failure_rate: 1e-5,
+            max_replication: 3,
+        }
+    }
+
+    /// The speed-5 homogeneous platform used as the comparison point of the
+    /// heterogeneous experiments (Figures 12–15).
+    pub fn paper_speed5() -> Self {
+        HomogeneousPlatformSpec { speed: 5.0, ..Self::paper() }
+    }
+
+    /// Builds the platform (no randomness involved).
+    pub fn build(&self) -> Platform {
+        Platform::homogeneous(
+            self.num_processors,
+            self.speed,
+            self.failure_rate,
+            self.bandwidth,
+            self.link_failure_rate,
+            self.max_replication,
+        )
+        .expect("specification values are valid")
+    }
+}
+
+/// Specification of a heterogeneous platform with uniformly drawn speeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneousPlatformSpec {
+    /// Number of processors `p`.
+    pub num_processors: usize,
+    /// Range `[min, max]` of processor speeds.
+    pub speed_range: (f64, f64),
+    /// Common processor failure rate `λ_p` per time unit.
+    pub failure_rate: f64,
+    /// Link bandwidth `b`.
+    pub bandwidth: f64,
+    /// Link failure rate `λ_ℓ` per time unit.
+    pub link_failure_rate: f64,
+    /// Replication bound `K`.
+    pub max_replication: usize,
+}
+
+impl HeterogeneousPlatformSpec {
+    /// The paper's heterogeneous setup: 10 processors, speeds uniform in
+    /// `[1, 100]`, `λ_p = 10⁻⁸`, bandwidth 1, `λ_ℓ = 10⁻⁵`, `K = 3`.
+    pub fn paper() -> Self {
+        HeterogeneousPlatformSpec {
+            num_processors: 10,
+            speed_range: (1.0, 100.0),
+            failure_rate: 1e-8,
+            bandwidth: 1.0,
+            link_failure_rate: 1e-5,
+            max_replication: 3,
+        }
+    }
+
+    /// Draws a platform from the specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is degenerate.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Platform {
+        assert!(self.num_processors > 0, "a platform needs at least one processor");
+        assert!(
+            self.speed_range.0 > 0.0 && self.speed_range.1 >= self.speed_range.0,
+            "invalid speed range"
+        );
+        let speed = Uniform::new_inclusive(self.speed_range.0, self.speed_range.1);
+        let processors: Vec<Processor> = (0..self.num_processors)
+            .map(|_| Processor::new(speed.sample(rng), self.failure_rate))
+            .collect();
+        Platform::new(
+            processors,
+            self.bandwidth,
+            self.link_failure_rate,
+            self.max_replication,
+        )
+        .expect("specification values are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_homogeneous_platform() {
+        let p = HomogeneousPlatformSpec::paper().build();
+        assert_eq!(p.num_processors(), 10);
+        assert!(p.is_homogeneous());
+        assert_eq!(p.speed(0), 1.0);
+        assert_eq!(p.failure_rate(0), 1e-8);
+        assert_eq!(p.link_failure_rate(), 1e-5);
+        assert_eq!(p.max_replication(), 3);
+        let p5 = HomogeneousPlatformSpec::paper_speed5().build();
+        assert_eq!(p5.speed(3), 5.0);
+    }
+
+    #[test]
+    fn paper_heterogeneous_platform_speeds_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = HeterogeneousPlatformSpec::paper().generate(&mut rng);
+        assert_eq!(p.num_processors(), 10);
+        for proc in p.processors() {
+            assert!((1.0..=100.0).contains(&proc.speed));
+            assert_eq!(proc.failure_rate, 1e-8);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_generation_is_deterministic() {
+        let a = HeterogeneousPlatformSpec::paper().generate(&mut ChaCha8Rng::seed_from_u64(5));
+        let b = HeterogeneousPlatformSpec::paper().generate(&mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed range")]
+    fn degenerate_speed_range_panics() {
+        let spec = HeterogeneousPlatformSpec { speed_range: (5.0, 1.0), ..HeterogeneousPlatformSpec::paper() };
+        spec.generate(&mut ChaCha8Rng::seed_from_u64(1));
+    }
+}
