@@ -33,8 +33,11 @@ pub(crate) fn replicated_homogeneous_reliability(
     interval: Interval,
     q: usize,
 ) -> f64 {
-    let input_size =
-        if interval.first == 0 { 0.0 } else { chain.output_size(interval.first - 1) };
+    let input_size = if interval.first == 0 {
+        0.0
+    } else {
+        chain.output_size(interval.first - 1)
+    };
     let block = reliability::replica_block_reliability(
         chain,
         platform,
@@ -66,7 +69,10 @@ pub(crate) fn reliability_dp(
 
     for i in 1..=n {
         for j in 0..i {
-            let interval = Interval { first: j, last: i - 1 };
+            let interval = Interval {
+                first: j,
+                last: i - 1,
+            };
             if !admissible(interval) {
                 continue;
             }
@@ -119,7 +125,10 @@ pub(crate) fn reliability_dp(
         .collect();
     let mapping = Mapping::new(mapped, chain, platform)
         .expect("dynamic program only builds structurally valid mappings");
-    Some(OptimalMapping { mapping, reliability: best_rel })
+    Some(OptimalMapping {
+        mapping,
+        reliability: best_rel,
+    })
 }
 
 /// Algorithm 1: computes a mapping of maximal reliability on a fully

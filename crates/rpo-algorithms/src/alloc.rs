@@ -87,7 +87,10 @@ pub fn algo_alloc_plan(
     let p = platform.num_processors();
     let k_max = platform.max_replication();
     if p < m {
-        return Err(AlgoError::NotEnoughProcessors { intervals: m, processors: p });
+        return Err(AlgoError::NotEnoughProcessors {
+            intervals: m,
+            processors: p,
+        });
     }
 
     let mut replicas = vec![1usize; m];
@@ -104,11 +107,19 @@ pub fn algo_alloc_plan(
         let candidate = (0..m)
             .filter(|&j| replicas[j] < k_max)
             .map(|j| {
-                let next =
-                    interval_reliability_with(chain, platform, partition.interval(j), replicas[j] + 1);
+                let next = interval_reliability_with(
+                    chain,
+                    platform,
+                    partition.interval(j),
+                    replicas[j] + 1,
+                );
                 (j, next, next / current[j])
             })
-            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite ratios").then(b.0.cmp(&a.0)));
+            .max_by(|a, b| {
+                a.2.partial_cmp(&b.2)
+                    .expect("finite ratios")
+                    .then(b.0.cmp(&a.0))
+            });
         match candidate {
             None => break, // every interval already holds K replicas
             Some((j, next, _)) => {
@@ -137,7 +148,10 @@ pub fn exhaustive_alloc(
     let p = platform.num_processors();
     let k_max = platform.max_replication();
     if p < m {
-        return Err(AlgoError::NotEnoughProcessors { intervals: m, processors: p });
+        return Err(AlgoError::NotEnoughProcessors {
+            intervals: m,
+            processors: p,
+        });
     }
 
     let mut best: Option<(Vec<usize>, f64)> = None;
@@ -151,7 +165,7 @@ pub fn exhaustive_alloc(
                 .zip(&counts)
                 .map(|(&itv, &q)| interval_reliability_with(chain, platform, itv, q))
                 .product();
-            if best.as_ref().map_or(true, |(_, r)| reliability > *r) {
+            if best.as_ref().is_none_or(|(_, r)| reliability > *r) {
                 best = Some((counts.clone(), reliability));
             }
         }
@@ -160,7 +174,8 @@ pub fn exhaustive_alloc(
         loop {
             if idx == m {
                 let (counts, _) = best.expect("the all-ones vector is always feasible");
-                return AllocationPlan { replicas: counts }.into_mapping(partition, chain, platform);
+                return AllocationPlan { replicas: counts }
+                    .into_mapping(partition, chain, platform);
             }
             if counts[idx] < k_max {
                 counts[idx] += 1;
@@ -178,8 +193,14 @@ mod tests {
     use rpo_model::{reliability, MappingEvaluation, PlatformBuilder};
 
     fn chain() -> TaskChain {
-        TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0), (40.0, 3.0), (5.0, 2.0)])
-            .unwrap()
+        TaskChain::from_pairs(&[
+            (30.0, 2.0),
+            (10.0, 8.0),
+            (25.0, 1.0),
+            (40.0, 3.0),
+            (5.0, 2.0),
+        ])
+        .unwrap()
     }
 
     fn platform(p: usize, k: usize) -> Platform {
@@ -225,7 +246,10 @@ mod tests {
         let partition = IntervalPartition::from_cut_points(&[1, 3], 5).unwrap();
         assert_eq!(
             algo_alloc(&c, &p, &partition).unwrap_err(),
-            AlgoError::NotEnoughProcessors { intervals: 3, processors: 2 }
+            AlgoError::NotEnoughProcessors {
+                intervals: 3,
+                processors: 2
+            }
         );
     }
 
@@ -240,7 +264,10 @@ mod tests {
             .build()
             .unwrap();
         let partition = IntervalPartition::from_cut_points(&[1], 5).unwrap();
-        assert_eq!(algo_alloc(&c, &p, &partition).unwrap_err(), AlgoError::HeterogeneousPlatform);
+        assert_eq!(
+            algo_alloc(&c, &p, &partition).unwrap_err(),
+            AlgoError::HeterogeneousPlatform
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ impl AllocationConstraints {
     pub fn allows(&self, interval: Interval, u: ProcessorId) -> bool {
         interval
             .task_indices()
-            .all(|t| self.forbidden.get(t).map_or(true, |list| !list.contains(&u)))
+            .all(|t| self.forbidden.get(t).is_none_or(|list| !list.contains(&u)))
     }
 }
 
@@ -66,8 +66,11 @@ fn interval_set_reliability(
     interval: Interval,
     processors: &[ProcessorId],
 ) -> f64 {
-    let input_size =
-        if interval.first == 0 { 0.0 } else { chain.output_size(interval.first - 1) };
+    let input_size = if interval.first == 0 {
+        0.0
+    } else {
+        chain.output_size(interval.first - 1)
+    };
     reliability::replicated_interval_reliability(
         chain,
         platform,
@@ -101,7 +104,10 @@ pub fn algo_alloc_heterogeneous(
     let m = partition.len();
     let p = platform.num_processors();
     if p < m {
-        return Err(AlgoError::NotEnoughProcessors { intervals: m, processors: p });
+        return Err(AlgoError::NotEnoughProcessors {
+            intervals: m,
+            processors: p,
+        });
     }
     let k_max = platform.max_replication();
 
@@ -151,7 +157,11 @@ pub fn algo_alloc_heterogeneous(
                 let improved = interval_set_reliability(chain, platform, interval, &with_u);
                 (j, improved / current)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ratios").then(b.0.cmp(&a.0)));
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite ratios")
+                    .then(b.0.cmp(&a.0))
+            });
         if let Some((j, _)) = candidate {
             assigned[j].push(u);
         }
@@ -255,16 +265,14 @@ mod tests {
                 builder = builder.processor(2.0, 2e-4);
             }
             let p = builder.build().unwrap();
-            let mapping = algo_alloc_heterogeneous(
-                &c,
-                &p,
-                &partition,
-                1e6,
-                &AllocationConstraints::none(),
-            )
-            .unwrap();
+            let mapping =
+                algo_alloc_heterogeneous(&c, &p, &partition, 1e6, &AllocationConstraints::none())
+                    .unwrap();
             let r = MappingEvaluation::evaluate(&c, &p, &mapping).reliability;
-            assert!(r >= previous - 1e-15, "adding processors reduced reliability");
+            assert!(
+                r >= previous - 1e-15,
+                "adding processors reduced reliability"
+            );
             previous = r;
         }
     }
@@ -278,8 +286,7 @@ mod tests {
         // which belongs to interval 1.
         let mut constraints = AllocationConstraints::none();
         constraints.forbid(3, 2);
-        let mapping =
-            algo_alloc_heterogeneous(&c, &p, &partition, 1000.0, &constraints).unwrap();
+        let mapping = algo_alloc_heterogeneous(&c, &p, &partition, 1000.0, &constraints).unwrap();
         assert!(
             !mapping.interval(1).processors.contains(&2),
             "forbidden processor was allocated to the constrained interval"
@@ -301,11 +308,18 @@ mod tests {
                 .unwrap_err(),
             AlgoError::InvalidBound("period bound")
         );
-        let tiny = PlatformBuilder::new().processor(1.0, 1e-5).max_replication(2).build().unwrap();
+        let tiny = PlatformBuilder::new()
+            .processor(1.0, 1e-5)
+            .max_replication(2)
+            .build()
+            .unwrap();
         assert_eq!(
             algo_alloc_heterogeneous(&c, &tiny, &partition, 1e6, &AllocationConstraints::none())
                 .unwrap_err(),
-            AlgoError::NotEnoughProcessors { intervals: 2, processors: 1 }
+            AlgoError::NotEnoughProcessors {
+                intervals: 2,
+                processors: 1
+            }
         );
     }
 
@@ -322,14 +336,8 @@ mod tests {
             .build()
             .unwrap();
         let partition = IntervalPartition::from_cut_points(&[1], 4).unwrap();
-        let het = algo_alloc_heterogeneous(
-            &c,
-            &p,
-            &partition,
-            1e9,
-            &AllocationConstraints::none(),
-        )
-        .unwrap();
+        let het = algo_alloc_heterogeneous(&c, &p, &partition, 1e9, &AllocationConstraints::none())
+            .unwrap();
         let hom = crate::alloc::algo_alloc(&c, &p, &partition).unwrap();
         let r_het = MappingEvaluation::evaluate(&c, &p, &het).reliability;
         let r_hom = MappingEvaluation::evaluate(&c, &p, &hom).reliability;

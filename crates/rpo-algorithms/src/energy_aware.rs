@@ -74,14 +74,18 @@ fn prune_to_budget(
                 let candidate_mapping = Mapping::new(candidate, chain, platform)
                     .expect("removal preserves structural validity");
                 let reliability_loss = current_reliability
-                    - rpo_model::reliability::mapping_reliability(chain, platform, &candidate_mapping);
+                    - rpo_model::reliability::mapping_reliability(
+                        chain,
+                        platform,
+                        &candidate_mapping,
+                    );
                 let energy_saved = current_energy
                     - energy::energy_per_dataset(chain, platform, &candidate_mapping, model);
                 if energy_saved <= 0.0 {
                     continue;
                 }
                 let score = reliability_loss / energy_saved;
-                if best.map_or(true, |(_, _, s)| score < s) {
+                if best.is_none_or(|(_, _, s)| score < s) {
                     best = Some((j, position, score));
                 }
             }
@@ -110,7 +114,7 @@ pub fn run_energy_aware_heuristic(
     platform: &Platform,
     config: &EnergyAwareConfig,
 ) -> Result<EnergyAwareSolution> {
-    if !(config.energy_budget > 0.0) || config.energy_budget.is_nan() {
+    if config.energy_budget <= 0.0 || config.energy_budget.is_nan() {
         return Err(AlgoError::InvalidBound("energy budget"));
     }
     // Start from the unbudgeted heuristic solution for every interval count:
@@ -132,7 +136,11 @@ pub fn run_energy_aware_heuristic(
         return Err(AlgoError::NoFeasibleMapping);
     }
     let energy = energy::evaluate_energy(chain, platform, &pruned, &config.power_model);
-    Ok(EnergyAwareSolution { mapping: pruned, evaluation, energy })
+    Ok(EnergyAwareSolution {
+        mapping: pruned,
+        evaluation,
+        energy,
+    })
 }
 
 #[cfg(test)]
@@ -142,8 +150,14 @@ mod tests {
     use rpo_model::PlatformBuilder;
 
     fn chain() -> TaskChain {
-        TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0), (40.0, 3.0), (15.0, 2.0)])
-            .unwrap()
+        TaskChain::from_pairs(&[
+            (30.0, 2.0),
+            (10.0, 8.0),
+            (25.0, 1.0),
+            (40.0, 3.0),
+            (15.0, 2.0),
+        ])
+        .unwrap()
     }
 
     fn platform() -> Platform {
@@ -195,7 +209,11 @@ mod tests {
         let solution = run_energy_aware_heuristic(
             &c,
             &p,
-            &EnergyAwareConfig { base: base_config(), power_model: model, energy_budget: budget },
+            &EnergyAwareConfig {
+                base: base_config(),
+                power_model: model,
+                energy_budget: budget,
+            },
         )
         .unwrap();
         assert!(solution.energy.energy_per_dataset <= budget + 1e-9);
@@ -236,7 +254,10 @@ mod tests {
                 energy_budget: -3.0,
             },
         );
-        assert_eq!(result.unwrap_err(), AlgoError::InvalidBound("energy budget"));
+        assert_eq!(
+            result.unwrap_err(),
+            AlgoError::InvalidBound("energy budget")
+        );
     }
 
     #[test]

@@ -13,10 +13,10 @@ fn check_inputs(chain: &TaskChain, platform: &Platform, period: f64, latency: f6
     if !platform.is_homogeneous() {
         return Err(AlgoError::HeterogeneousPlatform);
     }
-    if !(period > 0.0) || period.is_nan() {
+    if period <= 0.0 || period.is_nan() {
         return Err(AlgoError::InvalidBound("period bound"));
     }
-    if !(latency > 0.0) || latency.is_nan() {
+    if latency <= 0.0 || latency.is_nan() {
         return Err(AlgoError::InvalidBound("latency bound"));
     }
     assert!(
@@ -100,9 +100,12 @@ pub fn optimal_homogeneous(
             .zip(&plan.replicas)
             .map(|(&itv, &q)| replicated_homogeneous_reliability(chain, platform, itv, q))
             .product();
-        if best.as_ref().map_or(true, |b| reliability > b.reliability) {
+        if best.as_ref().is_none_or(|b| reliability > b.reliability) {
             let mapping = plan.into_mapping(&partition, chain, platform)?;
-            best = Some(OptimalMapping { mapping, reliability });
+            best = Some(OptimalMapping {
+                mapping,
+                reliability,
+            });
         }
     }
     best.ok_or(AlgoError::NoFeasibleMapping)
@@ -133,14 +136,21 @@ pub fn brute_force(
         let mut counts = vec![1usize; m];
         'vectors: loop {
             if counts.iter().sum::<usize>() <= p {
-                let plan = crate::alloc::AllocationPlan { replicas: counts.clone() };
+                let plan = crate::alloc::AllocationPlan {
+                    replicas: counts.clone(),
+                };
                 let mapping = plan.into_mapping(&partition, chain, platform)?;
                 let eval = MappingEvaluation::evaluate(chain, platform, &mapping);
                 if eval.worst_case_period <= period_bound
                     && eval.worst_case_latency <= latency_bound
-                    && best.as_ref().map_or(true, |b| eval.reliability > b.reliability)
+                    && best
+                        .as_ref()
+                        .is_none_or(|b| eval.reliability > b.reliability)
                 {
-                    best = Some(OptimalMapping { mapping, reliability: eval.reliability });
+                    best = Some(OptimalMapping {
+                        mapping,
+                        reliability: eval.reliability,
+                    });
                 }
             }
             let mut idx = 0;

@@ -62,10 +62,10 @@ pub fn build_ilp(
     if !platform.is_homogeneous() {
         return Err(AlgoError::HeterogeneousPlatform);
     }
-    if !(period_bound > 0.0) || period_bound.is_nan() {
+    if period_bound <= 0.0 || period_bound.is_nan() {
         return Err(AlgoError::InvalidBound("period bound"));
     }
-    if !(latency_bound > 0.0) || latency_bound.is_nan() {
+    if latency_bound <= 0.0 || latency_bound.is_nan() {
         return Err(AlgoError::InvalidBound("latency bound"));
     }
 
@@ -80,15 +80,18 @@ pub fn build_ilp(
     for first in 0..n {
         for last in first..n {
             let interval = Interval { first, last };
-            if timing::interval_period_requirement(chain, platform, interval, speed)
-                > period_bound
+            if timing::interval_period_requirement(chain, platform, interval, speed) > period_bound
             {
                 continue;
             }
             for replicas in 1..=k_max {
                 let reliability =
                     replicated_homogeneous_reliability(chain, platform, interval, replicas);
-                variables.push(IlpVariable { first, last, replicas });
+                variables.push(IlpVariable {
+                    first,
+                    last,
+                    replicas,
+                });
                 objective.push(reliability.ln());
             }
         }
@@ -131,9 +134,12 @@ pub fn build_ilp(
             .iter()
             .enumerate()
             .map(|(column, v)| {
-                let interval = Interval { first: v.first, last: v.last };
-                let cost = interval.work(chain) / speed
-                    + platform.comm_time(interval.output_size(chain));
+                let interval = Interval {
+                    first: v.first,
+                    last: v.last,
+                };
+                let cost =
+                    interval.work(chain) / speed + platform.comm_time(interval.output_size(chain));
                 (column, cost)
             })
             .collect();
@@ -180,12 +186,21 @@ pub fn optimal_by_ilp(
         .map(|v| {
             let processors: Vec<usize> = (next_processor..next_processor + v.replicas).collect();
             next_processor += v.replicas;
-            MappedInterval::new(Interval { first: v.first, last: v.last }, processors)
+            MappedInterval::new(
+                Interval {
+                    first: v.first,
+                    last: v.last,
+                },
+                processors,
+            )
         })
         .collect();
     let mapping = Mapping::new(mapped, chain, platform)?;
     let reliability = rpo_model::reliability::mapping_reliability(chain, platform, &mapping);
-    Ok(OptimalMapping { mapping, reliability })
+    Ok(OptimalMapping {
+        mapping,
+        reliability,
+    })
 }
 
 #[cfg(test)]

@@ -70,8 +70,8 @@ impl ProfileSet {
         let mut profiles = Vec::with_capacity(1usize << (n - 1));
         for mask in 0u64..(1u64 << (n - 1)) {
             let cuts: Vec<usize> = (0..n - 1).filter(|&i| mask & (1 << i) != 0).collect();
-            let partition = IntervalPartition::from_cut_points(&cuts, n)
-                .expect("masks yield valid partitions");
+            let partition =
+                IntervalPartition::from_cut_points(&cuts, n).expect("masks yield valid partitions");
             if partition.len() > p {
                 continue;
             }
@@ -100,7 +100,10 @@ impl ProfileSet {
                 num_intervals: partition.len(),
             });
         }
-        Ok(ProfileSet { profiles, chain_len: n })
+        Ok(ProfileSet {
+            profiles,
+            chain_len: n,
+        })
     }
 
     /// Number of profiled partitions.
@@ -139,7 +142,11 @@ impl ProfileSet {
         self.profiles
             .iter()
             .filter(|p| p.period_requirement <= period_bound && p.latency <= latency_bound)
-            .max_by(|a, b| a.reliability.partial_cmp(&b.reliability).expect("finite reliabilities"))
+            .max_by(|a, b| {
+                a.reliability
+                    .partial_cmp(&b.reliability)
+                    .expect("finite reliabilities")
+            })
     }
 
     /// Reconstructs the optimal mapping under the given bounds.
@@ -157,13 +164,17 @@ impl ProfileSet {
         let profile = self
             .best_profile_under(period_bound, latency_bound)
             .ok_or(AlgoError::NoFeasibleMapping)?;
-        let cuts: Vec<usize> =
-            (0..self.chain_len - 1).filter(|&i| profile.cut_mask & (1 << i) != 0).collect();
+        let cuts: Vec<usize> = (0..self.chain_len - 1)
+            .filter(|&i| profile.cut_mask & (1 << i) != 0)
+            .collect();
         let partition = IntervalPartition::from_cut_points(&cuts, self.chain_len)
             .expect("stored masks are valid");
         let plan = algo_alloc_plan(chain, platform, &partition)?;
         let mapping = plan.into_mapping(&partition, chain, platform)?;
-        Ok(OptimalMapping { mapping, reliability: profile.reliability })
+        Ok(OptimalMapping {
+            mapping,
+            reliability: profile.reliability,
+        })
     }
 }
 
@@ -174,8 +185,14 @@ mod tests {
     use rpo_model::{MappingEvaluation, PlatformBuilder};
 
     fn chain() -> TaskChain {
-        TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0), (40.0, 3.0), (15.0, 6.0)])
-            .unwrap()
+        TaskChain::from_pairs(&[
+            (30.0, 2.0),
+            (10.0, 8.0),
+            (25.0, 1.0),
+            (40.0, 3.0),
+            (15.0, 6.0),
+        ])
+        .unwrap()
     }
 
     fn platform(p: usize, k: usize) -> Platform {
@@ -208,7 +225,9 @@ mod tests {
         for period in [35.0, 45.0, 70.0, 120.0, f64::INFINITY] {
             for latency in [120.0, 130.0, 150.0, f64::INFINITY] {
                 let fast = set.best_reliability_under(period, latency);
-                let slow = optimal_homogeneous(&c, &p, period, latency).ok().map(|s| s.reliability);
+                let slow = optimal_homogeneous(&c, &p, period, latency)
+                    .ok()
+                    .map(|s| s.reliability);
                 match (fast, slow) {
                     (None, None) => {}
                     (Some(a), Some(b)) => assert!(
@@ -255,6 +274,9 @@ mod tests {
             .max_replication(2)
             .build()
             .unwrap();
-        assert_eq!(ProfileSet::build(&c, &het).unwrap_err(), AlgoError::HeterogeneousPlatform);
+        assert_eq!(
+            ProfileSet::build(&c, &het).unwrap_err(),
+            AlgoError::HeterogeneousPlatform
+        );
     }
 }

@@ -41,8 +41,14 @@ mod tests {
 
     fn chain() -> TaskChain {
         // Output costs: 5, 1, 4, 2, 3 (last one unused as a cut candidate).
-        TaskChain::from_pairs(&[(10.0, 5.0), (20.0, 1.0), (30.0, 4.0), (40.0, 2.0), (50.0, 3.0)])
-            .unwrap()
+        TaskChain::from_pairs(&[
+            (10.0, 5.0),
+            (20.0, 1.0),
+            (30.0, 4.0),
+            (40.0, 2.0),
+            (50.0, 3.0),
+        ])
+        .unwrap()
     }
 
     #[test]

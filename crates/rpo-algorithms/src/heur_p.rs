@@ -33,15 +33,17 @@ pub fn heur_p_partition_with_period(
 
     // Cost of the interval made of tasks first..=last (0-based, inclusive).
     let interval_cost = |first: usize, last: usize| -> f64 {
-        chain.interval_work(first, last).max(chain.output_size(last))
+        chain
+            .interval_work(first, last)
+            .max(chain.output_size(last))
     };
 
     // f[j][k]: minimal period for the first j tasks (1-based count) in k intervals.
     // pred[j][k]: value j' (task count of the prefix) realizing the optimum.
     let mut f = vec![vec![f64::INFINITY; num_intervals + 1]; n + 1];
     let mut pred = vec![vec![0usize; num_intervals + 1]; n + 1];
-    for j in 1..=n {
-        f[j][1] = interval_cost(0, j - 1);
+    for (j, row) in f.iter_mut().enumerate().take(n + 1).skip(1) {
+        row[1] = interval_cost(0, j - 1);
     }
     for k in 2..=num_intervals {
         for j in k..=n {
@@ -76,8 +78,14 @@ mod tests {
     use super::*;
 
     fn chain() -> TaskChain {
-        TaskChain::from_pairs(&[(10.0, 5.0), (20.0, 1.0), (30.0, 4.0), (40.0, 2.0), (50.0, 3.0)])
-            .unwrap()
+        TaskChain::from_pairs(&[
+            (10.0, 5.0),
+            (20.0, 1.0),
+            (30.0, 4.0),
+            (40.0, 2.0),
+            (50.0, 3.0),
+        ])
+        .unwrap()
     }
 
     /// Brute-force optimal period metric over all partitions into `m` intervals.

@@ -79,10 +79,10 @@ pub fn run_heuristic(
     platform: &Platform,
     config: &HeuristicConfig,
 ) -> Result<HeuristicSolution> {
-    if !(config.period_bound > 0.0) || config.period_bound.is_nan() {
+    if config.period_bound <= 0.0 || config.period_bound.is_nan() {
         return Err(AlgoError::InvalidBound("period bound"));
     }
-    if !(config.latency_bound > 0.0) || config.latency_bound.is_nan() {
+    if config.latency_bound <= 0.0 || config.latency_bound.is_nan() {
         return Err(AlgoError::InvalidBound("latency bound"));
     }
 
@@ -117,9 +117,13 @@ pub fn run_heuristic(
         }
         if best
             .as_ref()
-            .map_or(true, |b| evaluation.reliability > b.evaluation.reliability)
+            .is_none_or(|b| evaluation.reliability > b.evaluation.reliability)
         {
-            best = Some(HeuristicSolution { mapping, evaluation, num_intervals });
+            best = Some(HeuristicSolution {
+                mapping,
+                evaluation,
+                num_intervals,
+            });
         }
     }
     best.ok_or(AlgoError::NoFeasibleMapping)
@@ -268,7 +272,10 @@ mod tests {
             period_bound: 10.0, // below the largest task work
             latency_bound: 1e6,
         };
-        assert_eq!(run_heuristic(&c, &p, &config).unwrap_err(), AlgoError::NoFeasibleMapping);
+        assert_eq!(
+            run_heuristic(&c, &p, &config).unwrap_err(),
+            AlgoError::NoFeasibleMapping
+        );
     }
 
     #[test]
@@ -282,14 +289,15 @@ mod tests {
         assert!(p_sol.is_some(), "Heur-P should handle a tight period bound");
         // Whenever both succeed the Heur-P period is no worse.
         if let (Some(l), Some(p_)) = (&l_sol, &p_sol) {
-            assert!(
-                p_.evaluation.worst_case_period <= l.evaluation.worst_case_period + 1e-9
-            );
+            assert!(p_.evaluation.worst_case_period <= l.evaluation.worst_case_period + 1e-9);
         }
         // Loose period, tight latency (just above the no-cut latency).
         let total_work: f64 = (0..c.len()).map(|i| c.work(i)).sum();
         let (l_sol, _) = run_both_heuristics(&c, &p, 1e6, total_work + 1.5);
-        assert!(l_sol.is_some(), "Heur-L should handle a tight latency bound");
+        assert!(
+            l_sol.is_some(),
+            "Heur-L should handle a tight latency bound"
+        );
     }
 
     #[test]

@@ -45,10 +45,10 @@ pub mod heuristic;
 pub mod period_opt;
 
 pub use algo1::optimize_reliability_homogeneous;
-pub use energy_aware::{run_energy_aware_heuristic, EnergyAwareConfig, EnergyAwareSolution};
 pub use algo2::optimize_reliability_with_period_bound;
 pub use alloc::{algo_alloc, exhaustive_alloc};
 pub use alloc_het::algo_alloc_heterogeneous;
+pub use energy_aware::{run_energy_aware_heuristic, EnergyAwareConfig, EnergyAwareSolution};
 pub use heur_l::heur_l_partition;
 pub use heur_p::heur_p_partition;
 pub use heuristic::{run_heuristic, HeuristicConfig, HeuristicSolution, IntervalHeuristic};
@@ -80,7 +80,10 @@ impl std::fmt::Display for AlgoError {
             AlgoError::HeterogeneousPlatform => {
                 write!(f, "this algorithm is only optimal on homogeneous platforms")
             }
-            AlgoError::NotEnoughProcessors { intervals, processors } => write!(
+            AlgoError::NotEnoughProcessors {
+                intervals,
+                processors,
+            } => write!(
                 f,
                 "cannot allocate {intervals} intervals on only {processors} processors"
             ),

@@ -67,7 +67,9 @@ pub fn minimize_period_with_reliability_bound(
 
     let candidates = candidate_periods(chain, platform);
     // Check feasibility at the largest candidate (equivalent to no bound).
-    let largest = *candidates.last().expect("a non-empty chain has candidate periods");
+    let largest = *candidates
+        .last()
+        .expect("a non-empty chain has candidate periods");
     let unconstrained = optimize_reliability_with_period_bound(chain, platform, largest)?;
     if unconstrained.reliability < reliability_bound {
         return Err(AlgoError::NoFeasibleMapping);
@@ -176,9 +178,10 @@ mod tests {
         let c = chain();
         let p = platform(6, 3);
         let relaxed = minimize_period_with_reliability_bound(&c, &p, 0.5).unwrap();
-        let max_rel = crate::optimize_reliability_homogeneous(&c, &p).unwrap().reliability;
-        let tight =
-            minimize_period_with_reliability_bound(&c, &p, max_rel * 0.999999).unwrap();
+        let max_rel = crate::optimize_reliability_homogeneous(&c, &p)
+            .unwrap()
+            .reliability;
+        let tight = minimize_period_with_reliability_bound(&c, &p, max_rel * 0.999999).unwrap();
         assert!(tight.period >= relaxed.period - 1e-12);
     }
 

@@ -64,10 +64,22 @@ fn alloc_greedy_vs_exhaustive(c: &mut Criterion) {
     let partition = heur_p_partition(&chain, 5);
     let mut group = c.benchmark_group("ablation_allocation");
     group.bench_function("algo_alloc_greedy", |b| {
-        b.iter(|| algo_alloc(black_box(&chain), black_box(&platform), black_box(&partition)))
+        b.iter(|| {
+            algo_alloc(
+                black_box(&chain),
+                black_box(&platform),
+                black_box(&partition),
+            )
+        })
     });
     group.bench_function("exhaustive_allocation", |b| {
-        b.iter(|| exhaustive_alloc(black_box(&chain), black_box(&platform), black_box(&partition)))
+        b.iter(|| {
+            exhaustive_alloc(
+                black_box(&chain),
+                black_box(&platform),
+                black_box(&partition),
+            )
+        })
     });
     group.finish();
 }
@@ -112,9 +124,7 @@ fn exhaustive_vs_ilp(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_exact_solver");
     group.sample_size(10);
     group.bench_function("exhaustive_partitions", |b| {
-        b.iter(|| {
-            exact::optimal_homogeneous(black_box(&chain), black_box(&platform), 300.0, 800.0)
-        })
+        b.iter(|| exact::optimal_homogeneous(black_box(&chain), black_box(&platform), 300.0, 800.0))
     });
     group.bench_function("ilp_branch_and_bound", |b| {
         b.iter(|| exact::optimal_by_ilp(black_box(&chain), black_box(&platform), 300.0, 800.0))

@@ -34,15 +34,19 @@ fn algorithm2_period_bound(c: &mut Criterion) {
     let platform = bench_hom_platform(10);
     let mut group = c.benchmark_group("algorithm2_period_bound");
     for &period in &[150.0f64, 250.0, 400.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &period| {
-            b.iter(|| {
-                optimize_reliability_with_period_bound(
-                    black_box(&chain),
-                    black_box(&platform),
-                    black_box(period),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(period),
+            &period,
+            |b, &period| {
+                b.iter(|| {
+                    optimize_reliability_with_period_bound(
+                        black_box(&chain),
+                        black_box(&platform),
+                        black_box(period),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -66,9 +70,10 @@ fn heuristics(c: &mut Criterion) {
     let hom = bench_hom_platform(10);
     let het = bench_het_platform(10, 3);
     let mut group = c.benchmark_group("full_heuristics");
-    for (name, heuristic) in
-        [("heur_p", IntervalHeuristic::MinPeriod), ("heur_l", IntervalHeuristic::MinLatency)]
-    {
+    for (name, heuristic) in [
+        ("heur_p", IntervalHeuristic::MinPeriod),
+        ("heur_l", IntervalHeuristic::MinLatency),
+    ] {
         let config = HeuristicConfig {
             interval_heuristic: heuristic,
             period_bound: 250.0,

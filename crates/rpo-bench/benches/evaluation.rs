@@ -27,13 +27,21 @@ fn evaluation(c: &mut Criterion) {
     });
     group.bench_function("full_five_criteria_evaluation", |b| {
         b.iter(|| {
-            MappingEvaluation::evaluate(black_box(&chain), black_box(&platform), black_box(&mapping))
+            MappingEvaluation::evaluate(
+                black_box(&chain),
+                black_box(&platform),
+                black_box(&mapping),
+            )
         })
     });
     group.bench_function("routing_sp_expr_build_and_eval", |b| {
         b.iter(|| {
-            mapping_rbd::routing_sp_expr(black_box(&chain), black_box(&platform), black_box(&mapping))
-                .reliability()
+            mapping_rbd::routing_sp_expr(
+                black_box(&chain),
+                black_box(&platform),
+                black_box(&mapping),
+            )
+            .reliability()
         })
     });
     group.bench_function("general_rbd_build", |b| {
@@ -51,7 +59,9 @@ fn profile_precomputation(c: &mut Criterion) {
         let chain = bench_chain(n, 7);
         let platform = bench_hom_platform(10);
         group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
-            b.iter(|| rpo_algorithms::exact::ProfileSet::build(black_box(&chain), black_box(&platform)))
+            b.iter(|| {
+                rpo_algorithms::exact::ProfileSet::build(black_box(&chain), black_box(&platform))
+            })
         });
     }
     let chain = bench_chain(15, 7);

@@ -14,7 +14,10 @@ use std::hint::black_box;
 const BENCH_INSTANCES: usize = 4;
 
 fn bench_figure(c: &mut Criterion, id: FigureId) {
-    let options = SweepOptions { num_instances: BENCH_INSTANCES, seed: 1 };
+    let options = SweepOptions {
+        num_instances: BENCH_INSTANCES,
+        seed: 1,
+    };
     let name = match id {
         FigureId::Fig6 => "fig06_solutions_vs_period",
         FigureId::Fig7 => "fig07_failure_vs_period",

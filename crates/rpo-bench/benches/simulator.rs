@@ -20,7 +20,14 @@ fn dataset_injection(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     group.bench_function("single_dataset_injection", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        b.iter(|| simulate_dataset(black_box(&chain), black_box(&platform), black_box(&mapping), &mut rng))
+        b.iter(|| {
+            simulate_dataset(
+                black_box(&chain),
+                black_box(&platform),
+                black_box(&mapping),
+                &mut rng,
+            )
+        })
     });
     group.finish();
 }
@@ -44,7 +51,11 @@ fn monte_carlo_batches(c: &mut Criterion) {
                         black_box(&chain),
                         black_box(&platform),
                         black_box(&mapping),
-                        &MonteCarloConfig { num_datasets: datasets, seed: 3, chunk_size: 4096 },
+                        &MonteCarloConfig {
+                            num_datasets: datasets,
+                            seed: 3,
+                            chunk_size: 4096,
+                        },
                     )
                 })
             },
@@ -71,7 +82,11 @@ fn pipelined_des(c: &mut Criterion) {
                         black_box(&chain),
                         black_box(&platform),
                         black_box(&mapping),
-                        &PipelineConfig { num_datasets: datasets, seed: 5, input_period: None },
+                        &PipelineConfig {
+                            num_datasets: datasets,
+                            seed: 5,
+                            input_period: None,
+                        },
                     )
                 })
             },
@@ -80,5 +95,10 @@ fn pipelined_des(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, dataset_injection, monte_carlo_batches, pipelined_des);
+criterion_group!(
+    benches,
+    dataset_injection,
+    monte_carlo_batches,
+    pipelined_des
+);
 criterion_main!(benches);

@@ -26,7 +26,10 @@ pub fn bench_chain(n: usize, seed: u64) -> TaskChain {
 
 /// The paper's homogeneous platform with `p` processors.
 pub fn bench_hom_platform(p: usize) -> Platform {
-    let spec = HomogeneousPlatformSpec { num_processors: p, ..HomogeneousPlatformSpec::paper() };
+    let spec = HomogeneousPlatformSpec {
+        num_processors: p,
+        ..HomogeneousPlatformSpec::paper()
+    };
     spec.build()
 }
 
@@ -39,8 +42,10 @@ pub fn bench_noisy_platform(p: usize) -> Platform {
 /// A deterministic paper-style heterogeneous platform with `p` processors.
 pub fn bench_het_platform(p: usize, seed: u64) -> Platform {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let spec =
-        HeterogeneousPlatformSpec { num_processors: p, ..HeterogeneousPlatformSpec::paper() };
+    let spec = HeterogeneousPlatformSpec {
+        num_processors: p,
+        ..HeterogeneousPlatformSpec::paper()
+    };
     spec.generate(&mut rng)
 }
 

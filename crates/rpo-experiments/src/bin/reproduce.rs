@@ -48,21 +48,25 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
             "--list" => args.list = true,
             "--figure" => {
                 let value = raw.next().ok_or("--figure needs a number")?;
-                let number: u32 =
-                    value.parse().map_err(|_| format!("invalid figure number: {value}"))?;
-                let id = FigureId::from_number(number)
-                    .ok_or(format!("figure {number} is not part of the evaluation (6..=15)"))?;
+                let number: u32 = value
+                    .parse()
+                    .map_err(|_| format!("invalid figure number: {value}"))?;
+                let id = FigureId::from_number(number).ok_or(format!(
+                    "figure {number} is not part of the evaluation (6..=15)"
+                ))?;
                 args.figures.push(id);
             }
             "--instances" => {
                 let value = raw.next().ok_or("--instances needs a count")?;
-                args.options.num_instances =
-                    value.parse().map_err(|_| format!("invalid instance count: {value}"))?;
+                args.options.num_instances = value
+                    .parse()
+                    .map_err(|_| format!("invalid instance count: {value}"))?;
             }
             "--seed" => {
                 let value = raw.next().ok_or("--seed needs a value")?;
-                args.options.seed =
-                    value.parse().map_err(|_| format!("invalid seed: {value}"))?;
+                args.options.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed: {value}"))?;
             }
             "--out" => {
                 let value = raw.next().ok_or("--out needs a directory")?;
@@ -101,7 +105,10 @@ fn main() -> ExitCode {
         );
         run_all(&args.options)
     } else {
-        args.figures.iter().map(|&id| run_figure(id, &args.options)).collect()
+        args.figures
+            .iter()
+            .map(|&id| run_figure(id, &args.options))
+            .collect()
     };
 
     for figure in &results {

@@ -4,15 +4,22 @@
 //! solve path/to/problem.json          # read from a file
 //! solve -                             # read from standard input
 //! solve --example                     # print an example problem file
+//! solve portfolio path/to/problem.json  # race the whole solver portfolio
+//! solve portfolio -                     # ... reading from standard input
 //! ```
 //!
-//! The answer (both heuristics plus, on homogeneous platforms, the exact
-//! optimum) is printed as JSON on standard output.
+//! The default mode prints both heuristics plus, on homogeneous platforms,
+//! the exact optimum. The `portfolio` subcommand instead races every
+//! applicable backend in parallel and prints the merged tri-criteria Pareto
+//! front (reliability, worst-case period, worst-case latency), with the
+//! per-backend run/skip census.
 
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use rpo_experiments::problem_io::{report_to_json, solve, ProblemSpec};
+use rpo_experiments::problem_io::{
+    portfolio_report_to_json, report_to_json, solve, solve_portfolio, ProblemSpec,
+};
 
 const EXAMPLE: &str = r#"{
   "tasks": [
@@ -37,50 +44,52 @@ const EXAMPLE: &str = r#"{
   "latency_bound": 130
 }"#;
 
+const USAGE: &str =
+    "usage: solve <problem.json | -> | solve --example | solve portfolio <problem.json | ->";
+
+fn read_problem(path: &str) -> Result<ProblemSpec, String> {
+    let text = if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|error| format!("failed to read standard input: {error}"))?;
+        buffer
+    } else {
+        std::fs::read_to_string(path).map_err(|error| format!("failed to read {path}: {error}"))?
+    };
+    ProblemSpec::from_json(&text)
+}
+
+fn run(path: &str, portfolio: bool) -> Result<String, String> {
+    let spec = read_problem(path)?;
+    if portfolio {
+        solve_portfolio(&spec).map(|report| portfolio_report_to_json(&report))
+    } else {
+        solve(&spec).map(|report| report_to_json(&report))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
+    let outcome = match args.as_slice() {
         [flag] if flag == "--example" => {
             println!("{EXAMPLE}");
+            return ExitCode::SUCCESS;
+        }
+        [subcommand, path] if subcommand == "portfolio" => run(path, true),
+        [path] if path != "portfolio" => run(path, false),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        Ok(json) => {
+            println!("{json}");
             ExitCode::SUCCESS
         }
-        [path] => {
-            let text = if path == "-" {
-                let mut buffer = String::new();
-                if let Err(error) = std::io::stdin().read_to_string(&mut buffer) {
-                    eprintln!("failed to read standard input: {error}");
-                    return ExitCode::FAILURE;
-                }
-                buffer
-            } else {
-                match std::fs::read_to_string(path) {
-                    Ok(text) => text,
-                    Err(error) => {
-                        eprintln!("failed to read {path}: {error}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            };
-            let spec = match ProblemSpec::from_json(&text) {
-                Ok(spec) => spec,
-                Err(message) => {
-                    eprintln!("{message}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match solve(&spec) {
-                Ok(report) => {
-                    println!("{}", report_to_json(&report));
-                    ExitCode::SUCCESS
-                }
-                Err(message) => {
-                    eprintln!("{message}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        _ => {
-            eprintln!("usage: solve <problem.json | -> | solve --example");
+        Err(message) => {
+            eprintln!("{message}");
             ExitCode::FAILURE
         }
     }

@@ -10,7 +10,7 @@ use crate::series::FigureResult;
 /// series. Undefined values (NaN) are rendered as empty cells.
 pub fn to_csv(figure: &FigureResult) -> String {
     let mut out = String::new();
-    out.push_str("x");
+    out.push('x');
     for series in &figure.series {
         out.push(',');
         out.push_str(&series.label);

@@ -24,7 +24,10 @@ pub struct SweepOptions {
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { num_instances: 100, seed: 20100613 }
+        SweepOptions {
+            num_instances: 100,
+            seed: 20100613,
+        }
     }
 }
 
@@ -191,7 +194,11 @@ fn heuristic_reliability(
     run_heuristic(
         &instance.chain,
         platform,
-        &HeuristicConfig { interval_heuristic: heuristic, period_bound: period, latency_bound: latency },
+        &HeuristicConfig {
+            interval_heuristic: heuristic,
+            period_bound: period,
+            latency_bound: latency,
+        },
     )
     .ok()
     .map(|solution| solution.evaluation.reliability)
@@ -212,9 +219,19 @@ fn aggregate(label: &str, per_instance: &[Vec<Option<f64>>], num_points: usize) 
     let avg_failure = solved
         .iter()
         .zip(&failure_sum)
-        .map(|(&count, &sum)| if count == 0 { f64::NAN } else { sum / count as f64 })
+        .map(|(&count, &sum)| {
+            if count == 0 {
+                f64::NAN
+            } else {
+                sum / count as f64
+            }
+        })
         .collect();
-    MethodCurve { label: label.to_string(), solved, avg_failure }
+    MethodCurve {
+        label: label.to_string(),
+        solved,
+        avg_failure,
+    }
 }
 
 /// Homogeneous experiments: the exact optimum (the paper's ILP curve, computed
@@ -316,7 +333,10 @@ mod tests {
     use super::*;
 
     fn small_options() -> SweepOptions {
-        SweepOptions { num_instances: 4, seed: 7 }
+        SweepOptions {
+            num_instances: 4,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -396,7 +416,10 @@ mod tests {
         let data = spec.run(&small_options());
         assert_eq!(data.curves.len(), 4);
         let labels: Vec<&str> = data.curves.iter().map(|c| c.label.as_str()).collect();
-        assert_eq!(labels, vec!["Heur-L_HET", "Heur-P_HET", "Heur-L_HOM", "Heur-P_HOM"]);
+        assert_eq!(
+            labels,
+            vec!["Heur-L_HET", "Heur-P_HET", "Heur-L_HOM", "Heur-P_HOM"]
+        );
         for curve in &data.curves {
             assert!(curve.solved.iter().all(|&s| s <= 4));
         }
@@ -409,7 +432,10 @@ mod tests {
         assert!(!ExperimentSpec::homogeneous_proportional_sweep().heterogeneous);
         assert!(ExperimentSpec::heterogeneous_period_sweep().heterogeneous);
         assert!(ExperimentSpec::heterogeneous_latency_sweep().heterogeneous);
-        assert_eq!(ExperimentSpec::homogeneous_period_sweep().x_values.len(), 20);
+        assert_eq!(
+            ExperimentSpec::homogeneous_period_sweep().x_values.len(),
+            20
+        );
         assert_eq!(SweepOptions::default().num_instances, 100);
     }
 }

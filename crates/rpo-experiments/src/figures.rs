@@ -43,7 +43,9 @@ impl FigureId {
     /// Every figure, in paper order.
     pub fn all() -> Vec<FigureId> {
         use FigureId::*;
-        vec![Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Fig14, Fig15]
+        vec![
+            Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Fig14, Fig15,
+        ]
     }
 
     /// Parses a figure number (6–15).
@@ -143,7 +145,11 @@ impl FigureId {
 
 /// Extracts one figure from its experiment data.
 fn extract(id: FigureId, data: &ExperimentData) -> FigureResult {
-    let x_label = if id.spec().rule.sweeps_period() { "Bound on period" } else { "Bound on latency" };
+    let x_label = if id.spec().rule.sweeps_period() {
+        "Bound on period"
+    } else {
+        "Bound on latency"
+    };
     let (y_label, series): (&str, Vec<Series>) = match id.view() {
         View::SolutionCount => (
             "Number of solutions",
@@ -239,7 +245,10 @@ mod tests {
 
     #[test]
     fn run_figure_produces_expected_series() {
-        let options = SweepOptions { num_instances: 3, seed: 99 };
+        let options = SweepOptions {
+            num_instances: 3,
+            seed: 99,
+        };
         let fig6 = run_figure(FigureId::Fig6, &options);
         assert_eq!(fig6.id, "fig06");
         assert_eq!(fig6.series.len(), 3);
@@ -259,7 +268,10 @@ mod tests {
 
     #[test]
     fn failure_view_yields_probabilities() {
-        let options = SweepOptions { num_instances: 3, seed: 99 };
+        let options = SweepOptions {
+            num_instances: 3,
+            seed: 99,
+        };
         let fig7 = run_figure(FigureId::Fig7, &options);
         assert_eq!(fig7.series.len(), 3);
         for series in &fig7.series {
@@ -271,7 +283,10 @@ mod tests {
 
     #[test]
     fn heterogeneous_figures_have_four_series() {
-        let options = SweepOptions { num_instances: 2, seed: 5 };
+        let options = SweepOptions {
+            num_instances: 2,
+            seed: 5,
+        };
         let fig12 = run_figure(FigureId::Fig12, &options);
         assert_eq!(fig12.series.len(), 4);
         assert!(fig12.series_by_label("Heur-P_HET").is_some());

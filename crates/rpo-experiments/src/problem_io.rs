@@ -6,9 +6,7 @@
 //! needed to use the library on a concrete system.
 
 use rpo_algorithms::{exact, run_heuristic, HeuristicConfig, IntervalHeuristic};
-use rpo_model::{
-    Mapping, MappingEvaluation, Platform, Processor, ProcessorId, TaskChain,
-};
+use rpo_model::{Mapping, MappingEvaluation, Platform, Processor, ProcessorId, TaskChain};
 use serde::{Deserialize, Serialize};
 
 /// A task of the input problem.
@@ -85,7 +83,11 @@ impl ProblemSpec {
     /// Returns the model validation error message.
     pub fn build(&self) -> Result<(TaskChain, Platform), String> {
         let chain = TaskChain::from_pairs(
-            &self.tasks.iter().map(|t| (t.work, t.output_size)).collect::<Vec<_>>(),
+            &self
+                .tasks
+                .iter()
+                .map(|t| (t.work, t.output_size))
+                .collect::<Vec<_>>(),
         )
         .map_err(|e| format!("invalid chain: {e}"))?;
         let platform = Platform::new(
@@ -178,9 +180,10 @@ pub fn solve(spec: &ProblemSpec) -> Result<SolveReport, String> {
     let latency = spec.latency_bound.unwrap_or(f64::INFINITY);
 
     let mut methods = Vec::new();
-    for (name, heuristic) in
-        [("Heur-L", IntervalHeuristic::MinLatency), ("Heur-P", IntervalHeuristic::MinPeriod)]
-    {
+    for (name, heuristic) in [
+        ("Heur-L", IntervalHeuristic::MinLatency),
+        ("Heur-P", IntervalHeuristic::MinPeriod),
+    ] {
         let solution = run_heuristic(
             &chain,
             &platform,
@@ -191,7 +194,12 @@ pub fn solve(spec: &ProblemSpec) -> Result<SolveReport, String> {
             },
         )
         .ok();
-        methods.push(method_report(name, &chain, &platform, solution.as_ref().map(|s| &s.mapping)));
+        methods.push(method_report(
+            name,
+            &chain,
+            &platform,
+            solution.as_ref().map(|s| &s.mapping),
+        ));
     }
 
     let homogeneous = platform.is_homogeneous();
@@ -215,6 +223,104 @@ pub fn solve(spec: &ProblemSpec) -> Result<SolveReport, String> {
 
 /// Serializes a report as pretty JSON.
 pub fn report_to_json(report: &SolveReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serialization cannot fail")
+}
+
+/// One Pareto point of a [`PortfolioReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioPoint {
+    /// Backend that produced the mapping.
+    pub backend: String,
+    /// Reliability of the mapping.
+    pub reliability: f64,
+    /// Failure probability of the mapping.
+    pub failure_probability: f64,
+    /// Worst-case period of the mapping.
+    pub worst_case_period: f64,
+    /// Worst-case latency of the mapping.
+    pub worst_case_latency: f64,
+    /// The intervals of the mapping, as `(first_task, last_task, processors)`.
+    pub intervals: Vec<(usize, usize, Vec<ProcessorId>)>,
+}
+
+/// The answer of the solver-portfolio race for one problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioReport {
+    /// Number of tasks of the problem.
+    pub num_tasks: usize,
+    /// Number of processors of the platform.
+    pub num_processors: usize,
+    /// Whether the platform is homogeneous.
+    pub homogeneous_platform: bool,
+    /// Whether any feasible mapping was found.
+    pub feasible: bool,
+    /// Backends that ran to completion.
+    pub backends_run: Vec<String>,
+    /// Backends skipped, with the reason.
+    pub backends_skipped: Vec<(String, String)>,
+    /// The tri-criteria Pareto front, most reliable point first.
+    pub pareto_front: Vec<PortfolioPoint>,
+}
+
+/// Solves a problem by racing the whole solver portfolio in parallel and
+/// aggregating every feasible candidate into a Pareto front.
+///
+/// # Errors
+///
+/// Returns the model validation error message for malformed specifications.
+pub fn solve_portfolio(spec: &ProblemSpec) -> Result<PortfolioReport, String> {
+    let (chain, platform) = spec.build()?;
+    let period = spec.period_bound.unwrap_or(f64::INFINITY);
+    let latency = spec.latency_bound.unwrap_or(f64::INFINITY);
+    let instance = rpo_portfolio::ProblemInstance::new(chain, platform, period, latency)?;
+
+    let engine = rpo_portfolio::PortfolioEngine::default();
+    let outcome = engine.solve(&instance);
+
+    let mut backends_run = Vec::new();
+    let mut backends_skipped = Vec::new();
+    for run in &outcome.runs {
+        match &run.status {
+            rpo_portfolio::RunStatus::Completed => backends_run.push(run.backend.to_string()),
+            rpo_portfolio::RunStatus::Skipped(reason) => {
+                backends_skipped.push((run.backend.to_string(), reason.to_string()));
+            }
+            other => backends_skipped.push((run.backend.to_string(), format!("{other:?}"))),
+        }
+    }
+
+    let pareto_front = outcome
+        .front
+        .points()
+        .into_iter()
+        .map(|point| PortfolioPoint {
+            backend: point.backend.to_string(),
+            reliability: point.evaluation.reliability,
+            failure_probability: 1.0 - point.evaluation.reliability,
+            worst_case_period: point.evaluation.worst_case_period,
+            worst_case_latency: point.evaluation.worst_case_latency,
+            intervals: point
+                .mapping
+                .intervals()
+                .iter()
+                .map(|mi| (mi.interval.first, mi.interval.last, mi.processors.clone()))
+                .collect(),
+        })
+        .collect();
+
+    Ok(PortfolioReport {
+        num_tasks: instance.chain.len(),
+        num_processors: instance.platform.num_processors(),
+        homogeneous_platform: instance.platform.is_homogeneous(),
+        feasible: outcome.is_feasible(),
+        backends_run,
+        backends_skipped,
+        pareto_front,
+    })
+}
+
+/// Serializes a portfolio report as pretty JSON.
+pub fn portfolio_report_to_json(report: &PortfolioReport) -> String {
     serde_json::to_string_pretty(report).expect("report serialization cannot fail")
 }
 
@@ -322,6 +428,44 @@ mod tests {
         }"#;
         let spec = ProblemSpec::from_json(bad_platform).unwrap();
         assert!(spec.build().unwrap_err().contains("invalid platform"));
+    }
+
+    #[test]
+    fn portfolio_solve_reports_the_front_and_the_backend_census() {
+        let spec = ProblemSpec::from_json(example_json()).unwrap();
+        let report = solve_portfolio(&spec).unwrap();
+        assert!(report.feasible);
+        assert!(report.homogeneous_platform);
+        assert!(
+            report.backends_run.len() >= 5,
+            "run: {:?}",
+            report.backends_run
+        );
+        assert!(report
+            .backends_skipped
+            .iter()
+            .any(|(backend, _)| backend == "Het-Sweep"));
+        assert!(!report.pareto_front.is_empty());
+        // Points are sorted by decreasing reliability and respect the bounds.
+        for pair in report.pareto_front.windows(2) {
+            assert!(pair[0].reliability >= pair[1].reliability);
+        }
+        for point in &report.pareto_front {
+            assert!(point.worst_case_period <= 70.0 + 1e-9);
+            assert!(point.worst_case_latency <= 130.0 + 1e-9);
+        }
+        // The portfolio's best point matches the classic exact answer.
+        let classic = solve(&spec).unwrap();
+        let exact = classic
+            .methods
+            .iter()
+            .find(|m| m.method == "exact")
+            .unwrap();
+        assert!((report.pareto_front[0].reliability - exact.reliability).abs() < 1e-12);
+        // The JSON rendering round-trips.
+        let json = portfolio_report_to_json(&report);
+        let parsed: PortfolioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, report);
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub struct Series {
 impl Series {
     /// Creates a series from a label and points.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// The y values only.
@@ -44,7 +47,10 @@ pub struct FigureResult {
 impl FigureResult {
     /// The common x values of the figure (taken from the first series).
     pub fn x_values(&self) -> Vec<f64> {
-        self.series.first().map(|s| s.points.iter().map(|&(x, _)| x).collect()).unwrap_or_default()
+        self.series
+            .first()
+            .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+            .unwrap_or_default()
     }
 
     /// Looks a series up by label.
@@ -74,7 +80,10 @@ mod tests {
     #[test]
     fn x_values_come_from_the_first_series() {
         assert_eq!(figure().x_values(), vec![1.0, 2.0]);
-        let empty = FigureResult { series: vec![], ..figure() };
+        let empty = FigureResult {
+            series: vec![],
+            ..figure()
+        };
         assert!(empty.x_values().is_empty());
     }
 

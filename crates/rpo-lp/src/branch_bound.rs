@@ -64,13 +64,21 @@ pub fn solve_ilp_with_limit(problem: &Problem, node_limit: usize) -> IlpSolution
     }
     match state.incumbent {
         Some((x, objective)) => IlpSolution {
-            status: if state.hit_limit { IlpStatus::NodeLimit } else { IlpStatus::Optimal },
+            status: if state.hit_limit {
+                IlpStatus::NodeLimit
+            } else {
+                IlpStatus::Optimal
+            },
             x,
             objective,
             nodes: state.nodes,
         },
         None => IlpSolution {
-            status: if state.hit_limit { IlpStatus::NodeLimit } else { IlpStatus::Infeasible },
+            status: if state.hit_limit {
+                IlpStatus::NodeLimit
+            } else {
+                IlpStatus::Infeasible
+            },
             x: Vec::new(),
             objective: 0.0,
             nodes: state.nodes,
@@ -303,7 +311,14 @@ mod tests {
 
         // Brute-force the 6 permutations.
         let mut best = f64::INFINITY;
-        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
         for perm in perms {
             let cost: f64 = perm.iter().enumerate().map(|(i, &j)| costs[i][j]).sum();
             best = best.min(cost);

@@ -88,12 +88,7 @@ impl Problem {
     }
 
     /// Adds a sparse constraint given as `(variable, coefficient)` pairs.
-    pub fn add_sparse_constraint(
-        &mut self,
-        terms: &[(usize, f64)],
-        op: ConstraintOp,
-        rhs: f64,
-    ) {
+    pub fn add_sparse_constraint(&mut self, terms: &[(usize, f64)], op: ConstraintOp, rhs: f64) {
         let mut coeffs = vec![0.0; self.num_vars];
         for &(var, coeff) in terms {
             assert!(var < self.num_vars, "variable index out of range");
@@ -127,7 +122,11 @@ impl Problem {
 
     /// Evaluates the objective at a point.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.objective_coeffs.iter().zip(x).map(|(c, v)| c * v).sum()
+        self.objective_coeffs
+            .iter()
+            .zip(x)
+            .map(|(c, v)| c * v)
+            .sum()
     }
 
     /// Checks whether `x` satisfies all constraints and bounds, within `tol`.

@@ -36,10 +36,18 @@ pub struct LpSolution {
 
 impl LpSolution {
     fn infeasible() -> Self {
-        LpSolution { status: LpStatus::Infeasible, x: Vec::new(), objective: 0.0 }
+        LpSolution {
+            status: LpStatus::Infeasible,
+            x: Vec::new(),
+            objective: 0.0,
+        }
     }
     fn unbounded() -> Self {
-        LpSolution { status: LpStatus::Unbounded, x: Vec::new(), objective: 0.0 }
+        LpSolution {
+            status: LpStatus::Unbounded,
+            x: Vec::new(),
+            objective: 0.0,
+        }
     }
 }
 
@@ -107,8 +115,10 @@ impl Tableau {
         }
 
         let m = rows.len();
-        let num_slacks =
-            rows.iter().filter(|(_, op, _)| !matches!(op, ConstraintOp::Eq)).count();
+        let num_slacks = rows
+            .iter()
+            .filter(|(_, op, _)| !matches!(op, ConstraintOp::Eq))
+            .count();
         let num_artificials = rows
             .iter()
             .filter(|(_, op, _)| matches!(op, ConstraintOp::Ge | ConstraintOp::Eq))
@@ -147,7 +157,14 @@ impl Tableau {
             }
         }
 
-        Tableau { m, cols, a, basis, artificials, n_structural: n }
+        Tableau {
+            m,
+            cols,
+            a,
+            basis,
+            artificials,
+            n_structural: n,
+        }
     }
 
     /// Runs both simplex phases and extracts the solution.
@@ -204,7 +221,11 @@ impl Tableau {
             }
         }
         let objective = problem.objective_value(&x);
-        LpSolution { status: LpStatus::Optimal, x, objective }
+        LpSolution {
+            status: LpStatus::Optimal,
+            x,
+            objective,
+        }
     }
 
     /// After phase 1, pivot basic artificial variables (all at value 0) out of
@@ -233,7 +254,9 @@ impl Tableau {
             let bland = iteration >= BLAND_THRESHOLD;
             // Reduced costs: rc_j = cost_j − Σ_i cost_basis(i) · a[i][j].
             let entering = self.choose_entering(cost, bland);
-            let Some(col) = entering else { return PivotOutcome::Optimal };
+            let Some(col) = entering else {
+                return PivotOutcome::Optimal;
+            };
             // Ratio test.
             let mut best: Option<(usize, f64)> = None;
             for i in 0..self.m {
@@ -242,7 +265,8 @@ impl Tableau {
                     let better = match best {
                         None => true,
                         Some((bi, br)) => {
-                            ratio < br - TOL || ((ratio - br).abs() <= TOL && self.basis[i] < self.basis[bi])
+                            ratio < br - TOL
+                                || ((ratio - br).abs() <= TOL && self.basis[i] < self.basis[bi])
                         }
                     };
                     if better {
@@ -250,7 +274,9 @@ impl Tableau {
                     }
                 }
             }
-            let Some((row, _)) = best else { return PivotOutcome::Unbounded };
+            let Some((row, _)) = best else {
+                return PivotOutcome::Unbounded;
+            };
             self.pivot(row, col);
         }
         PivotOutcome::Stalled
@@ -273,7 +299,7 @@ impl Tableau {
                 if bland {
                     return Some(j);
                 }
-                if best.map_or(true, |(_, brc)| rc > brc) {
+                if best.is_none_or(|(_, brc)| rc > brc) {
                     best = Some((j, rc));
                 }
             }

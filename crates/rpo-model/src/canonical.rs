@@ -1,0 +1,183 @@
+//! Canonical hashing of model objects.
+//!
+//! Solver caches (e.g. the `rpo-portfolio` instance cache) need a stable,
+//! structure-sensitive key for `(TaskChain, Platform, bounds)` triples. The
+//! standard-library `Hash` trait is unsuitable: `f64` does not implement it
+//! and `DefaultHasher` is not guaranteed stable across releases. This module
+//! provides an explicit FNV-1a 64-bit hasher plus a [`Canonical`] trait
+//! implemented by every model type that can appear in a cache key. Floats are
+//! hashed through their IEEE-754 bit patterns, so keys distinguish `0.0`
+//! from `-0.0` and any two NaN payloads — exact-bits equality is precisely
+//! the contract a solve cache wants.
+
+use crate::{Platform, Processor, Task, TaskChain};
+
+/// A 64-bit FNV-1a hasher with explicit, width-tagged write methods.
+#[derive(Debug, Clone)]
+pub struct CanonicalHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl CanonicalHasher {
+    /// A fresh hasher in the FNV-1a initial state.
+    pub fn new() -> Self {
+        CanonicalHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.state ^= u64::from(byte);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Absorbs a `usize` (widened to 64 bits for portability).
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Absorbs an `f64` through its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Absorbs a length-prefixed byte string.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        for &byte in bytes {
+            self.write_u8(byte);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for CanonicalHasher {
+    fn default() -> Self {
+        CanonicalHasher::new()
+    }
+}
+
+/// Types with a canonical, structure-sensitive digest.
+pub trait Canonical {
+    /// Feeds the canonical representation of `self` into `hasher`.
+    fn canonical_digest(&self, hasher: &mut CanonicalHasher);
+
+    /// Convenience: the canonical 64-bit hash of `self` alone.
+    fn canonical_hash(&self) -> u64 {
+        let mut hasher = CanonicalHasher::new();
+        self.canonical_digest(&mut hasher);
+        hasher.finish()
+    }
+}
+
+impl Canonical for Task {
+    fn canonical_digest(&self, hasher: &mut CanonicalHasher) {
+        hasher.write_f64(self.work);
+        hasher.write_f64(self.output_size);
+    }
+}
+
+impl Canonical for TaskChain {
+    fn canonical_digest(&self, hasher: &mut CanonicalHasher) {
+        hasher.write_usize(self.len());
+        for task in self.tasks() {
+            task.canonical_digest(hasher);
+        }
+    }
+}
+
+impl Canonical for Processor {
+    fn canonical_digest(&self, hasher: &mut CanonicalHasher) {
+        hasher.write_f64(self.speed);
+        hasher.write_f64(self.failure_rate);
+    }
+}
+
+impl Canonical for Platform {
+    fn canonical_digest(&self, hasher: &mut CanonicalHasher) {
+        hasher.write_usize(self.num_processors());
+        for processor in self.processors() {
+            processor.canonical_digest(hasher);
+        }
+        hasher.write_f64(self.bandwidth());
+        hasher.write_f64(self.link_failure_rate());
+        hasher.write_usize(self.max_replication());
+    }
+}
+
+impl Canonical for f64 {
+    fn canonical_digest(&self, hasher: &mut CanonicalHasher) {
+        hasher.write_f64(*self);
+    }
+}
+
+impl Canonical for usize {
+    fn canonical_digest(&self, hasher: &mut CanonicalHasher) {
+        hasher.write_usize(*self);
+    }
+}
+
+impl<T: Canonical> Canonical for [T] {
+    fn canonical_digest(&self, hasher: &mut CanonicalHasher) {
+        hasher.write_usize(self.len());
+        for item in self {
+            item.canonical_digest(hasher);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> TaskChain {
+        TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 0.0)]).unwrap()
+    }
+
+    #[test]
+    fn equal_objects_hash_equal() {
+        assert_eq!(chain().canonical_hash(), chain().canonical_hash());
+        let p = Platform::homogeneous(4, 1.0, 1e-4, 1.0, 1e-5, 2).unwrap();
+        let q = Platform::homogeneous(4, 1.0, 1e-4, 1.0, 1e-5, 2).unwrap();
+        assert_eq!(p.canonical_hash(), q.canonical_hash());
+    }
+
+    #[test]
+    fn structural_changes_change_the_hash() {
+        let base = chain().canonical_hash();
+        let other = TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (26.0, 0.0)]).unwrap();
+        assert_ne!(base, other.canonical_hash());
+
+        let p = Platform::homogeneous(4, 1.0, 1e-4, 1.0, 1e-5, 2).unwrap();
+        let more = Platform::homogeneous(5, 1.0, 1e-4, 1.0, 1e-5, 2).unwrap();
+        let faster = Platform::homogeneous(4, 2.0, 1e-4, 1.0, 1e-5, 2).unwrap();
+        assert_ne!(p.canonical_hash(), more.canonical_hash());
+        assert_ne!(p.canonical_hash(), faster.canonical_hash());
+    }
+
+    #[test]
+    fn field_order_matters() {
+        // (a, b) and (b, a) must not collide: writes are width-tagged and
+        // length-prefixed.
+        let ab = TaskChain::from_pairs(&[(1.0, 2.0)])
+            .unwrap()
+            .canonical_hash();
+        let ba = TaskChain::from_pairs(&[(2.0, 1.0)])
+            .unwrap()
+            .canonical_hash();
+        assert_ne!(ab, ba);
+    }
+}

@@ -87,9 +87,7 @@ pub fn energy_per_dataset(
             let output = mi.interval.output_size(chain);
             mi.processors
                 .iter()
-                .map(|&u| {
-                    model.compute_energy(work, platform.speed(u)) + model.comm_energy(output)
-                })
+                .map(|&u| model.compute_energy(work, platform.speed(u)) + model.comm_energy(output))
                 .sum::<f64>()
         })
         .sum()
@@ -185,7 +183,10 @@ mod tests {
         let duplicated = mapping(&chain, &platform, true);
         let e1 = energy_per_dataset(&chain, &platform, &single, &model);
         let e2 = energy_per_dataset(&chain, &platform, &duplicated, &model);
-        assert!(e2 > e1 * 1.5, "replication should add close to one full extra execution");
+        assert!(
+            e2 > e1 * 1.5,
+            "replication should add close to one full extra execution"
+        );
         // Faster processors burn more energy per unit of work under a cubic model.
         let faster_only = Mapping::new(
             vec![

@@ -77,7 +77,11 @@ impl fmt::Display for ModelError {
             ModelError::ZeroReplicationBound => {
                 write!(f, "replication bound K must be at least 1")
             }
-            ModelError::InvalidInterval { first, last, chain_len } => write!(
+            ModelError::InvalidInterval {
+                first,
+                last,
+                chain_len,
+            } => write!(
                 f,
                 "interval [{first}, {last}] is invalid for a chain of {chain_len} tasks"
             ),
@@ -91,7 +95,11 @@ impl fmt::Display for ModelError {
             ModelError::UnassignedInterval(j) => {
                 write!(f, "interval {j} is mapped on no processor")
             }
-            ModelError::ReplicationBoundExceeded { interval, replicas, bound } => write!(
+            ModelError::ReplicationBoundExceeded {
+                interval,
+                replicas,
+                bound,
+            } => write!(
                 f,
                 "interval {interval} uses {replicas} replicas, exceeding the bound K = {bound}"
             ),
@@ -114,7 +122,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ModelError::ReplicationBoundExceeded { interval: 2, replicas: 5, bound: 3 };
+        let e = ModelError::ReplicationBoundExceeded {
+            interval: 2,
+            replicas: 5,
+            bound: 3,
+        };
         let s = e.to_string();
         assert!(s.contains("interval 2"));
         assert!(s.contains("K = 3"));

@@ -22,7 +22,11 @@ impl Interval {
     /// Returns an error if `first > last`.
     pub fn new(first: usize, last: usize) -> Result<Self> {
         if first > last {
-            return Err(ModelError::InvalidInterval { first, last, chain_len: usize::MAX });
+            return Err(ModelError::InvalidInterval {
+                first,
+                last,
+                chain_len: usize::MAX,
+            });
         }
         Ok(Interval { first, last })
     }
@@ -96,7 +100,10 @@ impl IntervalPartition {
                 return Err(ModelError::NonContiguousPartition { at_interval: j });
             }
         }
-        Ok(IntervalPartition { intervals, chain_len })
+        Ok(IntervalPartition {
+            intervals,
+            chain_len,
+        })
     }
 
     /// Builds the partition defined by the (sorted, strictly increasing) list
@@ -113,12 +120,19 @@ impl IntervalPartition {
         let mut first = 0usize;
         for &c in cut_after {
             if c >= chain_len.saturating_sub(1) || c < first {
-                return Err(ModelError::InvalidInterval { first, last: c, chain_len });
+                return Err(ModelError::InvalidInterval {
+                    first,
+                    last: c,
+                    chain_len,
+                });
             }
             intervals.push(Interval { first, last: c });
             first = c + 1;
         }
-        intervals.push(Interval { first, last: chain_len.saturating_sub(1) });
+        intervals.push(Interval {
+            first,
+            last: chain_len.saturating_sub(1),
+        });
         Self::new(intervals, chain_len)
     }
 
@@ -160,18 +174,27 @@ impl IntervalPartition {
 
     /// The cut points (last-task index of every interval but the final one).
     pub fn cut_points(&self) -> Vec<usize> {
-        self.intervals[..self.intervals.len() - 1].iter().map(|i| i.last).collect()
+        self.intervals[..self.intervals.len() - 1]
+            .iter()
+            .map(|i| i.last)
+            .collect()
     }
 
     /// Largest interval work within `chain` (the computation part of the
     /// worst-case period on a unit-speed platform).
     pub fn max_interval_work(&self, chain: &TaskChain) -> f64 {
-        self.intervals.iter().map(|i| i.work(chain)).fold(0.0, f64::max)
+        self.intervals
+            .iter()
+            .map(|i| i.work(chain))
+            .fold(0.0, f64::max)
     }
 
     /// Largest boundary communication size of the partition.
     pub fn max_boundary_output(&self, chain: &TaskChain) -> f64 {
-        self.intervals.iter().map(|i| i.output_size(chain)).fold(0.0, f64::max)
+        self.intervals
+            .iter()
+            .map(|i| i.output_size(chain))
+            .fold(0.0, f64::max)
     }
 
     /// Sum of the boundary communication sizes of the partition.
@@ -228,16 +251,25 @@ mod tests {
     #[test]
     fn partition_validation() {
         let ok = IntervalPartition::new(
-            vec![Interval { first: 0, last: 1 }, Interval { first: 2, last: 3 }],
+            vec![
+                Interval { first: 0, last: 1 },
+                Interval { first: 2, last: 3 },
+            ],
             4,
         );
         assert!(ok.is_ok());
 
         let gap = IntervalPartition::new(
-            vec![Interval { first: 0, last: 1 }, Interval { first: 3, last: 3 }],
+            vec![
+                Interval { first: 0, last: 1 },
+                Interval { first: 3, last: 3 },
+            ],
             4,
         );
-        assert_eq!(gap.unwrap_err(), ModelError::NonContiguousPartition { at_interval: 1 });
+        assert_eq!(
+            gap.unwrap_err(),
+            ModelError::NonContiguousPartition { at_interval: 1 }
+        );
 
         let incomplete =
             IntervalPartition::new(vec![Interval { first: 0, last: 2 }], 4).unwrap_err();

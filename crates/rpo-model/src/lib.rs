@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod canonical;
 pub mod energy;
 pub mod error;
 pub mod evaluate;
@@ -39,6 +40,7 @@ pub mod reliability;
 pub mod task;
 pub mod timing;
 
+pub use canonical::{Canonical, CanonicalHasher};
 pub use energy::{EnergyEvaluation, PowerModel};
 pub use error::ModelError;
 pub use evaluate::{BoundCheck, MappingEvaluation};

@@ -4,9 +4,7 @@ use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    Interval, IntervalPartition, ModelError, Platform, ProcessorId, Result, TaskChain,
-};
+use crate::{Interval, IntervalPartition, ModelError, Platform, ProcessorId, Result, TaskChain};
 
 /// One interval of the mapping together with the set of processors that
 /// replicate it.
@@ -22,7 +20,10 @@ pub struct MappedInterval {
 impl MappedInterval {
     /// Creates a mapped interval.
     pub fn new(interval: Interval, processors: Vec<ProcessorId>) -> Self {
-        MappedInterval { interval, processors }
+        MappedInterval {
+            interval,
+            processors,
+        }
     }
 
     /// Number of replicas of the interval.
@@ -106,7 +107,10 @@ impl Mapping {
             .intervals()
             .iter()
             .zip(processor_sets)
-            .map(|(&interval, processors)| MappedInterval { interval, processors })
+            .map(|(&interval, processors)| MappedInterval {
+                interval,
+                processors,
+            })
             .collect();
         Self::new(intervals, chain, platform)
     }
@@ -200,7 +204,11 @@ mod tests {
         let err = Mapping::new(vec![mi(0, 2, &[0, 1, 2])], &c, &p).unwrap_err();
         assert_eq!(
             err,
-            ModelError::ReplicationBoundExceeded { interval: 0, replicas: 3, bound: 2 }
+            ModelError::ReplicationBoundExceeded {
+                interval: 0,
+                replicas: 3,
+                bound: 2
+            }
         );
     }
 

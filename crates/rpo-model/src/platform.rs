@@ -20,7 +20,10 @@ pub struct Processor {
 impl Processor {
     /// Creates a new processor description.
     pub fn new(speed: f64, failure_rate: f64) -> Self {
-        Processor { speed, failure_rate }
+        Processor {
+            speed,
+            failure_rate,
+        }
     }
 }
 
@@ -74,12 +77,19 @@ impl Platform {
             return Err(ModelError::NonPositiveBandwidth);
         }
         if link_failure_rate < 0.0 {
-            return Err(ModelError::NegativeFailureRate("communication link".to_string()));
+            return Err(ModelError::NegativeFailureRate(
+                "communication link".to_string(),
+            ));
         }
         if max_replication == 0 {
             return Err(ModelError::ZeroReplicationBound);
         }
-        Ok(Platform { processors, bandwidth, link_failure_rate, max_replication })
+        Ok(Platform {
+            processors,
+            bandwidth,
+            link_failure_rate,
+            max_replication,
+        })
     }
 
     /// Builds a fully homogeneous platform of `p` identical processors.
@@ -154,7 +164,10 @@ impl Platform {
 
     /// Smallest processor speed of the platform.
     pub fn min_speed(&self) -> f64 {
-        self.processors.iter().map(|p| p.speed).fold(f64::INFINITY, f64::min)
+        self.processors
+            .iter()
+            .map(|p| p.speed)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Largest processor speed of the platform.
@@ -223,7 +236,10 @@ impl PlatformBuilder {
 
     /// Adds `count` identical processors.
     pub fn identical_processors(mut self, count: usize, speed: f64, failure_rate: f64) -> Self {
-        self.processors.extend(std::iter::repeat(Processor::new(speed, failure_rate)).take(count));
+        self.processors.extend(std::iter::repeat_n(
+            Processor::new(speed, failure_rate),
+            count,
+        ));
         self
     }
 
@@ -251,7 +267,12 @@ impl PlatformBuilder {
     ///
     /// Propagates the validation errors of [`Platform::new`].
     pub fn build(self) -> Result<Platform> {
-        Platform::new(self.processors, self.bandwidth, self.link_failure_rate, self.max_replication)
+        Platform::new(
+            self.processors,
+            self.bandwidth,
+            self.link_failure_rate,
+            self.max_replication,
+        )
     }
 }
 

@@ -42,7 +42,10 @@ pub fn interval_reliability(
 /// Reliability of the communication of a data set of size `output_size` on one
 /// link: `r_comm = e^{-λ_ℓ o / b}`.
 pub fn communication_reliability(platform: &Platform, output_size: f64) -> f64 {
-    component_reliability(platform.link_failure_rate(), output_size / platform.bandwidth())
+    component_reliability(
+        platform.link_failure_rate(),
+        output_size / platform.bandwidth(),
+    )
 }
 
 /// Reliability of the `i`-th communication of the chain (the output of task
@@ -173,9 +176,7 @@ mod tests {
         let c = chain();
         let p = platform();
         assert_eq!(chain_communication_reliability(&c, &p, 2), 1.0);
-        assert!(
-            (chain_communication_reliability(&c, &p, 0) - (-1e-3f64 * 2.0).exp()).abs() < EPS
-        );
+        assert!((chain_communication_reliability(&c, &p, 0) - (-1e-3f64 * 2.0).exp()).abs() < EPS);
     }
 
     #[test]
@@ -215,9 +216,7 @@ mod tests {
         let expected = r_itv1 * r_itv2;
 
         assert!((mapping_reliability(&c, &p, &m) - expected).abs() < EPS);
-        assert!(
-            (mapping_failure_probability(&c, &p, &m) - (1.0 - expected)).abs() < EPS
-        );
+        assert!((mapping_failure_probability(&c, &p, &m) - (1.0 - expected)).abs() < EPS);
     }
 
     #[test]
@@ -247,7 +246,10 @@ mod tests {
         let c = chain();
         let p = platform();
         let m = Mapping::new(
-            vec![MappedInterval::new(Interval { first: 0, last: 2 }, vec![0, 3])],
+            vec![MappedInterval::new(
+                Interval { first: 0, last: 2 },
+                vec![0, 3],
+            )],
             &c,
             &p,
         )

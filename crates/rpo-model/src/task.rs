@@ -134,7 +134,10 @@ impl TaskChain {
     ///
     /// Panics if `first > last` or `last` is out of bounds.
     pub fn interval_work(&self, first: usize, last: usize) -> f64 {
-        assert!(first <= last && last < self.tasks.len(), "invalid interval [{first}, {last}]");
+        assert!(
+            first <= last && last < self.tasks.len(),
+            "invalid interval [{first}, {last}]"
+        );
         self.work_prefix[last + 1] - self.work_prefix[first]
     }
 

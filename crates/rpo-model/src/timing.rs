@@ -20,7 +20,10 @@ pub fn expected_cost(
     interval: Interval,
     processors: &[ProcessorId],
 ) -> f64 {
-    assert!(!processors.is_empty(), "expected_cost needs at least one replica");
+    assert!(
+        !processors.is_empty(),
+        "expected_cost needs at least one replica"
+    );
     let work = interval.work(chain);
 
     // Sort the replica set from fastest to slowest (ties by index for determinism).
@@ -57,7 +60,10 @@ pub fn worst_case_cost(
     interval: Interval,
     processors: &[ProcessorId],
 ) -> f64 {
-    assert!(!processors.is_empty(), "worst_case_cost needs at least one replica");
+    assert!(
+        !processors.is_empty(),
+        "worst_case_cost needs at least one replica"
+    );
     let slowest = processors
         .iter()
         .map(|&u| platform.speed(u))
@@ -209,8 +215,8 @@ mod tests {
         let itv = Interval { first: 0, last: 1 }; // W = 30
         let r_fast = (-0.01f64 * 15.0).exp();
         let r_slow = (-0.02f64 * 30.0).exp();
-        let expected =
-            30.0 * (r_fast / 2.0 + r_slow * (1.0 - r_fast) / 1.0) / (1.0 - (1.0 - r_fast) * (1.0 - r_slow));
+        let expected = 30.0 * (r_fast / 2.0 + r_slow * (1.0 - r_fast) / 1.0)
+            / (1.0 - (1.0 - r_fast) * (1.0 - r_slow));
         assert!((expected_cost(&c, &p, itv, &[0, 2]) - expected).abs() < EPS);
         // Order of the replica list must not matter.
         assert!((expected_cost(&c, &p, itv, &[2, 0]) - expected).abs() < EPS);
@@ -284,7 +290,7 @@ mod tests {
         assert!((req - 20.0).abs() < EPS);
         let req_fast = interval_period_requirement(&c, &p, itv, 10.0);
         assert!((req_fast - 3.0).abs() < EPS); // outgoing communication dominates
-        // First interval has no incoming communication.
+                                               // First interval has no incoming communication.
         let first = Interval { first: 0, last: 0 };
         assert!((interval_period_requirement(&c, &p, first, 1.0) - 10.0).abs() < EPS);
         // Last interval has no outgoing communication.

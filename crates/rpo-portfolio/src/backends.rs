@@ -1,0 +1,445 @@
+//! Adapters exposing every `rpo-algorithms` solver as a [`SolverBackend`].
+//!
+//! | backend | wraps | applicability |
+//! |---|---|---|
+//! | `Algo-1` | [`rpo_algorithms::optimize_reliability_homogeneous`] | homogeneous |
+//! | `Algo-2` | [`rpo_algorithms::optimize_reliability_with_period_bound`] | homogeneous, finite period bound |
+//! | `Period-Opt` | [`rpo_algorithms::minimize_period_with_reliability_bound`] | homogeneous |
+//! | `Heur-L` | Heur-L partitions + Algo-Alloc / Section 7.2 allocation | always |
+//! | `Heur-P` | Heur-P partitions + Algo-Alloc / Section 7.2 allocation | always |
+//! | `Het-Sweep` | Section 7.2 allocation swept over tightened period targets | heterogeneous |
+//! | `ILP` | [`rpo_algorithms::exact::optimal_by_ilp`] | homogeneous, small instances |
+//! | `Exhaustive` | [`rpo_algorithms::exact::optimal_homogeneous`] | homogeneous, bounded size |
+
+use crate::backend::{Applicability, Budget, CandidateMapping, ProblemInstance, SolverBackend};
+use rpo_algorithms::alloc::algo_alloc;
+use rpo_algorithms::alloc_het::{algo_alloc_heterogeneous, AllocationConstraints};
+use rpo_algorithms::exact;
+use rpo_algorithms::heur_l::heur_l_partition;
+use rpo_algorithms::heur_p::heur_p_partition;
+use rpo_algorithms::{
+    minimize_period_with_reliability_bound, optimize_reliability_homogeneous,
+    optimize_reliability_with_period_bound,
+};
+use rpo_model::IntervalPartition;
+
+const SKIP_HETEROGENEOUS: &str = "requires a homogeneous platform";
+const SKIP_HOMOGENEOUS: &str = "requires a heterogeneous platform";
+const SKIP_TOO_LARGE: &str = "instance exceeds the exact-solver size cap";
+const SKIP_NO_PERIOD_BOUND: &str = "needs a finite period bound";
+
+/// The full default portfolio: all eight backends.
+pub fn default_backends() -> Vec<Box<dyn SolverBackend>> {
+    vec![
+        Box::new(Algo1Backend),
+        Box::new(Algo2Backend),
+        Box::new(PeriodOptBackend),
+        Box::new(HeuristicBackend::heur_l()),
+        Box::new(HeuristicBackend::heur_p()),
+        Box::new(HetSweepBackend),
+        Box::new(IlpBackend),
+        Box::new(ExhaustiveBackend),
+    ]
+}
+
+/// Algorithm 1: unconstrained reliability optimization (homogeneous DP).
+pub struct Algo1Backend;
+
+impl SolverBackend for Algo1Backend {
+    fn name(&self) -> &'static str {
+        "Algo-1"
+    }
+
+    fn applicability(&self, instance: &ProblemInstance, _budget: &Budget) -> Applicability {
+        if instance.platform.is_homogeneous() {
+            Applicability::Applicable
+        } else {
+            Applicability::Skip(SKIP_HETEROGENEOUS)
+        }
+    }
+
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
+        optimize_reliability_homogeneous(&instance.chain, &instance.platform)
+            .map(|solution| {
+                vec![CandidateMapping::evaluate(
+                    self.name(),
+                    instance,
+                    solution.mapping,
+                )]
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Algorithm 2: reliability optimization under the period bound.
+pub struct Algo2Backend;
+
+impl SolverBackend for Algo2Backend {
+    fn name(&self) -> &'static str {
+        "Algo-2"
+    }
+
+    fn applicability(&self, instance: &ProblemInstance, _budget: &Budget) -> Applicability {
+        if !instance.platform.is_homogeneous() {
+            Applicability::Skip(SKIP_HETEROGENEOUS)
+        } else if !instance.period_bound.is_finite() {
+            Applicability::Skip(SKIP_NO_PERIOD_BOUND)
+        } else {
+            Applicability::Applicable
+        }
+    }
+
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
+        optimize_reliability_with_period_bound(
+            &instance.chain,
+            &instance.platform,
+            instance.period_bound,
+        )
+        .map(|solution| {
+            vec![CandidateMapping::evaluate(
+                self.name(),
+                instance,
+                solution.mapping,
+            )]
+        })
+        .unwrap_or_default()
+    }
+}
+
+/// The Section 5.2 converse problem: the minimal-period mapping (with an
+/// essentially unconstrained reliability bound), a natural Pareto extreme.
+pub struct PeriodOptBackend;
+
+impl SolverBackend for PeriodOptBackend {
+    fn name(&self) -> &'static str {
+        "Period-Opt"
+    }
+
+    fn applicability(&self, instance: &ProblemInstance, _budget: &Budget) -> Applicability {
+        if instance.platform.is_homogeneous() {
+            Applicability::Applicable
+        } else {
+            Applicability::Skip(SKIP_HETEROGENEOUS)
+        }
+    }
+
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
+        minimize_period_with_reliability_bound(
+            &instance.chain,
+            &instance.platform,
+            f64::MIN_POSITIVE,
+        )
+        .map(|solution| {
+            vec![CandidateMapping::evaluate(
+                self.name(),
+                instance,
+                solution.mapping,
+            )]
+        })
+        .unwrap_or_default()
+    }
+}
+
+/// The Section 7 two-step heuristics, returning one candidate per interval
+/// count instead of only the best-reliability one (richer Pareto fronts).
+pub struct HeuristicBackend {
+    name: &'static str,
+    partition: fn(&rpo_model::TaskChain, usize) -> IntervalPartition,
+}
+
+impl HeuristicBackend {
+    /// Heur-L (Algorithm 3): cut at the smallest communication costs.
+    pub fn heur_l() -> Self {
+        HeuristicBackend {
+            name: "Heur-L",
+            partition: heur_l_partition,
+        }
+    }
+
+    /// Heur-P (Algorithm 4): balance the interval works.
+    pub fn heur_p() -> Self {
+        HeuristicBackend {
+            name: "Heur-P",
+            partition: heur_p_partition,
+        }
+    }
+}
+
+impl SolverBackend for HeuristicBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn applicability(&self, _instance: &ProblemInstance, _budget: &Budget) -> Applicability {
+        Applicability::Applicable
+    }
+
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
+        let chain = &instance.chain;
+        let platform = &instance.platform;
+        let homogeneous = platform.is_homogeneous();
+        let constraints = AllocationConstraints::none();
+        let period_bound = instance.finite_period_bound();
+
+        let mut candidates = Vec::new();
+        for num_intervals in 1..=chain.len().min(platform.num_processors()) {
+            let partition = (self.partition)(chain, num_intervals);
+            let mapping = if homogeneous {
+                algo_alloc(chain, platform, &partition)
+            } else {
+                algo_alloc_heterogeneous(chain, platform, &partition, period_bound, &constraints)
+            };
+            if let Ok(mapping) = mapping {
+                candidates.push(CandidateMapping::evaluate(self.name, instance, mapping));
+            }
+        }
+        candidates
+    }
+}
+
+/// Heterogeneous-only strategy: sweeps the Section 7.2 allocator over a
+/// geometric ladder of *tightened* period targets. Tighter targets force the
+/// allocator towards faster processors, trading reliability for period and
+/// populating the Pareto front between the heuristics' extremes.
+pub struct HetSweepBackend;
+
+/// Number of period targets swept by [`HetSweepBackend`].
+const SWEEP_STEPS: usize = 4;
+
+impl SolverBackend for HetSweepBackend {
+    fn name(&self) -> &'static str {
+        "Het-Sweep"
+    }
+
+    fn applicability(&self, instance: &ProblemInstance, _budget: &Budget) -> Applicability {
+        if instance.platform.is_homogeneous() {
+            Applicability::Skip(SKIP_HOMOGENEOUS)
+        } else {
+            Applicability::Applicable
+        }
+    }
+
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
+        let chain = &instance.chain;
+        let platform = &instance.platform;
+        let constraints = AllocationConstraints::none();
+
+        // Sweep from the tightest conceivable period (largest task on the
+        // fastest processor) up to the instance bound (or its finite
+        // surrogate).
+        let lower = chain.max_task_work() / platform.max_speed();
+        let upper = instance.finite_period_bound();
+        if lower <= 0.0 || upper < lower {
+            return Vec::new();
+        }
+        // A degenerate sweep (bound exactly at the critical-path floor)
+        // still tries that single target.
+        let steps = if upper > lower { SWEEP_STEPS } else { 0 };
+        let ratio = if steps > 0 {
+            (upper / lower).powf(1.0 / steps as f64)
+        } else {
+            1.0
+        };
+
+        let mut candidates = Vec::new();
+        for step in 0..=steps {
+            let target = lower * ratio.powi(step as i32);
+            for num_intervals in 1..=chain.len().min(platform.num_processors()) {
+                for partition_fn in [heur_l_partition, heur_p_partition] {
+                    let partition = partition_fn(chain, num_intervals);
+                    if let Ok(mapping) =
+                        algo_alloc_heterogeneous(chain, platform, &partition, target, &constraints)
+                    {
+                        candidates.push(CandidateMapping::evaluate(self.name(), instance, mapping));
+                    }
+                }
+            }
+        }
+        candidates
+    }
+}
+
+/// The Section 5.4 integer linear program, solved by `rpo-lp`.
+pub struct IlpBackend;
+
+impl SolverBackend for IlpBackend {
+    fn name(&self) -> &'static str {
+        "ILP"
+    }
+
+    fn applicability(&self, instance: &ProblemInstance, budget: &Budget) -> Applicability {
+        if !instance.platform.is_homogeneous() {
+            Applicability::Skip(SKIP_HETEROGENEOUS)
+        } else if instance.chain.len() > budget.max_ilp_tasks {
+            Applicability::Skip(SKIP_TOO_LARGE)
+        } else {
+            Applicability::Applicable
+        }
+    }
+
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
+        exact::optimal_by_ilp(
+            &instance.chain,
+            &instance.platform,
+            instance.period_bound,
+            instance.latency_bound,
+        )
+        .map(|solution| {
+            vec![CandidateMapping::evaluate(
+                self.name(),
+                instance,
+                solution.mapping,
+            )]
+        })
+        .unwrap_or_default()
+    }
+}
+
+/// The certified-optimal exhaustive partition enumeration + Algo-Alloc.
+pub struct ExhaustiveBackend;
+
+impl SolverBackend for ExhaustiveBackend {
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+
+    fn applicability(&self, instance: &ProblemInstance, budget: &Budget) -> Applicability {
+        let cap = budget
+            .max_exhaustive_tasks
+            .min(exact::exhaustive::MAX_EXHAUSTIVE_TASKS);
+        if !instance.platform.is_homogeneous() {
+            Applicability::Skip(SKIP_HETEROGENEOUS)
+        } else if instance.chain.len() > cap {
+            Applicability::Skip(SKIP_TOO_LARGE)
+        } else {
+            Applicability::Applicable
+        }
+    }
+
+    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
+        exact::optimal_homogeneous(
+            &instance.chain,
+            &instance.platform,
+            instance.period_bound,
+            instance.latency_bound,
+        )
+        .map(|solution| {
+            vec![CandidateMapping::evaluate(
+                self.name(),
+                instance,
+                solution.mapping,
+            )]
+        })
+        .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpo_model::{Platform, PlatformBuilder, TaskChain};
+
+    fn hom_instance() -> ProblemInstance {
+        let chain =
+            TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0), (40.0, 3.0)]).unwrap();
+        let platform = Platform::homogeneous(5, 1.0, 1e-3, 1.0, 1e-4, 2).unwrap();
+        ProblemInstance::new(chain, platform, 70.0, 130.0).unwrap()
+    }
+
+    fn het_instance() -> ProblemInstance {
+        let chain =
+            TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0), (40.0, 3.0)]).unwrap();
+        let platform = PlatformBuilder::new()
+            .processor(4.0, 1e-3)
+            .processor(2.0, 1e-3)
+            .processor(1.0, 1e-3)
+            .processor(3.0, 1e-3)
+            .bandwidth(1.0)
+            .link_failure_rate(1e-4)
+            .max_replication(2)
+            .build()
+            .unwrap();
+        ProblemInstance::new(chain, platform, 50.0, 150.0).unwrap()
+    }
+
+    #[test]
+    fn applicability_separates_platform_classes() {
+        let budget = Budget::default();
+        let hom = hom_instance();
+        let het = het_instance();
+        for backend in default_backends() {
+            match backend.name() {
+                "Heur-L" | "Heur-P" => {
+                    assert!(backend.applicability(&hom, &budget).is_applicable());
+                    assert!(backend.applicability(&het, &budget).is_applicable());
+                }
+                "Het-Sweep" => {
+                    assert!(!backend.applicability(&hom, &budget).is_applicable());
+                    assert!(backend.applicability(&het, &budget).is_applicable());
+                }
+                _ => {
+                    assert!(backend.applicability(&hom, &budget).is_applicable());
+                    assert!(!backend.applicability(&het, &budget).is_applicable());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_caps_gate_the_exact_solvers() {
+        let chain = TaskChain::from_pairs(&vec![(10.0, 1.0); 16]).unwrap();
+        let platform = Platform::homogeneous(4, 1.0, 1e-3, 1.0, 1e-4, 2).unwrap();
+        let instance = ProblemInstance::unbounded(chain, platform);
+        let budget = Budget::default();
+        assert!(!IlpBackend.applicability(&instance, &budget).is_applicable());
+        assert!(!ExhaustiveBackend
+            .applicability(&instance, &budget)
+            .is_applicable());
+        assert!(Algo1Backend
+            .applicability(&instance, &budget)
+            .is_applicable());
+    }
+
+    #[test]
+    fn heuristic_backends_return_multiple_candidates() {
+        let instance = hom_instance();
+        let budget = Budget::default();
+        let candidates = HeuristicBackend::heur_p().solve(&instance, &budget);
+        assert!(
+            candidates.len() > 1,
+            "expected one candidate per interval count"
+        );
+        for candidate in &candidates {
+            assert_eq!(candidate.backend, "Heur-P");
+        }
+    }
+
+    #[test]
+    fn exact_backends_agree_on_the_reliability_optimum() {
+        let instance = hom_instance();
+        let budget = Budget::default();
+        let exhaustive = ExhaustiveBackend.solve(&instance, &budget);
+        let ilp = IlpBackend.solve(&instance, &budget);
+        assert_eq!(exhaustive.len(), 1);
+        assert_eq!(ilp.len(), 1);
+        assert!(
+            (exhaustive[0].evaluation.reliability - ilp[0].evaluation.reliability).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn het_sweep_produces_period_diverse_candidates() {
+        let instance = het_instance();
+        let candidates = HetSweepBackend.solve(&instance, &Budget::default());
+        assert!(!candidates.is_empty());
+        let min = candidates
+            .iter()
+            .map(|c| c.evaluation.worst_case_period)
+            .fold(f64::INFINITY, f64::min);
+        let max = candidates
+            .iter()
+            .map(|c| c.evaluation.worst_case_period)
+            .fold(0.0f64, f64::max);
+        assert!(max > min, "sweep should explore different period regimes");
+    }
+}

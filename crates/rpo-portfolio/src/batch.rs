@@ -1,0 +1,397 @@
+//! The batch driver: streams thousands of generated instances through the
+//! portfolio engine across worker threads and reports throughput and
+//! per-backend win rates.
+
+use crate::backend::ProblemInstance;
+use crate::cache::CacheStats;
+use crate::engine::{PortfolioEngine, RunStatus};
+use rpo_workload::ExperimentInstance;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How the real-time bounds of a streamed instance are derived from its
+/// chain and platform (the paper sets absolute bounds; relative slacks keep
+/// a comparable feasibility mix across random instances).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundsPolicy {
+    /// Worst-case period bound = `slack × max_i w_i / s_max`.
+    pub period_slack: f64,
+    /// Worst-case latency bound = `slack × W / s_max`.
+    pub latency_slack: f64,
+}
+
+impl Default for BoundsPolicy {
+    fn default() -> Self {
+        BoundsPolicy {
+            period_slack: 1.5,
+            latency_slack: 1.2,
+        }
+    }
+}
+
+impl BoundsPolicy {
+    /// Unbounded instances (pure reliability optimization).
+    pub fn unbounded() -> Self {
+        BoundsPolicy {
+            period_slack: f64::INFINITY,
+            latency_slack: f64::INFINITY,
+        }
+    }
+
+    /// Builds the portfolio instance for one generated experiment instance.
+    pub fn instance(
+        &self,
+        experiment: &ExperimentInstance,
+        heterogeneous: bool,
+    ) -> ProblemInstance {
+        let platform = if heterogeneous {
+            &experiment.heterogeneous
+        } else {
+            &experiment.homogeneous
+        };
+        let speed = platform.max_speed();
+        let period_bound = self.period_slack * experiment.chain.max_task_work() / speed;
+        let latency_bound = self.latency_slack * experiment.chain.total_work() / speed;
+        ProblemInstance {
+            chain: experiment.chain.clone(),
+            platform: platform.clone(),
+            period_bound,
+            latency_bound,
+        }
+    }
+}
+
+/// Batch driver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchConfig {
+    /// Thread budget for the batch. The driver divides it by the engine's
+    /// per-solve thread count, so instance-level and backend-level
+    /// parallelism compose without oversubscribing the machine.
+    pub workers: usize,
+    /// Bound derivation policy.
+    pub bounds: BoundsPolicy,
+    /// Solve each instance on its heterogeneous platform instead of the
+    /// homogeneous one.
+    pub heterogeneous: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            bounds: BoundsPolicy::default(),
+            heterogeneous: false,
+        }
+    }
+}
+
+/// Aggregated statistics for one backend across a batch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BackendStats {
+    /// Backend name.
+    pub backend: String,
+    /// Instances on which the backend completed.
+    pub runs: usize,
+    /// Instances where the backend produced the winning (most reliable)
+    /// front point.
+    pub wins: usize,
+    /// Total Pareto points contributed across all instances.
+    pub front_points: usize,
+    /// Total wall-clock spent inside the backend, in microseconds.
+    pub total_micros: u64,
+}
+
+impl BackendStats {
+    /// Win rate over the instances this backend ran on.
+    pub fn win_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.wins as f64 / self.runs as f64
+        }
+    }
+}
+
+/// The report of one batch run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Instances streamed.
+    pub instances: usize,
+    /// Instances with at least one feasible mapping.
+    pub feasible_instances: usize,
+    /// Instances answered from the engine cache.
+    pub cache_answered: usize,
+    /// Wall-clock time of the whole batch.
+    pub elapsed: Duration,
+    /// Per-backend statistics, sorted by wins then name.
+    pub backend_stats: Vec<BackendStats>,
+    /// Cache counters after the batch.
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// Instances solved per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        let seconds = self.elapsed.as_secs_f64();
+        if seconds > 0.0 {
+            self.instances as f64 / seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl std::fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "batch: {} instances in {:.2?} ({:.1} instances/sec), {} feasible, {} from cache",
+            self.instances,
+            self.elapsed,
+            self.throughput(),
+            self.feasible_instances,
+            self.cache_answered,
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits / {} misses ({:.0}% hit rate), {} evictions",
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_ratio(),
+            self.cache.evictions,
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>6} {:>6} {:>9} {:>13} {:>11}",
+            "backend", "runs", "wins", "win-rate", "front-points", "time"
+        )?;
+        for stats in &self.backend_stats {
+            writeln!(
+                f,
+                "{:<12} {:>6} {:>6} {:>8.1}% {:>13} {:>9.1}ms",
+                stats.backend,
+                stats.runs,
+                stats.wins,
+                100.0 * stats.win_rate(),
+                stats.front_points,
+                stats.total_micros as f64 / 1e3,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Streams instances through a [`PortfolioEngine`] with a pool of worker
+/// threads pulling from a shared queue.
+#[derive(Default)]
+pub struct BatchDriver {
+    config: BatchConfig,
+}
+
+impl BatchDriver {
+    /// A driver with the given configuration.
+    pub fn new(config: BatchConfig) -> Self {
+        BatchDriver { config }
+    }
+
+    /// Runs every instance of `stream` through `engine` and aggregates the
+    /// per-backend statistics. The stream is consumed lazily — instances
+    /// are generated one at a time as workers become free, so arbitrarily
+    /// long batches run in O(workers) memory.
+    pub fn run<I>(&self, engine: &PortfolioEngine, stream: I) -> BatchReport
+    where
+        I: IntoIterator<Item = ExperimentInstance>,
+        I::IntoIter: Send,
+    {
+        let bounds = self.config.bounds;
+        let heterogeneous = self.config.heterogeneous;
+        self.drive(
+            engine,
+            stream
+                .into_iter()
+                .map(move |experiment| bounds.instance(&experiment, heterogeneous)),
+        )
+    }
+
+    /// Like [`BatchDriver::run`], for pre-built portfolio instances.
+    pub fn run_instances(
+        &self,
+        engine: &PortfolioEngine,
+        instances: Vec<ProblemInstance>,
+    ) -> BatchReport {
+        self.drive(engine, instances.into_iter())
+    }
+
+    /// The shared worker loop: threads pull the next instance from the
+    /// mutex-guarded iterator (held only while generating one instance),
+    /// solve it, and fold their local tallies at the end.
+    fn drive<J>(&self, engine: &PortfolioEngine, instances: J) -> BatchReport
+    where
+        J: Iterator<Item = ProblemInstance> + Send,
+    {
+        let start = Instant::now();
+        // Divide the thread budget between instance-level parallelism
+        // (workers here) and backend-level parallelism (engine threads).
+        let workers = (self.config.workers / engine.threads().max(1)).max(1);
+        let source = Mutex::new(instances);
+
+        #[derive(Default)]
+        struct Tally {
+            count: usize,
+            feasible: usize,
+            cache_answered: usize,
+            stats: HashMap<&'static str, BackendStats>,
+        }
+
+        let tally: Mutex<Tally> = Mutex::new(Tally::default());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local = Tally::default();
+                    loop {
+                        let Some(instance) =
+                            source.lock().expect("instance stream lock poisoned").next()
+                        else {
+                            break;
+                        };
+                        local.count += 1;
+                        let outcome = engine.solve(&instance);
+                        if outcome.is_feasible() {
+                            local.feasible += 1;
+                        }
+                        if outcome.from_cache {
+                            local.cache_answered += 1;
+                            continue; // per-backend stats were counted once
+                        }
+                        let winner = outcome.front.best_reliability().map(|p| p.backend);
+                        for run in &outcome.runs {
+                            if run.status != RunStatus::Completed {
+                                continue;
+                            }
+                            let entry =
+                                local
+                                    .stats
+                                    .entry(run.backend)
+                                    .or_insert_with(|| BackendStats {
+                                        backend: run.backend.to_string(),
+                                        ..BackendStats::default()
+                                    });
+                            entry.runs += 1;
+                            entry.total_micros += run.micros;
+                            if winner == Some(run.backend) {
+                                entry.wins += 1;
+                            }
+                        }
+                        for point in outcome.front.points() {
+                            if let Some(entry) = local.stats.get_mut(point.backend) {
+                                entry.front_points += 1;
+                            }
+                        }
+                    }
+                    // Fold the worker-local tally into the shared one.
+                    let mut shared = tally.lock().expect("tally lock poisoned");
+                    shared.count += local.count;
+                    shared.feasible += local.feasible;
+                    shared.cache_answered += local.cache_answered;
+                    for (name, stats) in local.stats {
+                        let entry = shared.stats.entry(name).or_insert_with(|| BackendStats {
+                            backend: stats.backend.clone(),
+                            ..BackendStats::default()
+                        });
+                        entry.runs += stats.runs;
+                        entry.wins += stats.wins;
+                        entry.front_points += stats.front_points;
+                        entry.total_micros += stats.total_micros;
+                    }
+                });
+            }
+        });
+
+        let tally = tally.into_inner().expect("tally lock poisoned");
+        let mut backend_stats: Vec<BackendStats> = tally.stats.into_values().collect();
+        backend_stats.sort_by(|a, b| b.wins.cmp(&a.wins).then_with(|| a.backend.cmp(&b.backend)));
+
+        BatchReport {
+            instances: tally.count,
+            feasible_instances: tally.feasible,
+            cache_answered: tally.cache_answered,
+            elapsed: start.elapsed(),
+            backend_stats,
+            cache: engine.cache_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpo_workload::InstanceGenerator;
+
+    #[test]
+    fn small_batch_reports_consistent_counts() {
+        let engine = PortfolioEngine::default().with_threads(1);
+        let driver = BatchDriver::new(BatchConfig {
+            workers: 2,
+            bounds: BoundsPolicy::default(),
+            heterogeneous: false,
+        });
+        let generator = InstanceGenerator::paper_homogeneous(2024);
+        let report = driver.run(&engine, generator.stream(12));
+        assert_eq!(report.instances, 12);
+        assert!(
+            report.feasible_instances > 0,
+            "paper-style instances should be solvable"
+        );
+        assert!(report.throughput() > 0.0);
+        let total_wins: usize = report.backend_stats.iter().map(|s| s.wins).sum();
+        assert_eq!(
+            total_wins,
+            report.feasible_instances - report.cache_answered
+        );
+    }
+
+    #[test]
+    fn duplicate_instances_are_answered_by_the_cache() {
+        let engine = PortfolioEngine::default().with_threads(1);
+        let driver = BatchDriver::new(BatchConfig {
+            workers: 1,
+            ..BatchConfig::default()
+        });
+        let generator = InstanceGenerator::paper_homogeneous(7);
+        let mut instances: Vec<ExperimentInstance> = generator.batch(3);
+        instances.extend(generator.batch(3)); // same three again
+        let report = driver.run(&engine, instances);
+        assert_eq!(report.instances, 6);
+        assert_eq!(report.cache_answered, 3);
+        assert_eq!(report.cache.hits, 3);
+    }
+
+    #[test]
+    fn heterogeneous_batches_use_the_heterogeneous_platform() {
+        let engine = PortfolioEngine::default().with_threads(1);
+        let driver = BatchDriver::new(BatchConfig {
+            workers: 2,
+            bounds: BoundsPolicy {
+                period_slack: 3.0,
+                latency_slack: 2.0,
+            },
+            heterogeneous: true,
+        });
+        let generator = InstanceGenerator::paper_heterogeneous(11);
+        let report = driver.run(&engine, generator.stream(6));
+        assert_eq!(report.instances, 6);
+        // The heterogeneous-only backend must have run.
+        assert!(report
+            .backend_stats
+            .iter()
+            .any(|s| s.backend == "Het-Sweep" && s.runs > 0));
+        // The homogeneous-only exact solvers must not have.
+        assert!(report
+            .backend_stats
+            .iter()
+            .all(|s| s.backend != "Exhaustive"));
+    }
+}

@@ -1,0 +1,231 @@
+//! LRU instance cache: repeated solves of the same `(chain, platform,
+//! bounds)` triple are answered in O(1) from the canonical-hash index.
+
+use crate::backend::ProblemInstance;
+use crate::pareto::ParetoFront;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the portfolio.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when the cache was never queried).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    /// The full instance, kept to rule out hash collisions.
+    instance: ProblemInstance,
+    /// Shared front: hits hand out an `Arc` clone, never a deep copy, so
+    /// the time spent holding the engine's cache lock stays O(1).
+    front: Arc<ParetoFront>,
+    last_used: u64,
+}
+
+/// An LRU map from canonical instance hashes to solved Pareto fronts.
+///
+/// Keys are the 64-bit [`ProblemInstance::canonical_key`]; on lookup the
+/// stored instance is compared structurally, so a hash collision degrades to
+/// a miss instead of returning a wrong front. Recency is tracked with a
+/// lazy queue of `(tick, key)` touches: eviction pops stale touches until it
+/// finds the genuinely least-recently-used entry, giving amortized O(1)
+/// updates instead of an O(capacity) scan.
+pub struct InstanceCache {
+    capacity: usize,
+    entries: HashMap<u64, CacheEntry>,
+    /// Touch log: `(tick, key)`, oldest first; entries are stale when the
+    /// keyed entry has a newer `last_used`.
+    touches: VecDeque<(u64, u64)>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl InstanceCache {
+    /// A cache holding at most `capacity` fronts (capacity 0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        InstanceCache {
+            capacity,
+            entries: HashMap::new(),
+            touches: VecDeque::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn touch(&mut self, key: u64) -> u64 {
+        self.clock += 1;
+        self.touches.push_back((self.clock, key));
+        // Keep the touch log proportional to the live entry count so a long
+        // streak of hits cannot grow it without bound (amortized O(1)).
+        if self.touches.len() > 2 * self.entries.len() + 16 {
+            let entries = &self.entries;
+            self.touches
+                .retain(|(tick, key)| entries.get(key).is_some_and(|e| e.last_used == *tick));
+        }
+        self.clock
+    }
+
+    /// Looks up the front for `instance`, refreshing its recency on a hit.
+    /// The returned `Arc` shares the stored front — no deep copy.
+    pub fn get(&mut self, instance: &ProblemInstance) -> Option<Arc<ParetoFront>> {
+        let key = instance.canonical_key();
+        match self.entries.get(&key) {
+            Some(entry) if &entry.instance == instance => {
+                let tick = self.touch(key);
+                let entry = self.entries.get_mut(&key).expect("entry present above");
+                entry.last_used = tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.front))
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the solved front for `instance`, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn put(&mut self, instance: &ProblemInstance, front: Arc<ParetoFront>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity
+            && !self.entries.contains_key(&instance.canonical_key())
+        {
+            self.evict_lru();
+        }
+        let key = instance.canonical_key();
+        let tick = self.touch(key);
+        self.entries.insert(
+            key,
+            CacheEntry {
+                instance: instance.clone(),
+                front,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Removes the least-recently-used entry by draining stale touches.
+    fn evict_lru(&mut self) {
+        while let Some((tick, key)) = self.touches.pop_front() {
+            match self.entries.get(&key) {
+                Some(entry) if entry.last_used == tick => {
+                    self.entries.remove(&key);
+                    self.stats.evictions += 1;
+                    return;
+                }
+                _ => continue, // stale touch: the entry was refreshed or evicted
+            }
+        }
+    }
+
+    /// Current number of cached fronts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpo_model::{Platform, TaskChain};
+
+    fn instance(work: f64) -> ProblemInstance {
+        let chain = TaskChain::from_pairs(&[(work, 1.0), (20.0, 0.0)]).unwrap();
+        let platform = Platform::homogeneous(3, 1.0, 1e-3, 1.0, 1e-4, 2).unwrap();
+        ProblemInstance::unbounded(chain, platform)
+    }
+
+    fn empty_front() -> Arc<ParetoFront> {
+        Arc::new(ParetoFront::new())
+    }
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let mut cache = InstanceCache::new(8);
+        let a = instance(10.0);
+        assert!(cache.get(&a).is_none());
+        cache.put(&a, empty_front());
+        assert!(cache.get(&a).is_some());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut cache = InstanceCache::new(2);
+        let (a, b, c) = (instance(1.0), instance(2.0), instance(3.0));
+        cache.put(&a, empty_front());
+        cache.put(&b, empty_front());
+        assert!(cache.get(&a).is_some()); // refresh a: b is now coldest
+        cache.put(&c, empty_front());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn repeated_refreshes_do_not_confuse_eviction() {
+        let mut cache = InstanceCache::new(2);
+        let (a, b, c) = (instance(1.0), instance(2.0), instance(3.0));
+        cache.put(&a, empty_front());
+        cache.put(&b, empty_front());
+        // Touch `a` many times, leaving a pile of stale log entries.
+        for _ in 0..10 {
+            assert!(cache.get(&a).is_some());
+        }
+        cache.put(&c, empty_front()); // must evict b, not a
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn hits_share_the_front_instead_of_copying() {
+        let mut cache = InstanceCache::new(4);
+        let a = instance(1.0);
+        let front = empty_front();
+        cache.put(&a, Arc::clone(&front));
+        let hit = cache.get(&a).unwrap();
+        assert!(Arc::ptr_eq(&front, &hit));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache = InstanceCache::new(0);
+        let a = instance(1.0);
+        cache.put(&a, empty_front());
+        assert!(cache.get(&a).is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,370 @@
+//! The parallel portfolio engine: races every applicable backend on an
+//! instance across worker threads and aggregates their candidates into a
+//! Pareto front.
+
+use crate::backend::{Applicability, Budget, CandidateMapping, ProblemInstance, SolverBackend};
+use crate::backends::default_backends;
+use crate::cache::{CacheStats, InstanceCache};
+use crate::pareto::ParetoFront;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How the engine races its backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RaceMode {
+    /// Run every applicable backend and merge everything (deterministic
+    /// front: the merge order is the fixed backend order, not thread order).
+    #[default]
+    RunAll,
+    /// Stop dispatching new backends once one has produced a feasible
+    /// candidate; backends already running still contribute. Lower latency,
+    /// but which backends ran depends on timing.
+    FirstFeasible,
+}
+
+/// What happened to one backend during a solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The backend ran to completion.
+    Completed,
+    /// The backend was not applicable (with the reason).
+    Skipped(&'static str),
+    /// The time budget expired before the backend was dispatched.
+    DeadlineExpired,
+    /// First-feasible mode: a winner emerged before this backend started.
+    Preempted,
+}
+
+/// Per-backend outcome of one portfolio solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendRun {
+    /// Backend name.
+    pub backend: &'static str,
+    /// What happened.
+    pub status: RunStatus,
+    /// Candidates the backend returned.
+    pub candidates: usize,
+    /// Candidates satisfying the instance bounds.
+    pub feasible: usize,
+    /// Wall-clock spent inside the backend, in microseconds.
+    pub micros: u64,
+}
+
+/// The result of one portfolio solve.
+#[derive(Debug, Clone, Default)]
+pub struct PortfolioOutcome {
+    /// The merged Pareto front (only bound-feasible candidates). Shared
+    /// with the engine cache, so cache hits never deep-copy mappings.
+    pub front: Arc<ParetoFront>,
+    /// Per-backend diagnostics, in fixed backend order.
+    pub runs: Vec<BackendRun>,
+    /// Whether the front came from the instance cache.
+    pub from_cache: bool,
+}
+
+impl PortfolioOutcome {
+    /// `true` if at least one feasible mapping was found.
+    pub fn is_feasible(&self) -> bool {
+        !self.front.is_empty()
+    }
+}
+
+/// What one worker records for one backend: its slot index, final status,
+/// bound-feasible candidates, raw candidate count, and wall-clock micros.
+type WorkerResult = (usize, RunStatus, Vec<CandidateMapping>, usize, u64);
+
+/// A reusable, thread-safe portfolio solver.
+///
+/// The engine owns a set of [`SolverBackend`]s, a [`Budget`], and an LRU
+/// instance cache. [`PortfolioEngine::solve`] takes `&self`, so one engine
+/// can serve many threads concurrently (the batch driver does exactly that).
+pub struct PortfolioEngine {
+    backends: Vec<Box<dyn SolverBackend>>,
+    budget: Budget,
+    mode: RaceMode,
+    threads: usize,
+    cache: Mutex<InstanceCache>,
+}
+
+impl Default for PortfolioEngine {
+    fn default() -> Self {
+        PortfolioEngine::new(default_backends(), Budget::default())
+    }
+}
+
+impl PortfolioEngine {
+    /// Default cache capacity (solved fronts kept in memory).
+    pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+    /// An engine racing `backends` under `budget`, in [`RaceMode::RunAll`],
+    /// with one worker thread per available core.
+    pub fn new(backends: Vec<Box<dyn SolverBackend>>, budget: Budget) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        PortfolioEngine {
+            backends,
+            budget,
+            mode: RaceMode::RunAll,
+            threads,
+            cache: Mutex::new(InstanceCache::new(Self::DEFAULT_CACHE_CAPACITY)),
+        }
+    }
+
+    /// Sets the race mode.
+    pub fn with_mode(mut self, mode: RaceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the number of worker threads used per solve (min 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the instance-cache capacity (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Mutex::new(InstanceCache::new(capacity));
+        self
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The number of worker threads used per solve.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The backend names, in fixed dispatch order.
+    pub fn backend_names(&self) -> Vec<&'static str> {
+        self.backends.iter().map(|b| b.name()).collect()
+    }
+
+    /// Cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock poisoned").stats()
+    }
+
+    /// Solves one instance: answers from the cache when possible, otherwise
+    /// races all applicable backends in parallel and caches the result.
+    pub fn solve(&self, instance: &ProblemInstance) -> PortfolioOutcome {
+        if let Some(front) = self
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get(instance)
+        {
+            return PortfolioOutcome {
+                front,
+                runs: Vec::new(),
+                from_cache: true,
+            };
+        }
+
+        let start = Instant::now();
+        let deadline = self.budget.time_limit.map(|limit| start + limit);
+
+        // Applicability pass: fixed backend order.
+        let mut runs: Vec<BackendRun> = self
+            .backends
+            .iter()
+            .map(|backend| {
+                let status = match backend.applicability(instance, &self.budget) {
+                    Applicability::Applicable => RunStatus::Completed, // provisional
+                    Applicability::Skip(reason) => RunStatus::Skipped(reason),
+                };
+                BackendRun {
+                    backend: backend.name(),
+                    status,
+                    candidates: 0,
+                    feasible: 0,
+                    micros: 0,
+                }
+            })
+            .collect();
+        let runnable: Vec<usize> = (0..self.backends.len())
+            .filter(|&i| runs[i].status == RunStatus::Completed)
+            .collect();
+
+        // Race the runnable backends: worker threads pull indices from a
+        // shared queue, so a slow backend never blocks the others.
+        let queue = AtomicUsize::new(0);
+        let winner_found = AtomicBool::new(false);
+        let results: Mutex<Vec<WorkerResult>> = Mutex::new(Vec::with_capacity(runnable.len()));
+        let workers = self.threads.min(runnable.len().max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let slot = queue.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = runnable.get(slot) else {
+                        break;
+                    };
+                    let backend = &self.backends[index];
+
+                    let outcome = if self.mode == RaceMode::FirstFeasible
+                        && winner_found.load(Ordering::Acquire)
+                    {
+                        (RunStatus::Preempted, Vec::new(), 0, 0)
+                    } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                        (RunStatus::DeadlineExpired, Vec::new(), 0, 0)
+                    } else {
+                        let backend_start = Instant::now();
+                        let mut candidates = backend.solve(instance, &self.budget);
+                        let micros = backend_start.elapsed().as_micros() as u64;
+                        let total = candidates.len();
+                        candidates.retain(|c| instance.admits(&c.evaluation));
+                        if !candidates.is_empty() {
+                            winner_found.store(true, Ordering::Release);
+                        }
+                        (RunStatus::Completed, candidates, total, micros)
+                    };
+                    let (run_status, candidates, total, micros) = outcome;
+                    results
+                        .lock()
+                        .expect("result lock poisoned")
+                        .push((index, run_status, candidates, total, micros));
+                });
+            }
+        });
+
+        // Merge in fixed backend order, independent of completion order.
+        let mut collected = results.into_inner().expect("result lock poisoned");
+        collected.sort_by_key(|(index, ..)| *index);
+        let mut front = ParetoFront::new();
+        for (index, status, candidates, total, micros) in collected {
+            runs[index].status = status;
+            runs[index].feasible = candidates.len();
+            runs[index].candidates = total;
+            runs[index].micros = micros;
+            for candidate in candidates {
+                front.insert(candidate);
+            }
+        }
+
+        let front = Arc::new(front);
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .put(instance, Arc::clone(&front));
+        PortfolioOutcome {
+            front,
+            runs,
+            from_cache: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpo_model::{Platform, TaskChain};
+
+    fn instance() -> ProblemInstance {
+        let chain =
+            TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0), (40.0, 3.0)]).unwrap();
+        let platform = Platform::homogeneous(5, 1.0, 1e-3, 1.0, 1e-4, 2).unwrap();
+        ProblemInstance::new(chain, platform, 70.0, 130.0).unwrap()
+    }
+
+    #[test]
+    fn solve_produces_a_non_dominated_feasible_front() {
+        let engine = PortfolioEngine::default();
+        let outcome = engine.solve(&instance());
+        assert!(outcome.is_feasible());
+        assert!(outcome.front.is_mutually_non_dominated());
+        for point in outcome.front.points() {
+            assert!(point.evaluation.worst_case_period <= 70.0 + 1e-9);
+            assert!(point.evaluation.worst_case_latency <= 130.0 + 1e-9);
+        }
+        // The exhaustive backend ran, so the front's best reliability is the
+        // certified optimum.
+        let exact = rpo_algorithms::exact::optimal_homogeneous(
+            &instance().chain,
+            &instance().platform,
+            70.0,
+            130.0,
+        )
+        .unwrap();
+        let best = outcome.front.best_reliability().unwrap();
+        assert!((best.evaluation.reliability - exact.reliability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_solves_hit_the_cache_and_agree() {
+        let engine = PortfolioEngine::default();
+        let first = engine.solve(&instance());
+        let second = engine.solve(&instance());
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        let criteria = |outcome: &PortfolioOutcome| -> Vec<(f64, f64, f64)> {
+            outcome
+                .front
+                .points()
+                .iter()
+                .map(|p| {
+                    (
+                        p.evaluation.reliability,
+                        p.evaluation.worst_case_period,
+                        p.evaluation.worst_case_latency,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(criteria(&first), criteria(&second));
+        assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn runs_report_skips_with_reasons() {
+        let engine = PortfolioEngine::default();
+        let outcome = engine.solve(&instance());
+        // On a homogeneous platform the heterogeneous sweep must be skipped.
+        let het = outcome
+            .runs
+            .iter()
+            .find(|r| r.backend == "Het-Sweep")
+            .unwrap();
+        assert!(matches!(het.status, RunStatus::Skipped(_)));
+        let completed = outcome
+            .runs
+            .iter()
+            .filter(|r| r.status == RunStatus::Completed)
+            .count();
+        assert!(
+            completed >= 5,
+            "expected at least five backends to run, got {completed}"
+        );
+    }
+
+    #[test]
+    fn first_feasible_mode_still_returns_a_valid_front() {
+        let engine = PortfolioEngine::default().with_mode(RaceMode::FirstFeasible);
+        let outcome = engine.solve(&instance());
+        assert!(outcome.is_feasible());
+        assert!(outcome.front.is_mutually_non_dominated());
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_solves_agree() {
+        let sequential = PortfolioEngine::default().with_threads(1);
+        let parallel = PortfolioEngine::default().with_threads(8);
+        let a = sequential.solve(&instance());
+        let b = parallel.solve(&instance());
+        let keys = |outcome: &PortfolioOutcome| -> Vec<(u64, &'static str)> {
+            outcome
+                .front
+                .points()
+                .iter()
+                .map(|p| (p.fingerprint(), p.backend))
+                .collect()
+        };
+        assert_eq!(keys(&a), keys(&b));
+    }
+}

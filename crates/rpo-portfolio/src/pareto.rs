@@ -1,0 +1,283 @@
+//! Tri-criteria Pareto aggregation of candidate mappings.
+//!
+//! The paper's three antagonistic criteria order mappings by **reliability**
+//! (higher is better), **worst-case period** (lower is better) and
+//! **worst-case latency** (lower is better). The [`ParetoFront`] keeps every
+//! candidate not dominated under that order, with deterministic tie-breaking
+//! between criteria-identical candidates, so merging the same candidate sets
+//! always yields the same front regardless of thread scheduling.
+
+use crate::backend::CandidateMapping;
+
+/// Returns `true` if `a` dominates `b`: no worse on all three criteria and
+/// strictly better on at least one.
+pub fn dominates(a: &CandidateMapping, b: &CandidateMapping) -> bool {
+    let (ar, ap, al) = (
+        a.evaluation.reliability,
+        a.evaluation.worst_case_period,
+        a.evaluation.worst_case_latency,
+    );
+    let (br, bp, bl) = (
+        b.evaluation.reliability,
+        b.evaluation.worst_case_period,
+        b.evaluation.worst_case_latency,
+    );
+    ar >= br && ap <= bp && al <= bl && (ar > br || ap < bp || al < bl)
+}
+
+/// `true` if the two candidates are identical on all three criteria.
+fn criteria_equal(a: &CandidateMapping, b: &CandidateMapping) -> bool {
+    a.evaluation.reliability == b.evaluation.reliability
+        && a.evaluation.worst_case_period == b.evaluation.worst_case_period
+        && a.evaluation.worst_case_latency == b.evaluation.worst_case_latency
+}
+
+/// Deterministic preference between criteria-identical candidates: fewer
+/// intervals first, then backend name, then the mapping fingerprint.
+fn tie_key(candidate: &CandidateMapping) -> (usize, &'static str, u64) {
+    (
+        candidate.mapping.num_intervals(),
+        candidate.backend,
+        candidate.fingerprint(),
+    )
+}
+
+/// The set of mutually non-dominated candidate mappings.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFront {
+    points: Vec<CandidateMapping>,
+}
+
+impl ParetoFront {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront { points: Vec::new() }
+    }
+
+    /// Builds a front from any candidate collection.
+    pub fn from_candidates<I: IntoIterator<Item = CandidateMapping>>(candidates: I) -> Self {
+        let mut front = ParetoFront::new();
+        for candidate in candidates {
+            front.insert(candidate);
+        }
+        front
+    }
+
+    /// Offers a candidate to the front. Returns `true` if it was kept
+    /// (i.e. it is not dominated by, nor a tie-break loser against, any
+    /// current point).
+    pub fn insert(&mut self, candidate: CandidateMapping) -> bool {
+        for existing in &self.points {
+            if dominates(existing, &candidate) {
+                return false;
+            }
+            if criteria_equal(existing, &candidate) {
+                // Deterministic tie-break: keep the smaller key.
+                return if tie_key(&candidate) < tie_key(existing) {
+                    let position = self
+                        .points
+                        .iter()
+                        .position(|p| criteria_equal(p, &candidate))
+                        .expect("existing point found above");
+                    self.points[position] = candidate;
+                    true
+                } else {
+                    false
+                };
+            }
+        }
+        self.points
+            .retain(|existing| !dominates(&candidate, existing));
+        self.points.push(candidate);
+        true
+    }
+
+    /// Merges another front into this one.
+    pub fn merge(&mut self, other: ParetoFront) {
+        for point in other.points {
+            self.insert(point);
+        }
+    }
+
+    /// The points of the front, sorted by decreasing reliability, then
+    /// increasing period, then increasing latency, then the deterministic
+    /// tie key. The order (and the content) is independent of insertion
+    /// order.
+    pub fn points(&self) -> Vec<&CandidateMapping> {
+        let mut sorted: Vec<&CandidateMapping> = self.points.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.evaluation
+                .reliability
+                .partial_cmp(&a.evaluation.reliability)
+                .expect("finite reliabilities")
+                .then(
+                    a.evaluation
+                        .worst_case_period
+                        .total_cmp(&b.evaluation.worst_case_period),
+                )
+                .then(
+                    a.evaluation
+                        .worst_case_latency
+                        .total_cmp(&b.evaluation.worst_case_latency),
+                )
+                .then_with(|| tie_key(a).cmp(&tie_key(b)))
+        });
+        sorted
+    }
+
+    /// Number of points on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the front has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most reliable point (first in [`Self::points`] order), if any.
+    /// Single pass — no sort or allocation, so it is cheap in batch loops.
+    pub fn best_reliability(&self) -> Option<&CandidateMapping> {
+        self.points.iter().min_by(|a, b| {
+            b.evaluation
+                .reliability
+                .total_cmp(&a.evaluation.reliability)
+                .then(
+                    a.evaluation
+                        .worst_case_period
+                        .total_cmp(&b.evaluation.worst_case_period),
+                )
+                .then(
+                    a.evaluation
+                        .worst_case_latency
+                        .total_cmp(&b.evaluation.worst_case_latency),
+                )
+                .then_with(|| tie_key(a).cmp(&tie_key(b)))
+        })
+    }
+
+    /// The point with the smallest worst-case period, if any.
+    pub fn best_period(&self) -> Option<&CandidateMapping> {
+        self.points.iter().min_by(|a, b| {
+            a.evaluation
+                .worst_case_period
+                .total_cmp(&b.evaluation.worst_case_period)
+                .then_with(|| tie_key(a).cmp(&tie_key(b)))
+        })
+    }
+
+    /// Checks the front invariant: no point dominates another. Used by the
+    /// test-suite and the examples as a structural assertion.
+    pub fn is_mutually_non_dominated(&self) -> bool {
+        for (i, a) in self.points.iter().enumerate() {
+            for (j, b) in self.points.iter().enumerate() {
+                if i != j && dominates(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::CandidateMapping;
+    use rpo_model::{Interval, MappedInterval, Mapping, MappingEvaluation, Platform, TaskChain};
+
+    fn fixture() -> (TaskChain, Platform) {
+        let chain = TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 0.0)]).unwrap();
+        let platform = Platform::homogeneous(4, 1.0, 1e-3, 1.0, 1e-4, 2).unwrap();
+        (chain, platform)
+    }
+
+    /// A candidate with forged criteria (the mapping itself is irrelevant to
+    /// the dominance logic).
+    fn candidate(
+        backend: &'static str,
+        reliability: f64,
+        period: f64,
+        latency: f64,
+    ) -> CandidateMapping {
+        let (chain, platform) = fixture();
+        let mapping = Mapping::new(
+            vec![MappedInterval::new(Interval { first: 0, last: 2 }, vec![0])],
+            &chain,
+            &platform,
+        )
+        .unwrap();
+        CandidateMapping {
+            backend,
+            mapping,
+            evaluation: MappingEvaluation {
+                reliability,
+                expected_latency: latency,
+                worst_case_latency: latency,
+                expected_period: period,
+                worst_case_period: period,
+            },
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_rejected_or_evicted() {
+        let mut front = ParetoFront::new();
+        assert!(front.insert(candidate("a", 0.9, 10.0, 20.0)));
+        // Dominated: worse everywhere.
+        assert!(!front.insert(candidate("b", 0.8, 11.0, 21.0)));
+        // Dominates the first point: evicts it.
+        assert!(front.insert(candidate("c", 0.95, 9.0, 19.0)));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.points()[0].backend, "c");
+    }
+
+    #[test]
+    fn incomparable_points_coexist() {
+        let mut front = ParetoFront::new();
+        front.insert(candidate("reliable", 0.99, 50.0, 80.0));
+        front.insert(candidate("fast", 0.90, 10.0, 80.0));
+        front.insert(candidate("low-latency", 0.90, 50.0, 40.0));
+        assert_eq!(front.len(), 3);
+        assert!(front.is_mutually_non_dominated());
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_the_front() {
+        let candidates = vec![
+            candidate("a", 0.9, 10.0, 20.0),
+            candidate("b", 0.95, 12.0, 20.0),
+            candidate("c", 0.9, 10.0, 18.0),
+            candidate("d", 0.85, 9.0, 25.0),
+            candidate("e", 0.95, 12.0, 22.0),
+        ];
+        let forward = ParetoFront::from_candidates(candidates.clone());
+        let reversed = ParetoFront::from_candidates(candidates.into_iter().rev());
+        let names = |front: &ParetoFront| -> Vec<&'static str> {
+            front.points().iter().map(|p| p.backend).collect()
+        };
+        assert_eq!(names(&forward), names(&reversed));
+    }
+
+    #[test]
+    fn criteria_ties_break_deterministically() {
+        let mut forward = ParetoFront::new();
+        forward.insert(candidate("x", 0.9, 10.0, 20.0));
+        forward.insert(candidate("y", 0.9, 10.0, 20.0));
+        let mut reversed = ParetoFront::new();
+        reversed.insert(candidate("y", 0.9, 10.0, 20.0));
+        reversed.insert(candidate("x", 0.9, 10.0, 20.0));
+        assert_eq!(forward.len(), 1);
+        assert_eq!(reversed.len(), 1);
+        assert_eq!(forward.points()[0].backend, reversed.points()[0].backend);
+    }
+
+    #[test]
+    fn accessors_pick_the_extremes() {
+        let mut front = ParetoFront::new();
+        front.insert(candidate("reliable", 0.99, 50.0, 80.0));
+        front.insert(candidate("fast", 0.90, 10.0, 80.0));
+        assert_eq!(front.best_reliability().unwrap().backend, "reliable");
+        assert_eq!(front.best_period().unwrap().backend, "fast");
+    }
+}

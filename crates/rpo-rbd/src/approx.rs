@@ -48,7 +48,12 @@ pub fn esary_proschan_bounds(rbd: &Rbd) -> ReliabilityBounds {
     let cuts = minimal_cut_sets(rbd);
     let lower = cuts
         .iter()
-        .map(|cut| 1.0 - cut.iter().map(|&b| 1.0 - rbd.block(b).reliability).product::<f64>())
+        .map(|cut| {
+            1.0 - cut
+                .iter()
+                .map(|&b| 1.0 - rbd.block(b).reliability)
+                .product::<f64>()
+        })
         .product();
     let paths = rbd.all_paths();
     let upper = if paths.is_empty() {
@@ -57,7 +62,10 @@ pub fn esary_proschan_bounds(rbd: &Rbd) -> ReliabilityBounds {
         1.0 - paths
             .iter()
             .map(|path| {
-                1.0 - path.iter().map(|&b| rbd.block(b).reliability).product::<f64>()
+                1.0 - path
+                    .iter()
+                    .map(|&b| rbd.block(b).reliability)
+                    .product::<f64>()
             })
             .product::<f64>()
     };

@@ -48,7 +48,10 @@ pub struct Block {
 impl Block {
     /// Creates a block with an arbitrary label.
     pub fn other(reliability: f64, label: impl Into<String>) -> Self {
-        Block { reliability, kind: BlockKind::Other(label.into()) }
+        Block {
+            reliability,
+            kind: BlockKind::Other(label.into()),
+        }
     }
 }
 

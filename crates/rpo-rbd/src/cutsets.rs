@@ -22,13 +22,18 @@ use crate::{BlockId, Rbd};
 /// Panics if the diagram has more than 30 blocks.
 pub fn minimal_cut_sets(rbd: &Rbd) -> Vec<Vec<BlockId>> {
     let n = rbd.num_blocks();
-    assert!(n <= 30, "minimal cut enumeration limited to 30 blocks, diagram has {n}");
+    assert!(
+        n <= 30,
+        "minimal cut enumeration limited to 30 blocks, diagram has {n}"
+    );
     let paths = rbd.all_paths();
     if paths.is_empty() {
         return Vec::new();
     }
-    let path_masks: Vec<u64> =
-        paths.iter().map(|p| p.iter().fold(0u64, |m, &b| m | (1 << b))).collect();
+    let path_masks: Vec<u64> = paths
+        .iter()
+        .map(|p| p.iter().fold(0u64, |m, &b| m | (1 << b)))
+        .collect();
 
     let mut cuts: Vec<u64> = Vec::new();
     // Enumerate candidate subsets by increasing cardinality so that the first
@@ -38,7 +43,7 @@ pub fn minimal_cut_sets(rbd: &Rbd) -> Vec<Vec<BlockId>> {
         let mut candidate: Vec<usize> = (0..size).collect();
         loop {
             let mask = candidate.iter().fold(0u64, |m, &b| m | (1 << b));
-            let dominated = cuts.iter().any(|&c| c & mask == c);
+            let dominated = cuts.iter().any(|&c| c & !mask == 0);
             if !dominated && path_masks.iter().all(|&p| p & mask != 0) {
                 cuts.push(mask);
             }
@@ -81,7 +86,10 @@ pub fn cutset_approximation(rbd: &Rbd) -> f64 {
     minimal_cut_sets(rbd)
         .iter()
         .map(|cut| {
-            1.0 - cut.iter().map(|&b| 1.0 - rbd.block(b).reliability).product::<f64>()
+            1.0 - cut
+                .iter()
+                .map(|&b| 1.0 - rbd.block(b).reliability)
+                .product::<f64>()
         })
         .product()
 }
@@ -150,7 +158,10 @@ mod tests {
         cuts.iter_mut().for_each(|c| c.sort());
         cuts.sort();
         // Classical result: {a,b}, {d,e}, {a,c,e}, {b,c,d}.
-        assert_eq!(cuts, vec![vec![0, 1], vec![0, 2, 4], vec![1, 2, 3], vec![3, 4]]);
+        assert_eq!(
+            cuts,
+            vec![vec![0, 1], vec![0, 2, 4], vec![1, 2, 3], vec![3, 4]]
+        );
     }
 
     #[test]

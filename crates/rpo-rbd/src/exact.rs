@@ -75,7 +75,10 @@ fn factor_rec(rbd: &Rbd, decided: &mut Vec<Option<bool>>, next: usize) -> f64 {
     if !possibly_up {
         return 0.0;
     }
-    debug_assert!(next < decided.len(), "undecided diagram must have an undecided block");
+    debug_assert!(
+        next < decided.len(),
+        "undecided diagram must have an undecided block"
+    );
     let r = rbd.block(next).reliability;
     decided[next] = Some(true);
     let up = factor_rec(rbd, decided, next + 1);
@@ -92,8 +95,10 @@ mod tests {
 
     fn series(reliabilities: &[f64]) -> Rbd {
         let mut rbd = Rbd::new();
-        let ids: Vec<_> =
-            reliabilities.iter().map(|&r| rbd.add_block(Block::other(r, "b"))).collect();
+        let ids: Vec<_> = reliabilities
+            .iter()
+            .map(|&r| rbd.add_block(Block::other(r, "b")))
+            .collect();
         rbd.add_edge(Node::Source, Node::Block(ids[0]));
         for w in ids.windows(2) {
             rbd.add_edge(Node::Block(w[0]), Node::Block(w[1]));

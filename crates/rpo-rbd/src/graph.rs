@@ -109,8 +109,7 @@ impl Rbd {
     /// operational: is there a path from `S` to `D` using only blocks of `up`?
     pub fn is_operational(&self, up: &dyn Fn(BlockId) -> bool) -> bool {
         let mut visited = vec![false; self.blocks.len()];
-        let mut stack: Vec<BlockId> =
-            self.source_out.iter().copied().filter(|&b| up(b)).collect();
+        let mut stack: Vec<BlockId> = self.source_out.iter().copied().filter(|&b| up(b)).collect();
         let dest: HashSet<BlockId> = self.dest_in.iter().copied().collect();
         while let Some(b) = stack.pop() {
             if visited[b] {

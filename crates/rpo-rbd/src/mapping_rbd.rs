@@ -32,7 +32,10 @@ pub fn general_rbd(chain: &TaskChain, platform: &Platform, mapping: &Mapping) ->
             let r = reliability::interval_reliability(chain, platform, u, mi.interval);
             let id = rbd.add_block(Block {
                 reliability: r,
-                kind: BlockKind::IntervalOnProcessor { interval: j, processor: u },
+                kind: BlockKind::IntervalOnProcessor {
+                    interval: j,
+                    processor: u,
+                },
             });
             layer.push((u, id));
         }
@@ -45,15 +48,17 @@ pub fn general_rbd(chain: &TaskChain, platform: &Platform, mapping: &Mapping) ->
             // Communication blocks from every replica of the previous interval
             // to every replica of this one.
             let prev_interval = mapping.interval(j - 1).interval;
-            let comm_r = reliability::communication_reliability(
-                platform,
-                prev_interval.output_size(chain),
-            );
+            let comm_r =
+                reliability::communication_reliability(platform, prev_interval.output_size(chain));
             for &(from, from_id) in &previous_layer {
                 for &(to, to_id) in &layer {
                     let comm = rbd.add_block(Block {
                         reliability: comm_r,
-                        kind: BlockKind::CommunicationOnLink { interval: j - 1, from, to },
+                        kind: BlockKind::CommunicationOnLink {
+                            interval: j - 1,
+                            from,
+                            to,
+                        },
                     });
                     rbd.add_edge(Node::Block(from_id), Node::Block(comm));
                     rbd.add_edge(Node::Block(comm), Node::Block(to_id));
@@ -86,9 +91,15 @@ pub fn routing_sp_expr(chain: &TaskChain, platform: &Platform, mapping: &Mapping
             SpExpr::series([
                 SpExpr::Block(reliability::communication_reliability(platform, input_size)),
                 SpExpr::Block(reliability::interval_reliability(
-                    chain, platform, u, mi.interval,
+                    chain,
+                    platform,
+                    u,
+                    mi.interval,
                 )),
-                SpExpr::Block(reliability::communication_reliability(platform, output_size)),
+                SpExpr::Block(reliability::communication_reliability(
+                    platform,
+                    output_size,
+                )),
             ])
         });
         stages.push(SpExpr::parallel(replicas));
@@ -124,7 +135,10 @@ pub fn routing_rbd(chain: &TaskChain, platform: &Platform, mapping: &Mapping) ->
             let compute = rbd.add_block(Block {
                 reliability: reliability::interval_reliability(chain, platform, u, mi.interval)
                     * in_comm_r,
-                kind: BlockKind::IntervalOnProcessor { interval: j, processor: u },
+                kind: BlockKind::IntervalOnProcessor {
+                    interval: j,
+                    processor: u,
+                },
             });
             match previous {
                 None => rbd.add_edge(Node::Source, Node::Block(compute)),
@@ -254,7 +268,10 @@ mod tests {
             .build()
             .unwrap();
         let mapping = Mapping::new(
-            vec![MappedInterval::new(Interval { first: 0, last: 1 }, vec![0, 1])],
+            vec![MappedInterval::new(
+                Interval { first: 0, last: 1 },
+                vec![0, 1],
+            )],
             &chain,
             &platform,
         )

@@ -45,7 +45,10 @@ impl SpExpr {
             SpExpr::Block(r) => *r,
             SpExpr::Series(children) => children.iter().map(SpExpr::reliability).product(),
             SpExpr::Parallel(children) => {
-                1.0 - children.iter().map(|c| 1.0 - c.reliability()).product::<f64>()
+                1.0 - children
+                    .iter()
+                    .map(|c| 1.0 - c.reliability())
+                    .product::<f64>()
             }
         }
     }

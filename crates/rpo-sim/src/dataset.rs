@@ -151,8 +151,9 @@ mod tests {
         let (c, p, m) = setup(0.02, 0.01);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let trials = 5000;
-        let successes =
-            (0..trials).filter(|_| simulate_dataset(&c, &p, &m, &mut rng).success).count();
+        let successes = (0..trials)
+            .filter(|_| simulate_dataset(&c, &p, &m, &mut rng).success)
+            .count();
         assert!(successes > 0 && successes < trials);
     }
 }

@@ -45,7 +45,11 @@ pub struct EventQueue<P: PartialEq> {
 impl<P: PartialEq> EventQueue<P> {
     /// Creates an empty queue at time 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_sequence: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_sequence: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulated time (the time of the last popped event).
@@ -76,7 +80,11 @@ impl<P: PartialEq> EventQueue<P> {
             "cannot schedule an event at {time} before the current time {}",
             self.now
         );
-        let event = Event { time, sequence: self.next_sequence, payload };
+        let event = Event {
+            time,
+            sequence: self.next_sequence,
+            payload,
+        };
         self.next_sequence += 1;
         self.heap.push(event);
     }

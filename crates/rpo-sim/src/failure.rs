@@ -22,7 +22,10 @@ impl FailureModel {
     ///
     /// Panics if the rate is negative or not finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate >= 0.0, "failure rate must be finite and non-negative");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "failure rate must be finite and non-negative"
+        );
         FailureModel { rate }
     }
 
@@ -78,7 +81,9 @@ mod tests {
         let expected = m.failure_probability(duration);
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let trials = 200_000;
-        let failures = (0..trials).filter(|_| m.operation_fails(duration, &mut rng)).count();
+        let failures = (0..trials)
+            .filter(|_| m.operation_fails(duration, &mut rng))
+            .count();
         let empirical = failures as f64 / trials as f64;
         assert!(
             (empirical - expected).abs() < 5e-3,
@@ -91,10 +96,18 @@ mod tests {
         let m = FailureModel::new(0.5);
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let samples = 200_000;
-        let mean: f64 =
-            (0..samples).map(|_| m.sample_time_to_failure(&mut rng)).sum::<f64>() / samples as f64;
-        assert!((mean - 2.0).abs() < 0.03, "mean {mean} should be close to 1/λ = 2");
-        assert_eq!(FailureModel::new(0.0).sample_time_to_failure(&mut rng), f64::INFINITY);
+        let mean: f64 = (0..samples)
+            .map(|_| m.sample_time_to_failure(&mut rng))
+            .sum::<f64>()
+            / samples as f64;
+        assert!(
+            (mean - 2.0).abs() < 0.03,
+            "mean {mean} should be close to 1/λ = 2"
+        );
+        assert_eq!(
+            FailureModel::new(0.0).sample_time_to_failure(&mut rng),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@ pub struct MonteCarloConfig {
 
 impl Default for MonteCarloConfig {
     fn default() -> Self {
-        MonteCarloConfig { num_datasets: 100_000, seed: 0xC0FFEE, chunk_size: 4096 }
+        MonteCarloConfig {
+            num_datasets: 100_000,
+            seed: 0xC0FFEE,
+            chunk_size: 4096,
+        }
     }
 }
 
@@ -61,7 +65,10 @@ pub fn monte_carlo(
     mapping: &Mapping,
     config: &MonteCarloConfig,
 ) -> MonteCarloEstimate {
-    assert!(config.num_datasets > 0, "at least one data set must be simulated");
+    assert!(
+        config.num_datasets > 0,
+        "at least one data set must be simulated"
+    );
     let chunk = config.chunk_size.max(1);
     let num_chunks = config.num_datasets.div_ceil(chunk);
 
@@ -69,8 +76,7 @@ pub fn monte_carlo(
         .into_par_iter()
         .map(|chunk_index| {
             // One independent, reproducible stream per chunk.
-            let mut rng =
-                ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(chunk_index as u64));
+            let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(chunk_index as u64));
             let start = chunk_index * chunk;
             let count = chunk.min(config.num_datasets - start);
             let mut successes = 0usize;
@@ -105,7 +111,11 @@ pub fn monte_carlo(
         datasets: config.num_datasets,
         successes,
         reliability: successes as f64 / config.num_datasets as f64,
-        mean_latency: if latency_count == 0 { f64::NAN } else { latency_sum / latency_count as f64 },
+        mean_latency: if latency_count == 0 {
+            f64::NAN
+        } else {
+            latency_sum / latency_count as f64
+        },
         achieved_period: pipeline.achieved_period,
     }
 }
@@ -151,7 +161,11 @@ mod tests {
             &c,
             &p,
             &m,
-            &MonteCarloConfig { num_datasets: 120_000, seed: 11, chunk_size: 8192 },
+            &MonteCarloConfig {
+                num_datasets: 120_000,
+                seed: 11,
+                chunk_size: 8192,
+            },
         );
         let tolerance = 3.0 * estimate.reliability_confidence95().max(1e-3);
         assert!(
@@ -170,7 +184,11 @@ mod tests {
             &c,
             &p,
             &m,
-            &MonteCarloConfig { num_datasets: 60_000, seed: 12, chunk_size: 4096 },
+            &MonteCarloConfig {
+                num_datasets: 60_000,
+                seed: 12,
+                chunk_size: 4096,
+            },
         );
         let relative_error =
             (estimate.mean_latency - analytic.expected_latency).abs() / analytic.expected_latency;
@@ -191,7 +209,11 @@ mod tests {
             &c,
             &p,
             &m,
-            &MonteCarloConfig { num_datasets: 2_000, seed: 13, chunk_size: 1024 },
+            &MonteCarloConfig {
+                num_datasets: 2_000,
+                seed: 13,
+                chunk_size: 1024,
+            },
         );
         let relative_error =
             (estimate.achieved_period - analytic.expected_period).abs() / analytic.expected_period;
@@ -207,7 +229,11 @@ mod tests {
     #[test]
     fn estimation_is_reproducible_for_a_seed() {
         let (c, p, m) = setup();
-        let config = MonteCarloConfig { num_datasets: 20_000, seed: 5, chunk_size: 2048 };
+        let config = MonteCarloConfig {
+            num_datasets: 20_000,
+            seed: 5,
+            chunk_size: 2048,
+        };
         let a = monte_carlo(&c, &p, &m, &config);
         let b = monte_carlo(&c, &p, &m, &config);
         assert_eq!(a, b);
@@ -236,7 +262,11 @@ mod tests {
             &chain,
             &platform,
             &mapping,
-            &MonteCarloConfig { num_datasets: 1_000, seed: 1, chunk_size: 100 },
+            &MonteCarloConfig {
+                num_datasets: 1_000,
+                seed: 1,
+                chunk_size: 100,
+            },
         );
         assert_eq!(estimate.reliability, 1.0);
         assert_eq!(estimate.reliability_confidence95(), 0.0);

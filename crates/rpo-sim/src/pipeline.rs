@@ -71,7 +71,10 @@ pub fn simulate_pipeline(
     mapping: &Mapping,
     config: &PipelineConfig,
 ) -> PipelineReport {
-    assert!(config.num_datasets > 0, "at least one data set must be simulated");
+    assert!(
+        config.num_datasets > 0,
+        "at least one data set must be simulated"
+    );
     let num_stages = mapping.num_intervals();
     let num_datasets = config.num_datasets;
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
@@ -86,8 +89,11 @@ pub fn simulate_pipeline(
         .intervals()
         .iter()
         .map(|mi| {
-            let slowest =
-                mi.processors.iter().map(|&u| platform.speed(u)).fold(f64::INFINITY, f64::min);
+            let slowest = mi
+                .processors
+                .iter()
+                .map(|&u| platform.speed(u))
+                .fold(f64::INFINITY, f64::min);
             mi.interval.work(chain) / slowest
         })
         .collect();
@@ -109,14 +115,20 @@ pub fn simulate_pipeline(
     };
 
     let mut queue: EventQueue<SimEvent> = EventQueue::new();
-    let mut stages: Vec<Stage> =
-        (0..num_stages).map(|_| Stage { busy: false, ready: VecDeque::new() }).collect();
+    let mut stages: Vec<Stage> = (0..num_stages)
+        .map(|_| Stage {
+            busy: false,
+            ready: VecDeque::new(),
+        })
+        .collect();
     let mut arrivals = vec![0.0f64; num_datasets];
     let mut completions = vec![f64::NAN; num_datasets];
 
-    for dataset in 0..num_datasets {
-        let arrival = config.input_period.map_or(0.0, |period| dataset as f64 * period);
-        arrivals[dataset] = arrival;
+    for (dataset, slot) in arrivals.iter_mut().enumerate() {
+        let arrival = config
+            .input_period
+            .map_or(0.0, |period| dataset as f64 * period);
+        *slot = arrival;
         queue.schedule(arrival, SimEvent::Arrive { stage: 0, dataset });
     }
 
@@ -129,14 +141,23 @@ pub fn simulate_pipeline(
                     let next = stages[stage].ready.pop_front().expect("just pushed");
                     stages[stage].busy = true;
                     let service = sample_service(stage, &mut rng);
-                    queue.schedule(now + service, SimEvent::Finish { stage, dataset: next });
+                    queue.schedule(
+                        now + service,
+                        SimEvent::Finish {
+                            stage,
+                            dataset: next,
+                        },
+                    );
                 }
             }
             SimEvent::Finish { stage, dataset } => {
                 if stage + 1 < num_stages {
                     queue.schedule(
                         now + comm_times[stage],
-                        SimEvent::Arrive { stage: stage + 1, dataset },
+                        SimEvent::Arrive {
+                            stage: stage + 1,
+                            dataset,
+                        },
                     );
                 } else {
                     completions[dataset] = now;
@@ -145,19 +166,27 @@ pub fn simulate_pipeline(
                 if let Some(next) = stages[stage].ready.pop_front() {
                     stages[stage].busy = true;
                     let service = sample_service(stage, &mut rng);
-                    queue.schedule(now + service, SimEvent::Finish { stage, dataset: next });
+                    queue.schedule(
+                        now + service,
+                        SimEvent::Finish {
+                            stage,
+                            dataset: next,
+                        },
+                    );
                 }
             }
         }
     }
 
-    debug_assert!(completions.iter().all(|c| c.is_finite()), "every data set must complete");
+    debug_assert!(
+        completions.iter().all(|c| c.is_finite()),
+        "every data set must complete"
+    );
 
     // Steady-state period: ignore the first 20% of completions as warm-up.
     let warmup = num_datasets / 5;
     let achieved_period = if num_datasets - warmup >= 2 {
-        (completions[num_datasets - 1] - completions[warmup])
-            / (num_datasets - 1 - warmup) as f64
+        (completions[num_datasets - 1] - completions[warmup]) / (num_datasets - 1 - warmup) as f64
     } else {
         completions[num_datasets - 1]
     };
@@ -213,7 +242,11 @@ mod tests {
             &c,
             &p,
             &m,
-            &PipelineConfig { num_datasets: 500, seed: 1, input_period: None },
+            &PipelineConfig {
+                num_datasets: 500,
+                seed: 1,
+                input_period: None,
+            },
         );
         // Stage costs: fastest replica always succeeds -> 30/2 = 15 and 45/3 = 15.
         assert!((report.achieved_period - 15.0).abs() < 1e-9);
@@ -228,7 +261,11 @@ mod tests {
             &c,
             &p,
             &m,
-            &PipelineConfig { num_datasets: 200, seed: 2, input_period: Some(100.0) },
+            &PipelineConfig {
+                num_datasets: 200,
+                seed: 2,
+                input_period: Some(100.0),
+            },
         );
         // With an input period far above the bottleneck there is no queueing:
         // flow time = expected latency (failure-free: fastest replica wins).
@@ -249,10 +286,14 @@ mod tests {
             &c,
             &p,
             &m,
-            &PipelineConfig { num_datasets: 4_000, seed: 3, input_period: None },
+            &PipelineConfig {
+                num_datasets: 4_000,
+                seed: 3,
+                input_period: None,
+            },
         );
-        let relative = (report.achieved_period - analytic.expected_period).abs()
-            / analytic.expected_period;
+        let relative =
+            (report.achieved_period - analytic.expected_period).abs() / analytic.expected_period;
         assert!(
             relative < 0.05,
             "simulated {} vs analytic {} ({}%)",
@@ -269,7 +310,11 @@ mod tests {
             &c,
             &p,
             &m,
-            &PipelineConfig { num_datasets: 300, seed: 4, input_period: Some(40.0) },
+            &PipelineConfig {
+                num_datasets: 300,
+                seed: 4,
+                input_period: Some(40.0),
+            },
         );
         // Completions are spaced by the (slower) input period, not the stage time.
         assert!((report.achieved_period - 40.0).abs() < 1e-9);
@@ -278,7 +323,11 @@ mod tests {
     #[test]
     fn reproducible_for_a_seed() {
         let (c, p, m) = setup(0.02);
-        let config = PipelineConfig { num_datasets: 500, seed: 9, input_period: None };
+        let config = PipelineConfig {
+            num_datasets: 500,
+            seed: 9,
+            input_period: None,
+        };
         assert_eq!(
             simulate_pipeline(&c, &p, &m, &config),
             simulate_pipeline(&c, &p, &m, &config)

@@ -21,12 +21,19 @@ impl ChainSpec {
     /// The paper's experimental setup: 15 tasks, `w_i ∈ [1, 100]`,
     /// `o_i ∈ [1, 10]`.
     pub fn paper() -> Self {
-        ChainSpec { num_tasks: 15, work_range: (1.0, 100.0), output_range: (1.0, 10.0) }
+        ChainSpec {
+            num_tasks: 15,
+            work_range: (1.0, 100.0),
+            output_range: (1.0, 10.0),
+        }
     }
 
     /// Same distribution with a different chain length.
     pub fn paper_with_tasks(num_tasks: usize) -> Self {
-        ChainSpec { num_tasks, ..Self::paper() }
+        ChainSpec {
+            num_tasks,
+            ..Self::paper()
+        }
     }
 
     /// Draws a chain from the specification.
@@ -90,7 +97,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid work range")]
     fn degenerate_spec_panics() {
-        let spec = ChainSpec { num_tasks: 3, work_range: (0.0, 10.0), output_range: (1.0, 2.0) };
+        let spec = ChainSpec {
+            num_tasks: 3,
+            work_range: (0.0, 10.0),
+            output_range: (1.0, 2.0),
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         spec.generate(&mut rng);
     }

@@ -76,7 +76,46 @@ impl InstanceGenerator {
     pub fn batch(&self, count: usize) -> Vec<ExperimentInstance> {
         (0..count).map(|i| self.instance(i)).collect()
     }
+
+    /// A lazy stream over `count` instances: instance `i` is generated on
+    /// demand, so arbitrarily long batches can be driven without holding
+    /// them all in memory. The stream is deterministic in `base_seed`.
+    pub fn stream(&self, count: usize) -> InstanceStream {
+        InstanceStream {
+            generator: *self,
+            next: 0,
+            count,
+        }
+    }
 }
+
+/// A lazy, deterministic iterator over generated experiment instances.
+#[derive(Debug, Clone)]
+pub struct InstanceStream {
+    generator: InstanceGenerator,
+    next: usize,
+    count: usize,
+}
+
+impl Iterator for InstanceStream {
+    type Item = ExperimentInstance;
+
+    fn next(&mut self) -> Option<ExperimentInstance> {
+        if self.next >= self.count {
+            return None;
+        }
+        let instance = self.generator.instance(self.next);
+        self.next += 1;
+        Some(instance)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.count - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for InstanceStream {}
 
 #[cfg(test)]
 mod tests {

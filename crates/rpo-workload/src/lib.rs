@@ -20,5 +20,5 @@ pub mod instance;
 pub mod platform_gen;
 
 pub use chain_gen::ChainSpec;
-pub use instance::{ExperimentInstance, InstanceGenerator};
+pub use instance::{ExperimentInstance, InstanceGenerator, InstanceStream};
 pub use platform_gen::{HeterogeneousPlatformSpec, HomogeneousPlatformSpec};

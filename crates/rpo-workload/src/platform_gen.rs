@@ -39,7 +39,10 @@ impl HomogeneousPlatformSpec {
     /// The speed-5 homogeneous platform used as the comparison point of the
     /// heterogeneous experiments (Figures 12–15).
     pub fn paper_speed5() -> Self {
-        HomogeneousPlatformSpec { speed: 5.0, ..Self::paper() }
+        HomogeneousPlatformSpec {
+            speed: 5.0,
+            ..Self::paper()
+        }
     }
 
     /// Builds the platform (no randomness involved).
@@ -93,7 +96,10 @@ impl HeterogeneousPlatformSpec {
     ///
     /// Panics if the specification is degenerate.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Platform {
-        assert!(self.num_processors > 0, "a platform needs at least one processor");
+        assert!(
+            self.num_processors > 0,
+            "a platform needs at least one processor"
+        );
         assert!(
             self.speed_range.0 > 0.0 && self.speed_range.1 >= self.speed_range.0,
             "invalid speed range"
@@ -152,7 +158,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid speed range")]
     fn degenerate_speed_range_panics() {
-        let spec = HeterogeneousPlatformSpec { speed_range: (5.0, 1.0), ..HeterogeneousPlatformSpec::paper() };
+        let spec = HeterogeneousPlatformSpec {
+            speed_range: (5.0, 1.0),
+            ..HeterogeneousPlatformSpec::paper()
+        };
         spec.generate(&mut ChaCha8Rng::seed_from_u64(1));
     }
 }

@@ -47,7 +47,11 @@ fn main() {
     let latency_bound = 250.0;
     let max_failure_probability = 1e-4;
 
-    println!("brake-by-wire chain: {} software components, total WCET {}", chain.len(), chain.total_work());
+    println!(
+        "brake-by-wire chain: {} software components, total WCET {}",
+        chain.len(),
+        chain.total_work()
+    );
     println!(
         "requirements: period <= {period_bound}, latency <= {latency_bound}, failure probability <= {max_failure_probability:.0e}\n"
     );
@@ -60,7 +64,10 @@ fn main() {
             latency_bound,
         };
         let Ok(solution) = run_heuristic(&chain, &platform, &config) else {
-            println!("{}: no mapping meets the timing requirements", heuristic.name());
+            println!(
+                "{}: no mapping meets the timing requirements",
+                heuristic.name()
+            );
             continue;
         };
         let eval = MappingEvaluation::evaluate(&chain, &platform, &solution.mapping);
@@ -90,7 +97,11 @@ fn main() {
             &chain,
             &platform,
             &solution.mapping,
-            &MonteCarloConfig { num_datasets: 200_000, seed: 1, chunk_size: 8192 },
+            &MonteCarloConfig {
+                num_datasets: 200_000,
+                seed: 1,
+                chunk_size: 8192,
+            },
         );
         println!(
             "  simulated reliability   : {:.6} (+/- {:.1e} at 95% confidence)",
@@ -98,7 +109,10 @@ fn main() {
             estimate.reliability_confidence95()
         );
         println!("  simulated mean latency  : {:.2}", estimate.mean_latency);
-        println!("  simulated period        : {:.2}", estimate.achieved_period);
+        println!(
+            "  simulated period        : {:.2}",
+            estimate.achieved_period
+        );
     } else {
         println!("\nno mapping met the reliability target: add ECUs or raise K");
     }

@@ -53,7 +53,11 @@ fn main() {
     );
     for fraction in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4] {
         let budget = full_energy * fraction;
-        let config = EnergyAwareConfig { base, power_model, energy_budget: budget };
+        let config = EnergyAwareConfig {
+            base,
+            power_model,
+            energy_budget: budget,
+        };
         match run_energy_aware_heuristic(&chain, &platform, &config) {
             Ok(solution) => println!(
                 "{budget:>10.1} {:>12} {:>14.1} {:>16.2} {:>12.6} {:>12.3e}",

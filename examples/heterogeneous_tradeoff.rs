@@ -21,9 +21,10 @@ fn solve(chain: &TaskChain, platform: &Platform, period: f64, latency: f64) -> V
             latency_bound: latency,
         };
         match run_heuristic(chain, platform, &config) {
-            Ok(solution) => {
-                cells.push(format!("{:>12.3e}", solution.evaluation.failure_probability()))
-            }
+            Ok(solution) => cells.push(format!(
+                "{:>12.3e}",
+                solution.evaluation.failure_probability()
+            )),
             Err(_) => cells.push(format!("{:>12}", "infeasible")),
         }
     }
@@ -37,22 +38,42 @@ fn main() {
     let homogeneous_speed5 = HomogeneousPlatformSpec::paper_speed5().build();
     let homogeneous_speed1 = HomogeneousPlatformSpec::paper().build();
 
-    let mean_speed: f64 = heterogeneous.processors().iter().map(|p| p.speed).sum::<f64>()
+    let mean_speed: f64 = heterogeneous
+        .processors()
+        .iter()
+        .map(|p| p.speed)
+        .sum::<f64>()
         / heterogeneous.num_processors() as f64;
     println!(
         "paper-style instance: {} tasks (total work {:.1}), heterogeneous speeds {:?} (mean {:.1})",
         chain.len(),
         chain.total_work(),
-        heterogeneous.processors().iter().map(|p| p.speed.round()).collect::<Vec<_>>(),
+        heterogeneous
+            .processors()
+            .iter()
+            .map(|p| p.speed.round())
+            .collect::<Vec<_>>(),
         mean_speed
     );
 
     println!(
         "\n{:>10} {:>10} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12}",
-        "period", "latency", "HET Heur-L", "HET Heur-P", "HOM5 Heur-L", "HOM5 Heur-P", "HOM1 Heur-L", "HOM1 Heur-P"
+        "period",
+        "latency",
+        "HET Heur-L",
+        "HET Heur-P",
+        "HOM5 Heur-L",
+        "HOM5 Heur-P",
+        "HOM1 Heur-L",
+        "HOM1 Heur-P"
     );
-    for (period, latency) in [(20.0, 150.0), (40.0, 150.0), (60.0, 150.0), (50.0, 100.0), (50.0, 200.0)]
-    {
+    for (period, latency) in [
+        (20.0, 150.0),
+        (40.0, 150.0),
+        (60.0, 150.0),
+        (50.0, 100.0),
+        (50.0, 200.0),
+    ] {
         let het = solve(&chain, &heterogeneous, period, latency);
         let hom5 = solve(&chain, &homogeneous_speed5, period, latency);
         let hom1 = solve(&chain, &homogeneous_speed1, period, latency);

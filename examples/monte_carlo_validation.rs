@@ -6,7 +6,9 @@
 //! cargo run --release --example monte_carlo_validation
 //! ```
 
-use pipelined_rt::model::{Interval, MappedInterval, Mapping, MappingEvaluation, PlatformBuilder, TaskChain};
+use pipelined_rt::model::{
+    Interval, MappedInterval, Mapping, MappingEvaluation, PlatformBuilder, TaskChain,
+};
 use pipelined_rt::rbd::{exact, mapping_rbd};
 use pipelined_rt::sim::{monte_carlo, MonteCarloConfig};
 
@@ -77,9 +79,16 @@ fn main() {
         &chain,
         &platform,
         &mapping,
-        &MonteCarloConfig { num_datasets: 500_000, seed: 2024, chunk_size: 16_384 },
+        &MonteCarloConfig {
+            num_datasets: 500_000,
+            seed: 2024,
+            chunk_size: 16_384,
+        },
     );
-    println!("\nMonte-Carlo failure injection ({} data sets):", estimate.datasets);
+    println!(
+        "\nMonte-Carlo failure injection ({} data sets):",
+        estimate.datasets
+    );
     println!(
         "  simulated reliability : {:.6} (analytic {:.6}, 95% half-width {:.1e})",
         estimate.reliability,

@@ -14,9 +14,18 @@ use pipelined_rt::model::{MappingEvaluation, Platform, TaskChain};
 fn describe(name: &str, chain: &TaskChain, platform: &Platform, solution: &HeuristicSolution) {
     let eval = MappingEvaluation::evaluate(chain, platform, &solution.mapping);
     println!("{name}:");
-    println!("  intervals          : {}", solution.mapping.num_intervals());
-    println!("  processors used    : {}", solution.mapping.processors_used());
-    println!("  replication level  : {:.2}", solution.mapping.replication_level());
+    println!(
+        "  intervals          : {}",
+        solution.mapping.num_intervals()
+    );
+    println!(
+        "  processors used    : {}",
+        solution.mapping.processors_used()
+    );
+    println!(
+        "  replication level  : {:.2}",
+        solution.mapping.replication_level()
+    );
     println!("  reliability        : {:.9}", eval.reliability);
     println!("  failure probability: {:.3e}", eval.failure_probability());
     println!("  worst-case period  : {:.2}", eval.worst_case_period);

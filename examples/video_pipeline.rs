@@ -38,7 +38,11 @@ fn main() {
     let period_bound = 95.0;
     let latency_bound = 400.0;
 
-    println!("video pipeline: {} stages, total work {}", chain.len(), chain.total_work());
+    println!(
+        "video pipeline: {} stages, total work {}",
+        chain.len(),
+        chain.total_work()
+    );
     println!("bounds: period <= {period_bound} (camera rate), latency <= {latency_bound}\n");
 
     // Manual sweep: how do the two interval heuristics behave as the number of
@@ -52,7 +56,10 @@ fn main() {
         for partition in [heur_p_partition(&chain, m), heur_l_partition(&chain, m)] {
             let mapping = algo_alloc(&chain, &platform, &partition).expect("enough processors");
             let eval = MappingEvaluation::evaluate(&chain, &platform, &mapping);
-            cells.push(format!("{:>10.1} / {:>10.1}", eval.worst_case_period, eval.worst_case_latency));
+            cells.push(format!(
+                "{:>10.1} / {:>10.1}",
+                eval.worst_case_period, eval.worst_case_latency
+            ));
         }
         println!("{m:>10} {:>26} {:>26}", cells[0], cells[1]);
     }

@@ -22,6 +22,7 @@
 //! | [`algorithms`] | Algorithms 1–4, Algo-Alloc, the Section 7 heuristics, exact solvers |
 //! | [`sim`] | discrete-event Monte-Carlo failure-injection simulator |
 //! | [`workload`] | seeded random instance generators matching the paper's setup |
+//! | [`portfolio`] | parallel solver-portfolio engine: backend racing, Pareto aggregation, instance cache, batch driver |
 //! | [`experiments`] | the harness regenerating Figures 6–15 |
 //!
 //! ## Quick start
@@ -105,6 +106,11 @@ pub mod sim {
 /// Workload and platform generators (re-export of `rpo-workload`).
 pub mod workload {
     pub use rpo_workload::*;
+}
+
+/// Parallel solver-portfolio engine (re-export of `rpo-portfolio`).
+pub mod portfolio {
+    pub use rpo_portfolio::*;
 }
 
 /// Experiment harness for Figures 6–15 (re-export of `rpo-experiments`).

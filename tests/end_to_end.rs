@@ -3,8 +3,8 @@
 //! results stay mutually consistent.
 
 use pipelined_rt::algorithms::{
-    exact, optimize_reliability_homogeneous, optimize_reliability_with_period_bound,
-    run_heuristic, HeuristicConfig, IntervalHeuristic,
+    exact, optimize_reliability_homogeneous, optimize_reliability_with_period_bound, run_heuristic,
+    HeuristicConfig, IntervalHeuristic,
 };
 use pipelined_rt::model::{MappingEvaluation, Platform, TaskChain};
 use pipelined_rt::rbd::{exact as rbd_exact, mapping_rbd};
@@ -32,7 +32,10 @@ fn generated_instances_flow_through_the_whole_stack() {
         let dp = optimize_reliability_homogeneous(&chain, &platform).unwrap();
         let exhaustive =
             exact::optimal_homogeneous(&chain, &platform, f64::INFINITY, f64::INFINITY).unwrap();
-        assert!((dp.reliability - exhaustive.reliability).abs() < 1e-12, "seed {seed}");
+        assert!(
+            (dp.reliability - exhaustive.reliability).abs() < 1e-12,
+            "seed {seed}"
+        );
 
         // The returned mapping's evaluation agrees with the reported value.
         let eval = MappingEvaluation::evaluate(&chain, &platform, &dp.mapping);
@@ -66,7 +69,9 @@ fn heuristics_are_feasible_and_dominated_by_the_optimum() {
             };
             if let Ok(solution) = run_heuristic(&chain, &platform, &config) {
                 assert!(solution.evaluation.meets(period_bound, latency_bound));
-                let optimum = optimum.as_ref().expect("heuristic feasible => optimum feasible");
+                let optimum = optimum
+                    .as_ref()
+                    .expect("heuristic feasible => optimum feasible");
                 assert!(
                     solution.evaluation.reliability <= optimum.reliability + 1e-12,
                     "seed {seed}: {} beats the optimum",
@@ -88,7 +93,9 @@ fn period_constrained_dp_agrees_with_profile_sweep() {
         chain.total_work(),
     ] {
         let dp = optimize_reliability_with_period_bound(&chain, &platform, period).unwrap();
-        let profile = profiles.best_reliability_under(period, f64::INFINITY).unwrap();
+        let profile = profiles
+            .best_reliability_under(period, f64::INFINITY)
+            .unwrap();
         assert!(
             (dp.reliability - profile).abs() < 1e-12,
             "period {period}: dp {} vs profiles {profile}",
@@ -110,7 +117,11 @@ fn simulator_confirms_the_analytic_reliability_of_an_optimized_mapping() {
         &chain,
         &platform,
         &solution.mapping,
-        &MonteCarloConfig { num_datasets: 100_000, seed: 9, chunk_size: 8192 },
+        &MonteCarloConfig {
+            num_datasets: 100_000,
+            seed: 9,
+            chunk_size: 8192,
+        },
     );
     let tolerance = 4.0 * estimate.reliability_confidence95().max(5e-4);
     assert!(
@@ -125,11 +136,20 @@ fn simulator_confirms_the_analytic_reliability_of_an_optimized_mapping() {
         &chain,
         &platform,
         &solution.mapping,
-        &PipelineConfig { num_datasets: 2_000, seed: 10, input_period: None },
+        &PipelineConfig {
+            num_datasets: 2_000,
+            seed: 10,
+            input_period: None,
+        },
     );
     let relative =
         (report.achieved_period - analytic.expected_period).abs() / analytic.expected_period;
-    assert!(relative < 0.05, "period {} vs {}", report.achieved_period, analytic.expected_period);
+    assert!(
+        relative < 0.05,
+        "period {} vs {}",
+        report.achieved_period,
+        analytic.expected_period
+    );
 }
 
 #[test]
@@ -147,7 +167,10 @@ fn heterogeneous_instances_are_solved_and_respect_bounds() {
             solved += 1;
         }
     }
-    assert!(solved > 0, "at least some paper-style heterogeneous instances must be solvable");
+    assert!(
+        solved > 0,
+        "at least some paper-style heterogeneous instances must be solvable"
+    );
 }
 
 #[test]

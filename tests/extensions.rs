@@ -54,12 +54,18 @@ fn energy_budget_trades_reliability_for_power_on_generated_instances() {
             let solution = run_energy_aware_heuristic(
                 &chain,
                 &platform,
-                &EnergyAwareConfig { base: config, power_model: model, energy_budget: budget },
+                &EnergyAwareConfig {
+                    base: config,
+                    power_model: model,
+                    energy_budget: budget,
+                },
             )
             .unwrap();
             // Budget respected, bounds respected.
             assert!(solution.energy.energy_per_dataset <= budget + 1e-9);
-            assert!(solution.evaluation.meets(config.period_bound, config.latency_bound));
+            assert!(solution
+                .evaluation
+                .meets(config.period_bound, config.latency_bound));
             // More budget => at least as reliable and at least as much energy spent.
             assert!(solution.evaluation.reliability >= previous_reliability - 1e-15);
             assert!(solution.energy.energy_per_dataset >= previous_energy - 1e-9);
@@ -70,7 +76,11 @@ fn energy_budget_trades_reliability_for_power_on_generated_instances() {
         let full_budget = run_energy_aware_heuristic(
             &chain,
             &platform,
-            &EnergyAwareConfig { base: config, power_model: model, energy_budget: full },
+            &EnergyAwareConfig {
+                base: config,
+                power_model: model,
+                energy_budget: full,
+            },
         )
         .unwrap();
         assert_eq!(full_budget.mapping, unbudgeted.mapping);
@@ -88,7 +98,10 @@ fn general_rbd_bounds_and_monte_carlo_bracket_the_routing_model() {
     let solution = run_heuristic(&chain, &platform, &base_config()).unwrap();
 
     let direct = mapping_rbd::general_rbd(&chain, &platform, &solution.mapping);
-    assert!(direct.num_blocks() <= 30, "test mapping must stay within exact-evaluation reach");
+    assert!(
+        direct.num_blocks() <= 30,
+        "test mapping must stay within exact-evaluation reach"
+    );
     let exact = rbd_exact::factoring(&direct);
     let routed = mapping_rbd::routing_sp_expr(&chain, &platform, &solution.mapping).reliability();
     assert!(routed <= exact + 1e-12);

@@ -1,5 +1,10 @@
-//! Property-based tests (proptest) on the core invariants of the model, the
-//! RBD substrate, the LP solver and the optimization algorithms.
+//! Randomized property tests on the core invariants of the model, the RBD
+//! substrate, the LP solver and the optimization algorithms.
+//!
+//! The original suite used `proptest`; the offline build cannot fetch it, so
+//! the same properties run on a small hand-rolled harness: each property is
+//! checked on [`CASES`] instances generated from a seeded ChaCha8 stream,
+//! and failures report the case's seed for reproduction.
 
 use pipelined_rt::algorithms::{
     algo_alloc, exhaustive_alloc, heur_l_partition, heur_p_partition,
@@ -11,114 +16,136 @@ use pipelined_rt::model::{
     Platform, TaskChain,
 };
 use pipelined_rt::rbd::mapping_rbd;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-/// Strategy: a random chain of 2..=7 tasks with works in [1, 100] and outputs
-/// in [0, 10].
-fn chain_strategy() -> impl Strategy<Value = TaskChain> {
-    prop::collection::vec((1.0f64..100.0, 0.0f64..10.0), 2..=7)
-        .prop_map(|pairs| TaskChain::from_pairs(&pairs).expect("valid generated chain"))
+/// Number of random cases per property (matches the proptest configuration
+/// previously used).
+const CASES: u64 = 64;
+
+/// Runs `check` on `CASES` independently seeded generators; a failing case
+/// re-panics with the seed that reproduces it.
+fn for_random_cases(property: &str, mut check: impl FnMut(&mut ChaCha8Rng)) {
+    for case in 0..CASES {
+        let seed = 0x5eed_0000 + case;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            check(&mut rng);
+        }));
+        if outcome.is_err() {
+            panic!("property `{property}` failed for ChaCha8 seed {seed:#x}");
+        }
+    }
 }
 
-/// Strategy: a homogeneous platform with 2..=6 processors and noticeable
-/// failure rates.
-fn hom_platform_strategy() -> impl Strategy<Value = Platform> {
-    (2usize..=6, 1.0f64..4.0, 1e-5f64..1e-2, 1e-6f64..1e-3, 1usize..=3).prop_map(
-        |(p, speed, lambda, lambda_link, k)| {
-            Platform::homogeneous(p, speed, lambda, 1.0, lambda_link, k).expect("valid platform")
-        },
-    )
+/// A random chain of 2..=7 tasks with works in [1, 100] and outputs in
+/// [0, 10].
+fn random_chain(rng: &mut ChaCha8Rng) -> TaskChain {
+    let n = rng.gen_range(2usize..=7);
+    let pairs: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(1.0..100.0), rng.gen_range(0.0..10.0)))
+        .collect();
+    TaskChain::from_pairs(&pairs).expect("valid generated chain")
 }
 
-/// Strategy: a heterogeneous platform with 2..=6 processors.
-fn het_platform_strategy() -> impl Strategy<Value = Platform> {
-    prop::collection::vec((1.0f64..10.0, 1e-5f64..1e-2), 2..=6).prop_map(|procs| {
-        let processors =
-            procs.iter().map(|&(s, l)| pipelined_rt::model::Processor::new(s, l)).collect();
-        Platform::new(processors, 1.0, 1e-4, 3).expect("valid platform")
-    })
+/// A homogeneous platform with 2..=6 processors and noticeable failure
+/// rates.
+fn random_hom_platform(rng: &mut ChaCha8Rng) -> Platform {
+    let p = rng.gen_range(2usize..=6);
+    let speed = rng.gen_range(1.0..4.0);
+    let lambda = rng.gen_range(1e-5..1e-2);
+    let lambda_link = rng.gen_range(1e-6..1e-3);
+    let k = rng.gen_range(1usize..=3);
+    Platform::homogeneous(p, speed, lambda, 1.0, lambda_link, k).expect("valid platform")
 }
 
-/// Builds a valid random mapping of `chain` on `platform`: random contiguous
+/// A heterogeneous platform with 2..=6 processors.
+fn random_het_platform(rng: &mut ChaCha8Rng) -> Platform {
+    let p = rng.gen_range(2usize..=6);
+    let processors = (0..p)
+        .map(|_| {
+            pipelined_rt::model::Processor::new(rng.gen_range(1.0..10.0), rng.gen_range(1e-5..1e-2))
+        })
+        .collect();
+    Platform::new(processors, 1.0, 1e-4, 3).expect("valid platform")
+}
+
+/// A valid random mapping of `chain` on `platform`: random contiguous
 /// partition, processors dealt round-robin.
-fn mapping_strategy(
-    chain: TaskChain,
-    platform: Platform,
-) -> impl Strategy<Value = (TaskChain, Platform, Mapping)> {
+fn random_mapping(rng: &mut ChaCha8Rng, chain: &TaskChain, platform: &Platform) -> Mapping {
     let n = chain.len();
     let p = platform.num_processors();
-    let max_intervals = n.min(p);
-    (1..=max_intervals, any::<u64>()).prop_map(move |(m, shuffle_seed)| {
-        // Deterministic pseudo-random cut points derived from the seed.
-        let mut cuts: Vec<usize> = Vec::new();
-        let mut value = shuffle_seed;
-        while cuts.len() < m - 1 {
-            value = value.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let cut = (value >> 33) as usize % (n - 1);
-            if !cuts.contains(&cut) {
-                cuts.push(cut);
-            }
-        }
-        cuts.sort_unstable();
-        let partition = IntervalPartition::from_cut_points(&cuts, n).expect("valid cuts");
+    let m = rng.gen_range(1usize..=n.min(p));
 
-        // Deal the processors round-robin, at most K per interval.
-        let k = platform.max_replication();
-        let mut sets: Vec<Vec<usize>> = vec![Vec::new(); m];
-        for processor in 0..p {
-            let slot = processor % m;
-            if sets[slot].len() < k {
-                sets[slot].push(processor);
-            }
+    let mut cuts: Vec<usize> = Vec::new();
+    while cuts.len() < m - 1 {
+        let cut = rng.gen_range(0usize..n - 1);
+        if !cuts.contains(&cut) {
+            cuts.push(cut);
         }
-        let mapping = Mapping::from_partition(&partition, sets, &chain, &platform)
-            .expect("round-robin assignment is structurally valid");
-        (chain.clone(), platform.clone(), mapping)
-    })
+    }
+    cuts.sort_unstable();
+    let partition = IntervalPartition::from_cut_points(&cuts, n).expect("valid cuts");
+
+    // Deal the processors round-robin, at most K per interval.
+    let k = platform.max_replication();
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for processor in 0..p {
+        let slot = processor % m;
+        if sets[slot].len() < k {
+            sets[slot].push(processor);
+        }
+    }
+    Mapping::from_partition(&partition, sets, chain, platform)
+        .expect("round-robin assignment is structurally valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Reliability is a probability and every latency/period value is
-    /// positive, with worst cases dominating expected values and the latency
-    /// dominating the period.
-    #[test]
-    fn evaluation_invariants(
-        (chain, platform, mapping) in (chain_strategy(), het_platform_strategy())
-            .prop_flat_map(|(c, p)| mapping_strategy(c, p))
-    ) {
+/// Reliability is a probability and every latency/period value is positive,
+/// with worst cases dominating expected values and the latency dominating
+/// the period.
+#[test]
+fn evaluation_invariants() {
+    for_random_cases("evaluation_invariants", |rng| {
+        let chain = random_chain(rng);
+        let platform = random_het_platform(rng);
+        let mapping = random_mapping(rng, &chain, &platform);
         let eval = MappingEvaluation::evaluate(&chain, &platform, &mapping);
-        prop_assert!(eval.reliability > 0.0 && eval.reliability <= 1.0);
-        prop_assert!(eval.expected_latency > 0.0);
-        prop_assert!(eval.expected_period > 0.0);
-        prop_assert!(eval.worst_case_latency >= eval.expected_latency - 1e-9);
-        prop_assert!(eval.worst_case_period >= eval.expected_period - 1e-9);
-        prop_assert!(eval.worst_case_latency >= eval.worst_case_period - 1e-9);
-        prop_assert!(eval.expected_latency >= eval.expected_period - 1e-9);
-    }
+        assert!(eval.reliability > 0.0 && eval.reliability <= 1.0);
+        assert!(eval.expected_latency > 0.0);
+        assert!(eval.expected_period > 0.0);
+        assert!(eval.worst_case_latency >= eval.expected_latency - 1e-9);
+        assert!(eval.worst_case_period >= eval.expected_period - 1e-9);
+        assert!(eval.worst_case_latency >= eval.worst_case_period - 1e-9);
+        assert!(eval.expected_latency >= eval.expected_period - 1e-9);
+    });
+}
 
-    /// Eq. (9) equals the series-parallel routing RBD evaluation, for any
-    /// mapping on any platform.
-    #[test]
-    fn closed_form_reliability_equals_routing_rbd(
-        (chain, platform, mapping) in (chain_strategy(), het_platform_strategy())
-            .prop_flat_map(|(c, p)| mapping_strategy(c, p))
-    ) {
+/// Eq. (9) equals the series-parallel routing RBD evaluation, for any
+/// mapping on any platform.
+#[test]
+fn closed_form_reliability_equals_routing_rbd() {
+    for_random_cases("closed_form_reliability_equals_routing_rbd", |rng| {
+        let chain = random_chain(rng);
+        let platform = random_het_platform(rng);
+        let mapping = random_mapping(rng, &chain, &platform);
         let closed_form = reliability::mapping_reliability(&chain, &platform, &mapping);
         let expr = mapping_rbd::routing_sp_expr(&chain, &platform, &mapping);
-        prop_assert!((closed_form - expr.reliability()).abs() < 1e-12);
-    }
+        assert!((closed_form - expr.reliability()).abs() < 1e-12);
+    });
+}
 
-    /// Adding one more replica to any interval never decreases the mapping
-    /// reliability.
-    #[test]
-    fn replication_is_monotone(
-        (chain, platform, mapping) in (chain_strategy(), hom_platform_strategy())
-            .prop_flat_map(|(c, p)| mapping_strategy(c, p))
-    ) {
+/// Adding one more replica to any interval never decreases the mapping
+/// reliability.
+#[test]
+fn replication_is_monotone() {
+    for_random_cases("replication_is_monotone", |rng| {
+        let chain = random_chain(rng);
+        let platform = random_hom_platform(rng);
+        let mapping = random_mapping(rng, &chain, &platform);
         let used: usize = mapping.processors_used();
-        prop_assume!(used < platform.num_processors());
+        if used >= platform.num_processors() {
+            return; // no spare processor: property vacuous for this case
+        }
         let spare = platform.num_processors() - 1; // highest index is free iff used < p
         let before = reliability::mapping_reliability(&chain, &platform, &mapping);
 
@@ -134,68 +161,71 @@ proptest! {
             intervals[j].processors.push(spare);
             let augmented = Mapping::new(intervals, &chain, &platform).expect("still valid");
             let after = reliability::mapping_reliability(&chain, &platform, &augmented);
-            prop_assert!(after >= before - 1e-15);
+            assert!(after >= before - 1e-15);
         }
-    }
+    });
+}
 
-    /// Algo-Alloc (greedy) matches the exhaustive allocation on homogeneous
-    /// platforms (Theorem 4).
-    #[test]
-    fn algo_alloc_is_optimal(
-        chain in chain_strategy(),
-        platform in hom_platform_strategy(),
-        cut_seed in any::<u64>(),
-    ) {
+/// Algo-Alloc (greedy) matches the exhaustive allocation on homogeneous
+/// platforms (Theorem 4).
+#[test]
+fn algo_alloc_is_optimal() {
+    for_random_cases("algo_alloc_is_optimal", |rng| {
+        let chain = random_chain(rng);
+        let platform = random_hom_platform(rng);
         let n = chain.len();
         let p = platform.num_processors();
-        let m = 1 + (cut_seed as usize % n.min(p));
+        let m = rng.gen_range(1usize..=n.min(p));
         // Evenly spread cut points.
         let cuts: Vec<usize> = (1..m).map(|j| j * n / m - 1).collect();
         let partition = IntervalPartition::from_cut_points(&cuts, n).expect("valid cuts");
-        prop_assume!(partition.len() <= p);
+        if partition.len() > p {
+            return;
+        }
 
         let greedy = algo_alloc(&chain, &platform, &partition).expect("enough processors");
         let best = exhaustive_alloc(&chain, &platform, &partition).expect("enough processors");
         let rg = reliability::mapping_reliability(&chain, &platform, &greedy);
         let rb = reliability::mapping_reliability(&chain, &platform, &best);
-        prop_assert!((rg - rb).abs() < 1e-13);
-    }
+        assert!((rg - rb).abs() < 1e-13);
+    });
+}
 
-    /// Algorithm 2 under a very large period bound coincides with
-    /// Algorithm 1, and its reliability is monotone in the bound.
-    #[test]
-    fn algorithm2_consistency(
-        chain in chain_strategy(),
-        platform in hom_platform_strategy(),
-    ) {
+/// Algorithm 2 under a very large period bound coincides with Algorithm 1,
+/// and its reliability is monotone in the bound.
+#[test]
+fn algorithm2_consistency() {
+    for_random_cases("algorithm2_consistency", |rng| {
+        let chain = random_chain(rng);
+        let platform = random_hom_platform(rng);
         let unconstrained = optimize_reliability_homogeneous(&chain, &platform).unwrap();
         let loose = optimize_reliability_with_period_bound(&chain, &platform, 1e12).unwrap();
-        prop_assert!((unconstrained.reliability - loose.reliability).abs() < 1e-12);
+        assert!((unconstrained.reliability - loose.reliability).abs() < 1e-12);
 
         let tight_bound = chain.max_task_work() / platform.speed(0)
             + chain.max_boundary_output() / platform.bandwidth();
         if let Ok(tight) = optimize_reliability_with_period_bound(&chain, &platform, tight_bound) {
-            prop_assert!(tight.reliability <= loose.reliability + 1e-12);
+            assert!(tight.reliability <= loose.reliability + 1e-12);
             let eval = MappingEvaluation::evaluate(&chain, &platform, &tight.mapping);
-            prop_assert!(eval.worst_case_period <= tight_bound + 1e-9);
+            assert!(eval.worst_case_period <= tight_bound + 1e-9);
         }
-    }
+    });
+}
 
-    /// Both interval heuristics always produce valid partitions with the
-    /// requested number of intervals, and Heur-P's bottleneck never exceeds
-    /// Heur-L's.
-    #[test]
-    fn interval_heuristics_produce_valid_partitions(
-        chain in chain_strategy(),
-        m_seed in any::<u16>(),
-    ) {
+/// Both interval heuristics always produce valid partitions with the
+/// requested number of intervals, and Heur-P's bottleneck never exceeds
+/// Heur-L's.
+#[test]
+fn interval_heuristics_produce_valid_partitions() {
+    for_random_cases("interval_heuristics_produce_valid_partitions", |rng| {
+        let chain = random_chain(rng);
         let n = chain.len();
-        let m = 1 + (m_seed as usize % n);
+        let m = rng.gen_range(1usize..=n);
         let heur_l = heur_l_partition(&chain, m);
         let heur_p = heur_p_partition(&chain, m);
-        prop_assert_eq!(heur_l.len(), m);
-        prop_assert_eq!(heur_p.len(), m);
-        prop_assert_eq!(heur_l.chain_len(), n);
+        assert_eq!(heur_l.len(), m);
+        assert_eq!(heur_p.len(), m);
+        assert_eq!(heur_l.chain_len(), n);
 
         let bottleneck = |partition: &IntervalPartition| {
             partition
@@ -204,41 +234,43 @@ proptest! {
                 .map(|itv| itv.work(&chain).max(itv.output_size(&chain)))
                 .fold(0.0f64, f64::max)
         };
-        prop_assert!(bottleneck(&heur_p) <= bottleneck(&heur_l) + 1e-9);
+        assert!(bottleneck(&heur_p) <= bottleneck(&heur_l) + 1e-9);
 
         // Heur-L minimizes the total boundary communication by construction.
-        prop_assert!(
+        assert!(
             heur_l.total_boundary_output(&chain) <= heur_p.total_boundary_output(&chain) + 1e-9
         );
-    }
+    });
+}
 
-    /// The per-interval period requirement is consistent with the worst-case
-    /// period of a single-interval mapping.
-    #[test]
-    fn interval_period_requirement_matches_evaluation(
-        chain in chain_strategy(),
-        platform in hom_platform_strategy(),
-    ) {
-        let whole = Interval { first: 0, last: chain.len() - 1 };
+/// The per-interval period requirement is consistent with the worst-case
+/// period of a single-interval mapping.
+#[test]
+fn interval_period_requirement_matches_evaluation() {
+    for_random_cases("interval_period_requirement_matches_evaluation", |rng| {
+        let chain = random_chain(rng);
+        let platform = random_hom_platform(rng);
+        let whole = Interval {
+            first: 0,
+            last: chain.len() - 1,
+        };
         let requirement =
             timing::interval_period_requirement(&chain, &platform, whole, platform.speed(0));
-        let mapping = Mapping::new(
-            vec![MappedInterval::new(whole, vec![0])],
-            &chain,
-            &platform,
-        )
-        .unwrap();
+        let mapping =
+            Mapping::new(vec![MappedInterval::new(whole, vec![0])], &chain, &platform).unwrap();
         let eval = MappingEvaluation::evaluate(&chain, &platform, &mapping);
-        prop_assert!((requirement - eval.worst_case_period).abs() < 1e-9);
-    }
+        assert!((requirement - eval.worst_case_period).abs() < 1e-9);
+    });
+}
 
-    /// The simplex solution of a random feasible LP is feasible and no worse
-    /// than any sampled feasible point (local optimality sanity check).
-    #[test]
-    fn lp_solutions_are_feasible_and_dominant(
-        coeffs in prop::collection::vec(0.1f64..5.0, 3),
-        bounds in prop::collection::vec(1.0f64..20.0, 3),
-    ) {
+/// The simplex solution of a random feasible LP is feasible and no worse
+/// than any sampled feasible point (local optimality sanity check).
+#[test]
+fn lp_solutions_are_feasible_and_dominant() {
+    for_random_cases("lp_solutions_are_feasible_and_dominant", |rng| {
+        let coeffs: Vec<f64> = (0..3).map(|_| rng.gen_range(0.1..5.0)).collect();
+        let bounds: Vec<f64> = (0..3).map(|_| rng.gen_range(1.0..20.0)).collect();
+
         let mut problem = Problem::new(Objective::Maximize, coeffs.clone());
         // x_i <= bound_i and sum x_i <= half the total bound.
         for (i, &b) in bounds.iter().enumerate() {
@@ -248,15 +280,15 @@ proptest! {
         problem.add_constraint(vec![1.0; 3], ConstraintOp::Le, total / 2.0);
 
         let solution = solve_lp(&problem);
-        prop_assert_eq!(solution.status, LpStatus::Optimal);
-        prop_assert!(problem.is_feasible(&solution.x, 1e-6));
+        assert_eq!(solution.status, LpStatus::Optimal);
+        assert!(problem.is_feasible(&solution.x, 1e-6));
         // The origin and the per-axis extreme points never beat the optimum.
-        prop_assert!(solution.objective >= -1e-9);
+        assert!(solution.objective >= -1e-9);
         for i in 0..3 {
             let mut x = vec![0.0; 3];
             x[i] = bounds[i].min(total / 2.0);
             let value = problem.objective_value(&x);
-            prop_assert!(solution.objective >= value - 1e-6);
+            assert!(solution.objective >= value - 1e-6);
         }
-    }
+    });
 }

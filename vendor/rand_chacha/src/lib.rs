@@ -1,0 +1,140 @@
+//! Vendored offline stand-in for `rand_chacha`.
+//!
+//! Implements [`ChaCha8Rng`]: a real ChaCha stream cipher core with 8 rounds
+//! (4 double-rounds), keyed from a 32-byte seed, used as a deterministic
+//! pseudo-random generator. The keystream is **not** bit-compatible with the
+//! real `rand_chacha` crate (word ordering of the output buffer differs),
+//! but it has the same statistical structure and the workspace only relies
+//! on determinism, not on a specific stream.
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha quarter round.
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A deterministic generator backed by the ChaCha8 keystream.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, key, block counter, nonce.
+    input: [u32; 16],
+    /// Current output block.
+    buffer: [u32; 16],
+    /// Next unread word of `buffer` (16 = exhausted).
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    /// Generates the next 16-word block into `buffer`.
+    fn refill(&mut self) {
+        let mut working = self.input;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, input) in working.iter_mut().zip(self.input.iter()) {
+            *out = out.wrapping_add(*input);
+        }
+        self.buffer = working;
+        self.index = 0;
+        // 64-bit block counter in words 12–13.
+        let (low, carry) = self.input[12].overflowing_add(1);
+        self.input[12] = low;
+        if carry {
+            self.input[13] = self.input[13].wrapping_add(1);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // "expand 32-byte k"
+        let mut input = [0u32; 16];
+        input[0] = 0x6170_7865;
+        input[1] = 0x3320_646e;
+        input[2] = 0x7962_2d32;
+        input[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            input[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            input,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let low = self.next_u32() as u64;
+        let high = self.next_u32() as u64;
+        low | (high << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_cover_the_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(samples.iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..7 {
+            rng.next_u32();
+        }
+        let mut fork = rng.clone();
+        assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+}

@@ -1,0 +1,206 @@
+//! Vendored offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! small slice-parallelism subset the workspace uses — `par_iter()` on
+//! slices/`Vec`s and `into_par_iter()` on ranges, followed by one `map` and a
+//! terminal `collect`/`reduce`/`sum`/`for_each`. Execution is genuinely
+//! parallel: the realized item list is split into one contiguous chunk per
+//! available core and mapped on scoped `std::thread`s, preserving order.
+//! There is no work stealing; for the uniform batch workloads in this
+//! repository, static chunking is within noise of rayon's scheduler.
+
+use std::num::NonZeroUsize;
+
+/// Everything needed for `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, MappedParallelIterator, ParallelIterator,
+    };
+}
+
+/// The number of worker threads to use for `len` items.
+fn num_threads(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(len)
+        .max(1)
+}
+
+/// Maps `items` through `f` on scoped threads, preserving input order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = num_threads(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// A realized parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel iterator with a pending `map`.
+pub struct MappedParallelIterator<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Entry point: `collection.into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Entry point: `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The (borrowed) item type.
+    type Item: Send + 'a;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Operations shared by the realized and mapped iterator stages.
+pub trait ParallelIterator: Sized {
+    /// The item type produced by this stage.
+    type Item: Send;
+
+    /// Runs the pipeline and returns the items in order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Collects the results (parallel execution happens here).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Folds the results with `op`, starting from `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+
+    /// Sums the results.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Consumes the results for their side effects.
+    fn for_each<F: Fn(Self::Item)>(self, f: F) {
+        self.run().into_iter().for_each(f);
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Attaches the mapping stage executed on the worker threads.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> MappedParallelIterator<T, F> {
+        MappedParallelIterator {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for MappedParallelIterator<T, F> {
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map(self.items, &self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn mapped_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn par_iter_borrows_and_reduces() {
+        let data: Vec<u64> = (1..=100).collect();
+        let total: u64 = data.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+}

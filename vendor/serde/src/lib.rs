@@ -1,0 +1,397 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors a
+//! minimal replacement implementing the subset of serde it uses. Instead of
+//! serde's generic data model, the traits here serialize to / deserialize
+//! from a concrete JSON [`Value`] tree; `serde_json` (also vendored) supplies
+//! the text representation. The derive macros come from the vendored
+//! `serde_derive` and support non-generic structs with named fields, enums
+//! with unit/newtype/tuple/struct variants (externally tagged), and the
+//! `#[serde(default)]` / `#[serde(default = "path")]` field attributes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value: the concrete data model of the vendored serde shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object, as insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, remembering whether it was an integer so 64-bit values
+/// survive round trips without floating-point truncation.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// An unsigned integer literal.
+    U(u64),
+    /// A negative integer literal.
+    I(i64),
+    /// A floating-point literal.
+    F(f64),
+}
+
+impl Number {
+    /// The numeric value as `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u64::try_from(i).ok(),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_u64(), other.as_u64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(elements) => Some(elements),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_number(&self) -> Option<Number> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with a free-form message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X while deserializing T".
+    pub fn expected(what: &str, type_name: &str) -> Self {
+        Error {
+            message: format!("expected {what} while deserializing {type_name}"),
+        }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, type_name: &str) -> Self {
+        Error {
+            message: format!("missing field `{field}` while deserializing {type_name}"),
+        }
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(variant: &str, type_name: &str) -> Self {
+        Error {
+            message: format!("unknown variant `{variant}` for {type_name}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the JSON [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the JSON [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a field of this type is absent from an object
+    /// (`None` = the field is required). `Option<T>` overrides this so
+    /// missing optional fields deserialize to `None`, matching real serde.
+    fn missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Helper used by the derive macro: ordered-object key lookup.
+pub fn __find<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Helper used by the derive macro: type-directed missing-field fallback.
+pub fn __missing<T: Deserialize>() -> Option<T> {
+    T::missing()
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("boolean", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_number()
+                    .and_then(|n| n.as_u64())
+                    .and_then(|u| <$ty>::try_from(u).ok())
+                    .ok_or_else(|| Error::expected("unsigned integer", stringify!($ty)))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v))
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_number()
+                    .and_then(|n| n.as_i64())
+                    .and_then(|i| <$ty>::try_from(i).ok())
+                    .ok_or_else(|| Error::expected("integer", stringify!($ty)))
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as f64;
+                // Like serde_json: non-finite floats have no JSON form.
+                if v.is_finite() { Value::Number(Number::F(v)) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_number()
+                    .map(|n| n.as_f64() as $ty)
+                    .ok_or_else(|| Error::expected("number", stringify!($ty)))
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($len:literal => $($idx:tt : $ty:ident),+) => {
+        impl<$($ty: Serialize),+> Serialize for ($($ty,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($ty: Deserialize),+> Deserialize for ($($ty,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let arr = value.as_array().ok_or_else(|| Error::expected("array", "tuple"))?;
+                if arr.len() != $len {
+                    return Err(Error::expected(concat!($len, "-element array"), "tuple"));
+                }
+                Ok(($($ty::from_value(&arr[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_serde_tuple!(2 => 0: A, 1: B);
+impl_serde_tuple!(3 => 0: A, 1: B, 2: C);
+impl_serde_tuple!(4 => 0: A, 1: B, 2: C, 3: D);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

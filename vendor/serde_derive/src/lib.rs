@@ -1,0 +1,455 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `serde`/`serde_derive` cannot be fetched. This crate re-implements the
+//! subset of the derive surface the workspace actually uses, against the
+//! JSON-value data model of the vendored `serde` shim:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on non-generic structs with named
+//!   fields and on enums with unit / newtype / tuple / struct variants
+//!   (externally tagged, like real serde's default representation);
+//! * the field attributes `#[serde(default)]` and
+//!   `#[serde(default = "path")]`.
+//!
+//! The macro hand-parses the `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline) and emits the implementation as a formatted source
+//! string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// How a missing field is filled during deserialization.
+#[derive(Clone, Debug)]
+enum FieldDefault {
+    /// No default: a missing field is an error (unless the field type opts in
+    /// via `Deserialize::missing`, as `Option<T>` does).
+    Required,
+    /// `#[serde(default)]`: use `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+#[derive(Clone, Debug)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Clone, Debug)]
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (the vendored shim's JSON-value trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::Struct { name, fields } => serialize_struct(name, fields),
+        Input::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (the vendored shim's JSON-value trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::Struct { name, fields } => deserialize_struct(name, fields),
+        Input::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde_derive shim does not support generic types ({name})");
+    }
+
+    let group = loop {
+        match iter.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => break group,
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                panic!("the vendored serde_derive shim does not support tuple structs ({name})")
+            }
+            Some(_) => continue,
+            None => panic!("expected a brace-delimited body for {name}"),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(group.stream()),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(group.stream()),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    }
+}
+
+fn skip_attributes(iter: &mut TokenIter) -> Vec<TokenStream> {
+    let mut attrs = Vec::new();
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Bracket => {
+                attrs.push(group.stream());
+            }
+            other => panic!("malformed attribute: {other:?}"),
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(ident)) if ident.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Extracts the `FieldDefault` from a field's attributes.
+fn field_default(attrs: &[TokenStream]) -> FieldDefault {
+    for attr in attrs {
+        let mut iter = attr.clone().into_iter().peekable();
+        let is_serde =
+            matches!(iter.next(), Some(TokenTree::Ident(ident)) if ident.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = iter.next() else {
+            continue;
+        };
+        let mut args = args.stream().into_iter().peekable();
+        while let Some(token) = args.next() {
+            let TokenTree::Ident(ident) = token else {
+                continue;
+            };
+            if ident.to_string() != "default" {
+                continue;
+            }
+            if matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                args.next();
+                match args.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        let text = lit.to_string();
+                        let path = text.trim_matches('"').to_string();
+                        return FieldDefault::Path(path);
+                    }
+                    other => panic!("malformed #[serde(default = ...)]: {other:?}"),
+                }
+            }
+            return FieldDefault::DefaultTrait;
+        }
+    }
+    FieldDefault::Required
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => panic!("expected field name, found {other}"),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field {
+            name,
+            default: field_default(&attrs),
+        });
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma,
+/// tracking angle-bracket depth so commas inside generics are skipped.
+fn skip_type(iter: &mut TokenIter) {
+    let mut depth = 0i32;
+    for token in iter.by_ref() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Counts the fields of a tuple variant: top-level commas + 1, ignoring a
+/// trailing comma.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = true;
+    let mut empty = true;
+    for token in stream {
+        empty = false;
+        trailing_comma = false;
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if empty {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => panic!("expected variant name, found {other}"),
+            None => break,
+        };
+        let variant = match iter.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(group.stream());
+                iter.next();
+                if arity == 1 {
+                    Variant::Newtype(name)
+                } else {
+                    Variant::Tuple(name, arity)
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream());
+                iter.next();
+                Variant::Struct(name, fields)
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        // Skip everything (e.g. discriminants) up to the separating comma.
+        for token in iter.by_ref() {
+            if matches!(&token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn push_fields_to_object(out: &mut String, fields: &[Field], access_prefix: &str) {
+    out.push_str("let mut __obj: Vec<(::std::string::String, ::serde::Value)> = Vec::new();");
+    for field in fields {
+        out.push_str(&format!(
+            "__obj.push((::std::string::String::from(\"{name}\"), \
+             ::serde::Serialize::to_value({access_prefix}{name})));",
+            name = field.name
+        ));
+    }
+    out.push_str("::serde::Value::Object(__obj)");
+}
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut out =
+        format!("impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ ");
+    push_fields_to_object(&mut out, fields, "&self.");
+    out.push_str("} }");
+    out
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = format!(
+        "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ \
+         match self {{ "
+    );
+    for variant in variants {
+        match variant {
+            Variant::Unit(v) => out.push_str(&format!(
+                "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+            )),
+            Variant::Newtype(v) => out.push_str(&format!(
+                "{name}::{v}(__f0) => ::serde::Value::Object(vec![(\
+                 ::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__f0))]),"
+            )),
+            Variant::Tuple(v, arity) => {
+                let bindings: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                let values: Vec<String> = bindings
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                out.push_str(&format!(
+                    "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\
+                     ::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Array(vec![{values}]))]),",
+                    binds = bindings.join(", "),
+                    values = values.join(", ")
+                ));
+            }
+            Variant::Struct(v, fields) => {
+                let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let mut inner = String::new();
+                push_fields_to_object(&mut inner, fields, "");
+                out.push_str(&format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                     ::std::string::String::from(\"{v}\"), {{ {inner} }})]),",
+                    binds = bindings.join(", ")
+                ));
+            }
+        }
+    }
+    out.push_str("} } }");
+    out
+}
+
+/// Emits the struct-literal field initializer for one deserialized field.
+fn field_initializer(type_name: &str, field: &Field) -> String {
+    let missing = match &field.default {
+        FieldDefault::Required => format!(
+            "match ::serde::__missing() {{ \
+             ::std::option::Option::Some(__d) => __d, \
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             ::serde::Error::missing_field(\"{field_name}\", \"{type_name}\")) }}",
+            field_name = field.name
+        ),
+        FieldDefault::DefaultTrait => "::std::default::Default::default()".to_string(),
+        FieldDefault::Path(path) => format!("{path}()"),
+    };
+    format!(
+        "{field_name}: match ::serde::__find(__fields, \"{field_name}\") {{ \
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+         ::std::option::Option::None => {missing} }},",
+        field_name = field.name
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut out = format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ \
+         let __fields = __value.as_object().ok_or_else(|| \
+         ::serde::Error::expected(\"object\", \"{name}\"))?; \
+         ::std::result::Result::Ok({name} {{ "
+    );
+    for field in fields {
+        out.push_str(&field_initializer(name, field));
+    }
+    out.push_str("}) } }");
+    out
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for variant in variants {
+        match variant {
+            Variant::Unit(v) => unit_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+            )),
+            Variant::Newtype(v) => tagged_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                 ::serde::Deserialize::from_value(__inner)?)),"
+            )),
+            Variant::Tuple(v, arity) => {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{ let __arr = __inner.as_array().ok_or_else(|| \
+                     ::serde::Error::expected(\"array\", \"{name}::{v}\"))?; \
+                     if __arr.len() != {arity} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"{arity}-element array\", \"{name}::{v}\")); }} \
+                     ::std::result::Result::Ok({name}::{v}({elems})) }},",
+                    elems = elems.join(", ")
+                ));
+            }
+            Variant::Struct(v, fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| field_initializer(&format!("{name}::{v}"), f))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{ let __fields = __inner.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"object\", \"{name}::{v}\"))?; \
+                     ::std::result::Result::Ok({name}::{v} {{ {inits} }}) }},"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ \
+         match __value {{ \
+         ::serde::Value::String(__s) => match __s.as_str() {{ \
+         {unit_arms} \
+         __other => ::std::result::Result::Err(\
+         ::serde::Error::unknown_variant(__other, \"{name}\")) }}, \
+         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{ \
+         let (__tag, __inner) = &__entries[0]; \
+         match __tag.as_str() {{ \
+         {tagged_arms} \
+         __other => ::std::result::Result::Err(\
+         ::serde::Error::unknown_variant(__other, \"{name}\")) }} }}, \
+         _ => ::std::result::Result::Err(\
+         ::serde::Error::expected(\"variant string or single-key object\", \"{name}\")) \
+         }} }} }}"
+    )
+}

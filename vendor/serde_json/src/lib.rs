@@ -1,0 +1,413 @@
+//! Vendored offline stand-in for `serde_json`.
+//!
+//! Implements the small API surface this workspace uses — [`from_str`],
+//! [`to_string`], [`to_string_pretty`] — on top of the vendored `serde`
+//! shim's JSON [`Value`] model: a recursive-descent parser and a pretty
+//! printer. Numbers keep their integer/float distinction so `u64` seeds
+//! round-trip exactly; non-finite floats serialize as `null`, like the real
+//! serde_json.
+
+pub use serde::{Error, Number, Value};
+
+/// Parses a value of type `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns a descriptive [`Error`] on malformed JSON or shape mismatches.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_complete(text)?;
+    T::from_value(&value)
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the real serde_json API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indentation).
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the real serde_json API.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a `T` from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on shape mismatches.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value_complete(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at offset {} in JSON input",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::custom("unexpected end of JSON input"))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        let found = self.peek()?;
+        if found != byte {
+            return Err(Error::custom(format!(
+                "expected `{}` at offset {}, found `{}`",
+                byte as char, self.pos, found as char
+            )));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Value::String(self.parse_string()?)),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'n' => self.parse_keyword("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected character `{}` at offset {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value, Error> {
+        self.skip_whitespace();
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at offset {}, found `{}`",
+                        self.pos, other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut elements = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(elements));
+        }
+        loop {
+            elements.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(elements));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at offset {}, found `{}`",
+                        self.pos, other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(Error::custom("unterminated string in JSON input"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(Error::custom("unterminated escape in JSON input"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::custom("invalid \\u escape in JSON input"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this workspace;
+                            // lone surrogates map to the replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape `\\{}` in JSON input",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 code point.
+                    let text = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8 in JSON input"))?;
+                    let ch = text.chars().next().expect("non-empty by construction");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        let start = self.pos;
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number in JSON input"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F(f)))
+            .map_err(|_| Error::custom(format!("invalid number `{text}` in JSON input")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(elements) => {
+            if elements.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, element) in elements.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_value(out, element, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, entry)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, entry, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(out: &mut String, number: Number) {
+    match number {
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::I(i) => out.push_str(&i.to_string()),
+        Number::F(f) => {
+            if f.is_finite() {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    // Keep a float marker so the value re-parses as a float.
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    // `{}` on f64 prints the shortest round-trippable form.
+                    out.push_str(&f.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_prints_nested_values() {
+        let text = r#"{"a": [1, 2.5, -3, 1e-6], "b": {"c": null, "d": "x\ny"}, "e": true}"#;
+        let value = parse_value_complete(text).unwrap();
+        let printed = to_string(&value).unwrap();
+        let reparsed = parse_value_complete(&printed).unwrap();
+        assert_eq!(value, reparsed);
+    }
+
+    #[test]
+    fn large_integers_round_trip_exactly() {
+        let text = format!("{}", u64::MAX);
+        let value = parse_value_complete(&text).unwrap();
+        assert_eq!(value, Value::Number(Number::U(u64::MAX)));
+        assert_eq!(to_string(&value).unwrap(), text);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_value_complete("not json").is_err());
+        assert!(parse_value_complete("{\"a\": }").is_err());
+        assert!(parse_value_complete("[1, 2,]").is_err());
+        assert!(parse_value_complete("{} trailing").is_err());
+    }
+}
