@@ -1,0 +1,33 @@
+use rpo_portfolio::cache::InstanceCache;
+use rpo_portfolio::ProblemInstance;
+use rpo_model::{Platform, TaskChain};
+use rpo_portfolio::pareto::ParetoFront;
+use std::sync::Arc;
+
+fn instance(work: f64) -> ProblemInstance {
+    let chain = TaskChain::from_pairs(&[(work, 1.0), (20.0, 0.0)]).unwrap();
+    let platform = Platform::homogeneous(3, 1.0, 1e-3, 1.0, 1e-4, 2).unwrap();
+    ProblemInstance::unbounded(chain, platform)
+}
+
+#[test]
+fn compaction_during_touch_corrupts_lru() {
+    let mut cache = InstanceCache::new(2);
+    let (a, b, c) = (instance(1.0), instance(2.0), instance(3.0));
+    cache.put(&a, Arc::new(ParetoFront::new()));
+    cache.put(&b, Arc::new(ParetoFront::new()));
+    // 19 hits on b: the 19th push makes the touch log exceed 2*2+16 and
+    // triggers compaction, which drops b's freshest touch.
+    for _ in 0..19 {
+        assert!(cache.get(&b).is_some());
+    }
+    // Now touch a: a is the most recently used entry.
+    assert!(cache.get(&a).is_some());
+    // Insert c: the LRU entry is b, so b must be evicted and a kept.
+    cache.put(&c, Arc::new(ParetoFront::new()));
+    assert!(cache.len() <= 2, "cache exceeded capacity: {}", cache.len());
+    assert!(
+        cache.get(&a).is_some(),
+        "most-recently-used entry `a` was evicted instead of LRU `b`"
+    );
+}
