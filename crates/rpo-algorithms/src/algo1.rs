@@ -9,8 +9,22 @@
 //! The paper only returns the optimal reliability value; this implementation
 //! additionally keeps the dynamic-programming choices and reconstructs an
 //! actual [`Mapping`] achieving it.
+//!
+//! All interval metrics come from the [`IntervalOracle`]: the replica-block
+//! reliability of each candidate interval is assembled from precomputed
+//! boundary-communication reliabilities and a factored log-reliability
+//! exponent prefix (`exp(−ρ(W_i − W_j)) = exp(−ρW_i)·exp(ρW_j)`, two `exp`s
+//! per chain position instead of one per interval, with an exact fallback
+//! when the exponents are large), the powers `(1 − r)^q` are accumulated
+//! incrementally across the replication loop, and the DP tables are flat
+//! arenas indexed by `i·(p+1) + k` instead of nested vectors — together
+//! several times faster than recomputing Eq. 9 from scratch inside the
+//! recurrence. The recurrence maximizes over these (ulp-accurate) factored
+//! values; the *reported* reliability of the reconstructed mapping is then
+//! recomputed exactly through the oracle's Eq. 9 path, so it always agrees
+//! bit-for-bit with [`rpo_model::MappingEvaluation`].
 
-use rpo_model::{reliability, Interval, MappedInterval, Mapping, Platform, TaskChain};
+use rpo_model::{Interval, IntervalOracle, MappedInterval, Mapping, Platform, TaskChain};
 use serde::{Deserialize, Serialize};
 
 use crate::{AlgoError, Result};
@@ -24,69 +38,128 @@ pub struct OptimalMapping {
     pub reliability: f64,
 }
 
-/// Reliability of an interval replicated on `q` identical processors of a
-/// homogeneous platform, including its incoming and outgoing communications
-/// (the inner term of Eq. 9).
-pub(crate) fn replicated_homogeneous_reliability(
-    chain: &TaskChain,
-    platform: &Platform,
-    interval: Interval,
-    q: usize,
-) -> f64 {
-    let input_size = if interval.first == 0 {
-        0.0
-    } else {
-        chain.output_size(interval.first - 1)
-    };
-    let block = reliability::replica_block_reliability(
-        chain,
-        platform,
-        0,
-        interval,
-        input_size,
-        interval.output_size(chain),
-    );
-    1.0 - (1.0 - block).powi(q as i32)
+/// Sentinel for "no recorded choice" in the flat traceback arena.
+const NO_CHOICE: u32 = u32::MAX;
+
+/// Interval admissibility of the shared dynamic program: Algorithm 1 admits
+/// every interval, Algorithm 2 only those fitting a worst-case period bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum DpFilter {
+    /// Every interval is admissible (Algorithm 1).
+    All,
+    /// `max(o_in/b, W/s, o_out/b) ≤ bound` (Algorithm 2). Decomposed inside
+    /// the DP into a per-boundary communication flag, a per-row outgoing
+    /// check, and a work-prefix binary search for the first admissible
+    /// interval start — inadmissible intervals cost nothing.
+    PeriodBound(f64),
 }
 
-/// The dynamic program shared by Algorithms 1 and 2; `admissible` restricts
-/// which (interval, replication) pairs may be used (Algorithm 1 admits
-/// everything, Algorithm 2 enforces the period bound).
+/// The dynamic program shared by Algorithms 1 and 2.
 pub(crate) fn reliability_dp(
+    oracle: &IntervalOracle,
     chain: &TaskChain,
     platform: &Platform,
-    admissible: impl Fn(Interval) -> bool,
+    filter: DpFilter,
 ) -> Option<OptimalMapping> {
-    let n = chain.len();
-    let p = platform.num_processors();
-    let k_max = platform.max_replication().min(p);
+    let n = oracle.len();
+    let p = oracle.num_processors();
+    let k_max = oracle.max_replication().min(p);
+    assert!(
+        k_max <= 0xFF && n < (1 << 24),
+        "packed traceback supports K ≤ 255 and n < 2^24"
+    );
+    let speed = oracle.classes()[0].speed;
+    let bound = match filter {
+        DpFilter::All => f64::INFINITY,
+        DpFilter::PeriodBound(bound) => bound,
+    };
+    // Incoming-communication admissibility per interval start, shared by
+    // every row (these are exactly the comparisons period_requirement makes).
+    let in_ok: Vec<bool> = (0..n).map(|j| oracle.input_comm_time(j) <= bound).collect();
+    let work_prefix = oracle.work_prefix();
 
-    // f[i][k]: best reliability for the first i tasks on exactly k processors
-    // (negative = unreachable). choice[i][k]: (previous boundary j, replicas q).
-    let mut f = vec![vec![-1.0f64; p + 1]; n + 1];
-    let mut choice = vec![vec![None::<(usize, usize)>; p + 1]; n + 1];
-    f[0][0] = 1.0;
+    // Factored interval reliability: exp(−ρ(W_i − W_j)) = exp(−ρW_i)·exp(ρW_j)
+    // over the log-reliability exponent prefix, turning the n²/2 per-interval
+    // `exp`s into 2(n+1). Only safe while the exponents stay small (they are
+    // for any instance whose reliabilities are not denormal-degenerate);
+    // otherwise fall back to one exact `exp` per admissible interval.
+    let class = oracle.classes()[0];
+    let rho = class.failure_rate / class.speed;
+    let factored = rho * oracle.total_work() <= 40.0;
+    let (e_minus, e_plus): (Vec<f64>, Vec<f64>) = if factored {
+        (
+            work_prefix.iter().map(|&w| (-rho * w).exp()).collect(),
+            work_prefix.iter().map(|&w| (rho * w).exp()).collect(),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    // f[i·stride + k]: best reliability for the first i tasks on exactly k
+    // processors (−∞ = unreachable, so the recurrence needs no reachability
+    // branch: −∞ · rel stays −∞ and never wins a max). choice packs the
+    // winning (previous boundary j, replica count q) as j·256 + q into one
+    // flat arena, so an improvement costs a single extra store.
+    let stride = p + 1;
+    let mut f = vec![f64::NEG_INFINITY; (n + 1) * stride];
+    let mut choice = vec![NO_CHOICE; (n + 1) * stride];
+    f[0] = 1.0;
 
     for i in 1..=n {
-        for j in 0..i {
-            let interval = Interval {
-                first: j,
-                last: i - 1,
-            };
-            if !admissible(interval) {
+        if oracle.output_comm_time(i - 1) > bound {
+            continue; // no interval ending at task i−1 fits the period
+        }
+        let out_rel = oracle.output_comm_reliability(i - 1);
+        // Conservative first admissible start: the work prefix is strictly
+        // increasing, so intervals starting before this point are too big.
+        // The exact per-j division below keeps the semantics identical.
+        let j_lo = if bound.is_finite() {
+            work_prefix[..i]
+                .partition_point(|&w| w < work_prefix[i] - bound * speed)
+                .saturating_sub(1)
+        } else {
+            0
+        };
+        // Split the arena so the target row and the predecessor rows can be
+        // iterated as plain slices (j < i, so every predecessor is in `done`).
+        let (done, rest) = f.split_at_mut(i * stride);
+        let row_i = &mut rest[..stride];
+        let choices = i * stride;
+        // Descending j: short last intervals (high block reliability) are
+        // tried first, so most later candidates lose the max immediately and
+        // the improvement stores stay rare.
+        for j in (j_lo..i).rev() {
+            if !in_ok[j] || oracle.work(j, i - 1) / speed > bound {
                 continue;
             }
+            let block = if factored {
+                oracle.input_comm_reliability(j) * (e_minus[i] * e_plus[j]) * out_rel
+            } else {
+                oracle.class_block_reliability(0, j, i - 1)
+            };
+            let row_j = &done[j * stride..(j + 1) * stride];
+            // Only k − q ∈ [min_prev, max_prev] can be reachable in row j:
+            // j tasks occupy between 1 (j > 0) and min(p, j·K) processors.
+            let min_prev = usize::from(j > 0);
+            let max_prev = (j * k_max).min(p);
+            // Accumulate (1 − block)^q across the replication loop instead of
+            // recomputing the power for every q.
+            let mut all_fail = 1.0;
             for q in 1..=k_max {
-                let rel_interval = replicated_homogeneous_reliability(chain, platform, interval, q);
-                for k in q..=p {
-                    let prev = f[j][k - q];
-                    if prev < 0.0 {
-                        continue;
-                    }
+                all_fail *= 1.0 - block;
+                let rel_interval = 1.0 - all_fail;
+                let hi = max_prev.min(p - q);
+                if min_prev > hi {
+                    continue;
+                }
+                let base = q + min_prev;
+                let packed = (j as u32) << 8 | q as u32;
+                for (offset, &prev) in row_j[min_prev..=hi].iter().enumerate() {
                     let rel = prev * rel_interval;
-                    if rel > f[i][k] {
-                        f[i][k] = rel;
-                        choice[i][k] = Some((j, q));
+                    let k = base + offset;
+                    if rel > row_i[k] {
+                        row_i[k] = rel;
+                        choice[choices + k] = packed;
                     }
                 }
             }
@@ -94,10 +167,12 @@ pub(crate) fn reliability_dp(
     }
 
     // Best over every possible total processor count.
-    let (best_k, best_rel) = (1..=p)
-        .map(|k| (k, f[n][k]))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite reliabilities"))?;
-    if best_rel < 0.0 {
+    let row_n = n * stride;
+    let (best_k, best_rel) = (1..=p).map(|k| (k, f[row_n + k])).max_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("totally ordered reliabilities")
+    })?;
+    if !best_rel.is_finite() {
         return None;
     }
 
@@ -105,7 +180,10 @@ pub(crate) fn reliability_dp(
     let mut segments: Vec<(usize, usize, usize)> = Vec::new(); // (first, last, replicas)
     let (mut i, mut k) = (n, best_k);
     while i > 0 {
-        let (j, q) = choice[i][k].expect("reachable state has a recorded choice");
+        let packed = choice[i * stride + k];
+        debug_assert!(packed != NO_CHOICE, "reachable state has a recorded choice");
+        let j = (packed >> 8) as usize;
+        let q = (packed & 0xFF) as usize;
         segments.push((j, i - 1, q));
         i = j;
         k -= q;
@@ -125,9 +203,14 @@ pub(crate) fn reliability_dp(
         .collect();
     let mapping = Mapping::new(mapped, chain, platform)
         .expect("dynamic program only builds structurally valid mappings");
+    // Report the exact Eq. 9 reliability of the reconstructed mapping (the
+    // DP maximized over factored values that can differ by an ulp), so the
+    // reported value always matches the evaluator and can be fed back as a
+    // reliability bound without borderline misses.
+    let reliability = oracle.mapping_reliability(&mapping);
     Some(OptimalMapping {
         mapping,
-        reliability: best_rel,
+        reliability,
     })
 }
 
@@ -142,10 +225,26 @@ pub fn optimize_reliability_homogeneous(
     chain: &TaskChain,
     platform: &Platform,
 ) -> Result<OptimalMapping> {
-    if !platform.is_homogeneous() {
+    let oracle = IntervalOracle::new(chain, platform);
+    optimize_reliability_homogeneous_with_oracle(&oracle, chain, platform)
+}
+
+/// Algorithm 1 against a prebuilt [`IntervalOracle`] (the portfolio shares
+/// one oracle across all its backends).
+///
+/// # Errors
+///
+/// Same as [`optimize_reliability_homogeneous`].
+pub fn optimize_reliability_homogeneous_with_oracle(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+) -> Result<OptimalMapping> {
+    crate::debug_assert_oracle_matches(oracle, chain, platform);
+    if !oracle.is_homogeneous() {
         return Err(AlgoError::HeterogeneousPlatform);
     }
-    reliability_dp(chain, platform, |_| true).ok_or(AlgoError::NoFeasibleMapping)
+    reliability_dp(oracle, chain, platform, DpFilter::All).ok_or(AlgoError::NoFeasibleMapping)
 }
 
 #[cfg(test)]
@@ -232,15 +331,26 @@ mod tests {
     }
 
     #[test]
-    fn replicated_homogeneous_reliability_includes_communications() {
+    fn oracle_entry_point_matches_the_wrapper() {
+        let c = chain();
+        let p = platform(6, 3);
+        let oracle = IntervalOracle::new(&c, &p);
+        let direct = optimize_reliability_homogeneous(&c, &p).unwrap();
+        let via_oracle = optimize_reliability_homogeneous_with_oracle(&oracle, &c, &p).unwrap();
+        assert_eq!(direct.reliability, via_oracle.reliability);
+        assert_eq!(direct.mapping, via_oracle.mapping);
+    }
+
+    #[test]
+    fn oracle_replicated_reliability_includes_communications() {
         let c = chain();
         let p = platform(4, 3);
-        let itv = Interval { first: 1, last: 2 };
-        let r1 = replicated_homogeneous_reliability(&c, &p, itv, 1);
+        let oracle = IntervalOracle::new(&c, &p);
+        let r1 = oracle.replicated_reliability(1, 2, 1);
         // Manual: in-comm o_0 = 2, W = 35, out-comm o_2 = 1.
         let expected = (-1e-4f64 * 2.0).exp() * (-1e-3f64 * 35.0).exp() * (-1e-4f64 * 1.0).exp();
         assert!((r1 - expected).abs() < 1e-12);
-        let r2 = replicated_homogeneous_reliability(&c, &p, itv, 2);
+        let r2 = oracle.replicated_reliability(1, 2, 2);
         assert!((r2 - (1.0 - (1.0 - expected).powi(2))).abs() < 1e-12);
         assert!(r2 > r1);
     }

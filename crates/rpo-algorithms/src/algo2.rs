@@ -5,11 +5,12 @@
 //! respect the period bound: an interval `τ_{j+1} … τ_i` is admissible iff
 //! `max(o_j / b, Σ w / s, o_i / b) ≤ P` (its incoming communication, its
 //! computation on one processor, and its outgoing communication all fit within
-//! one period).
+//! one period). The admissibility test reads its interval metrics from the
+//! shared [`IntervalOracle`] in O(1).
 
-use rpo_model::{timing, Platform, TaskChain};
+use rpo_model::{IntervalOracle, Platform, TaskChain};
 
-use crate::algo1::{reliability_dp, OptimalMapping};
+use crate::algo1::{reliability_dp, DpFilter, OptimalMapping};
 use crate::{AlgoError, Result};
 
 /// Algorithm 2: computes a mapping of maximal reliability among those whose
@@ -27,17 +28,31 @@ pub fn optimize_reliability_with_period_bound(
     platform: &Platform,
     period_bound: f64,
 ) -> Result<OptimalMapping> {
-    if !platform.is_homogeneous() {
+    let oracle = IntervalOracle::new(chain, platform);
+    optimize_reliability_with_period_bound_with_oracle(&oracle, chain, platform, period_bound)
+}
+
+/// Algorithm 2 against a prebuilt [`IntervalOracle`] (shared by the portfolio
+/// backends and by the period minimizer's binary search).
+///
+/// # Errors
+///
+/// Same as [`optimize_reliability_with_period_bound`].
+pub fn optimize_reliability_with_period_bound_with_oracle(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: f64,
+) -> Result<OptimalMapping> {
+    crate::debug_assert_oracle_matches(oracle, chain, platform);
+    if !oracle.is_homogeneous() {
         return Err(AlgoError::HeterogeneousPlatform);
     }
     if !(period_bound.is_finite() && period_bound > 0.0) {
         return Err(AlgoError::InvalidBound("period bound"));
     }
-    let speed = platform.speed(0);
-    reliability_dp(chain, platform, |interval| {
-        timing::interval_period_requirement(chain, platform, interval, speed) <= period_bound
-    })
-    .ok_or(AlgoError::NoFeasibleMapping)
+    reliability_dp(oracle, chain, platform, DpFilter::PeriodBound(period_bound))
+        .ok_or(AlgoError::NoFeasibleMapping)
 }
 
 #[cfg(test)]
@@ -154,5 +169,18 @@ mod tests {
         let relaxed = optimize_reliability_with_period_bound(&c, &p, 1000.0).unwrap();
         let tight = optimize_reliability_with_period_bound(&c, &p, 40.0).unwrap();
         assert!(tight.mapping.num_intervals() > relaxed.mapping.num_intervals());
+    }
+
+    #[test]
+    fn shared_oracle_binary_search_matches_fresh_oracles() {
+        let c = chain();
+        let p = platform(6, 3);
+        let oracle = IntervalOracle::new(&c, &p);
+        for bound in [45.0, 70.0, 105.0] {
+            let fresh = optimize_reliability_with_period_bound(&c, &p, bound).unwrap();
+            let shared =
+                optimize_reliability_with_period_bound_with_oracle(&oracle, &c, &p, bound).unwrap();
+            assert_eq!(fresh.reliability, shared.reliability);
+        }
     }
 }

@@ -8,10 +8,14 @@
 //! reliability *ratio* (reliability with one more replica divided by current
 //! reliability) is largest, until processors run out or every interval holds
 //! `K` replicas. Theorem 4 proves this greedy choice optimal.
+//!
+//! The replica-block reliability of each interval is read once from the
+//! [`IntervalOracle`]; the greedy loop then maintains the failure product
+//! `(1 − r)^q` per interval incrementally, so each greedy step is O(m) with
+//! no transcendentals at all.
 
-use rpo_model::{Interval, IntervalPartition, MappedInterval, Mapping, Platform, TaskChain};
+use rpo_model::{IntervalOracle, IntervalPartition, MappedInterval, Mapping, Platform, TaskChain};
 
-use crate::algo1::replicated_homogeneous_reliability;
 use crate::{AlgoError, Result};
 
 /// Replication counts chosen for each interval (same order as the partition).
@@ -46,15 +50,6 @@ impl AllocationPlan {
     }
 }
 
-fn interval_reliability_with(
-    chain: &TaskChain,
-    platform: &Platform,
-    interval: Interval,
-    q: usize,
-) -> f64 {
-    replicated_homogeneous_reliability(chain, platform, interval, q)
-}
-
 /// Algo-Alloc: computes the optimal number of replicas per interval of
 /// `partition` on a homogeneous platform, and returns the corresponding
 /// mapping.
@@ -69,10 +64,23 @@ pub fn algo_alloc(
     platform: &Platform,
     partition: &IntervalPartition,
 ) -> Result<Mapping> {
-    if !platform.is_homogeneous() {
-        return Err(AlgoError::HeterogeneousPlatform);
-    }
-    let plan = algo_alloc_plan(chain, platform, partition)?;
+    let oracle = IntervalOracle::new(chain, platform);
+    algo_alloc_with_oracle(&oracle, chain, platform, partition)
+}
+
+/// Algo-Alloc against a prebuilt [`IntervalOracle`].
+///
+/// # Errors
+///
+/// Same as [`algo_alloc`].
+pub fn algo_alloc_with_oracle(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    partition: &IntervalPartition,
+) -> Result<Mapping> {
+    crate::debug_assert_oracle_matches(oracle, chain, platform);
+    let plan = algo_alloc_plan_with_oracle(oracle, partition)?;
     plan.into_mapping(partition, chain, platform)
 }
 
@@ -83,53 +91,80 @@ pub fn algo_alloc_plan(
     platform: &Platform,
     partition: &IntervalPartition,
 ) -> Result<AllocationPlan> {
+    let oracle = IntervalOracle::new(chain, platform);
+    algo_alloc_plan_with_oracle(&oracle, partition)
+}
+
+/// The replica-count computation against a prebuilt [`IntervalOracle`].
+///
+/// # Errors
+///
+/// Same as [`algo_alloc_plan`].
+pub fn algo_alloc_plan_with_oracle(
+    oracle: &IntervalOracle,
+    partition: &IntervalPartition,
+) -> Result<AllocationPlan> {
+    debug_assert!(
+        partition.chain_len() == oracle.len(),
+        "partition and oracle cover different chains"
+    );
+    if !oracle.is_homogeneous() {
+        return Err(AlgoError::HeterogeneousPlatform);
+    }
     let m = partition.len();
-    let p = platform.num_processors();
-    let k_max = platform.max_replication();
+    let p = oracle.num_processors();
     if p < m {
         return Err(AlgoError::NotEnoughProcessors {
             intervals: m,
             processors: p,
         });
     }
-
-    let mut replicas = vec![1usize; m];
-    let mut remaining = p - m;
-    // Current reliability of each interval with its current replica count.
-    let mut current: Vec<f64> = partition
+    // Per-interval replica-block reliability: one oracle read each.
+    let blocks: Vec<f64> = partition
         .intervals()
         .iter()
-        .map(|&itv| interval_reliability_with(chain, platform, itv, 1))
+        .map(|itv| oracle.class_block_reliability(0, itv.first, itv.last))
         .collect();
+    Ok(AllocationPlan {
+        replicas: greedy_replicas(&blocks, p, oracle.max_replication()),
+    })
+}
+
+/// The Theorem 4 greedy core on precomputed replica-block reliabilities:
+/// one processor per interval first, then each spare to the interval with
+/// the largest reliability ratio, tracking the failure product `(1 − r)^q`
+/// incrementally. Requires `blocks.len() ≤ p`.
+pub(crate) fn greedy_replicas(blocks: &[f64], p: usize, k_max: usize) -> Vec<usize> {
+    let m = blocks.len();
+    debug_assert!(m <= p, "more intervals than processors");
+    let mut replicas = vec![1usize; m];
+    let mut remaining = p - m;
+    let mut all_fail: Vec<f64> = blocks.iter().map(|&b| 1.0 - b).collect();
 
     while remaining > 0 {
         // Interval with the best reliability ratio among those below K.
         let candidate = (0..m)
             .filter(|&j| replicas[j] < k_max)
             .map(|j| {
-                let next = interval_reliability_with(
-                    chain,
-                    platform,
-                    partition.interval(j),
-                    replicas[j] + 1,
-                );
-                (j, next, next / current[j])
+                let current = 1.0 - all_fail[j];
+                let next = 1.0 - all_fail[j] * (1.0 - blocks[j]);
+                (j, next / current)
             })
             .max_by(|a, b| {
-                a.2.partial_cmp(&b.2)
+                a.1.partial_cmp(&b.1)
                     .expect("finite ratios")
                     .then(b.0.cmp(&a.0))
             });
         match candidate {
             None => break, // every interval already holds K replicas
-            Some((j, next, _)) => {
+            Some((j, _)) => {
                 replicas[j] += 1;
-                current[j] = next;
+                all_fail[j] *= 1.0 - blocks[j];
                 remaining -= 1;
             }
         }
     }
-    Ok(AllocationPlan { replicas })
+    replicas
 }
 
 /// Reference allocator: exhaustively tries every replica-count vector
@@ -141,12 +176,13 @@ pub fn exhaustive_alloc(
     platform: &Platform,
     partition: &IntervalPartition,
 ) -> Result<Mapping> {
-    if !platform.is_homogeneous() {
+    let oracle = IntervalOracle::new(chain, platform);
+    if !oracle.is_homogeneous() {
         return Err(AlgoError::HeterogeneousPlatform);
     }
     let m = partition.len();
-    let p = platform.num_processors();
-    let k_max = platform.max_replication();
+    let p = oracle.num_processors();
+    let k_max = oracle.max_replication();
     if p < m {
         return Err(AlgoError::NotEnoughProcessors {
             intervals: m,
@@ -163,7 +199,7 @@ pub fn exhaustive_alloc(
                 .intervals()
                 .iter()
                 .zip(&counts)
-                .map(|(&itv, &q)| interval_reliability_with(chain, platform, itv, q))
+                .map(|(&itv, &q)| oracle.replicated_reliability(itv.first, itv.last, q))
                 .product();
             if best.as_ref().is_none_or(|(_, r)| reliability > *r) {
                 best = Some((counts.clone(), reliability));

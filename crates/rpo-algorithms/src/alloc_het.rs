@@ -19,7 +19,7 @@
 //! allowed for every task of the interval.
 
 use rpo_model::{
-    reliability, Interval, IntervalPartition, MappedInterval, Mapping, Platform, ProcessorId,
+    Interval, IntervalOracle, IntervalPartition, MappedInterval, Mapping, Platform, ProcessorId,
     TaskChain,
 };
 
@@ -58,29 +58,6 @@ impl AllocationConstraints {
     }
 }
 
-/// Reliability of an interval on a concrete set of (heterogeneous) replica
-/// processors, including its boundary communications (inner term of Eq. 9).
-fn interval_set_reliability(
-    chain: &TaskChain,
-    platform: &Platform,
-    interval: Interval,
-    processors: &[ProcessorId],
-) -> f64 {
-    let input_size = if interval.first == 0 {
-        0.0
-    } else {
-        chain.output_size(interval.first - 1)
-    };
-    reliability::replicated_interval_reliability(
-        chain,
-        platform,
-        processors,
-        interval,
-        input_size,
-        interval.output_size(chain),
-    )
-}
-
 /// Section 7.2 allocation: assigns heterogeneous processors to the intervals
 /// of `partition` under a period bound, maximizing reliability greedily.
 ///
@@ -98,6 +75,33 @@ pub fn algo_alloc_heterogeneous(
     period_bound: f64,
     constraints: &AllocationConstraints,
 ) -> Result<Mapping> {
+    let oracle = IntervalOracle::new(chain, platform);
+    algo_alloc_heterogeneous_with_oracle(
+        &oracle,
+        chain,
+        platform,
+        partition,
+        period_bound,
+        constraints,
+    )
+}
+
+/// Section 7.2 allocation against a prebuilt [`IntervalOracle`]: interval
+/// works, replica-set reliabilities and the per-processor period checks are
+/// all O(1) oracle reads.
+///
+/// # Errors
+///
+/// Same as [`algo_alloc_heterogeneous`].
+pub fn algo_alloc_heterogeneous_with_oracle(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    partition: &IntervalPartition,
+    period_bound: f64,
+    constraints: &AllocationConstraints,
+) -> Result<Mapping> {
+    crate::debug_assert_oracle_matches(oracle, chain, platform);
     if !(period_bound.is_finite() && period_bound > 0.0) {
         return Err(AlgoError::InvalidBound("period bound"));
     }
@@ -123,15 +127,15 @@ pub fn algo_alloc_heterogeneous(
         let Some(u) = order_iter.next() else {
             return Err(AlgoError::NoFeasibleMapping);
         };
+        let interval_work =
+            |j: usize| oracle.work(partition.interval(j).first, partition.interval(j).last);
         let candidate = (0..m)
             .filter(|&j| assigned[j].is_empty())
             .filter(|&j| constraints.allows(partition.interval(j), u))
-            .filter(|&j| partition.interval(j).work(chain) / platform.speed(u) <= period_bound)
+            .filter(|&j| interval_work(j) / platform.speed(u) <= period_bound)
             .max_by(|&a, &b| {
-                partition
-                    .interval(a)
-                    .work(chain)
-                    .partial_cmp(&partition.interval(b).work(chain))
+                interval_work(a)
+                    .partial_cmp(&interval_work(b))
                     .expect("finite works")
                     .then(b.cmp(&a))
             });
@@ -148,13 +152,17 @@ pub fn algo_alloc_heterogeneous(
         let candidate = (0..m)
             .filter(|&j| assigned[j].len() < k_max)
             .filter(|&j| constraints.allows(partition.interval(j), u))
-            .filter(|&j| partition.interval(j).work(chain) / platform.speed(u) <= period_bound)
+            .filter(|&j| {
+                let itv = partition.interval(j);
+                oracle.work(itv.first, itv.last) / platform.speed(u) <= period_bound
+            })
             .map(|j| {
-                let interval = partition.interval(j);
-                let current = interval_set_reliability(chain, platform, interval, &assigned[j]);
-                let mut with_u = assigned[j].clone();
-                with_u.push(u);
-                let improved = interval_set_reliability(chain, platform, interval, &with_u);
+                let itv = partition.interval(j);
+                let current = oracle.replicated_set_reliability(&assigned[j], itv.first, itv.last);
+                // One more replica multiplies the failure product by
+                // (1 − block_u); no need to re-walk the whole set.
+                let improved = 1.0
+                    - (1.0 - current) * (1.0 - oracle.block_reliability(u, itv.first, itv.last));
                 (j, improved / current)
             })
             .max_by(|a, b| {

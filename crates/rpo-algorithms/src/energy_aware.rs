@@ -11,11 +11,11 @@
 //! reliable budget- and bound-compliant mapping is returned.
 
 use rpo_model::energy::{self, PowerModel};
-use rpo_model::{MappedInterval, Mapping, MappingEvaluation, Platform, TaskChain};
+use rpo_model::{IntervalOracle, MappedInterval, Mapping, MappingEvaluation, Platform, TaskChain};
 use serde::{Deserialize, Serialize};
 
-use crate::heuristic::{HeuristicConfig, HeuristicSolution};
-use crate::{run_heuristic, AlgoError, Result};
+use crate::heuristic::{run_heuristic_with_oracle, HeuristicConfig, HeuristicSolution};
+use crate::{AlgoError, Result};
 
 /// Configuration of an energy-budgeted heuristic run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +44,7 @@ pub struct EnergyAwareSolution {
 /// reliability per unit of energy saved. Returns `None` if even the
 /// one-replica-per-interval skeleton exceeds the budget.
 fn prune_to_budget(
+    oracle: &IntervalOracle,
     chain: &TaskChain,
     platform: &Platform,
     mapping: &Mapping,
@@ -59,8 +60,7 @@ fn prune_to_budget(
         if current_energy <= budget {
             return Some(current);
         }
-        let current_reliability =
-            rpo_model::reliability::mapping_reliability(chain, platform, &current);
+        let current_reliability = oracle.mapping_reliability(&current);
 
         // Candidate removals: any replica of any interval that has more than one.
         let mut best: Option<(usize, usize, f64)> = None; // (interval, position, score)
@@ -73,12 +73,8 @@ fn prune_to_budget(
                 candidate[j].processors.remove(position);
                 let candidate_mapping = Mapping::new(candidate, chain, platform)
                     .expect("removal preserves structural validity");
-                let reliability_loss = current_reliability
-                    - rpo_model::reliability::mapping_reliability(
-                        chain,
-                        platform,
-                        &candidate_mapping,
-                    );
+                let reliability_loss =
+                    current_reliability - oracle.mapping_reliability(&candidate_mapping);
                 let energy_saved = current_energy
                     - energy::energy_per_dataset(chain, platform, &candidate_mapping, model);
                 if energy_saved <= 0.0 {
@@ -117,12 +113,15 @@ pub fn run_energy_aware_heuristic(
     if config.energy_budget <= 0.0 || config.energy_budget.is_nan() {
         return Err(AlgoError::InvalidBound("energy budget"));
     }
+    let oracle = IntervalOracle::new(chain, platform);
     // Start from the unbudgeted heuristic solution for every interval count:
     // run_heuristic already returns the best one; to keep the search broad we
     // prune that best candidate and also the single-interval fallback.
-    let base: HeuristicSolution = run_heuristic(chain, platform, &config.base)?;
+    let base: HeuristicSolution =
+        run_heuristic_with_oracle(&oracle, chain, platform, &config.base)?;
 
     let pruned = prune_to_budget(
+        &oracle,
         chain,
         platform,
         &base.mapping,
@@ -131,7 +130,7 @@ pub fn run_energy_aware_heuristic(
     )
     .ok_or(AlgoError::NoFeasibleMapping)?;
 
-    let evaluation = MappingEvaluation::evaluate(chain, platform, &pruned);
+    let evaluation = oracle.evaluate(&pruned);
     if !evaluation.meets(config.base.period_bound, config.base.latency_bound) {
         return Err(AlgoError::NoFeasibleMapping);
     }
@@ -146,7 +145,7 @@ pub fn run_energy_aware_heuristic(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::IntervalHeuristic;
+    use crate::{run_heuristic, IntervalHeuristic};
     use rpo_model::PlatformBuilder;
 
     fn chain() -> TaskChain {

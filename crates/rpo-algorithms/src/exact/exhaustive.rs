@@ -1,10 +1,12 @@
-//! Exhaustive exact solver for homogeneous platforms.
+//! Exhaustive exact solver for homogeneous platforms, with all interval
+//! metrics served by the [`IntervalOracle`].
 
-use rpo_model::{timing, IntervalPartition, MappingEvaluation, Platform, TaskChain};
+use rpo_model::oracle::replicate_block;
+use rpo_model::{BlockReliabilityTable, IntervalOracle, IntervalPartition, Platform, TaskChain};
 
-use crate::algo1::{replicated_homogeneous_reliability, OptimalMapping};
-use crate::alloc::algo_alloc_plan;
-use crate::{AlgoError, Result};
+use crate::algo1::OptimalMapping;
+use crate::alloc::{greedy_replicas, AllocationPlan};
+use crate::{debug_assert_oracle_matches, AlgoError, Result};
 
 /// Chains longer than this are rejected (the enumeration is `O(2^{n−1})`).
 pub const MAX_EXHAUSTIVE_TASKS: usize = 26;
@@ -39,23 +41,23 @@ fn partitions(chain: &TaskChain) -> impl Iterator<Item = IntervalPartition> + '_
 /// Whether a partition respects the period and latency bounds on a homogeneous
 /// platform (these do not depend on the processor assignment).
 fn partition_feasible(
-    chain: &TaskChain,
-    platform: &Platform,
+    oracle: &IntervalOracle,
+    speed: f64,
     partition: &IntervalPartition,
     period_bound: f64,
     latency_bound: f64,
 ) -> bool {
-    let speed = platform.speed(0);
-    let period_ok = partition.intervals().iter().all(|&itv| {
-        timing::interval_period_requirement(chain, platform, itv, speed) <= period_bound
-    });
+    let period_ok = partition
+        .intervals()
+        .iter()
+        .all(|itv| oracle.period_requirement(itv.first, itv.last, speed) <= period_bound);
     if !period_ok {
         return false;
     }
     let latency: f64 = partition
         .intervals()
         .iter()
-        .map(|itv| itv.work(chain) / speed + platform.comm_time(itv.output_size(chain)))
+        .map(|itv| oracle.latency_term(itv.first, itv.last, speed))
         .sum();
     latency <= latency_bound
 }
@@ -83,25 +85,45 @@ pub fn optimal_homogeneous(
     period_bound: f64,
     latency_bound: f64,
 ) -> Result<OptimalMapping> {
+    let oracle = IntervalOracle::new(chain, platform);
+    optimal_homogeneous_with_oracle(&oracle, chain, platform, period_bound, latency_bound)
+}
+
+/// [`optimal_homogeneous`] against a prebuilt [`IntervalOracle`].
+///
+/// # Errors
+///
+/// Same as [`optimal_homogeneous`].
+///
+/// # Panics
+///
+/// Panics if the chain exceeds [`MAX_EXHAUSTIVE_TASKS`] tasks.
+pub fn optimal_homogeneous_with_oracle(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: f64,
+    latency_bound: f64,
+) -> Result<OptimalMapping> {
+    debug_assert_oracle_matches(oracle, chain, platform);
     check_inputs(chain, platform, period_bound, latency_bound)?;
-    let p = platform.num_processors();
+    let p = oracle.num_processors();
+    let k_max = oracle.max_replication();
+    let speed = platform.speed(0);
+    // One dense block table amortizes the per-interval `exp`s over all
+    // 2^{n−1} partitions: the sweep below is multiplication-only.
+    let table = oracle.class_block_table(0);
 
     let mut best: Option<OptimalMapping> = None;
     for partition in partitions(chain) {
         if partition.len() > p
-            || !partition_feasible(chain, platform, &partition, period_bound, latency_bound)
+            || !partition_feasible(oracle, speed, &partition, period_bound, latency_bound)
         {
             continue;
         }
-        let plan = algo_alloc_plan(chain, platform, &partition)?;
-        let reliability: f64 = partition
-            .intervals()
-            .iter()
-            .zip(&plan.replicas)
-            .map(|(&itv, &q)| replicated_homogeneous_reliability(chain, platform, itv, q))
-            .product();
+        let (replicas, reliability) = allocate_from_table(&table, &partition, p, k_max);
         if best.as_ref().is_none_or(|b| reliability > b.reliability) {
-            let mapping = plan.into_mapping(&partition, chain, platform)?;
+            let mapping = AllocationPlan { replicas }.into_mapping(&partition, chain, platform)?;
             best = Some(OptimalMapping {
                 mapping,
                 reliability,
@@ -109,6 +131,29 @@ pub fn optimal_homogeneous(
         }
     }
     best.ok_or(AlgoError::NoFeasibleMapping)
+}
+
+/// Algo-Alloc + reliability product for one partition, reading every block
+/// reliability from the precomputed dense table. Requires
+/// `partition.len() ≤ p`.
+pub(crate) fn allocate_from_table(
+    table: &BlockReliabilityTable,
+    partition: &IntervalPartition,
+    p: usize,
+    k_max: usize,
+) -> (Vec<usize>, f64) {
+    let blocks: Vec<f64> = partition
+        .intervals()
+        .iter()
+        .map(|itv| table.get(itv.first, itv.last))
+        .collect();
+    let replicas = greedy_replicas(&blocks, p, k_max);
+    let reliability = blocks
+        .iter()
+        .zip(&replicas)
+        .map(|(&block, &q)| replicate_block(block, q))
+        .product();
+    (replicas, reliability)
 }
 
 /// Reference brute force: enumerates partitions **and** replica-count vectors
@@ -123,6 +168,7 @@ pub fn brute_force(
     latency_bound: f64,
 ) -> Result<OptimalMapping> {
     check_inputs(chain, platform, period_bound, latency_bound)?;
+    let oracle = IntervalOracle::new(chain, platform);
     let p = platform.num_processors();
     let k_max = platform.max_replication();
 
@@ -140,7 +186,7 @@ pub fn brute_force(
                     replicas: counts.clone(),
                 };
                 let mapping = plan.into_mapping(&partition, chain, platform)?;
-                let eval = MappingEvaluation::evaluate(chain, platform, &mapping);
+                let eval = oracle.evaluate(&mapping);
                 if eval.worst_case_period <= period_bound
                     && eval.worst_case_latency <= latency_bound
                     && best
@@ -173,7 +219,7 @@ pub fn brute_force(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rpo_model::PlatformBuilder;
+    use rpo_model::{MappingEvaluation, PlatformBuilder};
 
     fn chain() -> TaskChain {
         TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0), (40.0, 3.0)]).unwrap()

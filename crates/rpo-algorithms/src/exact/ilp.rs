@@ -17,9 +17,9 @@
 //!   reliabilities (the printed objective only uses the computation term).
 
 use rpo_lp::{ConstraintOp, IlpStatus, Objective, Problem};
-use rpo_model::{timing, Interval, MappedInterval, Mapping, Platform, TaskChain};
+use rpo_model::{Interval, IntervalOracle, MappedInterval, Mapping, Platform, TaskChain};
 
-use crate::algo1::{replicated_homogeneous_reliability, OptimalMapping};
+use crate::algo1::OptimalMapping;
 use crate::{AlgoError, Result};
 
 /// One candidate decision `a_{i,j,k}`: interval `first..=last` on `replicas`
@@ -59,7 +59,29 @@ pub fn build_ilp(
     period_bound: f64,
     latency_bound: f64,
 ) -> Result<MappingIlp> {
-    if !platform.is_homogeneous() {
+    let oracle = IntervalOracle::new(chain, platform);
+    build_ilp_with_oracle(&oracle, platform, period_bound, latency_bound)
+}
+
+/// [`build_ilp`] against a prebuilt [`IntervalOracle`]: period admissibility,
+/// per-column reliabilities and the latency coefficients are all O(1) oracle
+/// reads (one dense block table per instance instead of three `exp`s per
+/// column).
+///
+/// # Errors
+///
+/// Same as [`build_ilp`].
+pub fn build_ilp_with_oracle(
+    oracle: &IntervalOracle,
+    platform: &Platform,
+    period_bound: f64,
+    latency_bound: f64,
+) -> Result<MappingIlp> {
+    debug_assert!(
+        oracle.num_processors() == platform.num_processors(),
+        "IntervalOracle was built for a different platform"
+    );
+    if !oracle.is_homogeneous() {
         return Err(AlgoError::HeterogeneousPlatform);
     }
     if period_bound <= 0.0 || period_bound.is_nan() {
@@ -69,24 +91,22 @@ pub fn build_ilp(
         return Err(AlgoError::InvalidBound("latency bound"));
     }
 
-    let n = chain.len();
-    let p = platform.num_processors();
-    let k_max = platform.max_replication().min(p);
+    let n = oracle.len();
+    let p = oracle.num_processors();
+    let k_max = oracle.max_replication().min(p);
     let speed = platform.speed(0);
+    let blocks = oracle.class_block_table(0);
 
     // Generate the admissible columns.
     let mut variables = Vec::new();
     let mut objective = Vec::new();
     for first in 0..n {
         for last in first..n {
-            let interval = Interval { first, last };
-            if timing::interval_period_requirement(chain, platform, interval, speed) > period_bound
-            {
+            if oracle.period_requirement(first, last, speed) > period_bound {
                 continue;
             }
             for replicas in 1..=k_max {
-                let reliability =
-                    replicated_homogeneous_reliability(chain, platform, interval, replicas);
+                let reliability = blocks.replicated(first, last, replicas);
                 variables.push(IlpVariable {
                     first,
                     last,
@@ -133,15 +153,7 @@ pub fn build_ilp(
         let latency_terms: Vec<(usize, f64)> = variables
             .iter()
             .enumerate()
-            .map(|(column, v)| {
-                let interval = Interval {
-                    first: v.first,
-                    last: v.last,
-                };
-                let cost =
-                    interval.work(chain) / speed + platform.comm_time(interval.output_size(chain));
-                (column, cost)
-            })
+            .map(|(column, v)| (column, oracle.latency_term(v.first, v.last, speed)))
             .collect();
         problem.add_sparse_constraint(&latency_terms, ConstraintOp::Le, latency_bound);
     }
@@ -163,7 +175,24 @@ pub fn optimal_by_ilp(
     period_bound: f64,
     latency_bound: f64,
 ) -> Result<OptimalMapping> {
-    let ilp = build_ilp(chain, platform, period_bound, latency_bound)?;
+    let oracle = IntervalOracle::new(chain, platform);
+    optimal_by_ilp_with_oracle(&oracle, chain, platform, period_bound, latency_bound)
+}
+
+/// [`optimal_by_ilp`] against a prebuilt [`IntervalOracle`].
+///
+/// # Errors
+///
+/// Same as [`optimal_by_ilp`].
+pub fn optimal_by_ilp_with_oracle(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: f64,
+    latency_bound: f64,
+) -> Result<OptimalMapping> {
+    crate::debug_assert_oracle_matches(oracle, chain, platform);
+    let ilp = build_ilp_with_oracle(oracle, platform, period_bound, latency_bound)?;
     let solution = rpo_lp::solve_ilp(&ilp.problem);
     match solution.status {
         IlpStatus::Optimal | IlpStatus::NodeLimit if !solution.x.is_empty() => {}
@@ -196,7 +225,7 @@ pub fn optimal_by_ilp(
         })
         .collect();
     let mapping = Mapping::new(mapped, chain, platform)?;
-    let reliability = rpo_model::reliability::mapping_reliability(chain, platform, &mapping);
+    let reliability = oracle.mapping_reliability(&mapping);
     Ok(OptimalMapping {
         mapping,
         reliability,

@@ -9,11 +9,11 @@
 //! they can be computed once per partition and reused for every bound pair.
 //! A sweep point then reduces to a linear scan over the `2^{n−1}` profiles.
 
-use rpo_model::{timing, IntervalPartition, Platform, TaskChain};
+use rpo_model::{IntervalOracle, IntervalPartition, Platform, TaskChain};
 use serde::{Deserialize, Serialize};
 
-use crate::algo1::{replicated_homogeneous_reliability, OptimalMapping};
-use crate::alloc::algo_alloc_plan;
+use crate::algo1::OptimalMapping;
+use crate::alloc::algo_alloc_plan_with_oracle;
 use crate::exact::exhaustive::MAX_EXHAUSTIVE_TASKS;
 use crate::{AlgoError, Result};
 
@@ -56,16 +56,40 @@ impl ProfileSet {
     /// [`MAX_EXHAUSTIVE_TASKS`](crate::exact::exhaustive::MAX_EXHAUSTIVE_TASKS)
     /// tasks.
     pub fn build(chain: &TaskChain, platform: &Platform) -> Result<Self> {
-        if !platform.is_homogeneous() {
+        let oracle = IntervalOracle::new(chain, platform);
+        Self::build_with_oracle(&oracle, platform)
+    }
+
+    /// [`ProfileSet::build`] against a prebuilt [`IntervalOracle`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProfileSet::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain exceeds
+    /// [`MAX_EXHAUSTIVE_TASKS`](crate::exact::exhaustive::MAX_EXHAUSTIVE_TASKS)
+    /// tasks.
+    pub fn build_with_oracle(oracle: &IntervalOracle, platform: &Platform) -> Result<Self> {
+        debug_assert!(
+            oracle.num_processors() == platform.num_processors(),
+            "IntervalOracle was built for a different platform"
+        );
+        if !oracle.is_homogeneous() {
             return Err(AlgoError::HeterogeneousPlatform);
         }
-        let n = chain.len();
+        let n = oracle.len();
         assert!(
             n <= MAX_EXHAUSTIVE_TASKS,
             "profile enumeration limited to {MAX_EXHAUSTIVE_TASKS} tasks, chain has {n}"
         );
-        let p = platform.num_processors();
+        let p = oracle.num_processors();
+        let k_max = oracle.max_replication();
         let speed = platform.speed(0);
+        // One dense block table amortizes the per-interval `exp`s over all
+        // 2^{n−1} partition profiles.
+        let table = oracle.class_block_table(0);
 
         let mut profiles = Vec::with_capacity(1usize << (n - 1));
         for mask in 0u64..(1u64 << (n - 1)) {
@@ -78,20 +102,15 @@ impl ProfileSet {
             let period_requirement = partition
                 .intervals()
                 .iter()
-                .map(|&itv| timing::interval_period_requirement(chain, platform, itv, speed))
+                .map(|itv| oracle.period_requirement(itv.first, itv.last, speed))
                 .fold(0.0, f64::max);
             let latency = partition
                 .intervals()
                 .iter()
-                .map(|itv| itv.work(chain) / speed + platform.comm_time(itv.output_size(chain)))
+                .map(|itv| oracle.latency_term(itv.first, itv.last, speed))
                 .sum();
-            let plan = algo_alloc_plan(chain, platform, &partition)?;
-            let reliability = partition
-                .intervals()
-                .iter()
-                .zip(&plan.replicas)
-                .map(|(&itv, &q)| replicated_homogeneous_reliability(chain, platform, itv, q))
-                .product();
+            let (_, reliability) =
+                crate::exact::exhaustive::allocate_from_table(&table, &partition, p, k_max);
             profiles.push(PartitionProfile {
                 cut_mask: mask,
                 period_requirement,
@@ -169,7 +188,8 @@ impl ProfileSet {
             .collect();
         let partition = IntervalPartition::from_cut_points(&cuts, self.chain_len)
             .expect("stored masks are valid");
-        let plan = algo_alloc_plan(chain, platform, &partition)?;
+        let oracle = IntervalOracle::new(chain, platform);
+        let plan = algo_alloc_plan_with_oracle(&oracle, &partition)?;
         let mapping = plan.into_mapping(&partition, chain, platform)?;
         Ok(OptimalMapping {
             mapping,

@@ -4,16 +4,15 @@
 //! `m − 1` tasks with the smallest output-communication costs, so that the
 //! total communication added to the latency is as small as possible.
 
-use rpo_model::{IntervalPartition, TaskChain};
+use rpo_model::{IntervalOracle, IntervalPartition, TaskChain};
 
-/// Computes the Heur-L partition of `chain` into exactly `num_intervals`
-/// intervals.
-///
-/// # Panics
-///
-/// Panics if `num_intervals` is zero or exceeds the number of tasks.
-pub fn heur_l_partition(chain: &TaskChain, num_intervals: usize) -> IntervalPartition {
-    let n = chain.len();
+/// The shared core: cuts after the `num_intervals − 1` boundaries with the
+/// smallest output sizes, read through `output_size`.
+fn partition_by_cheapest_cuts(
+    n: usize,
+    num_intervals: usize,
+    output_size: impl Fn(usize) -> f64,
+) -> IntervalPartition {
     assert!(
         (1..=n).contains(&num_intervals),
         "number of intervals must be within 1..={n}, got {num_intervals}"
@@ -23,9 +22,8 @@ pub fn heur_l_partition(chain: &TaskChain, num_intervals: usize) -> IntervalPart
     // "increasing order of placement in the chain").
     let mut candidates: Vec<usize> = (0..n.saturating_sub(1)).collect();
     candidates.sort_by(|&a, &b| {
-        chain
-            .output_size(a)
-            .partial_cmp(&chain.output_size(b))
+        output_size(a)
+            .partial_cmp(&output_size(b))
             .expect("finite communication costs")
             .then(a.cmp(&b))
     });
@@ -33,6 +31,29 @@ pub fn heur_l_partition(chain: &TaskChain, num_intervals: usize) -> IntervalPart
     cuts.sort_unstable();
     IntervalPartition::from_cut_points(&cuts, n)
         .expect("cut points taken from 0..n-1 always form a valid partition")
+}
+
+/// Computes the Heur-L partition of `chain` into exactly `num_intervals`
+/// intervals.
+///
+/// # Panics
+///
+/// Panics if `num_intervals` is zero or exceeds the number of tasks.
+pub fn heur_l_partition(chain: &TaskChain, num_intervals: usize) -> IntervalPartition {
+    partition_by_cheapest_cuts(chain.len(), num_intervals, |i| chain.output_size(i))
+}
+
+/// Heur-L reading the boundary communication costs from a prebuilt
+/// [`IntervalOracle`].
+///
+/// # Panics
+///
+/// Panics if `num_intervals` is zero or exceeds the number of tasks.
+pub fn heur_l_partition_with_oracle(
+    oracle: &IntervalOracle,
+    num_intervals: usize,
+) -> IntervalPartition {
+    partition_by_cheapest_cuts(oracle.len(), num_intervals, |i| oracle.output_size(i))
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! `j` is `max(Σ w, o_j)` (its computation time at unit speed and its
 //! outgoing communication).
 
-use rpo_model::{IntervalPartition, TaskChain};
+use rpo_model::{IntervalOracle, IntervalPartition, TaskChain};
 
 /// Computes the Heur-P partition of `chain` into exactly `num_intervals`
 /// intervals, together with the period value the dynamic program optimized.
@@ -19,24 +19,46 @@ pub fn heur_p_partition(chain: &TaskChain, num_intervals: usize) -> IntervalPart
     heur_p_partition_with_period(chain, num_intervals).0
 }
 
+/// Heur-P reading the interval works and boundary costs from a prebuilt
+/// [`IntervalOracle`].
+///
+/// # Panics
+///
+/// Panics if `num_intervals` is zero or exceeds the number of tasks.
+pub fn heur_p_partition_with_oracle(
+    oracle: &IntervalOracle,
+    num_intervals: usize,
+) -> IntervalPartition {
+    balanced_partition(oracle.len(), num_intervals, |first, last| {
+        oracle.work(first, last).max(oracle.output_size(last))
+    })
+    .0
+}
+
 /// Same as [`heur_p_partition`], also returning the optimal period metric
 /// (`max` over intervals of `max(Σ w, o_last)`) found by the dynamic program.
 pub fn heur_p_partition_with_period(
     chain: &TaskChain,
     num_intervals: usize,
 ) -> (IntervalPartition, f64) {
-    let n = chain.len();
+    balanced_partition(chain.len(), num_intervals, |first, last| {
+        chain
+            .interval_work(first, last)
+            .max(chain.output_size(last))
+    })
+}
+
+/// The shared dynamic program, parameterized over the per-interval cost
+/// `max(Σ w, o_last)`.
+fn balanced_partition(
+    n: usize,
+    num_intervals: usize,
+    interval_cost: impl Fn(usize, usize) -> f64,
+) -> (IntervalPartition, f64) {
     assert!(
         (1..=n).contains(&num_intervals),
         "number of intervals must be within 1..={n}, got {num_intervals}"
     );
-
-    // Cost of the interval made of tasks first..=last (0-based, inclusive).
-    let interval_cost = |first: usize, last: usize| -> f64 {
-        chain
-            .interval_work(first, last)
-            .max(chain.output_size(last))
-    };
 
     // f[j][k]: minimal period for the first j tasks (1-based count) in k intervals.
     // pred[j][k]: value j' (task count of the prefix) realizing the optimum.

@@ -14,13 +14,13 @@
 //! Among all kept candidates, the mapping with the best reliability is
 //! returned.
 
-use rpo_model::{Mapping, MappingEvaluation, Platform, TaskChain};
+use rpo_model::{IntervalOracle, Mapping, MappingEvaluation, Platform, TaskChain};
 use serde::{Deserialize, Serialize};
 
-use crate::alloc::algo_alloc;
-use crate::alloc_het::{algo_alloc_heterogeneous, AllocationConstraints};
-use crate::heur_l::heur_l_partition;
-use crate::heur_p::heur_p_partition;
+use crate::alloc::algo_alloc_with_oracle;
+use crate::alloc_het::{algo_alloc_heterogeneous_with_oracle, AllocationConstraints};
+use crate::heur_l::heur_l_partition_with_oracle;
+use crate::heur_p::heur_p_partition_with_oracle;
 use crate::{AlgoError, Result};
 
 /// Which interval-computation heuristic to use.
@@ -79,6 +79,24 @@ pub fn run_heuristic(
     platform: &Platform,
     config: &HeuristicConfig,
 ) -> Result<HeuristicSolution> {
+    let oracle = IntervalOracle::new(chain, platform);
+    run_heuristic_with_oracle(&oracle, chain, platform, config)
+}
+
+/// [`run_heuristic`] against a prebuilt [`IntervalOracle`]: partitions,
+/// allocations and the candidate evaluations all read their interval metrics
+/// from the shared kernel.
+///
+/// # Errors
+///
+/// Same as [`run_heuristic`].
+pub fn run_heuristic_with_oracle(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    config: &HeuristicConfig,
+) -> Result<HeuristicSolution> {
+    crate::debug_assert_oracle_matches(oracle, chain, platform);
     if config.period_bound <= 0.0 || config.period_bound.is_nan() {
         return Err(AlgoError::InvalidBound("period bound"));
     }
@@ -86,22 +104,23 @@ pub fn run_heuristic(
         return Err(AlgoError::InvalidBound("latency bound"));
     }
 
-    let n = chain.len();
-    let p = platform.num_processors();
-    let homogeneous = platform.is_homogeneous();
+    let n = oracle.len();
+    let p = oracle.num_processors();
+    let homogeneous = oracle.is_homogeneous();
     let constraints = AllocationConstraints::none();
 
     let mut best: Option<HeuristicSolution> = None;
     for num_intervals in 1..=n.min(p) {
         let partition = match config.interval_heuristic {
-            IntervalHeuristic::MinLatency => heur_l_partition(chain, num_intervals),
-            IntervalHeuristic::MinPeriod => heur_p_partition(chain, num_intervals),
+            IntervalHeuristic::MinLatency => heur_l_partition_with_oracle(oracle, num_intervals),
+            IntervalHeuristic::MinPeriod => heur_p_partition_with_oracle(oracle, num_intervals),
         };
 
         let mapping = if homogeneous {
-            algo_alloc(chain, platform, &partition)
+            algo_alloc_with_oracle(oracle, chain, platform, &partition)
         } else {
-            algo_alloc_heterogeneous(
+            algo_alloc_heterogeneous_with_oracle(
+                oracle,
                 chain,
                 platform,
                 &partition,
@@ -111,7 +130,7 @@ pub fn run_heuristic(
         };
         let Ok(mapping) = mapping else { continue };
 
-        let evaluation = MappingEvaluation::evaluate(chain, platform, &mapping);
+        let evaluation = oracle.evaluate(&mapping);
         if !evaluation.meets(config.period_bound, config.latency_bound) {
             continue;
         }
@@ -137,7 +156,9 @@ pub fn run_both_heuristics(
     period_bound: f64,
     latency_bound: f64,
 ) -> (Option<HeuristicSolution>, Option<HeuristicSolution>) {
-    let heur_l = run_heuristic(
+    let oracle = IntervalOracle::new(chain, platform);
+    let heur_l = run_heuristic_with_oracle(
+        &oracle,
         chain,
         platform,
         &HeuristicConfig {
@@ -147,7 +168,8 @@ pub fn run_both_heuristics(
         },
     )
     .ok();
-    let heur_p = run_heuristic(
+    let heur_p = run_heuristic_with_oracle(
+        &oracle,
         chain,
         platform,
         &HeuristicConfig {

@@ -44,15 +44,21 @@ pub mod heur_p;
 pub mod heuristic;
 pub mod period_opt;
 
-pub use algo1::optimize_reliability_homogeneous;
-pub use algo2::optimize_reliability_with_period_bound;
-pub use alloc::{algo_alloc, exhaustive_alloc};
-pub use alloc_het::algo_alloc_heterogeneous;
+pub use algo1::{optimize_reliability_homogeneous, optimize_reliability_homogeneous_with_oracle};
+pub use algo2::{
+    optimize_reliability_with_period_bound, optimize_reliability_with_period_bound_with_oracle,
+};
+pub use alloc::{algo_alloc, algo_alloc_with_oracle, exhaustive_alloc};
+pub use alloc_het::{algo_alloc_heterogeneous, algo_alloc_heterogeneous_with_oracle};
 pub use energy_aware::{run_energy_aware_heuristic, EnergyAwareConfig, EnergyAwareSolution};
-pub use heur_l::heur_l_partition;
-pub use heur_p::heur_p_partition;
-pub use heuristic::{run_heuristic, HeuristicConfig, HeuristicSolution, IntervalHeuristic};
-pub use period_opt::minimize_period_with_reliability_bound;
+pub use heur_l::{heur_l_partition, heur_l_partition_with_oracle};
+pub use heur_p::{heur_p_partition, heur_p_partition_with_oracle};
+pub use heuristic::{
+    run_heuristic, run_heuristic_with_oracle, HeuristicConfig, HeuristicSolution, IntervalHeuristic,
+};
+pub use period_opt::{
+    minimize_period_with_reliability_bound, minimize_period_with_reliability_bound_with_oracle,
+};
 
 /// Errors reported by the algorithms of this crate.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,3 +110,18 @@ impl From<rpo_model::ModelError> for AlgoError {
 
 /// Result alias for the algorithms of this crate.
 pub type Result<T> = std::result::Result<T, AlgoError>;
+
+/// Debug-checks that `oracle` was built for this `(chain, platform)` pair —
+/// a mismatched oracle would silently produce wrong metrics, not panics.
+#[inline]
+pub(crate) fn debug_assert_oracle_matches(
+    oracle: &rpo_model::IntervalOracle,
+    chain: &rpo_model::TaskChain,
+    platform: &rpo_model::Platform,
+) {
+    debug_assert!(
+        oracle.len() == chain.len() && oracle.num_processors() == platform.num_processors(),
+        "IntervalOracle was built for a different (chain, platform) instance"
+    );
+    let _ = (oracle, chain, platform);
+}

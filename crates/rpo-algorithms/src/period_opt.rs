@@ -8,10 +8,10 @@
 //! `o_i / b`), so the search is performed over that sorted candidate set and
 //! returns a certified optimum.
 
-use rpo_model::{Mapping, Platform, TaskChain};
+use rpo_model::{IntervalOracle, Mapping, Platform, TaskChain};
 use serde::{Deserialize, Serialize};
 
-use crate::algo2::optimize_reliability_with_period_bound;
+use crate::algo2::optimize_reliability_with_period_bound_with_oracle;
 use crate::{AlgoError, Result};
 
 /// Result of the period minimization.
@@ -26,18 +26,18 @@ pub struct PeriodOptimal {
 }
 
 /// Every value the worst-case period of a mapping can take: computation times
-/// of all intervals and all boundary communication times.
-fn candidate_periods(chain: &TaskChain, platform: &Platform) -> Vec<f64> {
-    let speed = platform.speed(0);
-    let n = chain.len();
+/// of all intervals and all boundary communication times, read from the
+/// oracle's prefix sums.
+fn candidate_periods(oracle: &IntervalOracle, speed: f64) -> Vec<f64> {
+    let n = oracle.len();
     let mut candidates = Vec::with_capacity(n * (n + 1) / 2 + n);
     for first in 0..n {
         for last in first..n {
-            candidates.push(chain.interval_work(first, last) / speed);
+            candidates.push(oracle.work(first, last) / speed);
         }
     }
     for i in 0..n.saturating_sub(1) {
-        candidates.push(platform.comm_time(chain.output_size(i)));
+        candidates.push(oracle.output_comm_time(i));
     }
     candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite candidate periods"));
     candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
@@ -58,26 +58,45 @@ pub fn minimize_period_with_reliability_bound(
     platform: &Platform,
     reliability_bound: f64,
 ) -> Result<PeriodOptimal> {
-    if !platform.is_homogeneous() {
+    let oracle = IntervalOracle::new(chain, platform);
+    minimize_period_with_reliability_bound_with_oracle(&oracle, chain, platform, reliability_bound)
+}
+
+/// Period minimization against a prebuilt [`IntervalOracle`]: the whole
+/// binary search (one Algorithm 2 run per probe) shares a single oracle
+/// instead of rebuilding the interval metrics at every probe.
+///
+/// # Errors
+///
+/// Same as [`minimize_period_with_reliability_bound`].
+pub fn minimize_period_with_reliability_bound_with_oracle(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    reliability_bound: f64,
+) -> Result<PeriodOptimal> {
+    crate::debug_assert_oracle_matches(oracle, chain, platform);
+    if !oracle.is_homogeneous() {
         return Err(AlgoError::HeterogeneousPlatform);
     }
     if !(reliability_bound.is_finite() && reliability_bound > 0.0 && reliability_bound <= 1.0) {
         return Err(AlgoError::InvalidBound("reliability bound"));
     }
 
-    let candidates = candidate_periods(chain, platform);
+    let candidates = candidate_periods(oracle, platform.speed(0));
     // Check feasibility at the largest candidate (equivalent to no bound).
     let largest = *candidates
         .last()
         .expect("a non-empty chain has candidate periods");
-    let unconstrained = optimize_reliability_with_period_bound(chain, platform, largest)?;
+    let unconstrained =
+        optimize_reliability_with_period_bound_with_oracle(oracle, chain, platform, largest)?;
     if unconstrained.reliability < reliability_bound {
         return Err(AlgoError::NoFeasibleMapping);
     }
 
     // Binary search the smallest candidate period meeting the bound.
     let feasible = |period: f64| -> Option<crate::algo1::OptimalMapping> {
-        match optimize_reliability_with_period_bound(chain, platform, period) {
+        match optimize_reliability_with_period_bound_with_oracle(oracle, chain, platform, period) {
             Ok(solution) if solution.reliability >= reliability_bound => Some(solution),
             _ => None,
         }
@@ -104,6 +123,7 @@ pub fn minimize_period_with_reliability_bound(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::optimize_reliability_with_period_bound;
     use rpo_model::{MappingEvaluation, PlatformBuilder};
 
     fn chain() -> TaskChain {

@@ -1,0 +1,250 @@
+//! Machine-readable perf baseline for the oracle refactor: times the
+//! Algorithm 1/2 dynamic programs with and without the [`IntervalOracle`]
+//! and drives a portfolio batch, then writes `BENCH_oracle.json`.
+//!
+//! Usage: `cargo run --release -p rpo-bench --bin oracle_baseline [output]`
+//! (default output path `BENCH_oracle.json` in the working directory).
+//!
+//! The "naive" dynamic program reimplements the pre-oracle recurrence — it
+//! recomputes the Eq. 9 replica-block reliability (three `exp`s per
+//! candidate) inside the `(j, i, q)` loops and uses nested `Vec<Vec<_>>`
+//! tables — exactly what every solver in the workspace did before the
+//! oracle, kept here as the measurement baseline.
+
+use rpo_algorithms::{
+    optimize_reliability_homogeneous_with_oracle,
+    optimize_reliability_with_period_bound_with_oracle,
+};
+use rpo_bench::{bench_chain, bench_hom_platform};
+use rpo_model::{reliability, Interval, IntervalOracle, Platform, TaskChain};
+use rpo_portfolio::{BatchConfig, BatchDriver, BoundsPolicy, PortfolioEngine};
+use rpo_workload::InstanceGenerator;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Problem size of the DP comparison (the acceptance target of the oracle
+/// refactor: ≥ 3× at n = 100, p = 20).
+const DP_TASKS: usize = 100;
+const DP_PROCESSORS: usize = 20;
+const DP_REPS: usize = 9;
+const BATCH_INSTANCES: usize = 120;
+
+#[derive(Debug, Serialize)]
+struct DpComparison {
+    tasks: usize,
+    processors: usize,
+    max_replication: usize,
+    naive_millis: f64,
+    oracle_millis: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BackendSummary {
+    backend: String,
+    runs: usize,
+    wins: usize,
+    win_rate: f64,
+    front_points: usize,
+    total_micros: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct BatchSummary {
+    instances: usize,
+    feasible_instances: usize,
+    elapsed_millis: f64,
+    instances_per_sec: f64,
+    backends: Vec<BackendSummary>,
+}
+
+#[derive(Debug, Serialize)]
+struct OracleBaseline {
+    algo1: DpComparison,
+    algo2: DpComparison,
+    portfolio_batch: BatchSummary,
+}
+
+/// The pre-oracle replicated homogeneous interval reliability: three `exp`s
+/// per call, recomputed for every `(j, i, q)` candidate.
+fn naive_replicated(chain: &TaskChain, platform: &Platform, interval: Interval, q: usize) -> f64 {
+    let input_size = if interval.first == 0 {
+        0.0
+    } else {
+        chain.output_size(interval.first - 1)
+    };
+    let block = reliability::replica_block_reliability(
+        chain,
+        platform,
+        0,
+        interval,
+        input_size,
+        interval.output_size(chain),
+    );
+    1.0 - (1.0 - block).powi(q as i32)
+}
+
+/// The pre-oracle dynamic program of Algorithms 1/2 (nested-vector tables,
+/// per-candidate reliability recomputation), returning the best reliability.
+fn naive_reliability_dp(
+    chain: &TaskChain,
+    platform: &Platform,
+    admissible: impl Fn(Interval) -> bool,
+) -> Option<f64> {
+    let n = chain.len();
+    let p = platform.num_processors();
+    let k_max = platform.max_replication().min(p);
+
+    let mut f = vec![vec![-1.0f64; p + 1]; n + 1];
+    let mut choice = vec![vec![None::<(usize, usize)>; p + 1]; n + 1];
+    f[0][0] = 1.0;
+
+    for i in 1..=n {
+        for j in 0..i {
+            let interval = Interval {
+                first: j,
+                last: i - 1,
+            };
+            if !admissible(interval) {
+                continue;
+            }
+            for q in 1..=k_max {
+                let rel_interval = naive_replicated(chain, platform, interval, q);
+                for k in q..=p {
+                    let prev = f[j][k - q];
+                    if prev < 0.0 {
+                        continue;
+                    }
+                    let rel = prev * rel_interval;
+                    if rel > f[i][k] {
+                        f[i][k] = rel;
+                        choice[i][k] = Some((j, q));
+                    }
+                }
+            }
+        }
+    }
+    std::hint::black_box(&choice);
+    (1..=p)
+        .map(|k| f[n][k])
+        .filter(|&r| r >= 0.0)
+        .max_by(|a, b| a.partial_cmp(b).expect("finite reliabilities"))
+}
+
+/// Median wall-clock of `reps` runs of `body`, in milliseconds.
+fn time_median(reps: usize, mut body: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            body();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    samples[samples.len() / 2]
+}
+
+fn compare_dp(chain: &TaskChain, platform: &Platform, period_bound: Option<f64>) -> DpComparison {
+    let speed = platform.speed(0);
+    let naive_millis = time_median(DP_REPS, || {
+        let result = naive_reliability_dp(chain, platform, |interval| {
+            period_bound.is_none_or(|bound| {
+                rpo_model::timing::interval_period_requirement(chain, platform, interval, speed)
+                    <= bound
+            })
+        });
+        std::hint::black_box(result);
+    });
+    let oracle_millis = time_median(DP_REPS, || {
+        // Oracle construction is part of the measured fast path: one oracle
+        // per instance is exactly what the solvers pay.
+        let oracle = IntervalOracle::new(chain, platform);
+        let result = match period_bound {
+            None => optimize_reliability_homogeneous_with_oracle(&oracle, chain, platform),
+            Some(bound) => {
+                optimize_reliability_with_period_bound_with_oracle(&oracle, chain, platform, bound)
+            }
+        };
+        std::hint::black_box(result.ok());
+    });
+    DpComparison {
+        tasks: chain.len(),
+        processors: platform.num_processors(),
+        max_replication: platform.max_replication(),
+        naive_millis,
+        oracle_millis,
+        speedup: naive_millis / oracle_millis,
+    }
+}
+
+fn run_batch() -> BatchSummary {
+    let engine = PortfolioEngine::default();
+    let driver = BatchDriver::new(BatchConfig {
+        bounds: BoundsPolicy::default(),
+        ..BatchConfig::default()
+    });
+    let generator = InstanceGenerator::paper_homogeneous(0x0AC1E);
+    let report = driver.run(&engine, generator.stream(BATCH_INSTANCES));
+    BatchSummary {
+        instances: report.instances,
+        feasible_instances: report.feasible_instances,
+        elapsed_millis: report.elapsed.as_secs_f64() * 1e3,
+        instances_per_sec: report.throughput(),
+        backends: report
+            .backend_stats
+            .iter()
+            .map(|s| BackendSummary {
+                backend: s.backend.clone(),
+                runs: s.runs,
+                wins: s.wins,
+                win_rate: s.win_rate(),
+                front_points: s.front_points,
+                total_micros: s.total_micros,
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_oracle.json".to_string());
+
+    let chain = bench_chain(DP_TASKS, 42);
+    let platform = bench_hom_platform(DP_PROCESSORS);
+
+    eprintln!(
+        "timing Algorithm 1 (n = {DP_TASKS}, p = {DP_PROCESSORS}, K = {}) …",
+        platform.max_replication()
+    );
+    let algo1 = compare_dp(&chain, &platform, None);
+    eprintln!(
+        "  naive {:.2} ms, oracle {:.2} ms → {:.1}×",
+        algo1.naive_millis, algo1.oracle_millis, algo1.speedup
+    );
+
+    // A period bound that keeps a healthy fraction of intervals admissible.
+    let bound = 0.25 * chain.total_work() / platform.speed(0);
+    eprintln!("timing Algorithm 2 (period bound {bound:.1}) …");
+    let algo2 = compare_dp(&chain, &platform, Some(bound));
+    eprintln!(
+        "  naive {:.2} ms, oracle {:.2} ms → {:.1}×",
+        algo2.naive_millis, algo2.oracle_millis, algo2.speedup
+    );
+
+    eprintln!("driving a {BATCH_INSTANCES}-instance portfolio batch …");
+    let portfolio_batch = run_batch();
+    eprintln!(
+        "  {:.1} instances/sec, {} feasible",
+        portfolio_batch.instances_per_sec, portfolio_batch.feasible_instances
+    );
+
+    let baseline = OracleBaseline {
+        algo1,
+        algo2,
+        portfolio_batch,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("serialization cannot fail");
+    std::fs::write(&output, format!("{json}\n")).expect("writing the baseline file");
+    eprintln!("wrote {output}");
+}

@@ -8,8 +8,8 @@
 
 use rayon::prelude::*;
 use rpo_algorithms::exact::ProfileSet;
-use rpo_algorithms::{run_heuristic, HeuristicConfig, IntervalHeuristic};
-use rpo_model::Platform;
+use rpo_algorithms::{run_heuristic_with_oracle, HeuristicConfig, IntervalHeuristic};
+use rpo_model::{IntervalOracle, Platform};
 use rpo_workload::{ExperimentInstance, InstanceGenerator};
 use serde::{Deserialize, Serialize};
 
@@ -183,15 +183,19 @@ impl ExperimentSpec {
     }
 }
 
-/// Reliability found by one heuristic on one platform under given bounds.
+/// Reliability found by one heuristic on one platform under given bounds,
+/// reading every interval metric from the instance's shared oracle (one
+/// oracle per `(chain, platform)` across the whole bound sweep).
 fn heuristic_reliability(
+    oracle: &IntervalOracle,
     instance: &ExperimentInstance,
     platform: &Platform,
     heuristic: IntervalHeuristic,
     period: f64,
     latency: f64,
 ) -> Option<f64> {
-    run_heuristic(
+    run_heuristic_with_oracle(
+        oracle,
         &instance.chain,
         platform,
         &HeuristicConfig {
@@ -242,7 +246,8 @@ fn run_homogeneous(spec: &ExperimentSpec, instances: &[ExperimentInstance]) -> E
         .par_iter()
         .map(|instance| {
             let platform = &instance.homogeneous;
-            let profiles = ProfileSet::build(&instance.chain, platform)
+            let oracle = IntervalOracle::new(&instance.chain, platform);
+            let profiles = ProfileSet::build_with_oracle(&oracle, platform)
                 .expect("homogeneous platform by construction");
             let mut optimal = Vec::with_capacity(num_points);
             let mut heur_l = Vec::with_capacity(num_points);
@@ -251,6 +256,7 @@ fn run_homogeneous(spec: &ExperimentSpec, instances: &[ExperimentInstance]) -> E
                 let (period, latency) = spec.rule.bounds(x);
                 optimal.push(profiles.best_reliability_under(period, latency));
                 heur_l.push(heuristic_reliability(
+                    &oracle,
                     instance,
                     platform,
                     IntervalHeuristic::MinLatency,
@@ -258,6 +264,7 @@ fn run_homogeneous(spec: &ExperimentSpec, instances: &[ExperimentInstance]) -> E
                     latency,
                 ));
                 heur_p.push(heuristic_reliability(
+                    &oracle,
                     instance,
                     platform,
                     IntervalHeuristic::MinPeriod,
@@ -291,18 +298,36 @@ fn run_heterogeneous(spec: &ExperimentSpec, instances: &[ExperimentInstance]) ->
     let results: Vec<[Vec<Option<f64>>; 4]> = instances
         .par_iter()
         .map(|instance| {
+            let het_oracle = IntervalOracle::new(&instance.chain, &instance.heterogeneous);
+            let hom_oracle = IntervalOracle::new(&instance.chain, &instance.homogeneous);
             let mut curves: [Vec<Option<f64>>; 4] = Default::default();
             for &x in &spec.x_values {
                 let (period, latency) = spec.rule.bounds(x);
                 let cases = [
-                    (&instance.heterogeneous, IntervalHeuristic::MinLatency),
-                    (&instance.heterogeneous, IntervalHeuristic::MinPeriod),
-                    (&instance.homogeneous, IntervalHeuristic::MinLatency),
-                    (&instance.homogeneous, IntervalHeuristic::MinPeriod),
+                    (
+                        &het_oracle,
+                        &instance.heterogeneous,
+                        IntervalHeuristic::MinLatency,
+                    ),
+                    (
+                        &het_oracle,
+                        &instance.heterogeneous,
+                        IntervalHeuristic::MinPeriod,
+                    ),
+                    (
+                        &hom_oracle,
+                        &instance.homogeneous,
+                        IntervalHeuristic::MinLatency,
+                    ),
+                    (
+                        &hom_oracle,
+                        &instance.homogeneous,
+                        IntervalHeuristic::MinPeriod,
+                    ),
                 ];
-                for (slot, (platform, heuristic)) in cases.into_iter().enumerate() {
+                for (slot, (oracle, platform, heuristic)) in cases.into_iter().enumerate() {
                     curves[slot].push(heuristic_reliability(
-                        instance, platform, heuristic, period, latency,
+                        oracle, instance, platform, heuristic, period, latency,
                     ));
                 }
             }

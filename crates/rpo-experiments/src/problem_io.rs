@@ -5,8 +5,8 @@
 //! its evaluation. This is the "downstream user" entry point: no Rust code is
 //! needed to use the library on a concrete system.
 
-use rpo_algorithms::{exact, run_heuristic, HeuristicConfig, IntervalHeuristic};
-use rpo_model::{Mapping, MappingEvaluation, Platform, Processor, ProcessorId, TaskChain};
+use rpo_algorithms::{exact, run_heuristic_with_oracle, HeuristicConfig, IntervalHeuristic};
+use rpo_model::{IntervalOracle, Mapping, Platform, Processor, ProcessorId, TaskChain};
 use serde::{Deserialize, Serialize};
 
 /// A task of the input problem.
@@ -137,15 +137,10 @@ pub struct SolveReport {
     pub methods: Vec<MethodReport>,
 }
 
-fn method_report(
-    name: &str,
-    chain: &TaskChain,
-    platform: &Platform,
-    mapping: Option<&Mapping>,
-) -> MethodReport {
+fn method_report(name: &str, oracle: &IntervalOracle, mapping: Option<&Mapping>) -> MethodReport {
     match mapping {
         Some(mapping) => {
-            let eval = MappingEvaluation::evaluate(chain, platform, mapping);
+            let eval = oracle.evaluate(mapping);
             MethodReport {
                 method: name.to_string(),
                 feasible: true,
@@ -178,13 +173,16 @@ pub fn solve(spec: &ProblemSpec) -> Result<SolveReport, String> {
     let (chain, platform) = spec.build()?;
     let period = spec.period_bound.unwrap_or(f64::INFINITY);
     let latency = spec.latency_bound.unwrap_or(f64::INFINITY);
+    // One oracle serves every method and every report evaluation.
+    let oracle = IntervalOracle::new(&chain, &platform);
 
     let mut methods = Vec::new();
     for (name, heuristic) in [
         ("Heur-L", IntervalHeuristic::MinLatency),
         ("Heur-P", IntervalHeuristic::MinPeriod),
     ] {
-        let solution = run_heuristic(
+        let solution = run_heuristic_with_oracle(
+            &oracle,
             &chain,
             &platform,
             &HeuristicConfig {
@@ -196,19 +194,19 @@ pub fn solve(spec: &ProblemSpec) -> Result<SolveReport, String> {
         .ok();
         methods.push(method_report(
             name,
-            &chain,
-            &platform,
+            &oracle,
             solution.as_ref().map(|s| &s.mapping),
         ));
     }
 
     let homogeneous = platform.is_homogeneous();
     if homogeneous && chain.len() <= exact::exhaustive::MAX_EXHAUSTIVE_TASKS {
-        let solution = exact::optimal_homogeneous(&chain, &platform, period, latency).ok();
+        let solution =
+            exact::optimal_homogeneous_with_oracle(&oracle, &chain, &platform, period, latency)
+                .ok();
         methods.push(method_report(
             "exact",
-            &chain,
-            &platform,
+            &oracle,
             solution.as_ref().map(|s| &s.mapping),
         ));
     }

@@ -35,6 +35,7 @@ pub mod error;
 pub mod evaluate;
 pub mod interval;
 pub mod mapping;
+pub mod oracle;
 pub mod platform;
 pub mod reliability;
 pub mod task;
@@ -46,6 +47,7 @@ pub use error::ModelError;
 pub use evaluate::{BoundCheck, MappingEvaluation};
 pub use interval::{Interval, IntervalPartition};
 pub use mapping::{MappedInterval, Mapping};
+pub use oracle::{BlockReliabilityTable, IntervalOracle, ProcessorClass};
 pub use platform::{Platform, PlatformBuilder, Processor, ProcessorId};
 pub use task::{Task, TaskChain};
 

@@ -1,0 +1,664 @@
+//! The [`IntervalOracle`]: an O(1) interval-metrics kernel shared by every
+//! solver.
+//!
+//! Each solver of the workspace repeatedly asks the same questions about
+//! candidate intervals `τ_{j+1} … τ_i`: their work (Eq. 2), their boundary
+//! communication times and reliabilities, the reliability of a replica block
+//! (the inner term of Eq. 9), the replicated reliability `1 − (1 − r)^q`,
+//! and the expected / worst-case interval cost (Eqs. 3–4). Recomputing these
+//! from `TaskChain` and `Platform` turns the paper's `O(n² p K)` recurrences
+//! into effectively cubic-in-`n` scans, and the portfolio repeats that work
+//! once per backend.
+//!
+//! The oracle is built **once per `(chain, platform)` instance** in `O(n + p)`
+//! and answers every query in `O(1)` (or `O(|replica set|)` for set queries):
+//!
+//! * interval work from the chain's prefix-sum array;
+//! * boundary communication times `o_i / b` and reliabilities
+//!   `e^{−λ_ℓ o_i / b}`, precomputed per boundary;
+//! * processors deduplicated into [`ProcessorClass`]es of identical
+//!   `(speed, failure rate)` so per-class interval reliabilities are shared
+//!   by every member;
+//! * an optional dense triangular [`BlockReliabilityTable`] holding the
+//!   replica-block reliability of **every** interval of one class, for the
+//!   dynamic programs that sweep all `O(n²)` intervals.
+//!
+//! Every query mirrors the reference formulas of [`crate::reliability`] and
+//! [`crate::timing`] operation for operation, so [`IntervalOracle::evaluate`]
+//! returns bit-identical results to [`MappingEvaluation::evaluate`] — the
+//! workspace property tests assert exactly that.
+
+use std::sync::Arc;
+
+use crate::{Mapping, MappingEvaluation, Platform, ProcessorId, TaskChain};
+
+/// A group of processors with identical `(speed, failure rate)`.
+///
+/// On a homogeneous platform there is exactly one class; heterogeneous
+/// platforms typically have a handful (one per hardware generation), so
+/// per-class memoization covers every processor at a fraction of the cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorClass {
+    /// Speed `s_u` shared by the members.
+    pub speed: f64,
+    /// Failure rate `λ_u` shared by the members.
+    pub failure_rate: f64,
+    /// Number of processors in the class.
+    pub members: usize,
+}
+
+/// Dense triangular table of the replica-block reliability of every interval
+/// `first ..= last` for one processor class: incoming communication ×
+/// computation × outgoing communication (the inner term of Eq. 9).
+///
+/// Built in `O(n²)` (one `exp` per interval), queried in `O(1)`; the dynamic
+/// programs of Algorithms 1–2 and the ILP column generation sweep all
+/// intervals `q·p` times each, so the table amortizes the transcendentals
+/// away from the hot loop.
+#[derive(Debug, Clone)]
+pub struct BlockReliabilityTable {
+    n: usize,
+    /// Row-major triangle: entry for `(first, last)` at
+    /// `first·(2n − first + 1)/2 + (last − first)`.
+    values: Vec<f64>,
+}
+
+impl BlockReliabilityTable {
+    #[inline]
+    fn index(&self, first: usize, last: usize) -> usize {
+        debug_assert!(first <= last && last < self.n);
+        first * (2 * self.n - first + 1) / 2 + (last - first)
+    }
+
+    /// Replica-block reliability of interval `first ..= last`.
+    #[inline]
+    pub fn get(&self, first: usize, last: usize) -> f64 {
+        self.values[self.index(first, last)]
+    }
+
+    /// Replicated reliability `1 − (1 − block)^q` of interval `first ..= last`
+    /// on `q` processors of the table's class.
+    #[inline]
+    pub fn replicated(&self, first: usize, last: usize, q: usize) -> f64 {
+        replicate_block(self.get(first, last), q)
+    }
+}
+
+/// `1 − (1 − block)^q` by repeated multiplication, matching the fold order of
+/// [`crate::reliability::replicated_interval_reliability`] over `q` identical
+/// replicas so the dynamic programs agree bit-for-bit with the evaluator.
+#[inline]
+pub fn replicate_block(block: f64, q: usize) -> f64 {
+    let mut all_fail = 1.0;
+    for _ in 0..q {
+        all_fail *= 1.0 - block;
+    }
+    1.0 - all_fail
+}
+
+/// O(1) interval-metrics kernel for one `(chain, platform)` instance.
+///
+/// See the [module documentation](self) for the design; construction is
+/// `O(n + p)`, every scalar query is `O(1)`.
+#[derive(Debug, Clone)]
+pub struct IntervalOracle {
+    n: usize,
+    /// `work_prefix[i]` = total work of tasks `0..i` (so `work_prefix[0] = 0`).
+    work_prefix: Vec<f64>,
+    /// Output data size per task, with the `o_n = 0` convention applied.
+    output_size: Vec<f64>,
+    /// Communication time `o_i / b` per boundary.
+    comm_time: Vec<f64>,
+    /// Communication reliability `e^{−λ_ℓ o_i / b}` per boundary.
+    comm_rel: Vec<f64>,
+    classes: Vec<ProcessorClass>,
+    /// Class index of each processor.
+    class_of: Vec<u32>,
+    max_replication: usize,
+}
+
+impl IntervalOracle {
+    /// Builds the oracle for one `(chain, platform)` instance in `O(n + p)`.
+    pub fn new(chain: &TaskChain, platform: &Platform) -> Self {
+        let n = chain.len();
+        let link_rate = platform.link_failure_rate();
+        let bandwidth = platform.bandwidth();
+
+        let mut output_size = Vec::with_capacity(n);
+        let mut comm_time = Vec::with_capacity(n);
+        let mut comm_rel = Vec::with_capacity(n);
+        for i in 0..n {
+            let o = chain.output_size(i);
+            output_size.push(o);
+            comm_time.push(o / bandwidth);
+            // Same expression as reliability::communication_reliability so
+            // the values are bit-identical to the naive computation.
+            comm_rel.push((-link_rate * (o / bandwidth)).exp());
+        }
+
+        let mut classes: Vec<ProcessorClass> = Vec::new();
+        let mut class_of = Vec::with_capacity(platform.num_processors());
+        for processor in platform.processors() {
+            let class = classes.iter().position(|c| {
+                c.speed == processor.speed && c.failure_rate == processor.failure_rate
+            });
+            let class = match class {
+                Some(c) => c,
+                None => {
+                    classes.push(ProcessorClass {
+                        speed: processor.speed,
+                        failure_rate: processor.failure_rate,
+                        members: 0,
+                    });
+                    classes.len() - 1
+                }
+            };
+            classes[class].members += 1;
+            class_of.push(class as u32);
+        }
+
+        IntervalOracle {
+            n,
+            work_prefix: chain.work_prefix().to_vec(),
+            output_size,
+            comm_time,
+            comm_rel,
+            classes,
+            class_of,
+            max_replication: platform.max_replication(),
+        }
+    }
+
+    /// Builds the oracle behind an [`Arc`], ready to be shared across the
+    /// backends of a solver portfolio.
+    pub fn shared(chain: &TaskChain, platform: &Platform) -> Arc<Self> {
+        Arc::new(Self::new(chain, platform))
+    }
+
+    /// Number of tasks `n` of the underlying chain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// A validated chain is never empty, so neither is its oracle.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of processors `p` of the underlying platform.
+    #[inline]
+    pub fn num_processors(&self) -> usize {
+        self.class_of.len()
+    }
+
+    /// Replication bound `K` of the underlying platform.
+    #[inline]
+    pub fn max_replication(&self) -> usize {
+        self.max_replication
+    }
+
+    /// The deduplicated processor classes.
+    #[inline]
+    pub fn classes(&self) -> &[ProcessorClass] {
+        &self.classes
+    }
+
+    /// Class index of processor `u`.
+    #[inline]
+    pub fn class_of(&self, u: ProcessorId) -> usize {
+        self.class_of[u] as usize
+    }
+
+    /// Whether the platform has a single processor class (the paper's
+    /// definition of homogeneity).
+    #[inline]
+    pub fn is_homogeneous(&self) -> bool {
+        self.classes.len() == 1
+    }
+
+    /// Total work of the interval `first ..= last` (prefix-sum difference).
+    #[inline]
+    pub fn work(&self, first: usize, last: usize) -> f64 {
+        debug_assert!(first <= last && last < self.n);
+        self.work_prefix[last + 1] - self.work_prefix[first]
+    }
+
+    /// Total work of the whole chain.
+    #[inline]
+    pub fn total_work(&self) -> f64 {
+        self.work_prefix[self.n]
+    }
+
+    /// The strictly increasing work prefix array (`n + 1` entries, first 0):
+    /// `work(first, last) = work_prefix()[last + 1] − work_prefix()[first]`.
+    /// Exposed so solvers can binary-search admissible interval starts.
+    #[inline]
+    pub fn work_prefix(&self) -> &[f64] {
+        &self.work_prefix
+    }
+
+    /// Output data size of task `i` (`o_n = 0` convention applied).
+    #[inline]
+    pub fn output_size(&self, i: usize) -> f64 {
+        self.output_size[i]
+    }
+
+    /// Input data size of an interval starting at `first` (the output of the
+    /// previous task, 0 for the first interval).
+    #[inline]
+    pub fn input_size(&self, first: usize) -> f64 {
+        if first == 0 {
+            0.0
+        } else {
+            self.output_size[first - 1]
+        }
+    }
+
+    /// Communication time of the incoming boundary of an interval starting at
+    /// `first` (0 for the first interval).
+    #[inline]
+    pub fn input_comm_time(&self, first: usize) -> f64 {
+        if first == 0 {
+            0.0
+        } else {
+            self.comm_time[first - 1]
+        }
+    }
+
+    /// Communication time of the outgoing boundary of an interval ending at
+    /// `last` (0 for the last interval, by the `o_n = 0` convention).
+    #[inline]
+    pub fn output_comm_time(&self, last: usize) -> f64 {
+        self.comm_time[last]
+    }
+
+    /// Reliability of the incoming communication of an interval starting at
+    /// `first` (1 for the first interval).
+    #[inline]
+    pub fn input_comm_reliability(&self, first: usize) -> f64 {
+        if first == 0 {
+            1.0
+        } else {
+            self.comm_rel[first - 1]
+        }
+    }
+
+    /// Reliability of the outgoing communication of an interval ending at
+    /// `last` (1 for the last interval).
+    #[inline]
+    pub fn output_comm_reliability(&self, last: usize) -> f64 {
+        self.comm_rel[last]
+    }
+
+    /// Reliability of interval `first ..= last` computed by one processor of
+    /// class `class` (Eq. 2): `e^{−λ W / s}`.
+    #[inline]
+    pub fn class_interval_reliability(&self, class: usize, first: usize, last: usize) -> f64 {
+        let c = &self.classes[class];
+        // Same expression as reliability::interval_reliability.
+        (-c.failure_rate * (self.work(first, last) / c.speed)).exp()
+    }
+
+    /// Reliability of interval `first ..= last` computed by processor `u`.
+    #[inline]
+    pub fn interval_reliability(&self, u: ProcessorId, first: usize, last: usize) -> f64 {
+        self.class_interval_reliability(self.class_of(u), first, last)
+    }
+
+    /// Replica-block reliability of interval `first ..= last` on one
+    /// processor of class `class`, including its boundary communications
+    /// (the inner term of Eq. 9).
+    #[inline]
+    pub fn class_block_reliability(&self, class: usize, first: usize, last: usize) -> f64 {
+        self.input_comm_reliability(first)
+            * self.class_interval_reliability(class, first, last)
+            * self.output_comm_reliability(last)
+    }
+
+    /// Replica-block reliability of interval `first ..= last` on processor
+    /// `u`, including its boundary communications.
+    #[inline]
+    pub fn block_reliability(&self, u: ProcessorId, first: usize, last: usize) -> f64 {
+        self.class_block_reliability(self.class_of(u), first, last)
+    }
+
+    /// Replicated reliability `1 − (1 − block)^q` of interval `first ..= last`
+    /// on `q` processors of class `class`.
+    #[inline]
+    pub fn class_replicated_reliability(
+        &self,
+        class: usize,
+        first: usize,
+        last: usize,
+        q: usize,
+    ) -> f64 {
+        replicate_block(self.class_block_reliability(class, first, last), q)
+    }
+
+    /// Replicated reliability of interval `first ..= last` on `q` processors
+    /// of a **homogeneous** platform (class 0).
+    #[inline]
+    pub fn replicated_reliability(&self, first: usize, last: usize, q: usize) -> f64 {
+        self.class_replicated_reliability(0, first, last, q)
+    }
+
+    /// Replicated reliability of interval `first ..= last` on the concrete
+    /// (possibly heterogeneous) replica set `processors`:
+    /// `1 − Π_u (1 − block_u)`.
+    pub fn replicated_set_reliability(
+        &self,
+        processors: &[ProcessorId],
+        first: usize,
+        last: usize,
+    ) -> f64 {
+        let mut all_fail = 1.0;
+        for &u in processors {
+            all_fail *= 1.0 - self.block_reliability(u, first, last);
+        }
+        1.0 - all_fail
+    }
+
+    /// Dense replica-block reliability table of every interval for one class.
+    pub fn class_block_table(&self, class: usize) -> BlockReliabilityTable {
+        let n = self.n;
+        let c = &self.classes[class];
+        let mut values = Vec::with_capacity(n * (n + 1) / 2);
+        for first in 0..n {
+            let in_rel = self.input_comm_reliability(first);
+            for last in first..n {
+                values.push(
+                    in_rel
+                        * (-c.failure_rate * (self.work(first, last) / c.speed)).exp()
+                        * self.comm_rel[last],
+                );
+            }
+        }
+        BlockReliabilityTable { n, values }
+    }
+
+    /// Expected computation time of interval `first ..= last` on the replica
+    /// set `processors` (Eq. 3), mirroring
+    /// [`crate::timing::expected_cost`] operation for operation.
+    pub fn expected_cost(&self, first: usize, last: usize, processors: &[ProcessorId]) -> f64 {
+        assert!(
+            !processors.is_empty(),
+            "expected_cost needs at least one replica"
+        );
+        let work = self.work(first, last);
+
+        let mut sorted: Vec<ProcessorId> = processors.to_vec();
+        sorted.sort_by(|&a, &b| {
+            self.classes[self.class_of(b)]
+                .speed
+                .partial_cmp(&self.classes[self.class_of(a)].speed)
+                .expect("finite speeds")
+                .then(a.cmp(&b))
+        });
+
+        let mut numerator = 0.0;
+        let mut all_fail = 1.0;
+        for &u in &sorted {
+            let class = &self.classes[self.class_of(u)];
+            let r_u = (-class.failure_rate * (work / class.speed)).exp();
+            numerator += work / class.speed * r_u * all_fail;
+            all_fail *= 1.0 - r_u;
+        }
+        let denominator = 1.0 - all_fail;
+        if denominator <= 0.0 {
+            self.worst_case_cost(first, last, processors)
+        } else {
+            numerator / denominator
+        }
+    }
+
+    /// Worst-case computation time of interval `first ..= last` on the
+    /// replica set `processors` (Eq. 4): the time on the slowest replica.
+    pub fn worst_case_cost(&self, first: usize, last: usize, processors: &[ProcessorId]) -> f64 {
+        assert!(
+            !processors.is_empty(),
+            "worst_case_cost needs at least one replica"
+        );
+        let slowest = processors
+            .iter()
+            .map(|&u| self.classes[self.class_of(u)].speed)
+            .fold(f64::INFINITY, f64::min);
+        self.work(first, last) / slowest
+    }
+
+    /// Worst-case period requirement of the bare interval `first ..= last`
+    /// on replicas of slowest speed `slowest_speed`:
+    /// `max(o_in/b, W/s_slow, o_out/b)` — the feasibility test of
+    /// Algorithm 2 and the heuristics.
+    #[inline]
+    pub fn period_requirement(&self, first: usize, last: usize, slowest_speed: f64) -> f64 {
+        let incoming = self.input_comm_time(first);
+        let outgoing = self.output_comm_time(last);
+        let compute = self.work(first, last) / slowest_speed;
+        incoming.max(compute).max(outgoing)
+    }
+
+    /// Latency contribution of interval `first ..= last` executed at `speed`:
+    /// its computation time plus its outgoing communication time.
+    #[inline]
+    pub fn latency_term(&self, first: usize, last: usize, speed: f64) -> f64 {
+        self.work(first, last) / speed + self.output_comm_time(last)
+    }
+
+    /// Reliability of a complete mapping (Eq. 9) through the precomputed
+    /// boundary reliabilities.
+    pub fn mapping_reliability(&self, mapping: &Mapping) -> f64 {
+        let mut r = 1.0;
+        for mi in mapping.intervals() {
+            r *= self.replicated_set_reliability(
+                &mi.processors,
+                mi.interval.first,
+                mi.interval.last,
+            );
+        }
+        r
+    }
+
+    /// Evaluates `mapping` for all five criteria of the paper, bit-identical
+    /// to [`MappingEvaluation::evaluate`] but through the precomputed
+    /// kernel (no per-call boundary `exp`s or divisions).
+    pub fn evaluate(&self, mapping: &Mapping) -> MappingEvaluation {
+        let mut expected_latency = 0.0;
+        let mut worst_case_latency = 0.0;
+        let mut max_comm = 0.0f64;
+        let mut max_expected = 0.0f64;
+        let mut max_worst = 0.0f64;
+        for mi in mapping.intervals() {
+            let (first, last) = (mi.interval.first, mi.interval.last);
+            let comm = self.output_comm_time(last);
+            let expected = self.expected_cost(first, last, &mi.processors);
+            let worst = self.worst_case_cost(first, last, &mi.processors);
+            expected_latency += expected + comm;
+            worst_case_latency += worst + comm;
+            max_comm = max_comm.max(comm);
+            max_expected = max_expected.max(expected);
+            max_worst = max_worst.max(worst);
+        }
+        MappingEvaluation {
+            reliability: self.mapping_reliability(mapping),
+            expected_latency,
+            worst_case_latency,
+            expected_period: max_comm.max(max_expected),
+            worst_case_period: max_comm.max(max_worst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reliability, timing, Interval, MappedInterval, PlatformBuilder};
+
+    fn chain() -> TaskChain {
+        TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (30.0, 4.0), (40.0, 3.0)]).unwrap()
+    }
+
+    fn het_platform() -> Platform {
+        PlatformBuilder::new()
+            .processor(2.0, 0.01)
+            .processor(2.0, 0.01)
+            .processor(1.0, 0.02)
+            .processor(1.0, 0.02)
+            .bandwidth(2.0)
+            .link_failure_rate(1e-3)
+            .max_replication(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn classes_deduplicate_identical_processors() {
+        let c = chain();
+        let p = het_platform();
+        let oracle = IntervalOracle::new(&c, &p);
+        assert_eq!(oracle.classes().len(), 2);
+        assert_eq!(oracle.class_of(0), oracle.class_of(1));
+        assert_eq!(oracle.class_of(2), oracle.class_of(3));
+        assert_ne!(oracle.class_of(0), oracle.class_of(2));
+        assert_eq!(oracle.classes()[0].members, 2);
+        assert!(!oracle.is_homogeneous());
+        assert_eq!(oracle.num_processors(), 4);
+        assert_eq!(oracle.max_replication(), 3);
+    }
+
+    #[test]
+    fn work_and_boundaries_match_chain() {
+        let c = chain();
+        let p = het_platform();
+        let oracle = IntervalOracle::new(&c, &p);
+        assert_eq!(oracle.len(), 4);
+        assert_eq!(oracle.work(0, 3), 100.0);
+        assert_eq!(oracle.work(1, 2), 50.0);
+        assert_eq!(oracle.total_work(), 100.0);
+        assert_eq!(oracle.output_size(3), 0.0); // o_n = 0 convention
+        assert_eq!(oracle.input_size(0), 0.0);
+        assert_eq!(oracle.input_size(2), 6.0);
+        assert_eq!(oracle.input_comm_time(2), 3.0);
+        assert_eq!(oracle.output_comm_time(0), 1.0);
+    }
+
+    #[test]
+    fn reliabilities_match_naive_functions() {
+        let c = chain();
+        let p = het_platform();
+        let oracle = IntervalOracle::new(&c, &p);
+        for first in 0..4 {
+            for last in first..4 {
+                let itv = Interval { first, last };
+                for u in 0..4 {
+                    assert_eq!(
+                        oracle.interval_reliability(u, first, last),
+                        reliability::interval_reliability(&c, &p, u, itv),
+                    );
+                    assert_eq!(
+                        oracle.block_reliability(u, first, last),
+                        reliability::replica_block_reliability(
+                            &c,
+                            &p,
+                            u,
+                            itv,
+                            oracle.input_size(first),
+                            itv.output_size(&c),
+                        ),
+                    );
+                }
+                let set = [0usize, 2];
+                assert_eq!(
+                    oracle.replicated_set_reliability(&set, first, last),
+                    reliability::replicated_interval_reliability(
+                        &c,
+                        &p,
+                        &set,
+                        itv,
+                        oracle.input_size(first),
+                        itv.output_size(&c),
+                    ),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_table_matches_scalar_queries() {
+        let c = chain();
+        let p = het_platform();
+        let oracle = IntervalOracle::new(&c, &p);
+        for class in 0..oracle.classes().len() {
+            let table = oracle.class_block_table(class);
+            for first in 0..4 {
+                for last in first..4 {
+                    assert_eq!(
+                        table.get(first, last),
+                        oracle.class_block_reliability(class, first, last)
+                    );
+                    for q in 1..=3 {
+                        assert_eq!(
+                            table.replicated(first, last, q),
+                            oracle.class_replicated_reliability(class, first, last, q)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn costs_match_timing_functions() {
+        let c = chain();
+        let p = het_platform();
+        let oracle = IntervalOracle::new(&c, &p);
+        for first in 0..4 {
+            for last in first..4 {
+                let itv = Interval { first, last };
+                for set in [vec![0], vec![2, 0], vec![0, 1, 3]] {
+                    assert_eq!(
+                        oracle.expected_cost(first, last, &set),
+                        timing::expected_cost(&c, &p, itv, &set)
+                    );
+                    assert_eq!(
+                        oracle.worst_case_cost(first, last, &set),
+                        timing::worst_case_cost(&c, &p, itv, &set)
+                    );
+                }
+                assert_eq!(
+                    oracle.period_requirement(first, last, 1.0),
+                    timing::interval_period_requirement(&c, &p, itv, 1.0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_is_bit_identical_to_direct_evaluator() {
+        let c = chain();
+        let p = het_platform();
+        let oracle = IntervalOracle::new(&c, &p);
+        let mapping = Mapping::new(
+            vec![
+                MappedInterval::new(Interval { first: 0, last: 1 }, vec![0, 2]),
+                MappedInterval::new(Interval { first: 2, last: 3 }, vec![1, 3]),
+            ],
+            &c,
+            &p,
+        )
+        .unwrap();
+        let fast = oracle.evaluate(&mapping);
+        let slow = MappingEvaluation::evaluate(&c, &p, &mapping);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.reliability, oracle.mapping_reliability(&mapping));
+    }
+
+    #[test]
+    fn replicate_block_matches_powers() {
+        assert_eq!(replicate_block(0.9, 1), 1.0 - 0.1f64.powi(1));
+        let two = replicate_block(0.9, 2);
+        assert!((two - (1.0 - 0.1 * 0.1)).abs() < 1e-15);
+        assert_eq!(replicate_block(0.5, 0), 0.0);
+    }
+}

@@ -123,6 +123,13 @@ impl TaskChain {
         self.tasks[i].output_size
     }
 
+    /// The prefix-sum array of the works: `work_prefix()[i]` is the total
+    /// work of tasks `0..i` (length `n + 1`, first entry 0). Shared with the
+    /// interval oracle so interval works never need recomputing.
+    pub fn work_prefix(&self) -> &[f64] {
+        &self.work_prefix
+    }
+
     /// Total work `Σ w_i` of the whole chain.
     pub fn total_work(&self) -> f64 {
         *self.work_prefix.last().expect("non-empty chain")

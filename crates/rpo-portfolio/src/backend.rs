@@ -1,7 +1,14 @@
 //! The [`SolverBackend`] abstraction: one uniform `solve` interface over
 //! every solver of `rpo-algorithms`, with per-backend applicability checks.
+//!
+//! Every solve receives the instance's shared [`IntervalOracle`], built once
+//! by the engine and handed to all backends, so none of them recomputes the
+//! Eq. 5–9 interval metrics from scratch.
 
-use rpo_model::{Canonical, CanonicalHasher, Mapping, MappingEvaluation, Platform, TaskChain};
+use rpo_model::{
+    Canonical, CanonicalHasher, IntervalOracle, Mapping, MappingEvaluation, Platform, TaskChain,
+};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One tri-criteria problem instance: a chain, a platform, and the real-time
@@ -65,6 +72,13 @@ impl ProblemInstance {
     /// Whether `evaluation` satisfies this instance's bounds.
     pub fn admits(&self, evaluation: &MappingEvaluation) -> bool {
         evaluation.meets(self.period_bound, self.latency_bound)
+    }
+
+    /// Builds the shared interval-metrics oracle for this instance. The
+    /// engine calls this once per solve and hands the same `Arc` to every
+    /// backend; it is not part of the cache key (the oracle is derived data).
+    pub fn build_oracle(&self) -> Arc<IntervalOracle> {
+        IntervalOracle::shared(&self.chain, &self.platform)
     }
 
     /// A finite stand-in for the period bound, needed by solvers that reject
@@ -153,6 +167,21 @@ impl CandidateMapping {
         }
     }
 
+    /// Builds a candidate through the shared oracle's fast evaluation path
+    /// (bit-identical to [`CandidateMapping::evaluate`]).
+    pub fn evaluate_with_oracle(
+        backend: &'static str,
+        oracle: &IntervalOracle,
+        mapping: Mapping,
+    ) -> Self {
+        let evaluation = oracle.evaluate(&mapping);
+        CandidateMapping {
+            backend,
+            mapping,
+            evaluation,
+        }
+    }
+
     /// A deterministic fingerprint of the mapping structure, used for
     /// tie-breaking between criteria-identical candidates.
     pub fn fingerprint(&self) -> u64 {
@@ -187,5 +216,13 @@ pub trait SolverBackend: Send + Sync {
 
     /// Runs the backend and returns its candidate mappings (possibly empty).
     /// Candidates need not satisfy the instance bounds; the engine filters.
-    fn solve(&self, instance: &ProblemInstance, budget: &Budget) -> Vec<CandidateMapping>;
+    ///
+    /// `oracle` is the instance's shared interval-metrics kernel: one
+    /// `Arc<IntervalOracle>` built per solve and handed to every backend.
+    fn solve(
+        &self,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        budget: &Budget,
+    ) -> Vec<CandidateMapping>;
 }

@@ -2,26 +2,31 @@
 //!
 //! | backend | wraps | applicability |
 //! |---|---|---|
-//! | `Algo-1` | [`rpo_algorithms::optimize_reliability_homogeneous`] | homogeneous |
-//! | `Algo-2` | [`rpo_algorithms::optimize_reliability_with_period_bound`] | homogeneous, finite period bound |
-//! | `Period-Opt` | [`rpo_algorithms::minimize_period_with_reliability_bound`] | homogeneous |
+//! | `Algo-1` | [`rpo_algorithms::optimize_reliability_homogeneous_with_oracle`] | homogeneous |
+//! | `Algo-2` | [`rpo_algorithms::optimize_reliability_with_period_bound_with_oracle`] | homogeneous, finite period bound |
+//! | `Period-Opt` | [`rpo_algorithms::minimize_period_with_reliability_bound_with_oracle`] | homogeneous |
 //! | `Heur-L` | Heur-L partitions + Algo-Alloc / Section 7.2 allocation | always |
 //! | `Heur-P` | Heur-P partitions + Algo-Alloc / Section 7.2 allocation | always |
 //! | `Het-Sweep` | Section 7.2 allocation swept over tightened period targets | heterogeneous |
-//! | `ILP` | [`rpo_algorithms::exact::optimal_by_ilp`] | homogeneous, small instances |
-//! | `Exhaustive` | [`rpo_algorithms::exact::optimal_homogeneous`] | homogeneous, bounded size |
+//! | `ILP` | [`rpo_algorithms::exact::optimal_by_ilp_with_oracle`] | homogeneous, small instances |
+//! | `Exhaustive` | [`rpo_algorithms::exact::optimal_homogeneous_with_oracle`] | homogeneous, bounded size |
+//!
+//! All adapters read their interval metrics from the one
+//! [`IntervalOracle`] the engine builds per instance, so racing eight
+//! backends costs a single metrics precomputation.
 
 use crate::backend::{Applicability, Budget, CandidateMapping, ProblemInstance, SolverBackend};
-use rpo_algorithms::alloc::algo_alloc;
-use rpo_algorithms::alloc_het::{algo_alloc_heterogeneous, AllocationConstraints};
+use rpo_algorithms::alloc::algo_alloc_with_oracle;
+use rpo_algorithms::alloc_het::{algo_alloc_heterogeneous_with_oracle, AllocationConstraints};
 use rpo_algorithms::exact;
-use rpo_algorithms::heur_l::heur_l_partition;
-use rpo_algorithms::heur_p::heur_p_partition;
+use rpo_algorithms::heur_l::heur_l_partition_with_oracle;
+use rpo_algorithms::heur_p::heur_p_partition_with_oracle;
 use rpo_algorithms::{
-    minimize_period_with_reliability_bound, optimize_reliability_homogeneous,
-    optimize_reliability_with_period_bound,
+    minimize_period_with_reliability_bound_with_oracle,
+    optimize_reliability_homogeneous_with_oracle,
+    optimize_reliability_with_period_bound_with_oracle,
 };
-use rpo_model::IntervalPartition;
+use rpo_model::{IntervalOracle, IntervalPartition};
 
 const SKIP_HETEROGENEOUS: &str = "requires a homogeneous platform";
 const SKIP_HOMOGENEOUS: &str = "requires a heterogeneous platform";
@@ -58,12 +63,17 @@ impl SolverBackend for Algo1Backend {
         }
     }
 
-    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
-        optimize_reliability_homogeneous(&instance.chain, &instance.platform)
+    fn solve(
+        &self,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        _budget: &Budget,
+    ) -> Vec<CandidateMapping> {
+        optimize_reliability_homogeneous_with_oracle(oracle, &instance.chain, &instance.platform)
             .map(|solution| {
-                vec![CandidateMapping::evaluate(
+                vec![CandidateMapping::evaluate_with_oracle(
                     self.name(),
-                    instance,
+                    oracle,
                     solution.mapping,
                 )]
             })
@@ -89,16 +99,22 @@ impl SolverBackend for Algo2Backend {
         }
     }
 
-    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
-        optimize_reliability_with_period_bound(
+    fn solve(
+        &self,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        _budget: &Budget,
+    ) -> Vec<CandidateMapping> {
+        optimize_reliability_with_period_bound_with_oracle(
+            oracle,
             &instance.chain,
             &instance.platform,
             instance.period_bound,
         )
         .map(|solution| {
-            vec![CandidateMapping::evaluate(
+            vec![CandidateMapping::evaluate_with_oracle(
                 self.name(),
-                instance,
+                oracle,
                 solution.mapping,
             )]
         })
@@ -123,16 +139,22 @@ impl SolverBackend for PeriodOptBackend {
         }
     }
 
-    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
-        minimize_period_with_reliability_bound(
+    fn solve(
+        &self,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        _budget: &Budget,
+    ) -> Vec<CandidateMapping> {
+        minimize_period_with_reliability_bound_with_oracle(
+            oracle,
             &instance.chain,
             &instance.platform,
             f64::MIN_POSITIVE,
         )
         .map(|solution| {
-            vec![CandidateMapping::evaluate(
+            vec![CandidateMapping::evaluate_with_oracle(
                 self.name(),
-                instance,
+                oracle,
                 solution.mapping,
             )]
         })
@@ -144,7 +166,7 @@ impl SolverBackend for PeriodOptBackend {
 /// count instead of only the best-reliability one (richer Pareto fronts).
 pub struct HeuristicBackend {
     name: &'static str,
-    partition: fn(&rpo_model::TaskChain, usize) -> IntervalPartition,
+    partition: fn(&IntervalOracle, usize) -> IntervalPartition,
 }
 
 impl HeuristicBackend {
@@ -152,7 +174,7 @@ impl HeuristicBackend {
     pub fn heur_l() -> Self {
         HeuristicBackend {
             name: "Heur-L",
-            partition: heur_l_partition,
+            partition: heur_l_partition_with_oracle,
         }
     }
 
@@ -160,7 +182,7 @@ impl HeuristicBackend {
     pub fn heur_p() -> Self {
         HeuristicBackend {
             name: "Heur-P",
-            partition: heur_p_partition,
+            partition: heur_p_partition_with_oracle,
         }
     }
 }
@@ -174,23 +196,37 @@ impl SolverBackend for HeuristicBackend {
         Applicability::Applicable
     }
 
-    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
+    fn solve(
+        &self,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        _budget: &Budget,
+    ) -> Vec<CandidateMapping> {
         let chain = &instance.chain;
         let platform = &instance.platform;
-        let homogeneous = platform.is_homogeneous();
+        let homogeneous = oracle.is_homogeneous();
         let constraints = AllocationConstraints::none();
         let period_bound = instance.finite_period_bound();
 
         let mut candidates = Vec::new();
         for num_intervals in 1..=chain.len().min(platform.num_processors()) {
-            let partition = (self.partition)(chain, num_intervals);
+            let partition = (self.partition)(oracle, num_intervals);
             let mapping = if homogeneous {
-                algo_alloc(chain, platform, &partition)
+                algo_alloc_with_oracle(oracle, chain, platform, &partition)
             } else {
-                algo_alloc_heterogeneous(chain, platform, &partition, period_bound, &constraints)
+                algo_alloc_heterogeneous_with_oracle(
+                    oracle,
+                    chain,
+                    platform,
+                    &partition,
+                    period_bound,
+                    &constraints,
+                )
             };
             if let Ok(mapping) = mapping {
-                candidates.push(CandidateMapping::evaluate(self.name, instance, mapping));
+                candidates.push(CandidateMapping::evaluate_with_oracle(
+                    self.name, oracle, mapping,
+                ));
             }
         }
         candidates
@@ -219,7 +255,12 @@ impl SolverBackend for HetSweepBackend {
         }
     }
 
-    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
+    fn solve(
+        &self,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        _budget: &Budget,
+    ) -> Vec<CandidateMapping> {
         let chain = &instance.chain;
         let platform = &instance.platform;
         let constraints = AllocationConstraints::none();
@@ -245,12 +286,21 @@ impl SolverBackend for HetSweepBackend {
         for step in 0..=steps {
             let target = lower * ratio.powi(step as i32);
             for num_intervals in 1..=chain.len().min(platform.num_processors()) {
-                for partition_fn in [heur_l_partition, heur_p_partition] {
-                    let partition = partition_fn(chain, num_intervals);
-                    if let Ok(mapping) =
-                        algo_alloc_heterogeneous(chain, platform, &partition, target, &constraints)
-                    {
-                        candidates.push(CandidateMapping::evaluate(self.name(), instance, mapping));
+                for partition_fn in [heur_l_partition_with_oracle, heur_p_partition_with_oracle] {
+                    let partition = partition_fn(oracle, num_intervals);
+                    if let Ok(mapping) = algo_alloc_heterogeneous_with_oracle(
+                        oracle,
+                        chain,
+                        platform,
+                        &partition,
+                        target,
+                        &constraints,
+                    ) {
+                        candidates.push(CandidateMapping::evaluate_with_oracle(
+                            self.name(),
+                            oracle,
+                            mapping,
+                        ));
                     }
                 }
             }
@@ -277,17 +327,23 @@ impl SolverBackend for IlpBackend {
         }
     }
 
-    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
-        exact::optimal_by_ilp(
+    fn solve(
+        &self,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        _budget: &Budget,
+    ) -> Vec<CandidateMapping> {
+        exact::optimal_by_ilp_with_oracle(
+            oracle,
             &instance.chain,
             &instance.platform,
             instance.period_bound,
             instance.latency_bound,
         )
         .map(|solution| {
-            vec![CandidateMapping::evaluate(
+            vec![CandidateMapping::evaluate_with_oracle(
                 self.name(),
-                instance,
+                oracle,
                 solution.mapping,
             )]
         })
@@ -316,17 +372,23 @@ impl SolverBackend for ExhaustiveBackend {
         }
     }
 
-    fn solve(&self, instance: &ProblemInstance, _budget: &Budget) -> Vec<CandidateMapping> {
-        exact::optimal_homogeneous(
+    fn solve(
+        &self,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        _budget: &Budget,
+    ) -> Vec<CandidateMapping> {
+        exact::optimal_homogeneous_with_oracle(
+            oracle,
             &instance.chain,
             &instance.platform,
             instance.period_bound,
             instance.latency_bound,
         )
         .map(|solution| {
-            vec![CandidateMapping::evaluate(
+            vec![CandidateMapping::evaluate_with_oracle(
                 self.name(),
-                instance,
+                oracle,
                 solution.mapping,
             )]
         })
@@ -403,8 +465,9 @@ mod tests {
     #[test]
     fn heuristic_backends_return_multiple_candidates() {
         let instance = hom_instance();
+        let oracle = instance.build_oracle();
         let budget = Budget::default();
-        let candidates = HeuristicBackend::heur_p().solve(&instance, &budget);
+        let candidates = HeuristicBackend::heur_p().solve(&instance, &oracle, &budget);
         assert!(
             candidates.len() > 1,
             "expected one candidate per interval count"
@@ -417,9 +480,10 @@ mod tests {
     #[test]
     fn exact_backends_agree_on_the_reliability_optimum() {
         let instance = hom_instance();
+        let oracle = instance.build_oracle();
         let budget = Budget::default();
-        let exhaustive = ExhaustiveBackend.solve(&instance, &budget);
-        let ilp = IlpBackend.solve(&instance, &budget);
+        let exhaustive = ExhaustiveBackend.solve(&instance, &oracle, &budget);
+        let ilp = IlpBackend.solve(&instance, &oracle, &budget);
         assert_eq!(exhaustive.len(), 1);
         assert_eq!(ilp.len(), 1);
         assert!(
@@ -430,7 +494,8 @@ mod tests {
     #[test]
     fn het_sweep_produces_period_diverse_candidates() {
         let instance = het_instance();
-        let candidates = HetSweepBackend.solve(&instance, &Budget::default());
+        let oracle = instance.build_oracle();
+        let candidates = HetSweepBackend.solve(&instance, &oracle, &Budget::default());
         assert!(!candidates.is_empty());
         let min = candidates
             .iter()
@@ -441,5 +506,19 @@ mod tests {
             .map(|c| c.evaluation.worst_case_period)
             .fold(0.0f64, f64::max);
         assert!(max > min, "sweep should explore different period regimes");
+    }
+
+    #[test]
+    fn oracle_backed_candidates_match_direct_evaluation() {
+        let instance = hom_instance();
+        let oracle = instance.build_oracle();
+        for candidate in HeuristicBackend::heur_l().solve(&instance, &oracle, &Budget::default()) {
+            let direct = rpo_model::MappingEvaluation::evaluate(
+                &instance.chain,
+                &instance.platform,
+                &candidate.mapping,
+            );
+            assert_eq!(candidate.evaluation, direct);
+        }
     }
 }

@@ -68,9 +68,18 @@ impl InstanceCache {
         }
     }
 
-    fn touch(&mut self, key: u64) -> u64 {
+    /// Records a fresh touch for `key`. The keyed entry **must already be
+    /// stored**: its `last_used` is updated *before* the touch log is
+    /// compacted, so compaction can never drop the freshest touch of a live
+    /// entry (that was the LRU-corruption bug found in the PR 1 review).
+    fn touch(&mut self, key: u64) {
         self.clock += 1;
-        self.touches.push_back((self.clock, key));
+        let tick = self.clock;
+        self.entries
+            .get_mut(&key)
+            .expect("touch is only called for stored entries")
+            .last_used = tick;
+        self.touches.push_back((tick, key));
         // Keep the touch log proportional to the live entry count so a long
         // streak of hits cannot grow it without bound (amortized O(1)).
         if self.touches.len() > 2 * self.entries.len() + 16 {
@@ -78,7 +87,6 @@ impl InstanceCache {
             self.touches
                 .retain(|(tick, key)| entries.get(key).is_some_and(|e| e.last_used == *tick));
         }
-        self.clock
     }
 
     /// Looks up the front for `instance`, refreshing its recency on a hit.
@@ -87,11 +95,10 @@ impl InstanceCache {
         let key = instance.canonical_key();
         match self.entries.get(&key) {
             Some(entry) if &entry.instance == instance => {
-                let tick = self.touch(key);
-                let entry = self.entries.get_mut(&key).expect("entry present above");
-                entry.last_used = tick;
+                let front = Arc::clone(&entry.front);
+                self.touch(key);
                 self.stats.hits += 1;
-                Some(Arc::clone(&entry.front))
+                Some(front)
             }
             _ => {
                 self.stats.misses += 1;
@@ -106,21 +113,21 @@ impl InstanceCache {
         if self.capacity == 0 {
             return;
         }
-        if self.entries.len() >= self.capacity
-            && !self.entries.contains_key(&instance.canonical_key())
-        {
+        let key = instance.canonical_key();
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             self.evict_lru();
         }
-        let key = instance.canonical_key();
-        let tick = self.touch(key);
+        // Insert first, then touch: touch keeps the entry's `last_used` and
+        // the touch log consistent under compaction.
         self.entries.insert(
             key,
             CacheEntry {
                 instance: instance.clone(),
                 front,
-                last_used: tick,
+                last_used: self.clock,
             },
         );
+        self.touch(key);
     }
 
     /// Removes the least-recently-used entry by draining stale touches.

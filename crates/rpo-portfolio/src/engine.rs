@@ -192,6 +192,10 @@ impl PortfolioEngine {
             .filter(|&i| runs[i].status == RunStatus::Completed)
             .collect();
 
+        // One interval-metrics oracle per instance, shared by every backend:
+        // the Eq. 5–9 precomputation happens once instead of eight times.
+        let oracle = instance.build_oracle();
+
         // Race the runnable backends: worker threads pull indices from a
         // shared queue, so a slow backend never blocks the others.
         let queue = AtomicUsize::new(0);
@@ -216,7 +220,7 @@ impl PortfolioEngine {
                         (RunStatus::DeadlineExpired, Vec::new(), 0, 0)
                     } else {
                         let backend_start = Instant::now();
-                        let mut candidates = backend.solve(instance, &self.budget);
+                        let mut candidates = backend.solve(instance, &oracle, &self.budget);
                         let micros = backend_start.elapsed().as_micros() as u64;
                         let total = candidates.len();
                         candidates.retain(|c| instance.admits(&c.evaluation));

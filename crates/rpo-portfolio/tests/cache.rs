@@ -1,0 +1,121 @@
+//! Integration suite for the [`InstanceCache`] LRU.
+//!
+//! Promoted from the PR 1 review scratch test: the original
+//! `compaction_during_touch_corrupts_lru` reproducer (the touch-log
+//! compaction used to drop the freshest touch of the entry being refreshed,
+//! leaving it unevictable and corrupting the LRU order) now passes against
+//! the fixed cache, alongside edge cases the unit tests do not cover:
+//! capacity 1, re-putting an existing key, and eviction correctness after
+//! long hit streaks.
+
+use rpo_model::{Platform, TaskChain};
+use rpo_portfolio::cache::InstanceCache;
+use rpo_portfolio::pareto::ParetoFront;
+use rpo_portfolio::ProblemInstance;
+use std::sync::Arc;
+
+fn instance(work: f64) -> ProblemInstance {
+    let chain = TaskChain::from_pairs(&[(work, 1.0), (20.0, 0.0)]).unwrap();
+    let platform = Platform::homogeneous(3, 1.0, 1e-3, 1.0, 1e-4, 2).unwrap();
+    ProblemInstance::unbounded(chain, platform)
+}
+
+fn front() -> Arc<ParetoFront> {
+    Arc::new(ParetoFront::new())
+}
+
+/// The PR 1 review reproducer: a hit streak long enough to trigger touch-log
+/// compaction must not corrupt the recency order.
+#[test]
+fn compaction_during_touch_preserves_lru_order() {
+    let mut cache = InstanceCache::new(2);
+    let (a, b, c) = (instance(1.0), instance(2.0), instance(3.0));
+    cache.put(&a, front());
+    cache.put(&b, front());
+    // 19 hits on b: the 19th push makes the touch log exceed 2*2+16 and
+    // triggers compaction, which used to drop b's freshest touch.
+    for _ in 0..19 {
+        assert!(cache.get(&b).is_some());
+    }
+    // Now touch a: a is the most recently used entry.
+    assert!(cache.get(&a).is_some());
+    // Insert c: the LRU entry is b, so b must be evicted and a kept.
+    cache.put(&c, front());
+    assert!(cache.len() <= 2, "cache exceeded capacity: {}", cache.len());
+    assert!(
+        cache.get(&a).is_some(),
+        "most-recently-used entry `a` was evicted instead of LRU `b`"
+    );
+    assert!(cache.get(&b).is_none(), "LRU entry `b` was not evicted");
+    assert!(cache.get(&c).is_some());
+}
+
+/// Capacity 1 degenerates to "remember only the last instance".
+#[test]
+fn capacity_one_keeps_only_the_latest_entry() {
+    let mut cache = InstanceCache::new(1);
+    let (a, b) = (instance(1.0), instance(2.0));
+    cache.put(&a, front());
+    assert!(cache.get(&a).is_some());
+    cache.put(&b, front());
+    assert_eq!(cache.len(), 1);
+    assert!(cache.get(&a).is_none(), "a must be evicted by b");
+    assert!(cache.get(&b).is_some());
+    assert_eq!(cache.stats().evictions, 1);
+    // And the survivor keeps answering after repeated hits.
+    for _ in 0..50 {
+        assert!(cache.get(&b).is_some());
+    }
+    assert_eq!(cache.len(), 1);
+}
+
+/// Re-putting an existing key must replace the stored front in place without
+/// evicting anything else, and must refresh the entry's recency.
+#[test]
+fn re_put_of_an_existing_key_replaces_and_refreshes() {
+    let mut cache = InstanceCache::new(2);
+    let (a, b, c) = (instance(1.0), instance(2.0), instance(3.0));
+    let first = front();
+    let second = front();
+    cache.put(&a, Arc::clone(&first));
+    cache.put(&b, front());
+
+    // Re-put a with a different front: same key, no eviction.
+    cache.put(&a, Arc::clone(&second));
+    assert_eq!(cache.len(), 2);
+    assert_eq!(cache.stats().evictions, 0);
+    let hit = cache.get(&a).unwrap();
+    assert!(Arc::ptr_eq(&hit, &second), "re-put must replace the front");
+    assert!(!Arc::ptr_eq(&hit, &first));
+
+    // The re-put refreshed a's recency, so inserting c evicts b.
+    cache.put(&c, front());
+    assert!(cache.get(&a).is_some());
+    assert!(cache.get(&b).is_none());
+    assert!(cache.get(&c).is_some());
+}
+
+/// A full round of evictions under interleaved hits keeps exactly the
+/// `capacity` most recently used entries.
+#[test]
+fn interleaved_hits_and_inserts_keep_the_hottest_entries() {
+    let mut cache = InstanceCache::new(3);
+    let entries: Vec<ProblemInstance> = (0..6).map(|i| instance(1.0 + i as f64)).collect();
+    for e in entries.iter().take(3) {
+        cache.put(e, front());
+    }
+    // Keep 0 and 2 hot, let 1 go cold.
+    for _ in 0..5 {
+        assert!(cache.get(&entries[0]).is_some());
+        assert!(cache.get(&entries[2]).is_some());
+    }
+    cache.put(&entries[3], front()); // evicts 1
+    assert!(cache.get(&entries[1]).is_none());
+    // 0 stays hot; 2 goes cold, 4 evicts it.
+    assert!(cache.get(&entries[0]).is_some());
+    assert!(cache.get(&entries[3]).is_some());
+    cache.put(&entries[4], front()); // evicts 2
+    assert!(cache.get(&entries[2]).is_none());
+    assert_eq!(cache.len(), 3);
+    assert_eq!(cache.stats().evictions, 2);
+}

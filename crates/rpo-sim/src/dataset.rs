@@ -15,7 +15,7 @@
 //!   expectation), and one output communication time is added per interval.
 
 use rand::Rng;
-use rpo_model::{Mapping, Platform, TaskChain};
+use rpo_model::{IntervalOracle, Mapping, Platform, TaskChain};
 
 use crate::failure::FailureModel;
 
@@ -86,6 +86,134 @@ pub fn simulate_dataset<R: Rng + ?Sized>(
     DatasetOutcome { success, latency }
 }
 
+/// One Bernoulli draw of the compiled fast path: whether a draw is consumed
+/// at all (mirroring [`FailureModel::operation_fails`]'s zero-rate /
+/// zero-duration shortcut, so the random stream is identical to the naive
+/// simulation) and the failure probability compared against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CompiledDraw {
+    consumes_rng: bool,
+    fail_probability: f64,
+}
+
+impl CompiledDraw {
+    fn new(rate: f64, duration: f64, fail_probability: f64) -> Self {
+        CompiledDraw {
+            consumes_rng: rate > 0.0 && duration > 0.0,
+            fail_probability,
+        }
+    }
+
+    #[inline]
+    fn fails<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.consumes_rng && rng.gen::<f64>() < self.fail_probability
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CompiledReplica {
+    compute_time: f64,
+    in_comm: CompiledDraw,
+    compute: CompiledDraw,
+    out_comm: CompiledDraw,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CompiledInterval {
+    out_comm_time: f64,
+    replicas: Vec<CompiledReplica>,
+}
+
+/// A mapping precompiled for Monte-Carlo failure injection: every per-replica
+/// failure probability and every duration is computed **once** through the
+/// [`IntervalOracle`], so pushing a data set through the pipeline is pure
+/// Bernoulli sampling — no `exp`, no division, no hash of the model structure
+/// in the hot loop. The random-stream layout matches [`simulate_dataset`]
+/// draw for draw, so both paths produce identical outcomes for the same RNG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledMapping {
+    intervals: Vec<CompiledInterval>,
+}
+
+impl CompiledMapping {
+    /// Compiles `mapping` against the instance's oracle.
+    pub fn compile(oracle: &IntervalOracle, platform: &Platform, mapping: &Mapping) -> Self {
+        let link_rate = platform.link_failure_rate();
+        let intervals = mapping
+            .intervals()
+            .iter()
+            .map(|mi| {
+                let (first, last) = (mi.interval.first, mi.interval.last);
+                let in_time = oracle.input_comm_time(first);
+                let out_time = oracle.output_comm_time(last);
+                let in_fail = 1.0 - oracle.input_comm_reliability(first);
+                let out_fail = 1.0 - oracle.output_comm_reliability(last);
+                let replicas = mi
+                    .processors
+                    .iter()
+                    .map(|&u| {
+                        let class = oracle.classes()[oracle.class_of(u)];
+                        let compute_time = oracle.work(first, last) / class.speed;
+                        CompiledReplica {
+                            compute_time,
+                            in_comm: CompiledDraw::new(link_rate, in_time, in_fail),
+                            compute: CompiledDraw::new(
+                                class.failure_rate,
+                                compute_time,
+                                1.0 - oracle.interval_reliability(u, first, last),
+                            ),
+                            out_comm: CompiledDraw::new(link_rate, out_time, out_fail),
+                        }
+                    })
+                    .collect();
+                CompiledInterval {
+                    out_comm_time: out_time,
+                    replicas,
+                }
+            })
+            .collect();
+        CompiledMapping { intervals }
+    }
+
+    /// Simulates the processing of one data set, drawing every transient
+    /// failure from `rng` — the oracle-backed fast path of
+    /// [`simulate_dataset`].
+    pub fn simulate_dataset<R: Rng + ?Sized>(&self, rng: &mut R) -> DatasetOutcome {
+        let mut success = true;
+        let mut latency = Some(0.0);
+
+        for interval in &self.intervals {
+            let mut delivered = false;
+            let mut fastest_compute: Option<f64> = None;
+            for replica in &interval.replicas {
+                let in_ok = !replica.in_comm.fails(rng);
+                let compute_ok = !replica.compute.fails(rng);
+                let out_ok = !replica.out_comm.fails(rng);
+
+                if in_ok && compute_ok && out_ok {
+                    delivered = true;
+                }
+                if compute_ok {
+                    fastest_compute = Some(match fastest_compute {
+                        None => replica.compute_time,
+                        Some(best) => best.min(replica.compute_time),
+                    });
+                }
+            }
+
+            if !delivered {
+                success = false;
+            }
+            latency = match (latency, fastest_compute) {
+                (Some(total), Some(compute)) => Some(total + compute + interval.out_comm_time),
+                _ => None,
+            };
+        }
+
+        DatasetOutcome { success, latency }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +240,22 @@ mod tests {
         )
         .unwrap();
         (chain, platform, mapping)
+    }
+
+    #[test]
+    fn compiled_mapping_matches_naive_simulation_draw_for_draw() {
+        for (proc_rate, link_rate) in [(0.0, 0.0), (1e-3, 0.0), (0.0, 1e-2), (1e-3, 1e-2)] {
+            let (c, p, m) = setup(proc_rate, link_rate);
+            let oracle = IntervalOracle::new(&c, &p);
+            let compiled = CompiledMapping::compile(&oracle, &p, &m);
+            let mut naive_rng = ChaCha8Rng::seed_from_u64(99);
+            let mut compiled_rng = ChaCha8Rng::seed_from_u64(99);
+            for _ in 0..500 {
+                let naive = simulate_dataset(&c, &p, &m, &mut naive_rng);
+                let fast = compiled.simulate_dataset(&mut compiled_rng);
+                assert_eq!(naive, fast, "rates ({proc_rate}, {link_rate})");
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod failure;
 pub mod monte_carlo;
 pub mod pipeline;
 
-pub use dataset::{simulate_dataset, DatasetOutcome};
+pub use dataset::{simulate_dataset, CompiledMapping, DatasetOutcome};
 pub use engine::{Event, EventQueue};
 pub use failure::FailureModel;
 pub use monte_carlo::{monte_carlo, MonteCarloConfig, MonteCarloEstimate};

@@ -4,10 +4,10 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
-use rpo_model::{Mapping, Platform, TaskChain};
+use rpo_model::{IntervalOracle, Mapping, Platform, TaskChain};
 use serde::{Deserialize, Serialize};
 
-use crate::dataset::simulate_dataset;
+use crate::dataset::CompiledMapping;
 use crate::pipeline::{simulate_pipeline, PipelineConfig};
 
 /// Configuration of a Monte-Carlo estimation run.
@@ -72,6 +72,12 @@ pub fn monte_carlo(
     let chunk = config.chunk_size.max(1);
     let num_chunks = config.num_datasets.div_ceil(chunk);
 
+    // Compile the mapping once: the per-dataset loop is then pure Bernoulli
+    // sampling against oracle-precomputed probabilities (same random stream
+    // and outcomes as the uncompiled `simulate_dataset`).
+    let oracle = IntervalOracle::new(chain, platform);
+    let compiled = CompiledMapping::compile(&oracle, platform, mapping);
+
     let (successes, latency_sum, latency_count) = (0..num_chunks)
         .into_par_iter()
         .map(|chunk_index| {
@@ -83,7 +89,7 @@ pub fn monte_carlo(
             let mut latency_sum = 0.0f64;
             let mut latency_count = 0usize;
             for _ in 0..count {
-                let outcome = simulate_dataset(chain, platform, mapping, &mut rng);
+                let outcome = compiled.simulate_dataset(&mut rng);
                 if outcome.success {
                     successes += 1;
                 }

@@ -1,0 +1,223 @@
+//! Oracle-equivalence property suite: on hundreds of seeded random
+//! instances, every [`IntervalOracle`] query must equal the naive
+//! `reliability` / `timing` computation, and the oracle-backed
+//! [`MappingEvaluation`] fast path must match the direct evaluator exactly.
+//!
+//! Reuses the ChaCha8 harness style of `tests/properties.rs`: each case is
+//! generated from its own seed, and a failing case re-panics with the seed
+//! that reproduces it.
+
+use pipelined_rt::model::{
+    reliability, timing, Interval, IntervalOracle, IntervalPartition, Mapping, MappingEvaluation,
+    Platform, Processor, TaskChain,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Number of random instances checked per property (the oracle is the
+/// foundation under every solver, so this suite runs more cases than the
+/// general property tests).
+const CASES: u64 = 200;
+
+fn for_random_cases(property: &str, mut check: impl FnMut(&mut ChaCha8Rng)) {
+    for case in 0..CASES {
+        let seed = 0x0AC1_E000 + case;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            check(&mut rng);
+        }));
+        if outcome.is_err() {
+            panic!("property `{property}` failed for ChaCha8 seed {seed:#x}");
+        }
+    }
+}
+
+/// A random chain of 2..=9 tasks with works in [1, 100] and outputs in
+/// [0, 10].
+fn random_chain(rng: &mut ChaCha8Rng) -> TaskChain {
+    let n = rng.gen_range(2usize..=9);
+    let pairs: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(1.0..100.0), rng.gen_range(0.0..10.0)))
+        .collect();
+    TaskChain::from_pairs(&pairs).expect("valid generated chain")
+}
+
+/// A random platform: homogeneous in half of the cases, heterogeneous with
+/// 2..=4 distinct processor classes otherwise.
+fn random_platform(rng: &mut ChaCha8Rng) -> Platform {
+    let p = rng.gen_range(2usize..=6);
+    let k = rng.gen_range(1usize..=3);
+    let bandwidth = rng.gen_range(0.5..4.0);
+    let link_rate = rng.gen_range(0.0..1e-3);
+    if rng.gen_bool(0.5) {
+        let speed = rng.gen_range(1.0..4.0);
+        let lambda = rng.gen_range(1e-5..1e-2);
+        Platform::homogeneous(p, speed, lambda, bandwidth, link_rate, k)
+    } else {
+        let processors = (0..p)
+            .map(|_| Processor::new(rng.gen_range(1.0..10.0), rng.gen_range(1e-5..1e-2)))
+            .collect();
+        Platform::new(processors, bandwidth, link_rate, k)
+    }
+    .expect("valid platform")
+}
+
+/// A valid random mapping: random contiguous partition, processors dealt
+/// round-robin, at most K per interval.
+fn random_mapping(rng: &mut ChaCha8Rng, chain: &TaskChain, platform: &Platform) -> Mapping {
+    let n = chain.len();
+    let p = platform.num_processors();
+    let m = rng.gen_range(1usize..=n.min(p));
+
+    let mut cuts: Vec<usize> = Vec::new();
+    while cuts.len() < m - 1 {
+        let cut = rng.gen_range(0usize..n - 1);
+        if !cuts.contains(&cut) {
+            cuts.push(cut);
+        }
+    }
+    cuts.sort_unstable();
+    let partition = IntervalPartition::from_cut_points(&cuts, n).expect("valid cuts");
+
+    let k = platform.max_replication();
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for processor in 0..p {
+        let slot = processor % m;
+        if sets[slot].len() < k {
+            sets[slot].push(processor);
+        }
+    }
+    Mapping::from_partition(&partition, sets, chain, platform)
+        .expect("round-robin assignment is structurally valid")
+}
+
+const TOL: f64 = 1e-9;
+
+/// Every scalar oracle query agrees with the naive model computation on
+/// every interval, processor and replication level of the instance.
+#[test]
+fn oracle_queries_match_naive_computations() {
+    for_random_cases("oracle_queries_match_naive_computations", |rng| {
+        let chain = random_chain(rng);
+        let platform = random_platform(rng);
+        let oracle = IntervalOracle::new(&chain, &platform);
+        let n = chain.len();
+        let p = platform.num_processors();
+        assert_eq!(oracle.len(), n);
+        assert_eq!(oracle.num_processors(), p);
+        assert_eq!(oracle.is_homogeneous(), platform.is_homogeneous());
+
+        for first in 0..n {
+            for last in first..n {
+                let itv = Interval { first, last };
+                let input_size = if first == 0 {
+                    0.0
+                } else {
+                    chain.output_size(first - 1)
+                };
+                assert!((oracle.work(first, last) - itv.work(&chain)).abs() < TOL);
+                assert!(
+                    (oracle.output_comm_time(last) - platform.comm_time(itv.output_size(&chain)))
+                        .abs()
+                        < TOL
+                );
+                let slowest = platform.min_speed();
+                assert!(
+                    (oracle.period_requirement(first, last, slowest)
+                        - timing::interval_period_requirement(&chain, &platform, itv, slowest))
+                    .abs()
+                        < TOL
+                );
+                for u in 0..p {
+                    assert!(
+                        (oracle.interval_reliability(u, first, last)
+                            - reliability::interval_reliability(&chain, &platform, u, itv))
+                        .abs()
+                            < TOL
+                    );
+                    assert!(
+                        (oracle.block_reliability(u, first, last)
+                            - reliability::replica_block_reliability(
+                                &chain,
+                                &platform,
+                                u,
+                                itv,
+                                input_size,
+                                itv.output_size(&chain),
+                            ))
+                        .abs()
+                            < TOL
+                    );
+                }
+                // Replica sets of growing size, and the per-class dense table.
+                let set: Vec<usize> = (0..p).collect();
+                for q in 1..=p {
+                    assert!(
+                        (oracle.replicated_set_reliability(&set[..q], first, last)
+                            - reliability::replicated_interval_reliability(
+                                &chain,
+                                &platform,
+                                &set[..q],
+                                itv,
+                                input_size,
+                                itv.output_size(&chain),
+                            ))
+                        .abs()
+                            < TOL
+                    );
+                    assert!(
+                        (oracle.expected_cost(first, last, &set[..q])
+                            - timing::expected_cost(&chain, &platform, itv, &set[..q]))
+                        .abs()
+                            < TOL
+                    );
+                    assert!(
+                        (oracle.worst_case_cost(first, last, &set[..q])
+                            - timing::worst_case_cost(&chain, &platform, itv, &set[..q]))
+                        .abs()
+                            < TOL
+                    );
+                }
+            }
+        }
+
+        for class in 0..oracle.classes().len() {
+            let table = oracle.class_block_table(class);
+            for first in 0..n {
+                for last in first..n {
+                    assert_eq!(
+                        table.get(first, last),
+                        oracle.class_block_reliability(class, first, last)
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// The oracle-backed evaluation of a full mapping equals the direct
+/// evaluator **exactly** (bit-identical), for both homogeneous and
+/// heterogeneous platforms.
+#[test]
+fn oracle_evaluation_matches_direct_evaluator_exactly() {
+    for_random_cases(
+        "oracle_evaluation_matches_direct_evaluator_exactly",
+        |rng| {
+            let chain = random_chain(rng);
+            let platform = random_platform(rng);
+            let oracle = IntervalOracle::new(&chain, &platform);
+            let mapping = random_mapping(rng, &chain, &platform);
+
+            let fast = oracle.evaluate(&mapping);
+            let direct = MappingEvaluation::evaluate(&chain, &platform, &mapping);
+            assert_eq!(
+                fast, direct,
+                "oracle evaluation diverged from the direct evaluator"
+            );
+            assert_eq!(
+                oracle.mapping_reliability(&mapping),
+                reliability::mapping_reliability(&chain, &platform, &mapping)
+            );
+        },
+    );
+}
