@@ -10,19 +10,32 @@
 //! additionally keeps the dynamic-programming choices and reconstructs an
 //! actual [`Mapping`] achieving it.
 //!
-//! All interval metrics come from the [`IntervalOracle`]: the replica-block
-//! reliability of each candidate interval is assembled from precomputed
-//! boundary-communication reliabilities and a factored log-reliability
-//! exponent prefix (`exp(−ρ(W_i − W_j)) = exp(−ρW_i)·exp(ρW_j)`, two `exp`s
-//! per chain position instead of one per interval, with an exact fallback
-//! when the exponents are large), the powers `(1 − r)^q` are accumulated
-//! incrementally across the replication loop, and the DP tables are flat
-//! arenas indexed by `i·(p+1) + k` instead of nested vectors — together
-//! several times faster than recomputing Eq. 9 from scratch inside the
-//! recurrence. The recurrence maximizes over these (ulp-accurate) factored
-//! values; the *reported* reliability of the reconstructed mapping is then
-//! recomputed exactly through the oracle's Eq. 9 path, so it always agrees
-//! bit-for-bit with [`rpo_model::MappingEvaluation`].
+//! # Kernel structure
+//!
+//! The dynamic program runs as a **lane-chunked kernel** ([`DpKernel::Chunked`],
+//! the default): for each row `i`, the per-`j` factored replica-block
+//! reliabilities are gathered into one contiguous scratch buffer
+//! ([`IntervalOracle::fill_class_block_row`] — pure multiplications over the
+//! oracle's `exp(−ρW_i)·exp(ρW_j)` prefixes), and the `(q, k)` max-update then
+//! runs **value-only** as branch-light fixed-width chunks of [`LANES`] plain
+//! `f64` arrays whose multiply-and-max bodies LLVM auto-vectorizes — no
+//! `unsafe`, no nightly intrinsics, no traceback bookkeeping in the hot loop
+//! (winning `(j, q)` choices are recovered afterwards along the optimal path
+//! only, by bit-exact candidate re-scan). The pre-chunking scalar sweep is
+//! kept as a reference implementation ([`DpKernel::Scalar`], selected
+//! crate-wide by the `scalar-kernel` feature); the workspace property tests
+//! assert both kernels agree within `1e-12` — and reconstruct identical
+//! mappings — on hundreds of seeded instances, and `BENCH_kernel.json`
+//! tracks their relative speed.
+//!
+//! All interval metrics come from the [`IntervalOracle`]; the DP tables are
+//! flat arenas indexed by `i·(p+1) + k` held in a reusable [`DpScratch`], so
+//! repeated runs (the period minimizer's binary search) reuse allocations and
+//! warm-start the per-row admissibility cuts. The recurrence maximizes over
+//! factored (ulp-accurate) values; the *reported* reliability of the
+//! reconstructed mapping is then recomputed exactly through the oracle's
+//! Eq. 9 path, so it always agrees bit-for-bit with
+//! [`rpo_model::MappingEvaluation`].
 
 use rpo_model::{Interval, IntervalOracle, MappedInterval, Mapping, Platform, TaskChain};
 use serde::{Deserialize, Serialize};
@@ -38,8 +51,16 @@ pub struct OptimalMapping {
     pub reliability: f64,
 }
 
-/// Sentinel for "no recorded choice" in the flat traceback arena.
-const NO_CHOICE: u32 = u32::MAX;
+/// Sentinel for "no recorded choice" in the flat traceback arena. The arena
+/// stores packed `(j, q)` choices as `f64` (exact: they fit in 32 bits, far
+/// below 2^53) so the kernel's compare-and-select lanes are homogeneous
+/// `f64` operations — mixed `f64`/`u32` selects defeat LLVM's vectorizer.
+const NO_CHOICE: f64 = u32::MAX as f64;
+
+/// Chunk width of the lane-chunked max-update: eight `f64`s, i.e. two AVX2
+/// vectors or one AVX-512 vector — LLVM splits the fixed-size-array loops
+/// into whatever width the target supports.
+pub const LANES: usize = 8;
 
 /// Interval admissibility of the shared dynamic program: Algorithm 1 admits
 /// every interval, Algorithm 2 only those fitting a worst-case period bound.
@@ -49,126 +70,175 @@ pub(crate) enum DpFilter {
     All,
     /// `max(o_in/b, W/s, o_out/b) ≤ bound` (Algorithm 2). Decomposed inside
     /// the DP into a per-boundary communication flag, a per-row outgoing
-    /// check, and a work-prefix binary search for the first admissible
-    /// interval start — inadmissible intervals cost nothing.
+    /// check, and a work-prefix cut for the first admissible interval start —
+    /// inadmissible intervals cost nothing.
     PeriodBound(f64),
 }
 
-/// The dynamic program shared by Algorithms 1 and 2.
+impl DpFilter {
+    fn bound(self) -> f64 {
+        match self {
+            DpFilter::All => f64::INFINITY,
+            DpFilter::PeriodBound(bound) => bound,
+        }
+    }
+}
+
+/// Which implementation of the DP inner sweep to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DpKernel {
+    /// The lane-chunked kernel (gather + branchless fixed-width max-update).
+    #[default]
+    Chunked,
+    /// The scalar reference sweep (the pre-chunking implementation), kept for
+    /// equivalence tests and as the `scalar-kernel` feature's crate-wide
+    /// default.
+    Scalar,
+}
+
+impl DpKernel {
+    /// The kernel the crate's solvers use: chunked, unless the
+    /// `scalar-kernel` feature selects the scalar reference path.
+    pub fn crate_default() -> Self {
+        if cfg!(feature = "scalar-kernel") {
+            DpKernel::Scalar
+        } else {
+            DpKernel::Chunked
+        }
+    }
+}
+
+/// Reusable state of the dynamic program: the flat value/traceback arenas,
+/// the per-row block-reliability gather buffer, and the admissibility data
+/// (`in_ok` boundary flags and per-row work-prefix cuts) that the period
+/// minimizer warm-starts across its binary-search probes.
+#[derive(Debug, Default)]
+pub struct DpScratch {
+    /// `f[i·stride + k]`: best reliability for the first `i` tasks on `k`
+    /// processors (−∞ = unreachable).
+    f: Vec<f64>,
+    /// Packed winning `(previous boundary j, replica count q)` per state,
+    /// stored as exact `f64` integers (see [`NO_CHOICE`]).
+    choice: Vec<f64>,
+    /// Per-row gather buffer of factored replica-block reliabilities.
+    blocks: Vec<f64>,
+    /// Per-row compacted admissible interval starts, descending.
+    adm: Vec<u32>,
+    /// Replicated reliabilities `1 − (1 − block)^q`, `q = 1..=K`, for each
+    /// admissible start (parallel to `adm`, `K` entries per start).
+    rels: Vec<f64>,
+    /// Incoming-communication admissibility per interval start.
+    in_ok: Vec<bool>,
+    /// Per-row work-prefix partition points from the most recent bounded
+    /// run: `pp[i]` = first index with `work_prefix ≥ work_prefix[i] − P·s`.
+    /// Carried across period probes so the next run starts its cut walk
+    /// from the previous answer instead of a fresh binary search.
+    pp: Vec<usize>,
+    /// The period bound `pp` was last derived for (`NAN` = never).
+    prev_bound: f64,
+}
+
+impl DpScratch {
+    /// Fresh scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        DpScratch {
+            prev_bound: f64::NAN,
+            ..DpScratch::default()
+        }
+    }
+}
+
+/// The dynamic program shared by Algorithms 1 and 2 (fresh scratch per call).
 pub(crate) fn reliability_dp(
     oracle: &IntervalOracle,
     chain: &TaskChain,
     platform: &Platform,
     filter: DpFilter,
 ) -> Option<OptimalMapping> {
+    let mut scratch = DpScratch::new();
+    reliability_dp_scratch(
+        oracle,
+        chain,
+        platform,
+        filter,
+        DpKernel::crate_default(),
+        &mut scratch,
+    )
+}
+
+/// Runs the shared dynamic program with an explicit kernel choice. This is
+/// the measurement and equivalence-testing entry point: `period_bound: None`
+/// is Algorithm 1, `Some(bound)` is Algorithm 2. The platform must be
+/// homogeneous (this is not re-checked here; use the `optimize_*` wrappers
+/// for validated solving).
+pub fn reliability_dp_with_kernel(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: Option<f64>,
+    kernel: DpKernel,
+) -> Option<OptimalMapping> {
+    let mut scratch = DpScratch::new();
+    reliability_dp_with_scratch(oracle, chain, platform, period_bound, kernel, &mut scratch)
+}
+
+/// [`reliability_dp_with_kernel`] against caller-owned [`DpScratch`]:
+/// repeated runs over the same oracle (a bound sweep, a probe loop) reuse
+/// the DP arenas and warm-start the admissible-interval cuts from the
+/// previous bounded run — this is what the period minimizer's binary search
+/// does internally with one scratch across all its probes.
+pub fn reliability_dp_with_scratch(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: Option<f64>,
+    kernel: DpKernel,
+    scratch: &mut DpScratch,
+) -> Option<OptimalMapping> {
+    let filter = match period_bound {
+        None => DpFilter::All,
+        Some(bound) => DpFilter::PeriodBound(bound),
+    };
+    reliability_dp_scratch(oracle, chain, platform, filter, kernel, scratch)
+}
+
+/// The dynamic program against caller-owned scratch: the period minimizer
+/// passes the same scratch to every binary-search probe, reusing the arenas
+/// and warm-starting the admissibility cuts.
+pub(crate) fn reliability_dp_scratch(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    filter: DpFilter,
+    kernel: DpKernel,
+    scratch: &mut DpScratch,
+) -> Option<OptimalMapping> {
     let n = oracle.len();
     let p = oracle.num_processors();
-    let k_max = oracle.max_replication().min(p);
     assert!(
-        k_max <= 0xFF && n < (1 << 24),
+        oracle.max_replication().min(p) <= 0xFF && n < (1 << 24),
         "packed traceback supports K ≤ 255 and n < 2^24"
     );
-    let speed = oracle.classes()[0].speed;
-    let bound = match filter {
-        DpFilter::All => f64::INFINITY,
-        DpFilter::PeriodBound(bound) => bound,
-    };
-    // Incoming-communication admissibility per interval start, shared by
-    // every row (these are exactly the comparisons period_requirement makes).
-    let in_ok: Vec<bool> = (0..n).map(|j| oracle.input_comm_time(j) <= bound).collect();
-    let work_prefix = oracle.work_prefix();
-
-    // Factored interval reliability: exp(−ρ(W_i − W_j)) = exp(−ρW_i)·exp(ρW_j)
-    // over the log-reliability exponent prefix, turning the n²/2 per-interval
-    // `exp`s into 2(n+1). Only safe while the exponents stay small (they are
-    // for any instance whose reliabilities are not denormal-degenerate);
-    // otherwise fall back to one exact `exp` per admissible interval.
-    let class = oracle.classes()[0];
-    let rho = class.failure_rate / class.speed;
-    let factored = rho * oracle.total_work() <= 40.0;
-    let (e_minus, e_plus): (Vec<f64>, Vec<f64>) = if factored {
-        (
-            work_prefix.iter().map(|&w| (-rho * w).exp()).collect(),
-            work_prefix.iter().map(|&w| (rho * w).exp()).collect(),
-        )
-    } else {
-        (Vec::new(), Vec::new())
-    };
-
-    // f[i·stride + k]: best reliability for the first i tasks on exactly k
-    // processors (−∞ = unreachable, so the recurrence needs no reachability
-    // branch: −∞ · rel stays −∞ and never wins a max). choice packs the
-    // winning (previous boundary j, replica count q) as j·256 + q into one
-    // flat arena, so an improvement costs a single extra store.
     let stride = p + 1;
-    let mut f = vec![f64::NEG_INFINITY; (n + 1) * stride];
-    let mut choice = vec![NO_CHOICE; (n + 1) * stride];
-    f[0] = 1.0;
+    scratch.f.clear();
+    scratch.f.resize((n + 1) * stride, f64::NEG_INFINITY);
+    scratch.f[0] = 1.0;
 
-    for i in 1..=n {
-        if oracle.output_comm_time(i - 1) > bound {
-            continue; // no interval ending at task i−1 fits the period
-        }
-        let out_rel = oracle.output_comm_reliability(i - 1);
-        // Conservative first admissible start: the work prefix is strictly
-        // increasing, so intervals starting before this point are too big.
-        // The exact per-j division below keeps the semantics identical.
-        let j_lo = if bound.is_finite() {
-            work_prefix[..i]
-                .partition_point(|&w| w < work_prefix[i] - bound * speed)
-                .saturating_sub(1)
-        } else {
-            0
-        };
-        // Split the arena so the target row and the predecessor rows can be
-        // iterated as plain slices (j < i, so every predecessor is in `done`).
-        let (done, rest) = f.split_at_mut(i * stride);
-        let row_i = &mut rest[..stride];
-        let choices = i * stride;
-        // Descending j: short last intervals (high block reliability) are
-        // tried first, so most later candidates lose the max immediately and
-        // the improvement stores stay rare.
-        for j in (j_lo..i).rev() {
-            if !in_ok[j] || oracle.work(j, i - 1) / speed > bound {
-                continue;
-            }
-            let block = if factored {
-                oracle.input_comm_reliability(j) * (e_minus[i] * e_plus[j]) * out_rel
-            } else {
-                oracle.class_block_reliability(0, j, i - 1)
-            };
-            let row_j = &done[j * stride..(j + 1) * stride];
-            // Only k − q ∈ [min_prev, max_prev] can be reachable in row j:
-            // j tasks occupy between 1 (j > 0) and min(p, j·K) processors.
-            let min_prev = usize::from(j > 0);
-            let max_prev = (j * k_max).min(p);
-            // Accumulate (1 − block)^q across the replication loop instead of
-            // recomputing the power for every q.
-            let mut all_fail = 1.0;
-            for q in 1..=k_max {
-                all_fail *= 1.0 - block;
-                let rel_interval = 1.0 - all_fail;
-                let hi = max_prev.min(p - q);
-                if min_prev > hi {
-                    continue;
-                }
-                let base = q + min_prev;
-                let packed = (j as u32) << 8 | q as u32;
-                for (offset, &prev) in row_j[min_prev..=hi].iter().enumerate() {
-                    let rel = prev * rel_interval;
-                    let k = base + offset;
-                    if rel > row_i[k] {
-                        row_i[k] = rel;
-                        choice[choices + k] = packed;
-                    }
-                }
-            }
+    match kernel {
+        DpKernel::Chunked => chunked_sweep(oracle, filter.bound(), scratch),
+        DpKernel::Scalar => {
+            // Only the scalar reference sweep records explicit traceback
+            // choices; the chunked kernel keeps its hot loop value-only and
+            // recovers winners afterwards (see `recover_choice`).
+            scratch.choice.clear();
+            scratch.choice.resize((n + 1) * stride, NO_CHOICE);
+            scalar_sweep(oracle, filter.bound(), &mut scratch.f, &mut scratch.choice);
         }
     }
 
     // Best over every possible total processor count.
     let row_n = n * stride;
-    let (best_k, best_rel) = (1..=p).map(|k| (k, f[row_n + k])).max_by(|a, b| {
+    let (best_k, best_rel) = (1..=p).map(|k| (k, scratch.f[row_n + k])).max_by(|a, b| {
         a.1.partial_cmp(&b.1)
             .expect("totally ordered reliabilities")
     })?;
@@ -180,10 +250,18 @@ pub(crate) fn reliability_dp(
     let mut segments: Vec<(usize, usize, usize)> = Vec::new(); // (first, last, replicas)
     let (mut i, mut k) = (n, best_k);
     while i > 0 {
-        let packed = choice[i * stride + k];
-        debug_assert!(packed != NO_CHOICE, "reachable state has a recorded choice");
-        let j = (packed >> 8) as usize;
-        let q = (packed & 0xFF) as usize;
+        let (j, q) = match kernel {
+            DpKernel::Chunked => recover_choice(oracle, filter.bound(), scratch, i, k),
+            DpKernel::Scalar => {
+                let packed_f = scratch.choice[i * stride + k];
+                debug_assert!(
+                    packed_f != NO_CHOICE,
+                    "reachable state has a recorded choice"
+                );
+                let packed = packed_f as u32; // exact: integral and < 2^32
+                ((packed >> 8) as usize, (packed & 0xFF) as usize)
+            }
+        };
         segments.push((j, i - 1, q));
         i = j;
         k -= q;
@@ -212,6 +290,345 @@ pub(crate) fn reliability_dp(
         mapping,
         reliability,
     })
+}
+
+/// The lane-chunked DP sweep. Per row `i`: derive the admissible start range
+/// (warm-started work-prefix cut), gather the factored block reliabilities
+/// of every candidate interval into `scratch.blocks`, compact the admissible
+/// starts with their replication-level reliabilities, then run the `(q, k)`
+/// max-update through the value-only [`lane_max_update`] kernel (traceback
+/// winners are recovered on demand by [`recover_choice`]).
+fn chunked_sweep(oracle: &IntervalOracle, bound: f64, scratch: &mut DpScratch) {
+    let n = oracle.len();
+    let p = oracle.num_processors();
+    let k_max = oracle.max_replication().min(p);
+    let speed = oracle.classes()[0].speed;
+    let stride = p + 1;
+    let work_prefix = oracle.work_prefix();
+    let DpScratch {
+        f,
+        blocks,
+        adm,
+        rels,
+        in_ok,
+        pp,
+        prev_bound,
+        ..
+    } = scratch;
+
+    // Incoming-communication admissibility per interval start: exactly the
+    // comparisons period_requirement makes (the boundary exponentials were
+    // already hoisted into the oracle, so this is n comparisons).
+    in_ok.clear();
+    in_ok.extend((0..n).map(|j| oracle.input_comm_time(j) <= bound));
+    // Warm-start the per-row work-prefix cuts from the previous bounded run
+    // when its data is compatible; any stale cut is still a valid walk start,
+    // so warmth affects speed only, never the result.
+    let warm = prev_bound.is_finite() && pp.len() == n + 1;
+    if !warm {
+        pp.clear();
+        pp.resize(n + 1, 0);
+    }
+
+    for i in 1..=n {
+        if oracle.output_comm_time(i - 1) > bound {
+            continue; // no interval ending at task i−1 fits the period
+        }
+        // Conservative first admissible start: the work prefix is strictly
+        // increasing, so intervals starting before this point are too big.
+        // The exact per-j division below keeps the semantics identical.
+        let j_lo = if bound.is_finite() {
+            let target = work_prefix[i] - bound * speed;
+            let mut point = if warm {
+                // Walk the previous probe's cut to the new target (the
+                // neighbouring binary-search bound moved it only slightly).
+                let mut point = pp[i].min(i);
+                while point < i && work_prefix[point] < target {
+                    point += 1;
+                }
+                while point > 0 && work_prefix[point - 1] >= target {
+                    point -= 1;
+                }
+                point
+            } else {
+                work_prefix[..i].partition_point(|&w| w < target)
+            };
+            debug_assert_eq!(point, work_prefix[..i].partition_point(|&w| w < target));
+            pp[i] = point;
+            point = point.saturating_sub(1);
+            point
+        } else {
+            0
+        };
+        // Gather phase: contiguous factored block reliabilities of every
+        // interval `j ..= i−1` with `j ≥ j_lo` (pure multiplications over
+        // the oracle's exponent prefixes — no transcendentals in the row),
+        // then compact the admissible starts with their per-level replicated
+        // reliabilities `1 − (1 − block)^q` (accumulated across q instead of
+        // recomputing the power). Descending j: short last intervals (high
+        // block reliability) come first, so most later candidates lose the
+        // max immediately.
+        oracle.fill_class_block_row(0, i - 1, j_lo, blocks);
+        adm.clear();
+        rels.clear();
+        if bound.is_finite() {
+            for j in (j_lo..i).rev() {
+                if !in_ok[j] || oracle.work(j, i - 1) / speed > bound {
+                    continue;
+                }
+                let block = blocks[j - j_lo];
+                adm.push(j as u32);
+                let mut all_fail = 1.0;
+                for _ in 0..k_max {
+                    all_fail *= 1.0 - block;
+                    rels.push(1.0 - all_fail);
+                }
+            }
+        } else {
+            // Unbounded sweep (Algorithm 1): every interval is admissible —
+            // no per-j comparisons or divisions in the gather at all.
+            for j in (0..i).rev() {
+                let block = blocks[j];
+                adm.push(j as u32);
+                let mut all_fail = 1.0;
+                for _ in 0..k_max {
+                    all_fail *= 1.0 - block;
+                    rels.push(1.0 - all_fail);
+                }
+            }
+        }
+        if adm.is_empty() {
+            continue;
+        }
+        // Split the arena so the target row and the predecessor rows can be
+        // iterated as plain slices (j < i, so every predecessor is in `done`).
+        let (done, rest) = f.split_at_mut(i * stride);
+        let row_i = &mut rest[..stride];
+        for (&j, jrels) in adm.iter().zip(rels.chunks_exact(k_max)) {
+            let j = j as usize;
+            let row_j = &done[j * stride..(j + 1) * stride];
+            // Only k = q + prev with prev ∈ [min_prev, max_prev] can
+            // improve: j tasks occupy between 1 (j > 0) and min(p, j·K)
+            // processors. Inside that window the kernel relies on the −∞
+            // sentinels of unreachable predecessor states instead of
+            // per-level range checks.
+            let min_prev = usize::from(j > 0);
+            let max_prev = (j * k_max).min(p);
+            lane_max_update(row_j, row_i, min_prev + 1, (max_prev + k_max).min(p), jrels);
+        }
+    }
+    if bound.is_finite() {
+        *prev_bound = bound;
+    }
+}
+
+/// Branch-light chunked max-update over one predecessor boundary `j`: for
+/// every state `k \u{2208} [k_lo, k_hi]` and replication level `q`,
+/// `row_i[k] = max(row_i[k], row_j[k \u{2212} q]\u{b7}rels[q\u{2212}1])`.
+///
+/// The hot loop is **value-only** \u{2014} no traceback bookkeeping: winners are
+/// recovered after the sweep by [`recover_choice`], so each lane costs one
+/// multiply and one max (`vmulpd` + `vmaxpd` once vectorized) instead of a
+/// compare plus two selects. The `q` levels are fused into one pass over
+/// `k`: each chunk loads a fixed-width `[f64; LANES]` window of the target
+/// row once, folds every replication level into it (contiguous shifted loads
+/// from `row_j`, no data-dependent branches), and stores it once \u{2014} the
+/// shape LLVM auto-vectorizes. Out-of-window `(k, q)` combinations read `\u{2212}\u{221e}`
+/// predecessor sentinels and lose every comparison, so no per-`q` range
+/// logic survives in the hot loop. The final chunk **overlaps backward**
+/// instead of falling off to a scalar tail: re-folding an already-folded
+/// state is a no-op under `max`, so overlap changes nothing but keeps every
+/// state on the vector path.
+#[inline]
+fn lane_max_update(row_j: &[f64], row_i: &mut [f64], k_lo: usize, k_hi: usize, rels: &[f64]) {
+    let k_max = rels.len();
+    if k_lo > k_hi {
+        return;
+    }
+    let mut k = k_lo;
+    // Scalar prefix: states where some level would index before the row
+    // start (replication capped at q \u{2264} k instead).
+    while k <= k_hi && k < k_max {
+        update_state(row_j, row_i, k, &rels[..k]);
+        k += 1;
+    }
+    if k > k_hi {
+        return;
+    }
+    if k_hi + 1 - k < LANES {
+        // The remaining window is narrower than one lane: finish scalar.
+        while k <= k_hi {
+            update_state(row_j, row_i, k, rels);
+            k += 1;
+        }
+        return;
+    }
+    loop {
+        // Advance in full lanes; the final chunk is clamped to end exactly
+        // at k_hi, overlapping states the previous chunk already folded.
+        let start = k.min(k_hi + 1 - LANES);
+        let mut val: [f64; LANES] = row_i[start..start + LANES]
+            .try_into()
+            .expect("lane-width chunk");
+        for (level, &rel) in rels.iter().enumerate() {
+            let lo = start - (level + 1);
+            let src: [f64; LANES] = row_j[lo..lo + LANES].try_into().expect("lane-width chunk");
+            for l in 0..LANES {
+                let cand = src[l] * rel;
+                val[l] = if cand > val[l] { cand } else { val[l] };
+            }
+        }
+        row_i[start..start + LANES].copy_from_slice(&val);
+        if start + LANES > k_hi {
+            return;
+        }
+        k = start + LANES;
+    }
+}
+
+/// One state's value-only fold across the given replication levels.
+#[inline]
+fn update_state(row_j: &[f64], row_i: &mut [f64], k: usize, rels: &[f64]) {
+    let mut val = row_i[k];
+    for (level, &rel) in rels.iter().enumerate() {
+        let cand = row_j[k - (level + 1)] * rel;
+        if cand > val {
+            val = cand;
+        }
+    }
+    row_i[k] = val;
+}
+
+/// Recovers the winning `(j, q)` choice of the reachable state `(i, k)` by
+/// re-scanning the row's candidates **in sweep order** (descending `j`,
+/// ascending `q`) for the first one equal to `f[i][k]`.
+///
+/// The sweep's `max` keeps the first candidate (in evaluation order)
+/// attaining the maximum, and the candidate values recomputed here go
+/// through the same gather (`fill_class_block_row`) and the same
+/// `(1 \u{2212} block)^q` accumulation, so the comparison is bit-exact and the
+/// recovered winner is identical to what an in-loop traceback record \u{2014} or
+/// the scalar reference sweep \u{2014} would produce. Cost: `O(i\u{b7}K)` per segment
+/// of the reconstructed mapping, paid only along the optimal path instead
+/// of bookkeeping every state of the `O(n\u{b2} p K)` sweep.
+fn recover_choice(
+    oracle: &IntervalOracle,
+    bound: f64,
+    scratch: &mut DpScratch,
+    i: usize,
+    k: usize,
+) -> (usize, usize) {
+    let p = oracle.num_processors();
+    let k_max = oracle.max_replication().min(p);
+    let speed = oracle.classes()[0].speed;
+    let stride = p + 1;
+    let work_prefix = oracle.work_prefix();
+    let j_lo = if bound.is_finite() {
+        work_prefix[..i]
+            .partition_point(|&w| w < work_prefix[i] - bound * speed)
+            .saturating_sub(1)
+    } else {
+        0
+    };
+    oracle.fill_class_block_row(0, i - 1, j_lo, &mut scratch.blocks);
+    let target = scratch.f[i * stride + k];
+    for j in (j_lo..i).rev() {
+        if bound.is_finite() && (!scratch.in_ok[j] || oracle.work(j, i - 1) / speed > bound) {
+            continue;
+        }
+        let block = scratch.blocks[j - j_lo];
+        let row_j = &scratch.f[j * stride..(j + 1) * stride];
+        let mut all_fail = 1.0;
+        for q in 1..=k_max.min(k) {
+            all_fail *= 1.0 - block;
+            if row_j[k - q] * (1.0 - all_fail) == target {
+                return (j, q);
+            }
+        }
+    }
+    unreachable!("every reachable DP state has a winning candidate")
+}
+
+/// The scalar reference sweep: the pre-chunking implementation, preserved
+/// verbatim (per-row factored exponent products computed inline, branchy
+/// per-`k` max-update). Used by the equivalence tests, the kernel benchmark,
+/// and the `scalar-kernel` feature.
+fn scalar_sweep(oracle: &IntervalOracle, bound: f64, f: &mut [f64], choice: &mut [f64]) {
+    let n = oracle.len();
+    let p = oracle.num_processors();
+    let k_max = oracle.max_replication().min(p);
+    let speed = oracle.classes()[0].speed;
+    let stride = p + 1;
+    // Incoming-communication admissibility per interval start, shared by
+    // every row (these are exactly the comparisons period_requirement makes).
+    let in_ok: Vec<bool> = (0..n).map(|j| oracle.input_comm_time(j) <= bound).collect();
+    let work_prefix = oracle.work_prefix();
+
+    // Factored interval reliability: exp(−ρ(W_i − W_j)) = exp(−ρW_i)·exp(ρW_j)
+    // over the log-reliability exponent prefix, turning the n²/2 per-interval
+    // `exp`s into 2(n+1). Only safe while the exponents stay small (they are
+    // for any instance whose reliabilities are not denormal-degenerate);
+    // otherwise fall back to one exact `exp` per admissible interval.
+    let class = oracle.classes()[0];
+    let rho = class.failure_rate / class.speed;
+    let factored = rho * oracle.total_work() <= 40.0;
+    let (e_minus, e_plus): (Vec<f64>, Vec<f64>) = if factored {
+        (
+            work_prefix.iter().map(|&w| (-rho * w).exp()).collect(),
+            work_prefix.iter().map(|&w| (rho * w).exp()).collect(),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    for i in 1..=n {
+        if oracle.output_comm_time(i - 1) > bound {
+            continue; // no interval ending at task i−1 fits the period
+        }
+        let out_rel = oracle.output_comm_reliability(i - 1);
+        let j_lo = if bound.is_finite() {
+            work_prefix[..i]
+                .partition_point(|&w| w < work_prefix[i] - bound * speed)
+                .saturating_sub(1)
+        } else {
+            0
+        };
+        let (done, rest) = f.split_at_mut(i * stride);
+        let row_i = &mut rest[..stride];
+        let choices = i * stride;
+        for j in (j_lo..i).rev() {
+            if !in_ok[j] || oracle.work(j, i - 1) / speed > bound {
+                continue;
+            }
+            let block = if factored {
+                oracle.input_comm_reliability(j) * (e_minus[i] * e_plus[j]) * out_rel
+            } else {
+                oracle.class_block_reliability(0, j, i - 1)
+            };
+            let row_j = &done[j * stride..(j + 1) * stride];
+            let min_prev = usize::from(j > 0);
+            let max_prev = (j * k_max).min(p);
+            let mut all_fail = 1.0;
+            for q in 1..=k_max {
+                all_fail *= 1.0 - block;
+                let rel_interval = 1.0 - all_fail;
+                let hi = max_prev.min(p - q);
+                if min_prev > hi {
+                    continue;
+                }
+                let base = q + min_prev;
+                let packed = ((j as u32) << 8 | q as u32) as f64;
+                for (offset, &prev) in row_j[min_prev..=hi].iter().enumerate() {
+                    let rel = prev * rel_interval;
+                    let k = base + offset;
+                    if rel > row_i[k] {
+                        row_i[k] = rel;
+                        choice[choices + k] = packed;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Algorithm 1: computes a mapping of maximal reliability on a fully
@@ -339,6 +756,61 @@ mod tests {
         let via_oracle = optimize_reliability_homogeneous_with_oracle(&oracle, &c, &p).unwrap();
         assert_eq!(direct.reliability, via_oracle.reliability);
         assert_eq!(direct.mapping, via_oracle.mapping);
+    }
+
+    #[test]
+    fn chunked_and_scalar_kernels_agree_on_fixture() {
+        let c = chain();
+        for p_count in 1..=8 {
+            for k in 1..=3 {
+                let p = platform(p_count, k);
+                let oracle = IntervalOracle::new(&c, &p);
+                for bound in [None, Some(40.0), Some(45.0), Some(70.0), Some(1e6)] {
+                    let chunked =
+                        reliability_dp_with_kernel(&oracle, &c, &p, bound, DpKernel::Chunked);
+                    let scalar =
+                        reliability_dp_with_kernel(&oracle, &c, &p, bound, DpKernel::Scalar);
+                    match (chunked, scalar) {
+                        (Some(a), Some(b)) => {
+                            assert!((a.reliability - b.reliability).abs() < 1e-12);
+                            assert_eq!(a.mapping, b.mapping, "kernels picked different mappings");
+                        }
+                        (None, None) => {}
+                        (a, b) => panic!(
+                            "kernel feasibility mismatch at p={p_count} k={k} bound={bound:?}: \
+                             chunked={} scalar={}",
+                            a.is_some(),
+                            b.is_some()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_bounds_matches_fresh_runs() {
+        let c = chain();
+        let p = platform(6, 3);
+        let oracle = IntervalOracle::new(&c, &p);
+        let mut scratch = DpScratch::new();
+        // Bounds in binary-search-like (non-monotone) order.
+        for bound in [105.0, 45.0, 70.0, 40.0, 1e9, 41.0] {
+            let warm = reliability_dp_scratch(
+                &oracle,
+                &c,
+                &p,
+                DpFilter::PeriodBound(bound),
+                DpKernel::Chunked,
+                &mut scratch,
+            );
+            let fresh = reliability_dp(&oracle, &c, &p, DpFilter::PeriodBound(bound));
+            assert_eq!(
+                warm.map(|s| (s.reliability, s.mapping)),
+                fresh.map(|s| (s.reliability, s.mapping)),
+                "warm scratch diverged at bound {bound}"
+            );
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use rpo_model::{IntervalOracle, Platform, TaskChain};
 
-use crate::algo1::{reliability_dp, DpFilter, OptimalMapping};
+use crate::algo1::{
+    reliability_dp, reliability_dp_scratch, DpFilter, DpKernel, DpScratch, OptimalMapping,
+};
 use crate::{AlgoError, Result};
 
 /// Algorithm 2: computes a mapping of maximal reliability among those whose
@@ -53,6 +55,39 @@ pub fn optimize_reliability_with_period_bound_with_oracle(
     }
     reliability_dp(oracle, chain, platform, DpFilter::PeriodBound(period_bound))
         .ok_or(AlgoError::NoFeasibleMapping)
+}
+
+/// Algorithm 2 against caller-owned [`DpScratch`]: the period minimizer's
+/// binary search passes the same scratch to every probe, so the DP arenas
+/// are allocated once and the admissible-interval cuts are warm-started from
+/// the previous probe instead of re-derived from scratch.
+///
+/// # Errors
+///
+/// Same as [`optimize_reliability_with_period_bound`].
+pub(crate) fn optimize_with_period_bound_scratch(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: f64,
+    scratch: &mut DpScratch,
+) -> Result<OptimalMapping> {
+    crate::debug_assert_oracle_matches(oracle, chain, platform);
+    if !oracle.is_homogeneous() {
+        return Err(AlgoError::HeterogeneousPlatform);
+    }
+    if !(period_bound.is_finite() && period_bound > 0.0) {
+        return Err(AlgoError::InvalidBound("period bound"));
+    }
+    reliability_dp_scratch(
+        oracle,
+        chain,
+        platform,
+        DpFilter::PeriodBound(period_bound),
+        DpKernel::crate_default(),
+        scratch,
+    )
+    .ok_or(AlgoError::NoFeasibleMapping)
 }
 
 #[cfg(test)]

@@ -44,7 +44,10 @@ pub mod heur_p;
 pub mod heuristic;
 pub mod period_opt;
 
-pub use algo1::{optimize_reliability_homogeneous, optimize_reliability_homogeneous_with_oracle};
+pub use algo1::{
+    optimize_reliability_homogeneous, optimize_reliability_homogeneous_with_oracle,
+    reliability_dp_with_kernel, reliability_dp_with_scratch, DpKernel, DpScratch,
+};
 pub use algo2::{
     optimize_reliability_with_period_bound, optimize_reliability_with_period_bound_with_oracle,
 };

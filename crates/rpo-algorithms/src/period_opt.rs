@@ -11,7 +11,8 @@
 use rpo_model::{IntervalOracle, Mapping, Platform, TaskChain};
 use serde::{Deserialize, Serialize};
 
-use crate::algo2::optimize_reliability_with_period_bound_with_oracle;
+use crate::algo1::DpScratch;
+use crate::algo2::optimize_with_period_bound_scratch;
 use crate::{AlgoError, Result};
 
 /// Result of the period minimization.
@@ -25,11 +26,24 @@ pub struct PeriodOptimal {
     pub reliability: f64,
 }
 
+/// Relative tolerance under which two candidate periods are considered the
+/// same value (an absolute tolerance would mis-merge distinct candidates on
+/// instances whose periods are themselves tiny).
+const CANDIDATE_REL_TOL: f64 = 1e-12;
+
 /// Every value the worst-case period of a mapping can take: computation times
 /// of all intervals and all boundary communication times, read from the
 /// oracle's prefix sums.
+///
+/// Candidates strictly below the largest single-task computation time are
+/// pruned: every task belongs to some interval, so the interval holding the
+/// biggest task forces `period ≥ max_i w_i / s` on every mapping — probing
+/// below that can never be feasible.
 fn candidate_periods(oracle: &IntervalOracle, speed: f64) -> Vec<f64> {
     let n = oracle.len();
+    let min_achievable = (0..n)
+        .map(|i| oracle.work(i, i) / speed)
+        .fold(0.0, f64::max);
     let mut candidates = Vec::with_capacity(n * (n + 1) / 2 + n);
     for first in 0..n {
         for last in first..n {
@@ -39,8 +53,20 @@ fn candidate_periods(oracle: &IntervalOracle, speed: f64) -> Vec<f64> {
     for i in 0..n.saturating_sub(1) {
         candidates.push(oracle.output_comm_time(i));
     }
+    candidates.retain(|&c| c >= min_achievable * (1.0 - CANDIDATE_REL_TOL));
     candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite candidate periods"));
-    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    // Merged near-equal candidates keep the *largest* member as their
+    // representative: probing the representative then admits every interval
+    // whose true requirement sits an ulp above the smaller members (rounding
+    // of the prefix sums makes mathematically equal works differ by ulps).
+    candidates.dedup_by(|a, b| {
+        if (*a - *b).abs() <= CANDIDATE_REL_TOL * a.abs().max(b.abs()) {
+            *b = b.max(*a);
+            true
+        } else {
+            false
+        }
+    });
     candidates
 }
 
@@ -64,7 +90,11 @@ pub fn minimize_period_with_reliability_bound(
 
 /// Period minimization against a prebuilt [`IntervalOracle`]: the whole
 /// binary search (one Algorithm 2 run per probe) shares a single oracle
-/// instead of rebuilding the interval metrics at every probe.
+/// instead of rebuilding the interval metrics at every probe, and every
+/// probe runs against one warm [`DpScratch`] — the DP arenas are allocated
+/// once and the previous probe's admissible-interval set (`in_ok` boundary
+/// flags and per-row work-prefix cuts) seeds the next probe's admissibility
+/// derivation instead of starting from scratch.
 ///
 /// # Errors
 ///
@@ -84,19 +114,20 @@ pub fn minimize_period_with_reliability_bound_with_oracle(
     }
 
     let candidates = candidate_periods(oracle, platform.speed(0));
+    let mut scratch = DpScratch::new();
     // Check feasibility at the largest candidate (equivalent to no bound).
     let largest = *candidates
         .last()
         .expect("a non-empty chain has candidate periods");
     let unconstrained =
-        optimize_reliability_with_period_bound_with_oracle(oracle, chain, platform, largest)?;
+        optimize_with_period_bound_scratch(oracle, chain, platform, largest, &mut scratch)?;
     if unconstrained.reliability < reliability_bound {
         return Err(AlgoError::NoFeasibleMapping);
     }
 
     // Binary search the smallest candidate period meeting the bound.
-    let feasible = |period: f64| -> Option<crate::algo1::OptimalMapping> {
-        match optimize_reliability_with_period_bound_with_oracle(oracle, chain, platform, period) {
+    let mut feasible = |period: f64| -> Option<crate::algo1::OptimalMapping> {
+        match optimize_with_period_bound_scratch(oracle, chain, platform, period, &mut scratch) {
             Ok(solution) if solution.reliability >= reliability_bound => Some(solution),
             _ => None,
         }
@@ -215,5 +246,76 @@ mod tests {
                 AlgoError::InvalidBound("reliability bound")
             );
         }
+    }
+
+    #[test]
+    fn warm_started_binary_search_matches_a_fresh_linear_scan() {
+        let c = chain();
+        let p = platform(6, 3);
+        let oracle = IntervalOracle::new(&c, &p);
+        for bound in [0.5, 0.9, 0.95, 0.99] {
+            let fast =
+                minimize_period_with_reliability_bound_with_oracle(&oracle, &c, &p, bound).unwrap();
+            // Reference: probe every candidate in ascending order with a
+            // fresh (cold-scratch) Algorithm 2 run and take the first hit.
+            let reference = candidate_periods(&oracle, p.speed(0))
+                .into_iter()
+                .find_map(
+                    |period| match optimize_reliability_with_period_bound(&c, &p, period) {
+                        Ok(sol) if sol.reliability >= bound => Some((period, sol.reliability)),
+                        _ => None,
+                    },
+                )
+                .expect("the relaxed bounds are feasible");
+            assert_eq!(fast.period, reference.0, "bound {bound}");
+            assert!((fast.reliability - reference.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn candidates_below_the_single_task_floor_are_pruned() {
+        let c = chain(); // largest task work = 40, unit speed
+        let p = platform(4, 2);
+        let oracle = IntervalOracle::new(&c, &p);
+        let candidates = candidate_periods(&oracle, 1.0);
+        assert!(!candidates.is_empty());
+        for &candidate in &candidates {
+            assert!(
+                candidate >= 40.0 * (1.0 - CANDIDATE_REL_TOL),
+                "candidate {candidate} is below the single-task floor"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_periods_are_not_mis_merged_by_the_dedup() {
+        // Distinct single-task computation times of order 1e-11 sit within
+        // an *absolute* 1e-12 of each other; a relative tolerance keeps them
+        // apart and the minimizer still resolves the true optimum.
+        let scale = 1e-12;
+        let c = TaskChain::from_pairs(&[
+            (30.0 * scale, 2.0 * scale),
+            (10.0 * scale, 8.0 * scale),
+            (25.0 * scale, 1.0 * scale),
+            (40.0 * scale, 3.0 * scale),
+        ])
+        .unwrap();
+        let p = platform(6, 3);
+        let oracle = IntervalOracle::new(&c, &p);
+        let candidates = candidate_periods(&oracle, 1.0);
+        // Every distinct interval work ≥ the 40-unit floor must survive
+        // (40 and 65 each occur twice and must merge to one candidate).
+        let expected = [40.0, 65.0, 75.0, 105.0];
+        assert_eq!(candidates.len(), expected.len());
+        for (candidate, want) in candidates.iter().zip(expected) {
+            assert!(
+                (candidate - want * scale).abs() < 1e-9 * scale,
+                "candidate {candidate} vs expected {}",
+                want * scale
+            );
+        }
+        // And the end-to-end minimizer matches the unscaled instance.
+        let tiny = minimize_period_with_reliability_bound(&c, &p, 1e-12).unwrap();
+        assert!((tiny.period - 40.0 * scale).abs() < 1e-9 * scale);
     }
 }

@@ -1,9 +1,16 @@
-//! Machine-readable perf baseline for the oracle refactor: times the
-//! Algorithm 1/2 dynamic programs with and without the [`IntervalOracle`]
-//! and drives a portfolio batch, then writes `BENCH_oracle.json`.
+//! Machine-readable perf baselines: times the Algorithm 1/2 dynamic
+//! programs with and without the [`IntervalOracle`] (writing
+//! `BENCH_oracle.json`), then times the lane-chunked DP kernel against the
+//! scalar reference sweep and the portfolio batch with and without
+//! chain-keyed oracle sharing (writing `BENCH_kernel.json`).
 //!
-//! Usage: `cargo run --release -p rpo-bench --bin oracle_baseline [output]`
-//! (default output path `BENCH_oracle.json` in the working directory).
+//! Usage:
+//! `cargo run --release -p rpo-bench --bin oracle_baseline \
+//!     [oracle_output] [kernel_output] [--enforce-kernel-speedup]`
+//! (default output paths `BENCH_oracle.json` and `BENCH_kernel.json` in the
+//! working directory). With `--enforce-kernel-speedup` the process exits
+//! non-zero if the chunked kernel measures slower than the scalar reference
+//! — the CI smoke step runs in that mode.
 //!
 //! The "naive" dynamic program reimplements the pre-oracle recurrence — it
 //! recomputes the Eq. 9 replica-block reliability (three `exp`s per
@@ -13,11 +20,11 @@
 
 use rpo_algorithms::{
     optimize_reliability_homogeneous_with_oracle,
-    optimize_reliability_with_period_bound_with_oracle,
+    optimize_reliability_with_period_bound_with_oracle, reliability_dp_with_kernel, DpKernel,
 };
 use rpo_bench::{bench_chain, bench_hom_platform};
 use rpo_model::{reliability, Interval, IntervalOracle, Platform, TaskChain};
-use rpo_portfolio::{BatchConfig, BatchDriver, BoundsPolicy, PortfolioEngine};
+use rpo_portfolio::{BatchConfig, BatchDriver, BoundsPolicy, PortfolioEngine, ProblemInstance};
 use rpo_workload::InstanceGenerator;
 use serde::Serialize;
 use std::time::Instant;
@@ -26,7 +33,7 @@ use std::time::Instant;
 /// refactor: ≥ 3× at n = 100, p = 20).
 const DP_TASKS: usize = 100;
 const DP_PROCESSORS: usize = 20;
-const DP_REPS: usize = 9;
+const DP_REPS: usize = 25;
 const BATCH_INSTANCES: usize = 120;
 
 #[derive(Debug, Serialize)]
@@ -63,6 +70,43 @@ struct OracleBaseline {
     algo1: DpComparison,
     algo2: DpComparison,
     portfolio_batch: BatchSummary,
+}
+
+#[derive(Debug, Serialize)]
+struct KernelComparison {
+    tasks: usize,
+    processors: usize,
+    max_replication: usize,
+    scalar_millis: f64,
+    chunked_millis: f64,
+    speedup: f64,
+}
+
+/// Throughput of one near-duplicate batch configuration (instances sharing
+/// chains/platforms but differing in bounds).
+#[derive(Debug, Serialize)]
+struct SharingSummary {
+    instances: usize,
+    elapsed_millis: f64,
+    instances_per_sec: f64,
+    oracle_cache_hits: u64,
+    oracle_cache_misses: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct KernelBaseline {
+    /// Lane-chunked kernel vs the scalar reference sweep (both through the
+    /// oracle; oracle construction included, like the oracle baseline).
+    algo1: KernelComparison,
+    algo2: KernelComparison,
+    /// The standard paper-style portfolio batch (same configuration as
+    /// `BENCH_oracle.json`'s `portfolio_batch`, for direct comparison).
+    portfolio_batch: BatchSummary,
+    /// Near-duplicate batch (same chains/platforms, three bound variants
+    /// each) with the chain-keyed oracle cache enabled…
+    batch_shared_oracle: SharingSummary,
+    /// …and with it disabled (every solve rebuilds its oracle).
+    batch_unshared_oracle: SharingSummary,
 }
 
 /// The pre-oracle replicated homogeneous interval reliability: three `exp`s
@@ -177,8 +221,93 @@ fn compare_dp(chain: &TaskChain, platform: &Platform, period_bound: Option<f64>)
     }
 }
 
+fn compare_kernels(
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: Option<f64>,
+) -> KernelComparison {
+    // The oracle is built once outside the timed body: it is instance-level
+    // precomputation shared by every solver of a portfolio solve (and now by
+    // the engine's chain-keyed cache across solves) — its cost is measured
+    // separately in `BENCH_oracle.json`. This comparison isolates the DP
+    // sweep the two kernels implement differently.
+    let oracle = IntervalOracle::new(chain, platform);
+    let measure = |kernel: DpKernel| {
+        time_median(DP_REPS, || {
+            let result = reliability_dp_with_kernel(&oracle, chain, platform, period_bound, kernel);
+            std::hint::black_box(result);
+        })
+    };
+    let scalar_millis = measure(DpKernel::Scalar);
+    let chunked_millis = measure(DpKernel::Chunked);
+    KernelComparison {
+        tasks: chain.len(),
+        processors: platform.num_processors(),
+        max_replication: platform.max_replication(),
+        scalar_millis,
+        chunked_millis,
+        speedup: scalar_millis / chunked_millis,
+    }
+}
+
+/// A batch of near-duplicate instances: `BATCH_INSTANCES / 3` distinct
+/// chains/platforms, three period-bound variants each — the shape where the
+/// chain-keyed oracle cache pays (the front cache misses every variant).
+fn near_duplicate_instances() -> Vec<ProblemInstance> {
+    let generator = InstanceGenerator::paper_homogeneous(0x0AC1E);
+    let mut instances = Vec::new();
+    for experiment in generator.batch(BATCH_INSTANCES / 3) {
+        for period_slack in [1.3, 1.5, 1.8] {
+            let bounds = BoundsPolicy {
+                period_slack,
+                ..BoundsPolicy::default()
+            };
+            instances.push(bounds.instance(&experiment, false));
+        }
+    }
+    instances
+}
+
+/// Batch repetitions for the sharing comparison (median throughput): oracle
+/// construction is a few percent of a solve, so single batch runs are noisy.
+const SHARING_REPS: usize = 5;
+
+fn run_sharing_batch(share_oracles: bool) -> SharingSummary {
+    let mut summaries: Vec<SharingSummary> = (0..SHARING_REPS)
+        .map(|_| {
+            // Fresh engine per repetition (the instance cache must not answer
+            // repeats). Single-threaded solves + instance-level batch
+            // parallelism: the batch driver divides its worker budget by the
+            // engine's per-solve threads, so threads(1) gives one inline
+            // (spawn-free) solve per batch worker.
+            let engine = if share_oracles {
+                PortfolioEngine::default().with_threads(1)
+            } else {
+                PortfolioEngine::default()
+                    .with_threads(1)
+                    .with_oracle_cache_capacity(0)
+            };
+            let driver = BatchDriver::new(BatchConfig::default());
+            let report = driver.run_instances(&engine, near_duplicate_instances());
+            SharingSummary {
+                instances: report.instances,
+                elapsed_millis: report.elapsed.as_secs_f64() * 1e3,
+                instances_per_sec: report.throughput(),
+                oracle_cache_hits: report.oracle_cache.hits,
+                oracle_cache_misses: report.oracle_cache.misses,
+            }
+        })
+        .collect();
+    summaries.sort_by(|a, b| {
+        a.instances_per_sec
+            .partial_cmp(&b.instances_per_sec)
+            .expect("finite throughputs")
+    });
+    summaries.swap_remove(SHARING_REPS / 2)
+}
+
 fn run_batch() -> BatchSummary {
-    let engine = PortfolioEngine::default();
+    let engine = PortfolioEngine::default().with_threads(1);
     let driver = BatchDriver::new(BatchConfig {
         bounds: BoundsPolicy::default(),
         ..BatchConfig::default()
@@ -205,10 +334,29 @@ fn run_batch() -> BatchSummary {
     }
 }
 
+fn write_json<T: Serialize>(path: &str, value: &T) {
+    let json = serde_json::to_string_pretty(value).expect("serialization cannot fail");
+    std::fs::write(path, format!("{json}\n")).expect("writing the baseline file");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
-    let output = std::env::args()
-        .nth(1)
+    let (mut outputs, mut enforce) = (Vec::new(), false);
+    for arg in std::env::args().skip(1) {
+        if arg == "--enforce-kernel-speedup" {
+            enforce = true;
+        } else {
+            outputs.push(arg);
+        }
+    }
+    let oracle_output = outputs
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_oracle.json".to_string());
+    let kernel_output = outputs
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernel.json".to_string());
 
     let chain = bench_chain(DP_TASKS, 42);
     let platform = bench_hom_platform(DP_PROCESSORS);
@@ -244,7 +392,48 @@ fn main() {
         algo2,
         portfolio_batch,
     };
-    let json = serde_json::to_string_pretty(&baseline).expect("serialization cannot fail");
-    std::fs::write(&output, format!("{json}\n")).expect("writing the baseline file");
-    eprintln!("wrote {output}");
+    write_json(&oracle_output, &baseline);
+
+    eprintln!("timing the DP kernels (scalar reference vs lane-chunked) …");
+    let kernel_algo1 = compare_kernels(&chain, &platform, None);
+    eprintln!(
+        "  algo1: scalar {:.2} ms, chunked {:.2} ms → {:.2}×",
+        kernel_algo1.scalar_millis, kernel_algo1.chunked_millis, kernel_algo1.speedup
+    );
+    let kernel_algo2 = compare_kernels(&chain, &platform, Some(bound));
+    eprintln!(
+        "  algo2: scalar {:.2} ms, chunked {:.2} ms → {:.2}×",
+        kernel_algo2.scalar_millis, kernel_algo2.chunked_millis, kernel_algo2.speedup
+    );
+
+    eprintln!("driving the near-duplicate batch with and without oracle sharing …");
+    // Unshared first: any residual warm-up bias favours the *baseline*, so
+    // an observed sharing win is not an ordering artifact.
+    let unshared = run_sharing_batch(false);
+    let shared = run_sharing_batch(true);
+    eprintln!(
+        "  shared {:.1} instances/sec ({} oracle hits), unshared {:.1} instances/sec",
+        shared.instances_per_sec, shared.oracle_cache_hits, unshared.instances_per_sec
+    );
+
+    let fresh_batch = run_batch();
+    eprintln!(
+        "  portfolio batch (kernel build): {:.1} instances/sec",
+        fresh_batch.instances_per_sec
+    );
+
+    let slower = kernel_algo1.speedup < 1.0 || kernel_algo2.speedup < 1.0;
+    let kernel = KernelBaseline {
+        algo1: kernel_algo1,
+        algo2: kernel_algo2,
+        portfolio_batch: fresh_batch,
+        batch_shared_oracle: shared,
+        batch_unshared_oracle: unshared,
+    };
+    write_json(&kernel_output, &kernel);
+
+    if enforce && slower {
+        eprintln!("FAIL: the chunked kernel measured slower than the scalar reference");
+        std::process::exit(1);
+    }
 }

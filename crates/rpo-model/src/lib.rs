@@ -47,7 +47,7 @@ pub use error::ModelError;
 pub use evaluate::{BoundCheck, MappingEvaluation};
 pub use interval::{Interval, IntervalPartition};
 pub use mapping::{MappedInterval, Mapping};
-pub use oracle::{BlockReliabilityTable, IntervalOracle, ProcessorClass};
+pub use oracle::{oracle_cache_key, BlockReliabilityTable, IntervalOracle, ProcessorClass};
 pub use platform::{Platform, PlatformBuilder, Processor, ProcessorId};
 pub use task::{Task, TaskChain};
 

@@ -30,7 +30,25 @@
 
 use std::sync::Arc;
 
-use crate::{Mapping, MappingEvaluation, Platform, ProcessorId, TaskChain};
+use crate::{CanonicalHasher, Mapping, MappingEvaluation, Platform, ProcessorId, TaskChain};
+
+/// Chain-level cache key of an oracle: the canonical digest of
+/// `(chain, platform)` **without** the real-time bounds. Near-duplicate
+/// problem instances (same chain and platform, different period/latency
+/// bounds) share this key, so a batch driver can reuse one
+/// [`IntervalOracle`] across all of them.
+pub fn oracle_cache_key(chain: &TaskChain, platform: &Platform) -> u64 {
+    use crate::Canonical;
+    let mut hasher = CanonicalHasher::new();
+    chain.canonical_digest(&mut hasher);
+    platform.canonical_digest(&mut hasher);
+    hasher.finish()
+}
+
+/// Largest `ρ·W` exponent for which the factored prefix product
+/// `exp(−ρW_i)·exp(ρW_j)` is used; beyond it `exp(ρW_j)` could overflow or
+/// lose precision, so callers fall back to one exact `exp` per interval.
+const FACTORED_EXPONENT_LIMIT: f64 = 40.0;
 
 /// A group of processors with identical `(speed, failure rate)`.
 ///
@@ -115,6 +133,16 @@ pub struct IntervalOracle {
     /// Class index of each processor.
     class_of: Vec<u32>,
     max_replication: usize,
+    /// Per-class factored log-reliability exponent prefixes:
+    /// `exp_minus[c][i] = exp(−ρ_c W_i)` and `exp_plus[c][i] = exp(ρ_c W_i)`
+    /// over the work prefix `W`, with `ρ_c = λ_c / s_c`, so the interval
+    /// reliability `exp(−ρ_c (W_i − W_j))` is the product
+    /// `exp_minus[c][i] · exp_plus[c][j]` — `2(n+1)` exponentials per class
+    /// instead of one per interval. Empty for classes whose `ρ_c·W_total`
+    /// exceeds [`FACTORED_EXPONENT_LIMIT`] (callers fall back to exact
+    /// per-interval exponentials there).
+    exp_minus: Vec<Vec<f64>>,
+    exp_plus: Vec<Vec<f64>>,
 }
 
 impl IntervalOracle {
@@ -157,15 +185,34 @@ impl IntervalOracle {
             class_of.push(class as u32);
         }
 
+        let work_prefix = chain.work_prefix().to_vec();
+        let total_work = work_prefix[n];
+        let (exp_minus, exp_plus): (Vec<Vec<f64>>, Vec<Vec<f64>>) = classes
+            .iter()
+            .map(|c| {
+                let rho = c.failure_rate / c.speed;
+                if rho * total_work <= FACTORED_EXPONENT_LIMIT {
+                    (
+                        work_prefix.iter().map(|&w| (-rho * w).exp()).collect(),
+                        work_prefix.iter().map(|&w| (rho * w).exp()).collect(),
+                    )
+                } else {
+                    (Vec::new(), Vec::new())
+                }
+            })
+            .unzip();
+
         IntervalOracle {
             n,
-            work_prefix: chain.work_prefix().to_vec(),
+            work_prefix,
             output_size,
             comm_time,
             comm_rel,
             classes,
             class_of,
             max_replication: platform.max_replication(),
+            exp_minus,
+            exp_plus,
         }
     }
 
@@ -360,22 +407,79 @@ impl IntervalOracle {
         1.0 - all_fail
     }
 
+    /// Whether the factored exponent prefixes are available for `class`
+    /// (`ρ_c · W_total` within the overflow guard). When `false`, factored
+    /// queries fall back to one exact `exp` per interval.
+    #[inline]
+    pub fn class_factored(&self, class: usize) -> bool {
+        !self.exp_minus[class].is_empty()
+    }
+
     /// Dense replica-block reliability table of every interval for one class.
+    ///
+    /// Uses the factored exponent prefixes (`2(n+1)` exponentials total,
+    /// already paid at oracle construction) when the class passes the
+    /// `ρ·W ≤ 40` overflow guard, so building the table costs `O(n²)`
+    /// multiplications and **zero** extra transcendentals; otherwise one
+    /// exact `exp` per interval, as before. Factored entries can differ from
+    /// [`Self::class_block_reliability`] by an ulp.
     pub fn class_block_table(&self, class: usize) -> BlockReliabilityTable {
         let n = self.n;
         let c = &self.classes[class];
         let mut values = Vec::with_capacity(n * (n + 1) / 2);
-        for first in 0..n {
-            let in_rel = self.input_comm_reliability(first);
-            for last in first..n {
-                values.push(
-                    in_rel
-                        * (-c.failure_rate * (self.work(first, last) / c.speed)).exp()
-                        * self.comm_rel[last],
-                );
+        if self.class_factored(class) {
+            let (e_minus, e_plus) = (&self.exp_minus[class], &self.exp_plus[class]);
+            for (first, &e_first) in e_plus.iter().enumerate().take(n) {
+                let in_rel = self.input_comm_reliability(first);
+                for last in first..n {
+                    values.push(in_rel * (e_minus[last + 1] * e_first) * self.comm_rel[last]);
+                }
+            }
+        } else {
+            for first in 0..n {
+                let in_rel = self.input_comm_reliability(first);
+                for last in first..n {
+                    values.push(
+                        in_rel
+                            * (-c.failure_rate * (self.work(first, last) / c.speed)).exp()
+                            * self.comm_rel[last],
+                    );
+                }
             }
         }
         BlockReliabilityTable { n, values }
+    }
+
+    /// Fills `out` with the replica-block reliabilities of every interval
+    /// **ending at `last`** whose start lies in `first_lo ..= last`, for one
+    /// class: `out[first − first_lo] = block(first, last)`.
+    ///
+    /// This is the gather phase of the lane-chunked dynamic programs: one
+    /// contiguous scratch buffer per DP row, filled with pure multiplications
+    /// when the class passes the factored-exponent guard (matching the
+    /// factored values the scalar DP maximizes over, multiplication for
+    /// multiplication), and with exact per-interval exponentials otherwise.
+    pub fn fill_class_block_row(
+        &self,
+        class: usize,
+        last: usize,
+        first_lo: usize,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert!(first_lo <= last && last < self.n);
+        out.clear();
+        let out_rel = self.comm_rel[last];
+        if self.class_factored(class) {
+            let (e_minus, e_plus) = (&self.exp_minus[class], &self.exp_plus[class]);
+            let e_last = e_minus[last + 1];
+            out.extend((first_lo..=last).map(|first| {
+                self.input_comm_reliability(first) * (e_last * e_plus[first]) * out_rel
+            }));
+        } else {
+            out.extend(
+                (first_lo..=last).map(|first| self.class_block_reliability(class, first, last)),
+            );
+        }
     }
 
     /// Expected computation time of interval `first ..= last` on the replica
@@ -584,28 +688,108 @@ mod tests {
         }
     }
 
+    /// `|a − b| ≤ tol·max(|a|, |b|)` (reliabilities are in `[0, 1]`, so this
+    /// is at least as strict as an absolute comparison).
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * a.abs().max(b.abs()),
+            "{a} vs {b} differ by more than {tol} relative"
+        );
+    }
+
     #[test]
     fn block_table_matches_scalar_queries() {
         let c = chain();
         let p = het_platform();
         let oracle = IntervalOracle::new(&c, &p);
         for class in 0..oracle.classes().len() {
+            // The table is built from the factored exponent prefixes, so it
+            // can differ from the exact per-interval exponentials by an ulp.
             let table = oracle.class_block_table(class);
             for first in 0..4 {
                 for last in first..4 {
-                    assert_eq!(
+                    assert_close(
                         table.get(first, last),
-                        oracle.class_block_reliability(class, first, last)
+                        oracle.class_block_reliability(class, first, last),
+                        1e-12,
                     );
                     for q in 1..=3 {
-                        assert_eq!(
+                        assert_close(
                             table.replicated(first, last, q),
-                            oracle.class_replicated_reliability(class, first, last, q)
+                            oracle.class_replicated_reliability(class, first, last, q),
+                            1e-12,
                         );
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn block_row_gather_matches_the_table() {
+        let c = chain();
+        let p = het_platform();
+        let oracle = IntervalOracle::new(&c, &p);
+        let mut row = Vec::new();
+        for class in 0..oracle.classes().len() {
+            assert!(oracle.class_factored(class));
+            let table = oracle.class_block_table(class);
+            for last in 0..4 {
+                for first_lo in 0..=last {
+                    oracle.fill_class_block_row(class, last, first_lo, &mut row);
+                    assert_eq!(row.len(), last - first_lo + 1);
+                    for (offset, &block) in row.iter().enumerate() {
+                        assert_eq!(block, table.get(first_lo + offset, last));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_exponents_fall_back_to_exact_blocks() {
+        // ρ·W = 10·100 far beyond the factored guard: the table and the row
+        // gather must use the exact per-interval path (and agree exactly).
+        let c = chain();
+        let p = PlatformBuilder::new()
+            .identical_processors(2, 1.0, 10.0)
+            .bandwidth(1.0)
+            .link_failure_rate(1e-4)
+            .max_replication(2)
+            .build()
+            .unwrap();
+        let oracle = IntervalOracle::new(&c, &p);
+        assert!(!oracle.class_factored(0));
+        let table = oracle.class_block_table(0);
+        let mut row = Vec::new();
+        for first in 0..4 {
+            for last in first..4 {
+                assert_eq!(
+                    table.get(first, last),
+                    oracle.class_block_reliability(0, first, last)
+                );
+            }
+        }
+        oracle.fill_class_block_row(0, 3, 0, &mut row);
+        for (first, &block) in row.iter().enumerate() {
+            assert_eq!(block, oracle.class_block_reliability(0, first, 3));
+        }
+    }
+
+    #[test]
+    fn oracle_cache_key_ignores_bounds_but_not_structure() {
+        let c = chain();
+        let p = het_platform();
+        let key = oracle_cache_key(&c, &p);
+        assert_eq!(key, oracle_cache_key(&c, &p));
+        let other_chain =
+            TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (30.0, 4.0), (41.0, 3.0)]).unwrap();
+        assert_ne!(key, oracle_cache_key(&other_chain, &p));
+        let other_platform = PlatformBuilder::new()
+            .identical_processors(4, 1.0, 1e-3)
+            .build()
+            .unwrap();
+        assert_ne!(key, oracle_cache_key(&c, &other_platform));
     }
 
     #[test]

@@ -74,9 +74,18 @@ impl ProblemInstance {
         evaluation.meets(self.period_bound, self.latency_bound)
     }
 
+    /// The chain-level cache key of this instance: the canonical hash of
+    /// `(chain, platform)` **without** the bounds. Instances that differ only
+    /// in their bounds share this key — and therefore share one cached
+    /// [`IntervalOracle`] in the engine's oracle cache.
+    pub fn oracle_key(&self) -> u64 {
+        rpo_model::oracle_cache_key(&self.chain, &self.platform)
+    }
+
     /// Builds the shared interval-metrics oracle for this instance. The
-    /// engine calls this once per solve and hands the same `Arc` to every
-    /// backend; it is not part of the cache key (the oracle is derived data).
+    /// engine resolves oracles through its chain-keyed cache (see
+    /// [`Self::oracle_key`]) and hands the same `Arc` to every backend; the
+    /// oracle is derived data and not part of the instance cache key.
     pub fn build_oracle(&self) -> Arc<IntervalOracle> {
         IntervalOracle::shared(&self.chain, &self.platform)
     }

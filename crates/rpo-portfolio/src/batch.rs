@@ -128,8 +128,12 @@ pub struct BatchReport {
     pub elapsed: Duration,
     /// Per-backend statistics, sorted by wins then name.
     pub backend_stats: Vec<BackendStats>,
-    /// Cache counters after the batch.
+    /// Front-cache counters after the batch.
     pub cache: CacheStats,
+    /// Oracle-cache counters after the batch: hits are solves that reused a
+    /// previous instance's interval-metrics kernel (same chain and platform,
+    /// possibly different bounds).
+    pub oracle_cache: CacheStats,
 }
 
 impl BatchReport {
@@ -162,6 +166,14 @@ impl std::fmt::Display for BatchReport {
             self.cache.misses,
             100.0 * self.cache.hit_ratio(),
             self.cache.evictions,
+        )?;
+        writeln!(
+            f,
+            "oracle cache: {} hits / {} misses ({:.0}% hit rate), {} evictions",
+            self.oracle_cache.hits,
+            self.oracle_cache.misses,
+            100.0 * self.oracle_cache.hit_ratio(),
+            self.oracle_cache.evictions,
         )?;
         writeln!(
             f,
@@ -321,6 +333,7 @@ impl BatchDriver {
             elapsed: start.elapsed(),
             backend_stats,
             cache: engine.cache_stats(),
+            oracle_cache: engine.oracle_cache_stats(),
         }
     }
 }

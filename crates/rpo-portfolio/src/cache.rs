@@ -1,8 +1,11 @@
-//! LRU instance cache: repeated solves of the same `(chain, platform,
-//! bounds)` triple are answered in O(1) from the canonical-hash index.
+//! Canonical-hash LRU caches: solved Pareto fronts keyed by the full
+//! `(chain, platform, bounds)` instance, and shared [`IntervalOracle`]s keyed
+//! by `(chain, platform)` only — so near-duplicate instances (same chain and
+//! platform, different bounds) reuse one oracle even when their fronts miss.
 
 use crate::backend::ProblemInstance;
 use crate::pareto::ParetoFront;
+use rpo_model::{IntervalOracle, Platform, TaskChain};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -29,26 +32,21 @@ impl CacheStats {
     }
 }
 
-struct CacheEntry {
-    /// The full instance, kept to rule out hash collisions.
-    instance: ProblemInstance,
-    /// Shared front: hits hand out an `Arc` clone, never a deep copy, so
-    /// the time spent holding the engine's cache lock stays O(1).
-    front: Arc<ParetoFront>,
+struct LruEntry<T> {
+    payload: T,
     last_used: u64,
 }
 
-/// An LRU map from canonical instance hashes to solved Pareto fronts.
-///
-/// Keys are the 64-bit [`ProblemInstance::canonical_key`]; on lookup the
-/// stored instance is compared structurally, so a hash collision degrades to
-/// a miss instead of returning a wrong front. Recency is tracked with a
-/// lazy queue of `(tick, key)` touches: eviction pops stale touches until it
-/// finds the genuinely least-recently-used entry, giving amortized O(1)
-/// updates instead of an O(capacity) scan.
-pub struct InstanceCache {
+/// The LRU machinery shared by both caches: a map from 64-bit canonical
+/// hashes to payloads, with recency tracked by a lazy queue of `(tick, key)`
+/// touches — eviction pops stale touches until it finds the genuinely
+/// least-recently-used entry, giving amortized O(1) updates instead of an
+/// O(capacity) scan. Payloads carry whatever exact-match data the wrapper
+/// needs to rule out hash collisions (a collision degrades to a miss, never
+/// a wrong answer).
+struct LruCore<T> {
     capacity: usize,
-    entries: HashMap<u64, CacheEntry>,
+    entries: HashMap<u64, LruEntry<T>>,
     /// Touch log: `(tick, key)`, oldest first; entries are stale when the
     /// keyed entry has a newer `last_used`.
     touches: VecDeque<(u64, u64)>,
@@ -56,10 +54,9 @@ pub struct InstanceCache {
     stats: CacheStats,
 }
 
-impl InstanceCache {
-    /// A cache holding at most `capacity` fronts (capacity 0 disables it).
-    pub fn new(capacity: usize) -> Self {
-        InstanceCache {
+impl<T> LruCore<T> {
+    fn new(capacity: usize) -> Self {
+        LruCore {
             capacity,
             entries: HashMap::new(),
             touches: VecDeque::new(),
@@ -89,31 +86,29 @@ impl InstanceCache {
         }
     }
 
-    /// Looks up the front for `instance`, refreshing its recency on a hit.
-    /// The returned `Arc` shares the stored front — no deep copy.
-    pub fn get(&mut self, instance: &ProblemInstance) -> Option<Arc<ParetoFront>> {
-        let key = instance.canonical_key();
-        match self.entries.get(&key) {
-            Some(entry) if &entry.instance == instance => {
-                let front = Arc::clone(&entry.front);
-                self.touch(key);
-                self.stats.hits += 1;
-                Some(front)
-            }
-            _ => {
-                self.stats.misses += 1;
-                None
-            }
+    /// Looks up `key`, verifying the payload against a structural equality
+    /// check before counting a hit (and refreshing recency on one).
+    fn get(&mut self, key: u64, matches: impl FnOnce(&T) -> bool) -> Option<&T> {
+        let hit = self
+            .entries
+            .get(&key)
+            .is_some_and(|entry| matches(&entry.payload));
+        if hit {
+            self.touch(key);
+            self.stats.hits += 1;
+            self.entries.get(&key).map(|entry| &entry.payload)
+        } else {
+            self.stats.misses += 1;
+            None
         }
     }
 
-    /// Stores the solved front for `instance`, evicting the least recently
-    /// used entry if the cache is full.
-    pub fn put(&mut self, instance: &ProblemInstance, front: Arc<ParetoFront>) {
+    /// Stores `payload` under `key`, evicting the least recently used entry
+    /// if the cache is full. No-op at capacity 0.
+    fn put(&mut self, key: u64, payload: T) {
         if self.capacity == 0 {
             return;
         }
-        let key = instance.canonical_key();
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             self.evict_lru();
         }
@@ -121,9 +116,8 @@ impl InstanceCache {
         // the touch log consistent under compaction.
         self.entries.insert(
             key,
-            CacheEntry {
-                instance: instance.clone(),
-                front,
+            LruEntry {
+                payload,
                 last_used: self.clock,
             },
         );
@@ -143,20 +137,119 @@ impl InstanceCache {
             }
         }
     }
+}
+
+/// An LRU map from canonical instance hashes to solved Pareto fronts.
+///
+/// Keys are the 64-bit [`ProblemInstance::canonical_key`]; on lookup the
+/// stored instance is compared structurally, so a hash collision degrades to
+/// a miss instead of returning a wrong front.
+pub struct InstanceCache {
+    core: LruCore<(ProblemInstance, Arc<ParetoFront>)>,
+}
+
+impl InstanceCache {
+    /// A cache holding at most `capacity` fronts (capacity 0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        InstanceCache {
+            core: LruCore::new(capacity),
+        }
+    }
+
+    /// Looks up the front for `instance`, refreshing its recency on a hit.
+    /// The returned `Arc` shares the stored front — no deep copy.
+    pub fn get(&mut self, instance: &ProblemInstance) -> Option<Arc<ParetoFront>> {
+        self.core
+            .get(instance.canonical_key(), |(stored, _)| stored == instance)
+            .map(|(_, front)| Arc::clone(front))
+    }
+
+    /// Stores the solved front for `instance`, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn put(&mut self, instance: &ProblemInstance, front: Arc<ParetoFront>) {
+        self.core
+            .put(instance.canonical_key(), (instance.clone(), front));
+    }
 
     /// Current number of cached fronts.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.core.entries.len()
     }
 
     /// `true` if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.core.entries.is_empty()
     }
 
     /// Hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.core.stats
+    }
+}
+
+/// An LRU map from canonical `(chain, platform)` hashes to shared
+/// [`IntervalOracle`]s.
+///
+/// The oracle is bound-independent derived data, so instances differing only
+/// in their period/latency bounds — which miss the [`InstanceCache`] — still
+/// share one oracle here: the batch driver pays the `O(n + p)` interval
+/// precomputation once per distinct chain/platform pair instead of once per
+/// solve.
+pub struct OracleCache {
+    core: LruCore<(TaskChain, Platform, Arc<IntervalOracle>)>,
+}
+
+impl OracleCache {
+    /// A cache holding at most `capacity` oracles (capacity 0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        OracleCache {
+            core: LruCore::new(capacity),
+        }
+    }
+
+    /// The cached oracle for `instance`'s chain and platform, if present.
+    pub fn get(&mut self, instance: &ProblemInstance) -> Option<Arc<IntervalOracle>> {
+        self.core
+            .get(instance.oracle_key(), |(chain, platform, _)| {
+                chain == &instance.chain && platform == &instance.platform
+            })
+            .map(|(_, _, oracle)| Arc::clone(oracle))
+    }
+
+    /// Stores a freshly built oracle for `instance`'s chain and platform.
+    pub fn put(&mut self, instance: &ProblemInstance, oracle: Arc<IntervalOracle>) {
+        self.core.put(
+            instance.oracle_key(),
+            (instance.chain.clone(), instance.platform.clone(), oracle),
+        );
+    }
+
+    /// The shared oracle for `instance`'s chain and platform: answered from
+    /// the cache when present, freshly built (and stored) otherwise. Callers
+    /// holding the cache behind a lock should prefer `get` + build + `put`
+    /// so the `O(n + p)` construction happens outside the critical section.
+    pub fn get_or_build(&mut self, instance: &ProblemInstance) -> Arc<IntervalOracle> {
+        if let Some(oracle) = self.get(instance) {
+            return oracle;
+        }
+        let oracle = instance.build_oracle();
+        self.put(instance, Arc::clone(&oracle));
+        oracle
+    }
+
+    /// Current number of cached oracles.
+    pub fn len(&self) -> usize {
+        self.core.entries.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.core.entries.is_empty()
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.core.stats
     }
 }
 
@@ -233,6 +326,41 @@ mod tests {
         let a = instance(1.0);
         cache.put(&a, empty_front());
         assert!(cache.get(&a).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn oracle_cache_shares_across_bound_variants() {
+        let mut cache = OracleCache::new(8);
+        let base = instance(10.0);
+        let mut tighter = base.clone();
+        tighter.period_bound = 35.0;
+        // Different bounds → different instance keys, same oracle.
+        assert_ne!(base.canonical_key(), tighter.canonical_key());
+        let first = cache.get_or_build(&base);
+        let second = cache.get_or_build(&tighter);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn oracle_cache_distinguishes_chains() {
+        let mut cache = OracleCache::new(8);
+        let a = cache.get_or_build(&instance(10.0));
+        let b = cache.get_or_build(&instance(11.0));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_oracle_cache_still_builds() {
+        let mut cache = OracleCache::new(0);
+        let a = instance(10.0);
+        let first = cache.get_or_build(&a);
+        let second = cache.get_or_build(&a);
+        assert!(!Arc::ptr_eq(&first, &second)); // rebuilt every time
         assert!(cache.is_empty());
     }
 }

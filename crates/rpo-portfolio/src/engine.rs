@@ -2,10 +2,10 @@
 //! instance across worker threads and aggregates their candidates into a
 //! Pareto front.
 
-use crate::backend::{Applicability, Budget, CandidateMapping, ProblemInstance, SolverBackend};
+use crate::backend::{Applicability, Budget, ProblemInstance, SolverBackend};
 use crate::backends::default_backends;
-use crate::cache::{CacheStats, InstanceCache};
-use crate::pareto::ParetoFront;
+use crate::cache::{CacheStats, InstanceCache, OracleCache};
+use crate::pareto::{ParetoFront, StreamingFront};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -72,8 +72,10 @@ impl PortfolioOutcome {
 }
 
 /// What one worker records for one backend: its slot index, final status,
-/// bound-feasible candidates, raw candidate count, and wall-clock micros.
-type WorkerResult = (usize, RunStatus, Vec<CandidateMapping>, usize, u64);
+/// bound-feasible candidate count, raw candidate count, and wall-clock
+/// micros. The candidates themselves are not carried here — they stream
+/// into the shared [`StreamingFront`] the moment the backend finishes.
+type WorkerResult = (usize, RunStatus, usize, usize, u64);
 
 /// A reusable, thread-safe portfolio solver.
 ///
@@ -86,6 +88,11 @@ pub struct PortfolioEngine {
     mode: RaceMode,
     threads: usize,
     cache: Mutex<InstanceCache>,
+    /// Chain-keyed oracle cache: near-duplicate instances (same chain and
+    /// platform, different bounds) miss the front cache above but share one
+    /// `Arc<IntervalOracle>` here, lifting the interval-metrics
+    /// precomputation out of the per-solve path.
+    oracles: Mutex<OracleCache>,
 }
 
 impl Default for PortfolioEngine {
@@ -97,6 +104,11 @@ impl Default for PortfolioEngine {
 impl PortfolioEngine {
     /// Default cache capacity (solved fronts kept in memory).
     pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+    /// Default oracle-cache capacity (shared interval-metrics kernels kept
+    /// in memory; an oracle is O(n + p·classes) floats, far smaller than a
+    /// front of mappings).
+    pub const DEFAULT_ORACLE_CACHE_CAPACITY: usize = 256;
 
     /// An engine racing `backends` under `budget`, in [`RaceMode::RunAll`],
     /// with one worker thread per available core.
@@ -110,6 +122,7 @@ impl PortfolioEngine {
             mode: RaceMode::RunAll,
             threads,
             cache: Mutex::new(InstanceCache::new(Self::DEFAULT_CACHE_CAPACITY)),
+            oracles: Mutex::new(OracleCache::new(Self::DEFAULT_ORACLE_CACHE_CAPACITY)),
         }
     }
 
@@ -131,6 +144,13 @@ impl PortfolioEngine {
         self
     }
 
+    /// Sets the oracle-cache capacity (0 disables oracle sharing across
+    /// solves: every solve builds a fresh oracle, as before this cache).
+    pub fn with_oracle_cache_capacity(mut self, capacity: usize) -> Self {
+        self.oracles = Mutex::new(OracleCache::new(capacity));
+        self
+    }
+
     /// The configured budget.
     pub fn budget(&self) -> &Budget {
         &self.budget
@@ -149,6 +169,14 @@ impl PortfolioEngine {
     /// Cache hit/miss counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().expect("cache lock poisoned").stats()
+    }
+
+    /// Oracle-cache hit/miss counters.
+    pub fn oracle_cache_stats(&self) -> CacheStats {
+        self.oracles
+            .lock()
+            .expect("oracle cache lock poisoned")
+            .stats()
     }
 
     /// Solves one instance: answers from the cache when possible, otherwise
@@ -192,67 +220,104 @@ impl PortfolioEngine {
             .filter(|&i| runs[i].status == RunStatus::Completed)
             .collect();
 
-        // One interval-metrics oracle per instance, shared by every backend:
-        // the Eq. 5–9 precomputation happens once instead of eight times.
-        let oracle = instance.build_oracle();
+        // One interval-metrics oracle per instance, shared by every backend —
+        // resolved through the chain-keyed cache, so near-duplicate instances
+        // (same chain/platform, different bounds) reuse a previous solve's
+        // oracle instead of rebuilding the Eq. 5–9 precomputation. On a miss
+        // the oracle is built *outside* the lock (concurrent batch workers
+        // must not serialize on construction; a rare duplicate build is
+        // cheaper than a critical section around it).
+        let cached = self
+            .oracles
+            .lock()
+            .expect("oracle cache lock poisoned")
+            .get(instance);
+        let oracle = match cached {
+            Some(oracle) => oracle,
+            None => {
+                let oracle = instance.build_oracle();
+                self.oracles
+                    .lock()
+                    .expect("oracle cache lock poisoned")
+                    .put(instance, Arc::clone(&oracle));
+                oracle
+            }
+        };
 
         // Race the runnable backends: worker threads pull indices from a
-        // shared queue, so a slow backend never blocks the others.
+        // shared queue, so a slow backend never blocks the others. Feasible
+        // candidates stream into the shared front the moment each backend
+        // finishes (ParetoFront::insert is insertion-order independent, so
+        // the front still never depends on thread scheduling).
         let queue = AtomicUsize::new(0);
         let winner_found = AtomicBool::new(false);
+        let streaming = StreamingFront::new();
         let results: Mutex<Vec<WorkerResult>> = Mutex::new(Vec::with_capacity(runnable.len()));
         let workers = self.threads.min(runnable.len().max(1));
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let slot = queue.fetch_add(1, Ordering::Relaxed);
-                    let Some(&index) = runnable.get(slot) else {
-                        break;
-                    };
-                    let backend = &self.backends[index];
+        let worker = || loop {
+            let slot = queue.fetch_add(1, Ordering::Relaxed);
+            let Some(&index) = runnable.get(slot) else {
+                break;
+            };
+            let backend = &self.backends[index];
 
-                    let outcome = if self.mode == RaceMode::FirstFeasible
-                        && winner_found.load(Ordering::Acquire)
-                    {
-                        (RunStatus::Preempted, Vec::new(), 0, 0)
-                    } else if deadline.is_some_and(|d| Instant::now() >= d) {
-                        (RunStatus::DeadlineExpired, Vec::new(), 0, 0)
-                    } else {
-                        let backend_start = Instant::now();
-                        let mut candidates = backend.solve(instance, &oracle, &self.budget);
-                        let micros = backend_start.elapsed().as_micros() as u64;
-                        let total = candidates.len();
-                        candidates.retain(|c| instance.admits(&c.evaluation));
-                        if !candidates.is_empty() {
-                            winner_found.store(true, Ordering::Release);
-                        }
-                        (RunStatus::Completed, candidates, total, micros)
-                    };
-                    let (run_status, candidates, total, micros) = outcome;
-                    results
-                        .lock()
-                        .expect("result lock poisoned")
-                        .push((index, run_status, candidates, total, micros));
-                });
-            }
-        });
-
-        // Merge in fixed backend order, independent of completion order.
-        let mut collected = results.into_inner().expect("result lock poisoned");
-        collected.sort_by_key(|(index, ..)| *index);
-        let mut front = ParetoFront::new();
-        for (index, status, candidates, total, micros) in collected {
-            runs[index].status = status;
-            runs[index].feasible = candidates.len();
-            runs[index].candidates = total;
-            runs[index].micros = micros;
-            for candidate in candidates {
-                front.insert(candidate);
-            }
+            let outcome =
+                if self.mode == RaceMode::FirstFeasible && winner_found.load(Ordering::Acquire) {
+                    (RunStatus::Preempted, 0, 0, 0)
+                } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                    (RunStatus::DeadlineExpired, 0, 0, 0)
+                } else {
+                    let backend_start = Instant::now();
+                    let mut candidates = backend.solve(instance, &oracle, &self.budget);
+                    let micros = backend_start.elapsed().as_micros() as u64;
+                    let total = candidates.len();
+                    // Re-certify through the shared oracle *before* the
+                    // bound filter, so feasibility and front dominance judge
+                    // one consistent evaluation (a backend's own evaluation
+                    // could differ by an ulp around a bound).
+                    for candidate in &mut candidates {
+                        candidate.evaluation = oracle.evaluate(&candidate.mapping);
+                    }
+                    candidates.retain(|c| instance.admits(&c.evaluation));
+                    if !candidates.is_empty() {
+                        winner_found.store(true, Ordering::Release);
+                    }
+                    let feasible = candidates.len();
+                    for candidate in candidates {
+                        streaming.insert(candidate);
+                    }
+                    (RunStatus::Completed, feasible, total, micros)
+                };
+            let (run_status, feasible, total, micros) = outcome;
+            results
+                .lock()
+                .expect("result lock poisoned")
+                .push((index, run_status, feasible, total, micros));
+        };
+        if workers <= 1 {
+            // Single-worker solves run inline on the calling thread: a batch
+            // driver racing many instances across its own workers must not
+            // pay a thread spawn per backend of every solve.
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
         }
 
-        let front = Arc::new(front);
+        for (index, status, feasible, total, micros) in
+            results.into_inner().expect("result lock poisoned")
+        {
+            runs[index].status = status;
+            runs[index].feasible = feasible;
+            runs[index].candidates = total;
+            runs[index].micros = micros;
+        }
+
+        let front = Arc::new(streaming.into_front());
         self.cache
             .lock()
             .expect("cache lock poisoned")
@@ -353,6 +418,37 @@ mod tests {
         let outcome = engine.solve(&instance());
         assert!(outcome.is_feasible());
         assert!(outcome.front.is_mutually_non_dominated());
+    }
+
+    #[test]
+    fn near_duplicate_instances_share_one_oracle() {
+        let engine = PortfolioEngine::default();
+        let base = instance();
+        let mut tighter = base.clone();
+        tighter.period_bound = 60.0;
+        let first = engine.solve(&base);
+        let second = engine.solve(&tighter);
+        // Different bounds: the front cache misses, the oracle cache hits.
+        assert!(!first.from_cache && !second.from_cache);
+        let stats = engine.oracle_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        // Both fronts are valid for their own bounds.
+        for point in second.front.points() {
+            assert!(point.evaluation.worst_case_period <= 60.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn disabled_oracle_cache_builds_fresh_oracles() {
+        let engine = PortfolioEngine::default().with_oracle_cache_capacity(0);
+        let base = instance();
+        let mut tighter = base.clone();
+        tighter.period_bound = 60.0;
+        let a = engine.solve(&base);
+        let b = engine.solve(&tighter);
+        assert!(a.is_feasible() && b.is_feasible());
+        assert_eq!(engine.oracle_cache_stats().hits, 0);
     }
 
     #[test]

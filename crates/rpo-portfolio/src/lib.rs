@@ -18,12 +18,16 @@
 //!   with per-backend applicability checks;
 //! * [`backends`] — the eight adapters over `rpo-algorithms`;
 //! * [`ParetoFront`] ([`pareto`]) — dominance filtering with deterministic
-//!   tie-breaking, so results are thread-schedule independent;
+//!   tie-breaking, so results are thread-schedule independent — plus the
+//!   [`StreamingFront`] candidates flow into as each backend finishes,
+//!   re-certified through the instance's shared oracle;
 //! * [`PortfolioEngine`] ([`engine`]) — the parallel race itself: worker
 //!   threads pull backends from a shared queue, with run-all and
 //!   first-feasible-wins modes and a wall-clock budget;
 //! * [`InstanceCache`] ([`cache`]) — an LRU keyed by the canonical hash of
-//!   `(chain, platform, bounds)`, so repeated solves are O(1);
+//!   `(chain, platform, bounds)`, so repeated solves are O(1) — and the
+//!   chain-keyed [`OracleCache`] that lets near-duplicate instances (same
+//!   chain/platform, different bounds) share one [`rpo_model::IntervalOracle`];
 //! * [`BatchDriver`] ([`batch`]) — streams `rpo-workload` instance batches
 //!   through the engine and reports throughput and per-backend win rates.
 //!
@@ -54,6 +58,6 @@ pub mod pareto;
 pub use backend::{Applicability, Budget, CandidateMapping, ProblemInstance, SolverBackend};
 pub use backends::default_backends;
 pub use batch::{BackendStats, BatchConfig, BatchDriver, BatchReport, BoundsPolicy};
-pub use cache::{CacheStats, InstanceCache};
+pub use cache::{CacheStats, InstanceCache, OracleCache};
 pub use engine::{BackendRun, PortfolioEngine, PortfolioOutcome, RaceMode, RunStatus};
-pub use pareto::ParetoFront;
+pub use pareto::{ParetoFront, StreamingFront};

@@ -8,6 +8,8 @@
 //! always yields the same front regardless of thread scheduling.
 
 use crate::backend::CandidateMapping;
+use rpo_model::IntervalOracle;
+use std::sync::Mutex;
 
 /// Returns `true` if `a` dominates `b`: no worse on all three criteria and
 /// strictly better on at least one.
@@ -177,6 +179,68 @@ impl ParetoFront {
             }
         }
         true
+    }
+}
+
+/// A thread-safe Pareto front that candidates **stream into** as backends
+/// finish, replacing the engine's post-race front rebuild.
+///
+/// Each offered candidate is first **re-certified** through the instance's
+/// shared [`IntervalOracle`]: its evaluation is recomputed by the oracle's
+/// exact Eq. 3–9 path (bit-identical to `MappingEvaluation::evaluate`, cheap
+/// — no per-boundary exponentials), so every dominance comparison inside the
+/// front is made on one consistent evaluator regardless of which backend
+/// produced the candidate. [`ParetoFront::insert`] is insertion-order
+/// independent (deterministic tie-breaking), so streaming from racing worker
+/// threads yields *exactly* the front a sequential batch rebuild would — the
+/// workspace property tests assert that equality.
+#[derive(Debug, Default)]
+pub struct StreamingFront {
+    inner: Mutex<ParetoFront>,
+}
+
+impl StreamingFront {
+    /// An empty streaming front.
+    pub fn new() -> Self {
+        StreamingFront::default()
+    }
+
+    /// Re-certifies `candidate` through `oracle` and offers it to the front.
+    /// Returns `true` if it was kept.
+    pub fn offer(&self, oracle: &IntervalOracle, mut candidate: CandidateMapping) -> bool {
+        candidate.evaluation = oracle.evaluate(&candidate.mapping);
+        self.insert(candidate)
+    }
+
+    /// Offers an already-certified candidate to the front (the caller has
+    /// re-evaluated it through the instance's oracle — the engine does this
+    /// *before* its feasibility filter, so the filter and the front judge
+    /// one consistent evaluation). Returns `true` if it was kept.
+    pub fn insert(&self, candidate: CandidateMapping) -> bool {
+        self.inner
+            .lock()
+            .expect("streaming front lock poisoned")
+            .insert(candidate)
+    }
+
+    /// Number of points currently on the front.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("streaming front lock poisoned")
+            .len()
+    }
+
+    /// `true` if no candidate has been kept yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the stream and returns the aggregated front.
+    pub fn into_front(self) -> ParetoFront {
+        self.inner
+            .into_inner()
+            .expect("streaming front lock poisoned")
     }
 }
 
