@@ -146,6 +146,22 @@ impl DpScratch {
             ..DpScratch::default()
         }
     }
+
+    /// Clears every instance-specific datum (admissibility flags, work-prefix
+    /// cuts, warm-start bound) while **keeping the allocated capacity** of
+    /// all arenas. This is what makes the scratch safe to pool across
+    /// *different* instances of a batch: only the allocations are reused,
+    /// never another instance's admissibility data.
+    pub fn reset(&mut self) {
+        self.f.clear();
+        self.choice.clear();
+        self.blocks.clear();
+        self.adm.clear();
+        self.rels.clear();
+        self.in_ok.clear();
+        self.pp.clear();
+        self.prev_bound = f64::NAN;
+    }
 }
 
 /// The dynamic program shared by Algorithms 1 and 2 (fresh scratch per call).
@@ -657,11 +673,36 @@ pub fn optimize_reliability_homogeneous_with_oracle(
     chain: &TaskChain,
     platform: &Platform,
 ) -> Result<OptimalMapping> {
+    let mut scratch = DpScratch::new();
+    optimize_reliability_homogeneous_with_scratch(oracle, chain, platform, &mut scratch)
+}
+
+/// Algorithm 1 against caller-owned [`DpScratch`]: batch callers (the
+/// portfolio engine's scratch pool) reuse the DP arenas across instances —
+/// allocation reuse only, the admissibility data is rebuilt per run.
+///
+/// # Errors
+///
+/// Same as [`optimize_reliability_homogeneous`].
+pub fn optimize_reliability_homogeneous_with_scratch(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    scratch: &mut DpScratch,
+) -> Result<OptimalMapping> {
     crate::debug_assert_oracle_matches(oracle, chain, platform);
     if !oracle.is_homogeneous() {
         return Err(AlgoError::HeterogeneousPlatform);
     }
-    reliability_dp(oracle, chain, platform, DpFilter::All).ok_or(AlgoError::NoFeasibleMapping)
+    reliability_dp_scratch(
+        oracle,
+        chain,
+        platform,
+        DpFilter::All,
+        DpKernel::crate_default(),
+        scratch,
+    )
+    .ok_or(AlgoError::NoFeasibleMapping)
 }
 
 #[cfg(test)]

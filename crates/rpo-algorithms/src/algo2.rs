@@ -60,12 +60,15 @@ pub fn optimize_reliability_with_period_bound_with_oracle(
 /// Algorithm 2 against caller-owned [`DpScratch`]: the period minimizer's
 /// binary search passes the same scratch to every probe, so the DP arenas
 /// are allocated once and the admissible-interval cuts are warm-started from
-/// the previous probe instead of re-derived from scratch.
+/// the previous probe instead of re-derived from scratch. Batch callers (the
+/// portfolio engine's scratch pool) likewise reuse the arenas across
+/// instances — allocation reuse only; call [`DpScratch::reset`] between
+/// instances, as the pool does.
 ///
 /// # Errors
 ///
 /// Same as [`optimize_reliability_with_period_bound`].
-pub(crate) fn optimize_with_period_bound_scratch(
+pub fn optimize_with_period_bound_scratch(
     oracle: &IntervalOracle,
     chain: &TaskChain,
     platform: &Platform,

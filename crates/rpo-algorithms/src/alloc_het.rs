@@ -17,6 +17,21 @@
 //! processors, e.g. because it needs a specific hardware driver) are honoured
 //! by checking, before any allocation, that the candidate processor is
 //! allowed for every task of the interval.
+//!
+//! # When to use this, and when to use `algo_het`
+//!
+//! This allocator is a greedy heuristic with no optimality story, and it
+//! only allocates — the partition must come from elsewhere (Heur-L/Heur-P).
+//! On platforms with **few distinct processor classes** — the common real
+//! shape — the exact class-level dynamic program
+//! [`crate::algo_het::algo_het`] jointly optimizes the partition *and* the
+//! per-class replica counts, and is never less reliable than the greedy
+//! pipeline built on this allocator (`BENCH_het.json` measures the gain at
+//! the paper's 10-processor setup). The greedy path remains the right tool
+//! when the class count exceeds [`crate::algo_het::MAX_DP_CLASSES`] (every
+//! processor its own class, as in the paper's fully random speeds), when
+//! per-task *allocation constraints* must be honoured (the class DP has no
+//! notion of them), or as the DP's own fallback and upper-bound pruner.
 
 use rpo_model::{
     Interval, IntervalOracle, IntervalPartition, MappedInterval, Mapping, Platform, ProcessorId,

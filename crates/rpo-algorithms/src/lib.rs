@@ -11,14 +11,18 @@
 //!     reliability bound) by binary search over candidate periods;
 //!   * [`alloc`] — Algo-Alloc (Theorem 4): optimal greedy allocation of
 //!     processors to a fixed interval partition.
+//! * **Heterogeneous solvers**
+//!   * [`algo_het`] — exact reliability optimization by class-level dynamic
+//!     programming (tractable whenever the platform has few distinct
+//!     processor classes; greedy fallback otherwise);
+//!   * [`alloc_het`] — the Section 7.2 period-aware greedy allocation of
+//!     heterogeneous processors to a fixed partition.
 //! * **Heuristics for the NP-complete cases** (latency bound on homogeneous
-//!   platforms, everything on heterogeneous platforms)
+//!   platforms, large-class-count heterogeneous platforms)
 //!   * [`heur_l`] — Algorithm 3: intervals cut at the smallest communication
 //!     costs (latency-oriented);
 //!   * [`heur_p`] — Algorithm 4: work-balanced intervals by dynamic
 //!     programming (period-oriented);
-//!   * [`alloc_het`] — the Section 7.2 period-aware allocation of
-//!     heterogeneous processors;
 //!   * [`heuristic`] — the complete two-step heuristics used in the
 //!     experiments (interval computation for every possible interval count,
 //!     then allocation, then feasibility filtering).
@@ -35,6 +39,7 @@
 
 pub mod algo1;
 pub mod algo2;
+pub mod algo_het;
 pub mod alloc;
 pub mod alloc_het;
 pub mod energy_aware;
@@ -46,10 +51,16 @@ pub mod period_opt;
 
 pub use algo1::{
     optimize_reliability_homogeneous, optimize_reliability_homogeneous_with_oracle,
-    reliability_dp_with_kernel, reliability_dp_with_scratch, DpKernel, DpScratch,
+    optimize_reliability_homogeneous_with_scratch, reliability_dp_with_kernel,
+    reliability_dp_with_scratch, DpKernel, DpScratch,
 };
 pub use algo2::{
     optimize_reliability_with_period_bound, optimize_reliability_with_period_bound_with_oracle,
+    optimize_with_period_bound_scratch,
+};
+pub use algo_het::{
+    algo_het, algo_het_with_oracle, exhaustive_het, greedy_het_with_oracle, het_dp_applicable,
+    het_dp_applicable_platform, HetMethod, HetSolution,
 };
 pub use alloc::{algo_alloc, algo_alloc_with_oracle, exhaustive_alloc};
 pub use alloc_het::{algo_alloc_heterogeneous, algo_alloc_heterogeneous_with_oracle};
@@ -61,6 +72,7 @@ pub use heuristic::{
 };
 pub use period_opt::{
     minimize_period_with_reliability_bound, minimize_period_with_reliability_bound_with_oracle,
+    minimize_period_with_reliability_bound_with_scratch,
 };
 
 /// Errors reported by the algorithms of this crate.

@@ -105,6 +105,31 @@ pub fn minimize_period_with_reliability_bound_with_oracle(
     platform: &Platform,
     reliability_bound: f64,
 ) -> Result<PeriodOptimal> {
+    let mut scratch = DpScratch::new();
+    minimize_period_with_reliability_bound_with_scratch(
+        oracle,
+        chain,
+        platform,
+        reliability_bound,
+        &mut scratch,
+    )
+}
+
+/// Period minimization against caller-owned [`DpScratch`]: batch callers
+/// (the portfolio engine's scratch pool) reuse the DP arenas across
+/// instances — allocation reuse only, the admissibility data is rebuilt per
+/// probe.
+///
+/// # Errors
+///
+/// Same as [`minimize_period_with_reliability_bound`].
+pub fn minimize_period_with_reliability_bound_with_scratch(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    reliability_bound: f64,
+    scratch: &mut DpScratch,
+) -> Result<PeriodOptimal> {
     crate::debug_assert_oracle_matches(oracle, chain, platform);
     if !oracle.is_homogeneous() {
         return Err(AlgoError::HeterogeneousPlatform);
@@ -114,20 +139,19 @@ pub fn minimize_period_with_reliability_bound_with_oracle(
     }
 
     let candidates = candidate_periods(oracle, platform.speed(0));
-    let mut scratch = DpScratch::new();
     // Check feasibility at the largest candidate (equivalent to no bound).
     let largest = *candidates
         .last()
         .expect("a non-empty chain has candidate periods");
     let unconstrained =
-        optimize_with_period_bound_scratch(oracle, chain, platform, largest, &mut scratch)?;
+        optimize_with_period_bound_scratch(oracle, chain, platform, largest, &mut *scratch)?;
     if unconstrained.reliability < reliability_bound {
         return Err(AlgoError::NoFeasibleMapping);
     }
 
     // Binary search the smallest candidate period meeting the bound.
     let mut feasible = |period: f64| -> Option<crate::algo1::OptimalMapping> {
-        match optimize_with_period_bound_scratch(oracle, chain, platform, period, &mut scratch) {
+        match optimize_with_period_bound_scratch(oracle, chain, platform, period, &mut *scratch) {
             Ok(solution) if solution.reliability >= reliability_bound => Some(solution),
             _ => None,
         }

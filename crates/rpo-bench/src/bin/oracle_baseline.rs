@@ -1,16 +1,23 @@
 //! Machine-readable perf baselines: times the Algorithm 1/2 dynamic
 //! programs with and without the [`IntervalOracle`] (writing
-//! `BENCH_oracle.json`), then times the lane-chunked DP kernel against the
+//! `BENCH_oracle.json`), times the lane-chunked DP kernel against the
 //! scalar reference sweep and the portfolio batch with and without
-//! chain-keyed oracle sharing (writing `BENCH_kernel.json`).
+//! chain-keyed oracle sharing (writing `BENCH_kernel.json`), and measures
+//! the exact class-level heterogeneous DP against the Section 7.2 greedy
+//! pipeline at the paper's 10-processor heterogeneous setup (3-class
+//! variant; writing `BENCH_het.json`).
 //!
 //! Usage:
 //! `cargo run --release -p rpo-bench --bin oracle_baseline \
-//!     [oracle_output] [kernel_output] [--enforce-kernel-speedup]`
-//! (default output paths `BENCH_oracle.json` and `BENCH_kernel.json` in the
-//! working directory). With `--enforce-kernel-speedup` the process exits
-//! non-zero if the chunked kernel measures slower than the scalar reference
-//! — the CI smoke step runs in that mode.
+//!     [oracle_output] [kernel_output] [het_output] \
+//!     [--enforce-kernel-speedup] [--enforce-het-gain]`
+//! (default output paths `BENCH_oracle.json`, `BENCH_kernel.json` and
+//! `BENCH_het.json` in the working directory). With
+//! `--enforce-kernel-speedup` the process exits non-zero if the chunked
+//! kernel measures slower than the scalar reference; with
+//! `--enforce-het-gain` it exits non-zero if `algo_het` ever falls below the
+//! greedy reliability (or solves fewer instances) — the CI smoke step runs
+//! both.
 //!
 //! The "naive" dynamic program reimplements the pre-oracle recurrence — it
 //! recomputes the Eq. 9 replica-block reliability (three `exp`s per
@@ -19,8 +26,9 @@
 //! oracle, kept here as the measurement baseline.
 
 use rpo_algorithms::{
-    optimize_reliability_homogeneous_with_oracle,
+    algo_het_with_oracle, greedy_het_with_oracle, optimize_reliability_homogeneous_with_oracle,
     optimize_reliability_with_period_bound_with_oracle, reliability_dp_with_kernel, DpKernel,
+    HetMethod,
 };
 use rpo_bench::{bench_chain, bench_hom_platform};
 use rpo_model::{reliability, Interval, IntervalOracle, Platform, TaskChain};
@@ -107,6 +115,114 @@ struct KernelBaseline {
     batch_shared_oracle: SharingSummary,
     /// …and with it disabled (every solve rebuilds its oracle).
     batch_unshared_oracle: SharingSummary,
+}
+
+/// Number of class-structured heterogeneous instances of the `algo_het`
+/// baseline.
+const HET_INSTANCES: usize = 50;
+
+/// The `algo_het` (exact class-level DP) vs greedy comparison at the paper's
+/// 10-processor heterogeneous setup, restricted to three processor classes
+/// so the DP applies.
+#[derive(Debug, Serialize)]
+struct HetBaseline {
+    instances: usize,
+    tasks: usize,
+    processors: usize,
+    classes: usize,
+    max_replication: usize,
+    /// Period bound = `period_slack × W / s_max` per instance (whole-chain
+    /// work on the fastest processor — tight enough that the exact DP's
+    /// partition/pattern choices matter).
+    period_slack: f64,
+    /// Instances each strategy solved within the bound.
+    dp_solved: usize,
+    greedy_solved: usize,
+    /// Solves where the exact DP (not the greedy fallback) produced the
+    /// answer.
+    dp_exact_solves: usize,
+    /// Total `algo_het` wall-clock across all instances. NOTE: `algo_het`
+    /// runs the full greedy pipeline internally (fallback + upper-bound
+    /// pruner), so this **includes** one greedy run per instance — the
+    /// DP-only cost is roughly `dp_total_millis − greedy_total_millis`.
+    dp_total_millis: f64,
+    /// Total standalone greedy-pipeline wall-clock across all instances.
+    greedy_total_millis: f64,
+    /// Failure-probability gain `(F_greedy − F_dp) / F_greedy`, averaged /
+    /// maximized over the instances both strategies solved.
+    mean_failure_gain: f64,
+    max_failure_gain: f64,
+    /// Instances where the DP is strictly more reliable than the greedy.
+    dp_wins: usize,
+    /// Instances where the DP is *less* reliable than the greedy — must be
+    /// zero (`--enforce-het-gain` fails otherwise).
+    dp_losses: usize,
+}
+
+fn run_het_baseline() -> HetBaseline {
+    let period_slack = 0.75;
+    let generator = rpo_workload::InstanceGenerator::paper_heterogeneous_classes(0x0AC1E);
+    let mut baseline = HetBaseline {
+        instances: HET_INSTANCES,
+        tasks: 0,
+        processors: 0,
+        classes: 0,
+        max_replication: 0,
+        period_slack,
+        dp_solved: 0,
+        greedy_solved: 0,
+        dp_exact_solves: 0,
+        dp_total_millis: 0.0,
+        greedy_total_millis: 0.0,
+        mean_failure_gain: 0.0,
+        max_failure_gain: 0.0,
+        dp_wins: 0,
+        dp_losses: 0,
+    };
+    let mut gains: Vec<f64> = Vec::new();
+    for instance in generator.batch(HET_INSTANCES) {
+        let chain = &instance.chain;
+        let platform = &instance.heterogeneous;
+        baseline.tasks = chain.len();
+        baseline.processors = platform.num_processors();
+        baseline.max_replication = platform.max_replication();
+        let oracle = IntervalOracle::new(chain, platform);
+        baseline.classes = oracle.classes().len();
+        let bound = period_slack * chain.total_work() / platform.max_speed();
+
+        let start = Instant::now();
+        let dp = algo_het_with_oracle(&oracle, chain, platform, Some(bound));
+        baseline.dp_total_millis += start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let greedy = greedy_het_with_oracle(&oracle, chain, platform, Some(bound));
+        baseline.greedy_total_millis += start.elapsed().as_secs_f64() * 1e3;
+
+        if let Ok(dp) = &dp {
+            baseline.dp_solved += 1;
+            if dp.method == HetMethod::ClassDp {
+                baseline.dp_exact_solves += 1;
+            }
+        }
+        if greedy.is_ok() {
+            baseline.greedy_solved += 1;
+        }
+        if let (Ok(dp), Ok(greedy)) = (&dp, &greedy) {
+            let (f_dp, f_greedy) = (1.0 - dp.reliability, 1.0 - greedy.reliability);
+            if f_greedy > 0.0 {
+                gains.push((f_greedy - f_dp) / f_greedy);
+            }
+            if dp.reliability > greedy.reliability {
+                baseline.dp_wins += 1;
+            } else if dp.reliability < greedy.reliability {
+                baseline.dp_losses += 1;
+            }
+        }
+    }
+    if !gains.is_empty() {
+        baseline.mean_failure_gain = gains.iter().sum::<f64>() / gains.len() as f64;
+        baseline.max_failure_gain = gains.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    }
+    baseline
 }
 
 /// The pre-oracle replicated homogeneous interval reliability: three `exp`s
@@ -341,10 +457,12 @@ fn write_json<T: Serialize>(path: &str, value: &T) {
 }
 
 fn main() {
-    let (mut outputs, mut enforce) = (Vec::new(), false);
+    let (mut outputs, mut enforce, mut enforce_het) = (Vec::new(), false, false);
     for arg in std::env::args().skip(1) {
         if arg == "--enforce-kernel-speedup" {
             enforce = true;
+        } else if arg == "--enforce-het-gain" {
+            enforce_het = true;
         } else {
             outputs.push(arg);
         }
@@ -357,6 +475,10 @@ fn main() {
         .get(1)
         .cloned()
         .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+    let het_output = outputs
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_het.json".to_string());
 
     let chain = bench_chain(DP_TASKS, 42);
     let platform = bench_hom_platform(DP_PROCESSORS);
@@ -432,8 +554,33 @@ fn main() {
     };
     write_json(&kernel_output, &kernel);
 
+    eprintln!(
+        "running algo_het vs greedy on {HET_INSTANCES} class-structured heterogeneous instances …"
+    );
+    let het = run_het_baseline();
+    eprintln!(
+        "  dp solved {}/{} ({} exact DP), greedy solved {}; algo_het {:.1} ms (incl. its \
+         internal greedy run) vs greedy alone {:.1} ms; \
+         mean failure gain {:.1}%, {} wins / {} losses",
+        het.dp_solved,
+        het.instances,
+        het.dp_exact_solves,
+        het.greedy_solved,
+        het.dp_total_millis,
+        het.greedy_total_millis,
+        100.0 * het.mean_failure_gain,
+        het.dp_wins,
+        het.dp_losses,
+    );
+    let het_regressed = het.dp_losses > 0 || het.dp_solved < het.greedy_solved;
+    write_json(&het_output, &het);
+
     if enforce && slower {
         eprintln!("FAIL: the chunked kernel measured slower than the scalar reference");
+        std::process::exit(1);
+    }
+    if enforce_het && het_regressed {
+        eprintln!("FAIL: algo_het fell below the greedy baseline (losses or fewer solves)");
         std::process::exit(1);
     }
 }

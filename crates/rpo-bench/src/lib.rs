@@ -39,11 +39,13 @@ pub fn bench_noisy_platform(p: usize) -> Platform {
     Platform::homogeneous(p, 1.0, 1e-3, 1.0, 1e-4, 3).expect("valid platform")
 }
 
-/// A deterministic paper-style heterogeneous platform with `p` processors.
+/// A deterministic paper-style heterogeneous platform with `p` processors
+/// (every processor its own drawn speed, also for `p` beyond the paper's 10).
 pub fn bench_het_platform(p: usize, seed: u64) -> Platform {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let spec = HeterogeneousPlatformSpec {
         num_processors: p,
+        num_classes: p,
         ..HeterogeneousPlatformSpec::paper()
     };
     spec.generate(&mut rng)

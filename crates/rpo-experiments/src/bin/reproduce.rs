@@ -12,22 +12,27 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rpo_experiments::experiments::SweepOptions;
-use rpo_experiments::figures::{run_all, run_figure, FigureId};
+use rpo_experiments::figures::{run_all, run_figure, run_het_dp_figures, FigureId};
 use rpo_experiments::{csv, report};
 
 struct Args {
     figures: Vec<FigureId>,
     all: bool,
+    het: bool,
     list: bool,
     options: SweepOptions,
     out_dir: PathBuf,
 }
 
 fn usage() -> &'static str {
-    "usage: reproduce [--all] [--figure N]... [--instances I] [--seed S] [--out DIR] [--list]\n\
+    "usage: reproduce [--all] [--figure N]... [--het] [--instances I] [--seed S] [--out DIR] \
+     [--list]\n\
      \n\
-     --all           run every experiment and emit Figures 6-15 (default)\n\
+     --all           run every experiment and emit Figures 6-15 plus the\n\
+     \x20               heterogeneous DP-vs-greedy sweep (default)\n\
      --figure N      run only Figure N (6..=15); may be repeated\n\
+     --het           run only the class-level DP vs greedy heterogeneous\n\
+     \x20               sweep (fig_het_count / fig_het_failure)\n\
      --instances I   number of random instances per experiment (default 100)\n\
      --seed S        base seed of the instance generator (default 20100613)\n\
      --out DIR       directory for the CSV files (default results/)\n\
@@ -38,6 +43,7 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         figures: Vec::new(),
         all: false,
+        het: false,
         list: false,
         options: SweepOptions::default(),
         out_dir: PathBuf::from("results"),
@@ -45,6 +51,7 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
     while let Some(arg) = raw.next() {
         match arg.as_str() {
             "--all" => args.all = true,
+            "--het" => args.het = true,
             "--list" => args.list = true,
             "--figure" => {
                 let value = raw.next().ok_or("--figure needs a number")?;
@@ -76,7 +83,7 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}\n\n{}", usage())),
         }
     }
-    if args.figures.is_empty() {
+    if args.figures.is_empty() && !args.het {
         args.all = true;
     }
     Ok(args)
@@ -95,10 +102,11 @@ fn main() -> ExitCode {
         for id in FigureId::all() {
             println!("{:>2}  {}", id.number(), id.title());
         }
+        println!("het  class-level DP vs greedy heterogeneous sweep (--het)");
         return ExitCode::SUCCESS;
     }
 
-    let results = if args.all {
+    let mut results = if args.all {
         eprintln!(
             "running all experiments with {} instances (seed {})",
             args.options.num_instances, args.options.seed
@@ -110,6 +118,9 @@ fn main() -> ExitCode {
             .map(|&id| run_figure(id, &args.options))
             .collect()
     };
+    if args.all || args.het {
+        results.extend(run_het_dp_figures(&args.options));
+    }
 
     for figure in &results {
         report::print_table(figure);

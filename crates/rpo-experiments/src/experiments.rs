@@ -8,7 +8,9 @@
 
 use rayon::prelude::*;
 use rpo_algorithms::exact::ProfileSet;
-use rpo_algorithms::{run_heuristic_with_oracle, HeuristicConfig, IntervalHeuristic};
+use rpo_algorithms::{
+    algo_het_with_oracle, run_heuristic_with_oracle, HeuristicConfig, IntervalHeuristic,
+};
 use rpo_model::{IntervalOracle, Platform};
 use rpo_workload::{ExperimentInstance, InstanceGenerator};
 use serde::{Deserialize, Serialize};
@@ -353,6 +355,56 @@ fn run_heterogeneous(spec: &ExperimentSpec, instances: &[ExperimentInstance]) ->
     }
 }
 
+/// The class-structured heterogeneous period sweep: the exact class-level DP
+/// (`algo_het`) against the Section 7.2 greedy pipeline, on the paper's
+/// 10-processor platform restricted to three processor classes. Sweeps the
+/// period bound over the Figure 12 range with no latency bound (the DP
+/// optimizes reliability under a period bound only).
+pub fn run_het_dp_sweep(options: &SweepOptions) -> ExperimentData {
+    let generator = InstanceGenerator::paper_heterogeneous_classes(options.seed);
+    let instances = generator.batch(options.num_instances);
+    let x_values = sweep(10.0, 150.0, 10.0);
+    let num_points = x_values.len();
+
+    let results: Vec<[Vec<Option<f64>>; 2]> = instances
+        .par_iter()
+        .map(|instance| {
+            let platform = &instance.heterogeneous;
+            let oracle = IntervalOracle::new(&instance.chain, platform);
+            let mut dp = Vec::with_capacity(num_points);
+            let mut greedy = Vec::with_capacity(num_points);
+            for &x in &x_values {
+                // One solve serves both curves: algo_het runs the greedy
+                // pipeline internally (fallback + pruner) and reports its
+                // reliability alongside the DP's.
+                match algo_het_with_oracle(&oracle, &instance.chain, platform, Some(x)) {
+                    Ok(solution) => {
+                        dp.push(Some(solution.reliability));
+                        greedy.push(solution.greedy_reliability);
+                    }
+                    Err(_) => {
+                        // algo_het fails only when the greedy failed too.
+                        dp.push(None);
+                        greedy.push(None);
+                    }
+                }
+            }
+            [dp, greedy]
+        })
+        .collect();
+
+    let dp: Vec<Vec<Option<f64>>> = results.iter().map(|r| r[0].clone()).collect();
+    let greedy: Vec<Vec<Option<f64>>> = results.iter().map(|r| r[1].clone()).collect();
+    ExperimentData {
+        x_values,
+        curves: vec![
+            aggregate("Het-DP", &dp, num_points),
+            aggregate("Greedy", &greedy, num_points),
+        ],
+        num_instances: instances.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +499,35 @@ mod tests {
         );
         for curve in &data.curves {
             assert!(curve.solved.iter().all(|&s| s <= 4));
+        }
+    }
+
+    #[test]
+    fn het_dp_sweep_never_trails_the_greedy_curve() {
+        let data = run_het_dp_sweep(&small_options());
+        assert_eq!(data.curves.len(), 2);
+        let dp = &data.curves[0];
+        let greedy = &data.curves[1];
+        assert_eq!(dp.label, "Het-DP");
+        assert_eq!(greedy.label, "Greedy");
+        for point in 0..data.x_values.len() {
+            // The DP solves at least as many instances as the greedy, and
+            // (being exact ≥ greedy per instance) never averages worse on
+            // the instances both solve.
+            assert!(
+                dp.solved[point] >= greedy.solved[point],
+                "point {point}: DP solved {} < greedy {}",
+                dp.solved[point],
+                greedy.solved[point]
+            );
+            if dp.solved[point] == greedy.solved[point] && dp.solved[point] > 0 {
+                assert!(
+                    dp.avg_failure[point] <= greedy.avg_failure[point] + 1e-15,
+                    "point {point}: DP failure {} above greedy {}",
+                    dp.avg_failure[point],
+                    greedy.avg_failure[point]
+                );
+            }
         }
     }
 

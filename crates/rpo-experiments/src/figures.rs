@@ -200,6 +200,64 @@ pub fn run_figure(id: FigureId, options: &SweepOptions) -> FigureResult {
     extract(id, &data)
 }
 
+/// The class-structured heterogeneous sweep beyond the paper's figures: the
+/// exact class-level DP (`algo_het`) against the Section 7.2 greedy
+/// pipeline, both views of one run — solution counts (`fig_het_count`) and
+/// average failure probability (`fig_het_failure`).
+pub fn run_het_dp_figures(options: &SweepOptions) -> Vec<FigureResult> {
+    let data = crate::experiments::run_het_dp_sweep(options);
+    let count_series = data
+        .curves
+        .iter()
+        .map(|curve| {
+            Series::new(
+                curve.label.clone(),
+                data.x_values
+                    .iter()
+                    .zip(&curve.solved)
+                    .map(|(&x, &count)| (x, count as f64))
+                    .collect(),
+            )
+        })
+        .collect();
+    let failure_series = data
+        .curves
+        .iter()
+        .map(|curve| {
+            Series::new(
+                curve.label.clone(),
+                data.x_values
+                    .iter()
+                    .zip(&curve.avg_failure)
+                    .map(|(&x, &failure)| (x, failure))
+                    .collect(),
+            )
+        })
+        .collect();
+    vec![
+        FigureResult {
+            id: "fig_het_count".to_string(),
+            title: "Number of solutions: class-level DP vs greedy on 3-class heterogeneous \
+                    platforms"
+                .to_string(),
+            x_label: "Bound on period".to_string(),
+            y_label: "Number of solutions".to_string(),
+            num_instances: data.num_instances,
+            series: count_series,
+        },
+        FigureResult {
+            id: "fig_het_failure".to_string(),
+            title: "Average failure rate: class-level DP vs greedy on 3-class heterogeneous \
+                    platforms"
+                .to_string(),
+            x_label: "Bound on period".to_string(),
+            y_label: "Average failure probability".to_string(),
+            num_instances: data.num_instances,
+            series: failure_series,
+        },
+    ]
+}
+
 /// Runs every experiment once and returns all ten figures (the two views of
 /// each experiment are extracted from the same run).
 pub fn run_all(options: &SweepOptions) -> Vec<FigureResult> {
@@ -278,6 +336,23 @@ mod tests {
             for y in series.ys() {
                 assert!(y.is_nan() || (0.0..=1.0).contains(&y));
             }
+        }
+    }
+
+    #[test]
+    fn het_dp_figures_compare_dp_and_greedy() {
+        let options = SweepOptions {
+            num_instances: 2,
+            seed: 5,
+        };
+        let figures = run_het_dp_figures(&options);
+        assert_eq!(figures.len(), 2);
+        assert_eq!(figures[0].id, "fig_het_count");
+        assert_eq!(figures[1].id, "fig_het_failure");
+        for figure in &figures {
+            assert!(figure.series_by_label("Het-DP").is_some());
+            assert!(figure.series_by_label("Greedy").is_some());
+            assert_eq!(figure.num_instances, 2);
         }
     }
 

@@ -33,6 +33,6 @@ pub mod problem_io;
 pub mod report;
 pub mod series;
 
-pub use experiments::{ExperimentData, MethodCurve, SweepOptions};
-pub use figures::{run_all, run_figure, FigureId};
+pub use experiments::{run_het_dp_sweep, ExperimentData, MethodCurve, SweepOptions};
+pub use figures::{run_all, run_figure, run_het_dp_figures, FigureId};
 pub use series::{FigureResult, Series};

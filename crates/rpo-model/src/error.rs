@@ -54,6 +54,24 @@ pub enum ModelError {
     UnknownProcessor(usize),
     /// A numeric argument was expected to be finite.
     NotFinite(&'static str),
+    /// A class assignment requests more replicas from a class than it has
+    /// member processors.
+    ClassOverSubscribed {
+        /// Index of the over-subscribed class.
+        class: usize,
+        /// Total replicas requested from the class.
+        requested: usize,
+        /// Member processors the class actually has.
+        members: usize,
+    },
+    /// A class assignment's shape does not match the partition and class
+    /// table it is lowered against.
+    ClassShapeMismatch {
+        /// Number of intervals of the partition.
+        expected_intervals: usize,
+        /// Number of classes of the class view.
+        expected_classes: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -110,6 +128,22 @@ impl fmt::Display for ModelError {
                 write!(f, "processor index {u} is outside the platform")
             }
             ModelError::NotFinite(what) => write!(f, "{what} must be a finite number"),
+            ModelError::ClassOverSubscribed {
+                class,
+                requested,
+                members,
+            } => write!(
+                f,
+                "class {class} is asked for {requested} replicas but has only {members} members"
+            ),
+            ModelError::ClassShapeMismatch {
+                expected_intervals,
+                expected_classes,
+            } => write!(
+                f,
+                "class assignment shape does not match {expected_intervals} intervals × \
+                 {expected_classes} classes"
+            ),
         }
     }
 }

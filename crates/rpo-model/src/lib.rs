@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod canonical;
+pub mod class_view;
 pub mod energy;
 pub mod error;
 pub mod evaluate;
@@ -42,12 +43,13 @@ pub mod task;
 pub mod timing;
 
 pub use canonical::{Canonical, CanonicalHasher};
+pub use class_view::{assignment_from_segments, ClassAssignment, ClassView, ProcessorClass};
 pub use energy::{EnergyEvaluation, PowerModel};
 pub use error::ModelError;
 pub use evaluate::{BoundCheck, MappingEvaluation};
 pub use interval::{Interval, IntervalPartition};
 pub use mapping::{MappedInterval, Mapping};
-pub use oracle::{oracle_cache_key, BlockReliabilityTable, IntervalOracle, ProcessorClass};
+pub use oracle::{oracle_cache_key, BlockReliabilityTable, IntervalOracle};
 pub use platform::{Platform, PlatformBuilder, Processor, ProcessorId};
 pub use task::{Task, TaskChain};
 

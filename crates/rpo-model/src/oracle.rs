@@ -17,8 +17,9 @@
 //! * boundary communication times `o_i / b` and reliabilities
 //!   `e^{−λ_ℓ o_i / b}`, precomputed per boundary;
 //! * processors deduplicated into [`ProcessorClass`]es of identical
-//!   `(speed, failure rate)` so per-class interval reliabilities are shared
-//!   by every member;
+//!   `(speed, failure rate)` through the embedded [`ClassView`] (the
+//!   first-class class layer of [`crate::class_view`]), so per-class
+//!   interval reliabilities are shared by every member;
 //! * an optional dense triangular [`BlockReliabilityTable`] holding the
 //!   replica-block reliability of **every** interval of one class, for the
 //!   dynamic programs that sweep all `O(n²)` intervals.
@@ -30,7 +31,10 @@
 
 use std::sync::Arc;
 
-use crate::{CanonicalHasher, Mapping, MappingEvaluation, Platform, ProcessorId, TaskChain};
+use crate::class_view::ClassView;
+use crate::{
+    CanonicalHasher, Mapping, MappingEvaluation, Platform, ProcessorClass, ProcessorId, TaskChain,
+};
 
 /// Chain-level cache key of an oracle: the canonical digest of
 /// `(chain, platform)` **without** the real-time bounds. Near-duplicate
@@ -43,26 +47,6 @@ pub fn oracle_cache_key(chain: &TaskChain, platform: &Platform) -> u64 {
     chain.canonical_digest(&mut hasher);
     platform.canonical_digest(&mut hasher);
     hasher.finish()
-}
-
-/// Largest `ρ·W` exponent for which the factored prefix product
-/// `exp(−ρW_i)·exp(ρW_j)` is used; beyond it `exp(ρW_j)` could overflow or
-/// lose precision, so callers fall back to one exact `exp` per interval.
-const FACTORED_EXPONENT_LIMIT: f64 = 40.0;
-
-/// A group of processors with identical `(speed, failure rate)`.
-///
-/// On a homogeneous platform there is exactly one class; heterogeneous
-/// platforms typically have a handful (one per hardware generation), so
-/// per-class memoization covers every processor at a fraction of the cost.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ProcessorClass {
-    /// Speed `s_u` shared by the members.
-    pub speed: f64,
-    /// Failure rate `λ_u` shared by the members.
-    pub failure_rate: f64,
-    /// Number of processors in the class.
-    pub members: usize,
 }
 
 /// Dense triangular table of the replica-block reliability of every interval
@@ -129,20 +113,10 @@ pub struct IntervalOracle {
     comm_time: Vec<f64>,
     /// Communication reliability `e^{−λ_ℓ o_i / b}` per boundary.
     comm_rel: Vec<f64>,
-    classes: Vec<ProcessorClass>,
-    /// Class index of each processor.
-    class_of: Vec<u32>,
+    /// The class layer: deduplicated classes, member lists, and the
+    /// per-class factored exponent prefixes (see [`crate::class_view`]).
+    view: ClassView,
     max_replication: usize,
-    /// Per-class factored log-reliability exponent prefixes:
-    /// `exp_minus[c][i] = exp(−ρ_c W_i)` and `exp_plus[c][i] = exp(ρ_c W_i)`
-    /// over the work prefix `W`, with `ρ_c = λ_c / s_c`, so the interval
-    /// reliability `exp(−ρ_c (W_i − W_j))` is the product
-    /// `exp_minus[c][i] · exp_plus[c][j]` — `2(n+1)` exponentials per class
-    /// instead of one per interval. Empty for classes whose `ρ_c·W_total`
-    /// exceeds [`FACTORED_EXPONENT_LIMIT`] (callers fall back to exact
-    /// per-interval exponentials there).
-    exp_minus: Vec<Vec<f64>>,
-    exp_plus: Vec<Vec<f64>>,
 }
 
 impl IntervalOracle {
@@ -164,43 +138,8 @@ impl IntervalOracle {
             comm_rel.push((-link_rate * (o / bandwidth)).exp());
         }
 
-        let mut classes: Vec<ProcessorClass> = Vec::new();
-        let mut class_of = Vec::with_capacity(platform.num_processors());
-        for processor in platform.processors() {
-            let class = classes.iter().position(|c| {
-                c.speed == processor.speed && c.failure_rate == processor.failure_rate
-            });
-            let class = match class {
-                Some(c) => c,
-                None => {
-                    classes.push(ProcessorClass {
-                        speed: processor.speed,
-                        failure_rate: processor.failure_rate,
-                        members: 0,
-                    });
-                    classes.len() - 1
-                }
-            };
-            classes[class].members += 1;
-            class_of.push(class as u32);
-        }
-
         let work_prefix = chain.work_prefix().to_vec();
-        let total_work = work_prefix[n];
-        let (exp_minus, exp_plus): (Vec<Vec<f64>>, Vec<Vec<f64>>) = classes
-            .iter()
-            .map(|c| {
-                let rho = c.failure_rate / c.speed;
-                if rho * total_work <= FACTORED_EXPONENT_LIMIT {
-                    (
-                        work_prefix.iter().map(|&w| (-rho * w).exp()).collect(),
-                        work_prefix.iter().map(|&w| (rho * w).exp()).collect(),
-                    )
-                } else {
-                    (Vec::new(), Vec::new())
-                }
-            })
-            .unzip();
+        let view = ClassView::new(platform, &work_prefix);
 
         IntervalOracle {
             n,
@@ -208,11 +147,8 @@ impl IntervalOracle {
             output_size,
             comm_time,
             comm_rel,
-            classes,
-            class_of,
+            view,
             max_replication: platform.max_replication(),
-            exp_minus,
-            exp_plus,
         }
     }
 
@@ -237,7 +173,7 @@ impl IntervalOracle {
     /// Number of processors `p` of the underlying platform.
     #[inline]
     pub fn num_processors(&self) -> usize {
-        self.class_of.len()
+        self.view.num_processors()
     }
 
     /// Replication bound `K` of the underlying platform.
@@ -246,23 +182,30 @@ impl IntervalOracle {
         self.max_replication
     }
 
+    /// The class layer of the underlying platform: class table, member
+    /// lists, factored exponent prefixes (see [`crate::class_view`]).
+    #[inline]
+    pub fn class_view(&self) -> &ClassView {
+        &self.view
+    }
+
     /// The deduplicated processor classes.
     #[inline]
     pub fn classes(&self) -> &[ProcessorClass] {
-        &self.classes
+        self.view.classes()
     }
 
     /// Class index of processor `u`.
     #[inline]
     pub fn class_of(&self, u: ProcessorId) -> usize {
-        self.class_of[u] as usize
+        self.view.class_of(u)
     }
 
     /// Whether the platform has a single processor class (the paper's
     /// definition of homogeneity).
     #[inline]
     pub fn is_homogeneous(&self) -> bool {
-        self.classes.len() == 1
+        self.view.is_homogeneous()
     }
 
     /// Total work of the interval `first ..= last` (prefix-sum difference).
@@ -343,7 +286,7 @@ impl IntervalOracle {
     /// class `class` (Eq. 2): `e^{−λ W / s}`.
     #[inline]
     pub fn class_interval_reliability(&self, class: usize, first: usize, last: usize) -> f64 {
-        let c = &self.classes[class];
+        let c = self.view.class(class);
         // Same expression as reliability::interval_reliability.
         (-c.failure_rate * (self.work(first, last) / c.speed)).exp()
     }
@@ -412,7 +355,7 @@ impl IntervalOracle {
     /// queries fall back to one exact `exp` per interval.
     #[inline]
     pub fn class_factored(&self, class: usize) -> bool {
-        !self.exp_minus[class].is_empty()
+        self.view.factored(class)
     }
 
     /// Dense replica-block reliability table of every interval for one class.
@@ -425,10 +368,10 @@ impl IntervalOracle {
     /// [`Self::class_block_reliability`] by an ulp.
     pub fn class_block_table(&self, class: usize) -> BlockReliabilityTable {
         let n = self.n;
-        let c = &self.classes[class];
+        let c = self.view.class(class);
         let mut values = Vec::with_capacity(n * (n + 1) / 2);
         if self.class_factored(class) {
-            let (e_minus, e_plus) = (&self.exp_minus[class], &self.exp_plus[class]);
+            let (e_minus, e_plus) = (self.view.exp_minus(class), self.view.exp_plus(class));
             for (first, &e_first) in e_plus.iter().enumerate().take(n) {
                 let in_rel = self.input_comm_reliability(first);
                 for last in first..n {
@@ -470,7 +413,7 @@ impl IntervalOracle {
         out.clear();
         let out_rel = self.comm_rel[last];
         if self.class_factored(class) {
-            let (e_minus, e_plus) = (&self.exp_minus[class], &self.exp_plus[class]);
+            let (e_minus, e_plus) = (self.view.exp_minus(class), self.view.exp_plus(class));
             let e_last = e_minus[last + 1];
             out.extend((first_lo..=last).map(|first| {
                 self.input_comm_reliability(first) * (e_last * e_plus[first]) * out_rel
@@ -494,9 +437,10 @@ impl IntervalOracle {
 
         let mut sorted: Vec<ProcessorId> = processors.to_vec();
         sorted.sort_by(|&a, &b| {
-            self.classes[self.class_of(b)]
+            self.view
+                .class(self.class_of(b))
                 .speed
-                .partial_cmp(&self.classes[self.class_of(a)].speed)
+                .partial_cmp(&self.view.class(self.class_of(a)).speed)
                 .expect("finite speeds")
                 .then(a.cmp(&b))
         });
@@ -504,7 +448,7 @@ impl IntervalOracle {
         let mut numerator = 0.0;
         let mut all_fail = 1.0;
         for &u in &sorted {
-            let class = &self.classes[self.class_of(u)];
+            let class = &self.view.class(self.class_of(u));
             let r_u = (-class.failure_rate * (work / class.speed)).exp();
             numerator += work / class.speed * r_u * all_fail;
             all_fail *= 1.0 - r_u;
@@ -526,7 +470,7 @@ impl IntervalOracle {
         );
         let slowest = processors
             .iter()
-            .map(|&u| self.classes[self.class_of(u)].speed)
+            .map(|&u| self.view.class(self.class_of(u)).speed)
             .fold(f64::INFINITY, f64::min);
         self.work(first, last) / slowest
     }

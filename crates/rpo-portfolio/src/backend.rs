@@ -5,6 +5,8 @@
 //! by the engine and handed to all backends, so none of them recomputes the
 //! Eq. 5–9 interval metrics from scratch.
 
+use crate::pareto::StreamingFront;
+use rpo_algorithms::DpScratch;
 use rpo_model::{
     Canonical, CanonicalHasher, IntervalOracle, Mapping, MappingEvaluation, Platform, TaskChain,
 };
@@ -208,14 +210,40 @@ impl CandidateMapping {
     }
 }
 
+/// Mutable per-solve state the engine lends to each backend run: a pooled
+/// DP scratch (allocation reuse across the instances of a batch) and a live
+/// view of the solve's streaming Pareto front for mid-solve dominance
+/// probes.
+pub struct SolveContext<'a> {
+    /// DP arenas from the engine's scratch pool. [`DpScratch::reset`] was
+    /// called before lending, so only allocations carry over between
+    /// instances — never another instance's admissibility data.
+    pub scratch: &'a mut DpScratch,
+    /// The solve's streaming front, when the engine is racing one. Backends
+    /// that sweep many candidate profiles can call
+    /// [`StreamingFront::is_dominated`] mid-solve and abandon profiles that
+    /// are already strictly dominated — dominance only ever tightens as the
+    /// front grows, so an early abandon can never change the final front.
+    pub front: Option<&'a StreamingFront>,
+}
+
+impl SolveContext<'_> {
+    /// Whether `candidate` is already strictly dominated by the front being
+    /// streamed into (always `false` when no front is attached).
+    pub fn is_dominated(&self, candidate: &CandidateMapping) -> bool {
+        self.front
+            .is_some_and(|front| front.is_dominated(candidate))
+    }
+}
+
 /// A solver that can participate in the portfolio race.
 ///
 /// Implementations adapt the entry points of `rpo-algorithms` (Algorithms
-/// 1–2, the period minimizer, the Section 7 heuristics, the exact solvers)
-/// to one uniform interface. `solve` returns *all* candidate mappings worth
-/// aggregating — heuristic backends typically return one candidate per
-/// interval count, enriching the Pareto front beyond the single
-/// best-reliability answer.
+/// 1–2, the period minimizer, the heterogeneous class DP, the Section 7
+/// heuristics, the exact solvers) to one uniform interface. `solve` returns
+/// *all* candidate mappings worth aggregating — heuristic backends typically
+/// return one candidate per interval count, enriching the Pareto front
+/// beyond the single best-reliability answer.
 pub trait SolverBackend: Send + Sync {
     /// Short display name (`"Algo-1"`, `"Heur-P"`, "`ILP`", …).
     fn name(&self) -> &'static str;
@@ -228,10 +256,13 @@ pub trait SolverBackend: Send + Sync {
     ///
     /// `oracle` is the instance's shared interval-metrics kernel: one
     /// `Arc<IntervalOracle>` built per solve and handed to every backend.
+    /// `ctx` lends the engine's pooled DP scratch and (when racing) the live
+    /// streaming front.
     fn solve(
         &self,
         instance: &ProblemInstance,
         oracle: &IntervalOracle,
         budget: &Budget,
+        ctx: &mut SolveContext<'_>,
     ) -> Vec<CandidateMapping>;
 }

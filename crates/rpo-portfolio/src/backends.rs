@@ -2,29 +2,36 @@
 //!
 //! | backend | wraps | applicability |
 //! |---|---|---|
-//! | `Algo-1` | [`rpo_algorithms::optimize_reliability_homogeneous_with_oracle`] | homogeneous |
-//! | `Algo-2` | [`rpo_algorithms::optimize_reliability_with_period_bound_with_oracle`] | homogeneous, finite period bound |
-//! | `Period-Opt` | [`rpo_algorithms::minimize_period_with_reliability_bound_with_oracle`] | homogeneous |
+//! | `Algo-1` | [`rpo_algorithms::optimize_reliability_homogeneous_with_scratch`] | homogeneous |
+//! | `Algo-2` | [`rpo_algorithms::optimize_with_period_bound_scratch`] | homogeneous, finite period bound |
+//! | `Period-Opt` | [`rpo_algorithms::minimize_period_with_reliability_bound_with_scratch`] | homogeneous |
 //! | `Heur-L` | Heur-L partitions + Algo-Alloc / Section 7.2 allocation | always |
 //! | `Heur-P` | Heur-P partitions + Algo-Alloc / Section 7.2 allocation | always |
+//! | `Het-Dp` | [`rpo_algorithms::algo_het_with_oracle`] (exact class-level DP) | heterogeneous, few classes |
 //! | `Het-Sweep` | Section 7.2 allocation swept over tightened period targets | heterogeneous |
 //! | `ILP` | [`rpo_algorithms::exact::optimal_by_ilp_with_oracle`] | homogeneous, small instances |
 //! | `Exhaustive` | [`rpo_algorithms::exact::optimal_homogeneous_with_oracle`] | homogeneous, bounded size |
 //!
 //! All adapters read their interval metrics from the one
-//! [`IntervalOracle`] the engine builds per instance, so racing eight
-//! backends costs a single metrics precomputation.
+//! [`IntervalOracle`] the engine builds per instance, so racing nine
+//! backends costs a single metrics precomputation. The DP-based adapters
+//! additionally run on the engine's pooled
+//! [`DpScratch`](rpo_algorithms::DpScratch) arenas
+//! (via [`SolveContext`]), and the sweep adapters consult the live
+//! streaming front to abandon already-dominated profiles mid-solve.
 
-use crate::backend::{Applicability, Budget, CandidateMapping, ProblemInstance, SolverBackend};
+use crate::backend::{
+    Applicability, Budget, CandidateMapping, ProblemInstance, SolveContext, SolverBackend,
+};
 use rpo_algorithms::alloc::algo_alloc_with_oracle;
 use rpo_algorithms::alloc_het::{algo_alloc_heterogeneous_with_oracle, AllocationConstraints};
 use rpo_algorithms::exact;
 use rpo_algorithms::heur_l::heur_l_partition_with_oracle;
 use rpo_algorithms::heur_p::heur_p_partition_with_oracle;
 use rpo_algorithms::{
-    minimize_period_with_reliability_bound_with_oracle,
-    optimize_reliability_homogeneous_with_oracle,
-    optimize_reliability_with_period_bound_with_oracle,
+    algo_het_with_oracle, het_dp_applicable, het_dp_applicable_platform,
+    minimize_period_with_reliability_bound_with_scratch,
+    optimize_reliability_homogeneous_with_scratch, optimize_with_period_bound_scratch,
 };
 use rpo_model::{IntervalOracle, IntervalPartition};
 
@@ -32,8 +39,9 @@ const SKIP_HETEROGENEOUS: &str = "requires a homogeneous platform";
 const SKIP_HOMOGENEOUS: &str = "requires a heterogeneous platform";
 const SKIP_TOO_LARGE: &str = "instance exceeds the exact-solver size cap";
 const SKIP_NO_PERIOD_BOUND: &str = "needs a finite period bound";
+const SKIP_TOO_MANY_CLASSES: &str = "class count exceeds the heterogeneous DP cap";
 
-/// The full default portfolio: all eight backends.
+/// The full default portfolio: all nine backends.
 pub fn default_backends() -> Vec<Box<dyn SolverBackend>> {
     vec![
         Box::new(Algo1Backend),
@@ -41,6 +49,7 @@ pub fn default_backends() -> Vec<Box<dyn SolverBackend>> {
         Box::new(PeriodOptBackend),
         Box::new(HeuristicBackend::heur_l()),
         Box::new(HeuristicBackend::heur_p()),
+        Box::new(HetDpBackend),
         Box::new(HetSweepBackend),
         Box::new(IlpBackend),
         Box::new(ExhaustiveBackend),
@@ -68,16 +77,22 @@ impl SolverBackend for Algo1Backend {
         instance: &ProblemInstance,
         oracle: &IntervalOracle,
         _budget: &Budget,
+        ctx: &mut SolveContext<'_>,
     ) -> Vec<CandidateMapping> {
-        optimize_reliability_homogeneous_with_oracle(oracle, &instance.chain, &instance.platform)
-            .map(|solution| {
-                vec![CandidateMapping::evaluate_with_oracle(
-                    self.name(),
-                    oracle,
-                    solution.mapping,
-                )]
-            })
-            .unwrap_or_default()
+        optimize_reliability_homogeneous_with_scratch(
+            oracle,
+            &instance.chain,
+            &instance.platform,
+            ctx.scratch,
+        )
+        .map(|solution| {
+            vec![CandidateMapping::evaluate_with_oracle(
+                self.name(),
+                oracle,
+                solution.mapping,
+            )]
+        })
+        .unwrap_or_default()
     }
 }
 
@@ -104,12 +119,14 @@ impl SolverBackend for Algo2Backend {
         instance: &ProblemInstance,
         oracle: &IntervalOracle,
         _budget: &Budget,
+        ctx: &mut SolveContext<'_>,
     ) -> Vec<CandidateMapping> {
-        optimize_reliability_with_period_bound_with_oracle(
+        optimize_with_period_bound_scratch(
             oracle,
             &instance.chain,
             &instance.platform,
             instance.period_bound,
+            ctx.scratch,
         )
         .map(|solution| {
             vec![CandidateMapping::evaluate_with_oracle(
@@ -144,12 +161,14 @@ impl SolverBackend for PeriodOptBackend {
         instance: &ProblemInstance,
         oracle: &IntervalOracle,
         _budget: &Budget,
+        ctx: &mut SolveContext<'_>,
     ) -> Vec<CandidateMapping> {
-        minimize_period_with_reliability_bound_with_oracle(
+        minimize_period_with_reliability_bound_with_scratch(
             oracle,
             &instance.chain,
             &instance.platform,
             f64::MIN_POSITIVE,
+            ctx.scratch,
         )
         .map(|solution| {
             vec![CandidateMapping::evaluate_with_oracle(
@@ -201,6 +220,7 @@ impl SolverBackend for HeuristicBackend {
         instance: &ProblemInstance,
         oracle: &IntervalOracle,
         _budget: &Budget,
+        _ctx: &mut SolveContext<'_>,
     ) -> Vec<CandidateMapping> {
         let chain = &instance.chain;
         let platform = &instance.platform;
@@ -233,10 +253,61 @@ impl SolverBackend for HeuristicBackend {
     }
 }
 
+/// The exact class-level heterogeneous DP (`algo_het`): optimal reliability
+/// under the instance's period bound whenever the platform has few distinct
+/// processor classes. The first *exact* heterogeneous optimizer of the
+/// portfolio — on class-structured platforms its candidate certifiably
+/// dominates every greedy candidate's reliability.
+pub struct HetDpBackend;
+
+impl SolverBackend for HetDpBackend {
+    fn name(&self) -> &'static str {
+        "Het-Dp"
+    }
+
+    fn applicability(&self, instance: &ProblemInstance, _budget: &Budget) -> Applicability {
+        if instance.platform.is_homogeneous() {
+            Applicability::Skip(SKIP_HOMOGENEOUS)
+        } else if !het_dp_applicable_platform(&instance.platform) {
+            Applicability::Skip(SKIP_TOO_MANY_CLASSES)
+        } else {
+            Applicability::Applicable
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        _budget: &Budget,
+        _ctx: &mut SolveContext<'_>,
+    ) -> Vec<CandidateMapping> {
+        debug_assert!(het_dp_applicable(oracle));
+        let period_bound = instance
+            .period_bound
+            .is_finite()
+            .then_some(instance.period_bound);
+        algo_het_with_oracle(oracle, &instance.chain, &instance.platform, period_bound)
+            .map(|solution| {
+                vec![CandidateMapping::evaluate_with_oracle(
+                    self.name(),
+                    oracle,
+                    solution.mapping,
+                )]
+            })
+            .unwrap_or_default()
+    }
+}
+
 /// Heterogeneous-only strategy: sweeps the Section 7.2 allocator over a
 /// geometric ladder of *tightened* period targets. Tighter targets force the
 /// allocator towards faster processors, trading reliability for period and
 /// populating the Pareto front between the heuristics' extremes.
+///
+/// Each profile's candidate is probed against the live streaming front
+/// ([`SolveContext::is_dominated`]): profiles that are already strictly
+/// dominated mid-solve are abandoned instead of carried to the end — sound
+/// because dominance only tightens as the front grows.
 pub struct HetSweepBackend;
 
 /// Number of period targets swept by [`HetSweepBackend`].
@@ -260,6 +331,7 @@ impl SolverBackend for HetSweepBackend {
         instance: &ProblemInstance,
         oracle: &IntervalOracle,
         _budget: &Budget,
+        ctx: &mut SolveContext<'_>,
     ) -> Vec<CandidateMapping> {
         let chain = &instance.chain;
         let platform = &instance.platform;
@@ -296,11 +368,13 @@ impl SolverBackend for HetSweepBackend {
                         target,
                         &constraints,
                     ) {
-                        candidates.push(CandidateMapping::evaluate_with_oracle(
-                            self.name(),
-                            oracle,
-                            mapping,
-                        ));
+                        let candidate =
+                            CandidateMapping::evaluate_with_oracle(self.name(), oracle, mapping);
+                        // Abandon profiles the live front already strictly
+                        // dominates: they can never enter the final front.
+                        if !ctx.is_dominated(&candidate) {
+                            candidates.push(candidate);
+                        }
                     }
                 }
             }
@@ -332,6 +406,7 @@ impl SolverBackend for IlpBackend {
         instance: &ProblemInstance,
         oracle: &IntervalOracle,
         _budget: &Budget,
+        _ctx: &mut SolveContext<'_>,
     ) -> Vec<CandidateMapping> {
         exact::optimal_by_ilp_with_oracle(
             oracle,
@@ -377,6 +452,7 @@ impl SolverBackend for ExhaustiveBackend {
         instance: &ProblemInstance,
         oracle: &IntervalOracle,
         _budget: &Budget,
+        _ctx: &mut SolveContext<'_>,
     ) -> Vec<CandidateMapping> {
         exact::optimal_homogeneous_with_oracle(
             oracle,
@@ -399,7 +475,24 @@ impl SolverBackend for ExhaustiveBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpo_algorithms::DpScratch;
     use rpo_model::{Platform, PlatformBuilder, TaskChain};
+
+    /// Runs a backend with a fresh scratch and no streaming front, the way
+    /// unit tests exercise a single adapter.
+    fn solve_alone(
+        backend: &dyn SolverBackend,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        budget: &Budget,
+    ) -> Vec<CandidateMapping> {
+        let mut scratch = DpScratch::new();
+        let mut ctx = SolveContext {
+            scratch: &mut scratch,
+            front: None,
+        };
+        backend.solve(instance, oracle, budget, &mut ctx)
+    }
 
     fn hom_instance() -> ProblemInstance {
         let chain =
@@ -435,7 +528,7 @@ mod tests {
                     assert!(backend.applicability(&hom, &budget).is_applicable());
                     assert!(backend.applicability(&het, &budget).is_applicable());
                 }
-                "Het-Sweep" => {
+                "Het-Sweep" | "Het-Dp" => {
                     assert!(!backend.applicability(&hom, &budget).is_applicable());
                     assert!(backend.applicability(&het, &budget).is_applicable());
                 }
@@ -467,7 +560,7 @@ mod tests {
         let instance = hom_instance();
         let oracle = instance.build_oracle();
         let budget = Budget::default();
-        let candidates = HeuristicBackend::heur_p().solve(&instance, &oracle, &budget);
+        let candidates = solve_alone(&HeuristicBackend::heur_p(), &instance, &oracle, &budget);
         assert!(
             candidates.len() > 1,
             "expected one candidate per interval count"
@@ -482,8 +575,8 @@ mod tests {
         let instance = hom_instance();
         let oracle = instance.build_oracle();
         let budget = Budget::default();
-        let exhaustive = ExhaustiveBackend.solve(&instance, &oracle, &budget);
-        let ilp = IlpBackend.solve(&instance, &oracle, &budget);
+        let exhaustive = solve_alone(&ExhaustiveBackend, &instance, &oracle, &budget);
+        let ilp = solve_alone(&IlpBackend, &instance, &oracle, &budget);
         assert_eq!(exhaustive.len(), 1);
         assert_eq!(ilp.len(), 1);
         assert!(
@@ -495,7 +588,7 @@ mod tests {
     fn het_sweep_produces_period_diverse_candidates() {
         let instance = het_instance();
         let oracle = instance.build_oracle();
-        let candidates = HetSweepBackend.solve(&instance, &oracle, &Budget::default());
+        let candidates = solve_alone(&HetSweepBackend, &instance, &oracle, &Budget::default());
         assert!(!candidates.is_empty());
         let min = candidates
             .iter()
@@ -509,10 +602,40 @@ mod tests {
     }
 
     #[test]
+    fn het_dp_dominates_every_period_feasible_sweep_candidate() {
+        let instance = het_instance();
+        let oracle = instance.build_oracle();
+        let budget = Budget::default();
+        let dp = solve_alone(&HetDpBackend, &instance, &oracle, &budget);
+        assert_eq!(dp.len(), 1, "the class DP returns one exact candidate");
+        assert!(dp[0].evaluation.worst_case_period <= instance.period_bound);
+        for backend in [
+            Box::new(HetSweepBackend) as Box<dyn SolverBackend>,
+            Box::new(HeuristicBackend::heur_l()),
+            Box::new(HeuristicBackend::heur_p()),
+        ] {
+            for candidate in solve_alone(backend.as_ref(), &instance, &oracle, &budget) {
+                if candidate.evaluation.worst_case_period <= instance.period_bound {
+                    assert!(
+                        dp[0].evaluation.reliability >= candidate.evaluation.reliability,
+                        "{} produced a period-feasible candidate more reliable than the DP",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn oracle_backed_candidates_match_direct_evaluation() {
         let instance = hom_instance();
         let oracle = instance.build_oracle();
-        for candidate in HeuristicBackend::heur_l().solve(&instance, &oracle, &Budget::default()) {
+        for candidate in solve_alone(
+            &HeuristicBackend::heur_l(),
+            &instance,
+            &oracle,
+            &Budget::default(),
+        ) {
             let direct = rpo_model::MappingEvaluation::evaluate(
                 &instance.chain,
                 &instance.platform,

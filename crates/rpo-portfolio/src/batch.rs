@@ -7,6 +7,7 @@ use crate::cache::CacheStats;
 use crate::engine::{PortfolioEngine, RunStatus};
 use rpo_workload::ExperimentInstance;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -62,18 +63,52 @@ impl BoundsPolicy {
     }
 }
 
+/// How the driver divides its thread budget between instance-level and
+/// per-solve (backend-level) parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadSplit {
+    /// Fixed division: worker count = `workers / engine.threads()`, every
+    /// solve uses the engine's per-solve thread count. (The pre-adaptive
+    /// behavior.)
+    Static,
+    /// Decided **per instance at dispatch time**: instances whose DP volume
+    /// `n² · p` is at most the threshold solve inline single-threaded
+    /// (spawn-free) under full instance-level width; larger instances get
+    /// the engine's per-solve parallelism instead. Small instances dominate
+    /// paper-scale batches, so this recovers the wide `threads(1)`
+    /// configuration automatically while still parallelizing the occasional
+    /// big solve. Concurrent deep solves are bounded by permits
+    /// (`workers / engine.threads()`), so a batch of *only* large instances
+    /// degrades to roughly the static division instead of oversubscribing.
+    Adaptive {
+        /// Largest `n² · p` still considered a small instance.
+        small_volume: usize,
+    },
+}
+
+impl Default for ThreadSplit {
+    /// Adaptive, with the cutover placed between paper-scale instances
+    /// (`15² · 10 ≈ 2×10³`) and the bench's large ones (`100² · 20 = 2×10⁵`).
+    fn default() -> Self {
+        ThreadSplit::Adaptive {
+            small_volume: 100_000,
+        }
+    }
+}
+
 /// Batch driver configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchConfig {
-    /// Thread budget for the batch. The driver divides it by the engine's
-    /// per-solve thread count, so instance-level and backend-level
-    /// parallelism compose without oversubscribing the machine.
+    /// Thread budget for the batch. How it is divided between instance-level
+    /// and per-solve parallelism is decided by [`BatchConfig::split`].
     pub workers: usize,
     /// Bound derivation policy.
     pub bounds: BoundsPolicy,
     /// Solve each instance on its heterogeneous platform instead of the
     /// homogeneous one.
     pub heterogeneous: bool,
+    /// Thread-split policy (static division vs per-instance adaptive).
+    pub split: ThreadSplit,
 }
 
 impl Default for BatchConfig {
@@ -84,6 +119,7 @@ impl Default for BatchConfig {
                 .unwrap_or(1),
             bounds: BoundsPolicy::default(),
             heterogeneous: false,
+            split: ThreadSplit::default(),
         }
     }
 }
@@ -134,6 +170,17 @@ pub struct BatchReport {
     /// previous instance's interval-metrics kernel (same chain and platform,
     /// possibly different bounds).
     pub oracle_cache: CacheStats,
+    /// Scratch-pool counters after the batch: hits are backend runs that
+    /// reused a pooled DP arena from an earlier instance (allocation reuse
+    /// only; admissibility data stays per-instance).
+    pub scratch_pool: CacheStats,
+    /// Instances the adaptive split solved inline single-threaded under
+    /// wide instance-level parallelism — small instances, plus large ones
+    /// that found all deep permits taken (0 under [`ThreadSplit::Static`]).
+    pub wide_solves: usize,
+    /// Instances the adaptive split handed per-solve parallelism
+    /// (0 under [`ThreadSplit::Static`]).
+    pub deep_solves: usize,
 }
 
 impl BatchReport {
@@ -174,6 +221,15 @@ impl std::fmt::Display for BatchReport {
             self.oracle_cache.misses,
             100.0 * self.oracle_cache.hit_ratio(),
             self.oracle_cache.evictions,
+        )?;
+        writeln!(
+            f,
+            "scratch pool: {} hits / {} misses ({:.0}% hit rate); split: {} wide / {} deep",
+            self.scratch_pool.hits,
+            self.scratch_pool.misses,
+            100.0 * self.scratch_pool.hit_ratio(),
+            self.wide_solves,
+            self.deep_solves,
         )?;
         writeln!(
             f,
@@ -247,7 +303,20 @@ impl BatchDriver {
         let start = Instant::now();
         // Divide the thread budget between instance-level parallelism
         // (workers here) and backend-level parallelism (engine threads).
-        let workers = (self.config.workers / engine.threads().max(1)).max(1);
+        // Static split divides up front; the adaptive split keeps the full
+        // width and decides the per-solve thread count per instance.
+        let workers = match self.config.split {
+            ThreadSplit::Static => (self.config.workers / engine.threads().max(1)).max(1),
+            ThreadSplit::Adaptive { .. } => self.config.workers.max(1),
+        };
+        let split = self.config.split;
+        let deep_threads = engine.threads().max(1).min(self.config.workers.max(1));
+        // Adaptive mode keeps the full instance-level width, so concurrent
+        // deep solves could oversubscribe by workers × deep_threads. Bound
+        // them with permits: at most workers/deep_threads solves run deep at
+        // once (total live threads stay ≈ 2× the budget); a large instance
+        // that cannot get a permit falls back to an inline solve.
+        let deep_permits = AtomicUsize::new((workers / deep_threads).max(1));
         let source = Mutex::new(instances);
 
         #[derive(Default)]
@@ -255,6 +324,8 @@ impl BatchDriver {
             count: usize,
             feasible: usize,
             cache_answered: usize,
+            wide: usize,
+            deep: usize,
             stats: HashMap<&'static str, BackendStats>,
         }
 
@@ -270,7 +341,33 @@ impl BatchDriver {
                             break;
                         };
                         local.count += 1;
-                        let outcome = engine.solve(&instance);
+                        let outcome = match split {
+                            ThreadSplit::Static => engine.solve(&instance),
+                            ThreadSplit::Adaptive { small_volume } => {
+                                // DP volume n²·p decides the split: small
+                                // instances run inline single-threaded (the
+                                // whole width stays instance-level), large
+                                // ones get backend-level parallelism.
+                                let n = instance.chain.len();
+                                let volume = n * n * instance.platform.num_processors();
+                                let permit = volume > small_volume
+                                    && deep_permits
+                                        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| {
+                                            p.checked_sub(1)
+                                        })
+                                        .is_ok();
+                                if permit {
+                                    local.deep += 1;
+                                    let outcome =
+                                        engine.solve_with_threads(&instance, deep_threads);
+                                    deep_permits.fetch_add(1, Ordering::AcqRel);
+                                    outcome
+                                } else {
+                                    local.wide += 1;
+                                    engine.solve_with_threads(&instance, 1)
+                                }
+                            }
+                        };
                         if outcome.is_feasible() {
                             local.feasible += 1;
                         }
@@ -308,6 +405,8 @@ impl BatchDriver {
                     shared.count += local.count;
                     shared.feasible += local.feasible;
                     shared.cache_answered += local.cache_answered;
+                    shared.wide += local.wide;
+                    shared.deep += local.deep;
                     for (name, stats) in local.stats {
                         let entry = shared.stats.entry(name).or_insert_with(|| BackendStats {
                             backend: stats.backend.clone(),
@@ -334,6 +433,9 @@ impl BatchDriver {
             backend_stats,
             cache: engine.cache_stats(),
             oracle_cache: engine.oracle_cache_stats(),
+            scratch_pool: engine.scratch_pool_stats(),
+            wide_solves: tally.wide,
+            deep_solves: tally.deep,
         }
     }
 }
@@ -350,6 +452,7 @@ mod tests {
             workers: 2,
             bounds: BoundsPolicy::default(),
             heterogeneous: false,
+            split: ThreadSplit::default(),
         });
         let generator = InstanceGenerator::paper_homogeneous(2024);
         let report = driver.run(&engine, generator.stream(12));
@@ -364,6 +467,15 @@ mod tests {
             total_wins,
             report.feasible_instances - report.cache_answered
         );
+        // Paper-scale instances are all "small": the adaptive split solves
+        // every one inline single-threaded.
+        assert_eq!(report.wide_solves, 12);
+        assert_eq!(report.deep_solves, 0);
+        // The pool allocated at most one scratch per worker; every later
+        // backend run reused a pooled arena.
+        let pool = &report.scratch_pool;
+        assert!(pool.misses <= 2, "expected ≤ 1 fresh scratch per worker");
+        assert!(pool.hits > 0, "expected pooled arenas to be reused");
     }
 
     #[test]
@@ -383,6 +495,40 @@ mod tests {
     }
 
     #[test]
+    fn static_split_divides_the_worker_budget() {
+        let engine = PortfolioEngine::default().with_threads(2);
+        let driver = BatchDriver::new(BatchConfig {
+            workers: 4,
+            split: ThreadSplit::Static,
+            ..BatchConfig::default()
+        });
+        let generator = InstanceGenerator::paper_homogeneous(99);
+        let report = driver.run(&engine, generator.stream(4));
+        assert_eq!(report.instances, 4);
+        // Static mode records no adaptive decisions.
+        assert_eq!(report.wide_solves, 0);
+        assert_eq!(report.deep_solves, 0);
+    }
+
+    #[test]
+    fn adaptive_split_sends_large_instances_deep() {
+        let engine = PortfolioEngine::default().with_threads(2);
+        // One worker: the single deep permit is always free, so every
+        // large instance deterministically goes deep.
+        let driver = BatchDriver::new(BatchConfig {
+            workers: 1,
+            // Tiny threshold: every paper-scale instance counts as large.
+            split: ThreadSplit::Adaptive { small_volume: 1 },
+            ..BatchConfig::default()
+        });
+        let generator = InstanceGenerator::paper_homogeneous(5);
+        let report = driver.run(&engine, generator.stream(3));
+        assert_eq!(report.wide_solves, 0);
+        assert_eq!(report.deep_solves, 3);
+        assert!(report.feasible_instances > 0);
+    }
+
+    #[test]
     fn heterogeneous_batches_use_the_heterogeneous_platform() {
         let engine = PortfolioEngine::default().with_threads(1);
         let driver = BatchDriver::new(BatchConfig {
@@ -392,6 +538,7 @@ mod tests {
                 latency_slack: 2.0,
             },
             heterogeneous: true,
+            split: ThreadSplit::default(),
         });
         let generator = InstanceGenerator::paper_heterogeneous(11);
         let report = driver.run(&engine, generator.stream(6));

@@ -2,12 +2,13 @@
 //! instance across worker threads and aggregates their candidates into a
 //! Pareto front.
 
-use crate::backend::{Applicability, Budget, ProblemInstance, SolverBackend};
+use crate::backend::{Applicability, Budget, ProblemInstance, SolveContext, SolverBackend};
 use crate::backends::default_backends;
 use crate::cache::{CacheStats, InstanceCache, OracleCache};
 use crate::pareto::{ParetoFront, StreamingFront};
+use rpo_algorithms::DpScratch;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -77,6 +78,66 @@ impl PortfolioOutcome {
 /// into the shared [`StreamingFront`] the moment the backend finishes.
 type WorkerResult = (usize, RunStatus, usize, usize, u64);
 
+/// A pool of [`DpScratch`] arenas shared across every solve of an engine:
+/// the DP-based backends of a batch reuse allocations across *instances*
+/// instead of growing fresh arenas per solve. Only allocations are pooled —
+/// [`DpScratch::reset`] wipes all admissibility data on release, so no
+/// instance ever sees another instance's warm-start state.
+pub(crate) struct ScratchPool {
+    stack: Mutex<Vec<DpScratch>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ScratchPool {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ScratchPool {
+            stack: Mutex::new(Vec::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Pops a pooled scratch (hit) or allocates a fresh one (miss).
+    fn acquire(&self) -> DpScratch {
+        let pooled = self.stack.lock().expect("scratch pool lock poisoned").pop();
+        match pooled {
+            Some(scratch) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                scratch
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                DpScratch::new()
+            }
+        }
+    }
+
+    /// Returns a scratch to the pool, wiping its instance-specific state
+    /// first. Over-capacity arenas are dropped (counted as evictions).
+    fn release(&self, mut scratch: DpScratch) {
+        scratch.reset();
+        let mut stack = self.stack.lock().expect("scratch pool lock poisoned");
+        if stack.len() < self.capacity {
+            stack.push(scratch);
+        } else {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A reusable, thread-safe portfolio solver.
 ///
 /// The engine owns a set of [`SolverBackend`]s, a [`Budget`], and an LRU
@@ -93,6 +154,9 @@ pub struct PortfolioEngine {
     /// `Arc<IntervalOracle>` here, lifting the interval-metrics
     /// precomputation out of the per-solve path.
     oracles: Mutex<OracleCache>,
+    /// DP-arena pool: one scratch per busy worker, reused across the
+    /// instances of a batch (allocation reuse only).
+    scratch: ScratchPool,
 }
 
 impl Default for PortfolioEngine {
@@ -110,6 +174,10 @@ impl PortfolioEngine {
     /// front of mappings).
     pub const DEFAULT_ORACLE_CACHE_CAPACITY: usize = 256;
 
+    /// Default scratch-pool capacity: enough for one busy DP backend per
+    /// worker of a wide batch; arenas beyond it are simply dropped.
+    pub const DEFAULT_SCRATCH_POOL_CAPACITY: usize = 64;
+
     /// An engine racing `backends` under `budget`, in [`RaceMode::RunAll`],
     /// with one worker thread per available core.
     pub fn new(backends: Vec<Box<dyn SolverBackend>>, budget: Budget) -> Self {
@@ -123,6 +191,7 @@ impl PortfolioEngine {
             threads,
             cache: Mutex::new(InstanceCache::new(Self::DEFAULT_CACHE_CAPACITY)),
             oracles: Mutex::new(OracleCache::new(Self::DEFAULT_ORACLE_CACHE_CAPACITY)),
+            scratch: ScratchPool::new(Self::DEFAULT_SCRATCH_POOL_CAPACITY),
         }
     }
 
@@ -179,9 +248,29 @@ impl PortfolioEngine {
             .stats()
     }
 
+    /// Scratch-pool counters: hits are backend runs that reused a pooled DP
+    /// arena from an earlier solve instead of allocating fresh.
+    pub fn scratch_pool_stats(&self) -> CacheStats {
+        self.scratch.stats()
+    }
+
     /// Solves one instance: answers from the cache when possible, otherwise
     /// races all applicable backends in parallel and caches the result.
     pub fn solve(&self, instance: &ProblemInstance) -> PortfolioOutcome {
+        self.solve_with_threads(instance, self.threads)
+    }
+
+    /// [`PortfolioEngine::solve`] with an explicit per-solve worker count,
+    /// overriding the engine-wide [`Self::threads`] for this call only. This
+    /// is what lets the batch driver pick the thread split *per instance* at
+    /// dispatch time: small instances run inline (`threads = 1`, spawn-free)
+    /// under wide instance-level parallelism, large ones get backend-level
+    /// parallelism.
+    pub fn solve_with_threads(
+        &self,
+        instance: &ProblemInstance,
+        threads: usize,
+    ) -> PortfolioOutcome {
         if let Some(front) = self
             .cache
             .lock()
@@ -253,23 +342,32 @@ impl PortfolioEngine {
         let winner_found = AtomicBool::new(false);
         let streaming = StreamingFront::new();
         let results: Mutex<Vec<WorkerResult>> = Mutex::new(Vec::with_capacity(runnable.len()));
-        let workers = self.threads.min(runnable.len().max(1));
+        let workers = threads.max(1).min(runnable.len().max(1));
 
-        let worker = || loop {
-            let slot = queue.fetch_add(1, Ordering::Relaxed);
-            let Some(&index) = runnable.get(slot) else {
-                break;
-            };
-            let backend = &self.backends[index];
+        let worker = || {
+            // One pooled DP scratch per worker, reused across every backend
+            // this worker runs, and returned to the pool (reset) at the end.
+            let mut scratch = self.scratch.acquire();
+            loop {
+                let slot = queue.fetch_add(1, Ordering::Relaxed);
+                let Some(&index) = runnable.get(slot) else {
+                    break;
+                };
+                let backend = &self.backends[index];
 
-            let outcome =
-                if self.mode == RaceMode::FirstFeasible && winner_found.load(Ordering::Acquire) {
+                let outcome = if self.mode == RaceMode::FirstFeasible
+                    && winner_found.load(Ordering::Acquire)
+                {
                     (RunStatus::Preempted, 0, 0, 0)
                 } else if deadline.is_some_and(|d| Instant::now() >= d) {
                     (RunStatus::DeadlineExpired, 0, 0, 0)
                 } else {
                     let backend_start = Instant::now();
-                    let mut candidates = backend.solve(instance, &oracle, &self.budget);
+                    let mut ctx = SolveContext {
+                        scratch: &mut scratch,
+                        front: Some(&streaming),
+                    };
+                    let mut candidates = backend.solve(instance, &oracle, &self.budget, &mut ctx);
                     let micros = backend_start.elapsed().as_micros() as u64;
                     let total = candidates.len();
                     // Re-certify through the shared oracle *before* the
@@ -289,11 +387,13 @@ impl PortfolioEngine {
                     }
                     (RunStatus::Completed, feasible, total, micros)
                 };
-            let (run_status, feasible, total, micros) = outcome;
-            results
-                .lock()
-                .expect("result lock poisoned")
-                .push((index, run_status, feasible, total, micros));
+                let (run_status, feasible, total, micros) = outcome;
+                results
+                    .lock()
+                    .expect("result lock poisoned")
+                    .push((index, run_status, feasible, total, micros));
+            }
+            self.scratch.release(scratch);
         };
         if workers <= 1 {
             // Single-worker solves run inline on the calling thread: a batch

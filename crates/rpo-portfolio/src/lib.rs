@@ -55,9 +55,11 @@ pub mod cache;
 pub mod engine;
 pub mod pareto;
 
-pub use backend::{Applicability, Budget, CandidateMapping, ProblemInstance, SolverBackend};
+pub use backend::{
+    Applicability, Budget, CandidateMapping, ProblemInstance, SolveContext, SolverBackend,
+};
 pub use backends::default_backends;
-pub use batch::{BackendStats, BatchConfig, BatchDriver, BatchReport, BoundsPolicy};
+pub use batch::{BackendStats, BatchConfig, BatchDriver, BatchReport, BoundsPolicy, ThreadSplit};
 pub use cache::{CacheStats, InstanceCache, OracleCache};
 pub use engine::{BackendRun, PortfolioEngine, PortfolioOutcome, RaceMode, RunStatus};
 pub use pareto::{ParetoFront, StreamingFront};

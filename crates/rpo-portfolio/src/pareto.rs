@@ -168,6 +168,16 @@ impl ParetoFront {
         })
     }
 
+    /// Whether `candidate` is **strictly dominated** by some current point
+    /// (criteria-identical candidates are *not* dominated — the tie-break
+    /// may still prefer them). A cheap read-only probe: no insertion, no
+    /// eviction.
+    pub fn is_dominated(&self, candidate: &CandidateMapping) -> bool {
+        self.points
+            .iter()
+            .any(|existing| dominates(existing, candidate))
+    }
+
     /// Checks the front invariant: no point dominates another. Used by the
     /// test-suite and the examples as a structural assertion.
     pub fn is_mutually_non_dominated(&self) -> bool {
@@ -221,6 +231,22 @@ impl StreamingFront {
             .lock()
             .expect("streaming front lock poisoned")
             .insert(candidate)
+    }
+
+    /// Whether `candidate` is already **strictly dominated** by the current
+    /// front — a cheap probe (no insertion) for backends that want to
+    /// abandon a candidate profile mid-solve.
+    ///
+    /// Sound to act on at any time: front points are only ever evicted by
+    /// points that dominate them, and dominance is transitive, so a
+    /// candidate dominated *now* stays dominated in the final front no
+    /// matter what else streams in. Skipping it can therefore never change
+    /// the front — only save the work of carrying it.
+    pub fn is_dominated(&self, candidate: &CandidateMapping) -> bool {
+        self.inner
+            .lock()
+            .expect("streaming front lock poisoned")
+            .is_dominated(candidate)
     }
 
     /// Number of points currently on the front.

@@ -58,6 +58,16 @@ impl InstanceGenerator {
         }
     }
 
+    /// The class-structured heterogeneous setup: the paper's 10-processor
+    /// platform restricted to three `(speed, λ)` classes — the regime where
+    /// the exact class-level heterogeneous DP (`algo_het`) applies.
+    pub fn paper_heterogeneous_classes(base_seed: u64) -> Self {
+        InstanceGenerator {
+            heterogeneous: HeterogeneousPlatformSpec::paper_classes(),
+            ..Self::paper_heterogeneous(base_seed)
+        }
+    }
+
     /// Generates the `index`-th instance (deterministic in `base_seed` and
     /// `index`).
     pub fn instance(&self, index: usize) -> ExperimentInstance {
@@ -147,6 +157,24 @@ mod tests {
         let instance = generator.instance(0);
         assert_eq!(instance.homogeneous.speed(0), 5.0);
         assert!(!instance.heterogeneous.is_homogeneous());
+    }
+
+    #[test]
+    fn class_setup_yields_few_class_heterogeneous_platforms() {
+        let generator = InstanceGenerator::paper_heterogeneous_classes(3);
+        for instance in generator.batch(5) {
+            assert!(!instance.heterogeneous.is_homogeneous());
+            let mut speeds: Vec<f64> = instance
+                .heterogeneous
+                .processors()
+                .iter()
+                .map(|p| p.speed)
+                .collect();
+            speeds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            speeds.dedup();
+            assert!(speeds.len() <= 3);
+            assert_eq!(instance.homogeneous.speed(0), 5.0);
+        }
     }
 
     #[test]

@@ -60,10 +60,23 @@ impl HomogeneousPlatformSpec {
 }
 
 /// Specification of a heterogeneous platform with uniformly drawn speeds.
+///
+/// `num_classes` controls the *class structure*: when it equals
+/// `num_processors` (the paper's setup) every processor draws its own speed;
+/// when smaller, only `num_classes` speeds are drawn and the processors are
+/// distributed round-robin over them — the "few hardware generations" shape
+/// real platforms have, and the regime where the exact class-level
+/// heterogeneous DP applies.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HeterogeneousPlatformSpec {
     /// Number of processors `p`.
     pub num_processors: usize,
+    /// Number of distinct `(speed, failure rate)` classes (clamped to
+    /// `[1, num_processors]`). `0` — the serde default, so spec JSON from
+    /// before this field existed still loads — means "one class per
+    /// processor", the original behavior.
+    #[serde(default)]
+    pub num_classes: usize,
     /// Range `[min, max]` of processor speeds.
     pub speed_range: (f64, f64),
     /// Common processor failure rate `λ_p` per time unit.
@@ -78,15 +91,27 @@ pub struct HeterogeneousPlatformSpec {
 
 impl HeterogeneousPlatformSpec {
     /// The paper's heterogeneous setup: 10 processors, speeds uniform in
-    /// `[1, 100]`, `λ_p = 10⁻⁸`, bandwidth 1, `λ_ℓ = 10⁻⁵`, `K = 3`.
+    /// `[1, 100]`, `λ_p = 10⁻⁸`, bandwidth 1, `λ_ℓ = 10⁻⁵`, `K = 3` —
+    /// every processor its own class.
     pub fn paper() -> Self {
         HeterogeneousPlatformSpec {
             num_processors: 10,
+            num_classes: 10,
             speed_range: (1.0, 100.0),
             failure_rate: 1e-8,
             bandwidth: 1.0,
             link_failure_rate: 1e-5,
             max_replication: 3,
+        }
+    }
+
+    /// The paper's 10-processor setup restricted to **three** processor
+    /// classes (three drawn speeds, processors distributed round-robin):
+    /// the class-structured regime of the exact heterogeneous DP.
+    pub fn paper_classes() -> Self {
+        HeterogeneousPlatformSpec {
+            num_classes: 3,
+            ..Self::paper()
         }
     }
 
@@ -105,9 +130,23 @@ impl HeterogeneousPlatformSpec {
             "invalid speed range"
         );
         let speed = Uniform::new_inclusive(self.speed_range.0, self.speed_range.1);
-        let processors: Vec<Processor> = (0..self.num_processors)
-            .map(|_| Processor::new(speed.sample(rng), self.failure_rate))
-            .collect();
+        let classes = if self.num_classes == 0 {
+            self.num_processors // unset: one class per processor
+        } else {
+            self.num_classes.clamp(1, self.num_processors)
+        };
+        let processors: Vec<Processor> = if classes == self.num_processors {
+            // One draw per processor — bit-identical to the pre-class
+            // generator, so existing seeds reproduce the same platforms.
+            (0..self.num_processors)
+                .map(|_| Processor::new(speed.sample(rng), self.failure_rate))
+                .collect()
+        } else {
+            let class_speeds: Vec<f64> = (0..classes).map(|_| speed.sample(rng)).collect();
+            (0..self.num_processors)
+                .map(|u| Processor::new(class_speeds[u % classes], self.failure_rate))
+                .collect()
+        };
         Platform::new(
             processors,
             self.bandwidth,
@@ -145,6 +184,44 @@ mod tests {
         for proc in p.processors() {
             assert!((1.0..=100.0).contains(&proc.speed));
             assert_eq!(proc.failure_rate, 1e-8);
+        }
+    }
+
+    #[test]
+    fn spec_json_without_num_classes_still_loads_with_old_semantics() {
+        // Spec files written before the `num_classes` field existed must
+        // keep deserializing — and behave as "one class per processor".
+        let json = r#"{"num_processors":4,"speed_range":[1.0,100.0],"failure_rate":1e-8,
+                       "bandwidth":1.0,"link_failure_rate":1e-5,"max_replication":3}"#;
+        let spec: HeterogeneousPlatformSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.num_classes, 0);
+        let legacy = spec.generate(&mut ChaCha8Rng::seed_from_u64(7));
+        let explicit = HeterogeneousPlatformSpec {
+            num_processors: 4,
+            num_classes: 4,
+            ..HeterogeneousPlatformSpec::paper()
+        }
+        .generate(&mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(legacy, explicit);
+    }
+
+    #[test]
+    fn class_structured_platforms_have_the_requested_class_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let p = HeterogeneousPlatformSpec::paper_classes().generate(&mut rng);
+        assert_eq!(p.num_processors(), 10);
+        let mut speeds: Vec<f64> = p.processors().iter().map(|q| q.speed).collect();
+        speeds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        speeds.dedup();
+        assert_eq!(speeds.len(), 3, "expected exactly three distinct speeds");
+        // Round-robin distribution: members split 4/3/3.
+        for class_speed in &speeds {
+            let members = p
+                .processors()
+                .iter()
+                .filter(|q| q.speed == *class_speed)
+                .count();
+            assert!((3..=4).contains(&members));
         }
     }
 
