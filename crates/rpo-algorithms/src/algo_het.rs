@@ -34,6 +34,27 @@
 //! [`rpo_model::ClassAssignment`] and lowers to a concrete [`Mapping`]
 //! deterministically; the reported reliability is recomputed through the
 //! oracle's exact Eq. 9 path, so it always agrees with the evaluator.
+//!
+//! # Adding the latency criterion
+//!
+//! This module optimizes reliability under a **period** bound only. The
+//! paper's full tri-criteria problem (a latency bound too — the case that
+//! makes the heterogeneous problem NP-complete) lives in
+//! [`crate::algo_het_lat`], which extends this DP in two regimes:
+//!
+//! * a **latency state**: because the worst-case latency is additive over
+//!   intervals with per-interval terms on the oracle's boundary-indexed
+//!   compute/communication grid, the DP state grows a latency-so-far
+//!   dimension, stored sparsely as per-`(boundary, budgets)` Pareto labels.
+//!   Exact whenever the label population stays within
+//!   [`crate::algo_het_lat::MAX_LAT_LABELS`];
+//! * a **parametric (Lagrangian) sweep** as the fallback beyond that cap:
+//!   the scalar DP of this module with each factor damped by
+//!   `e^{−μ·latency term}`, bisected over `μ`. Exact when the
+//!   latency-unconstrained optimum is already feasible or the constrained
+//!   optimum lies on the (latency, log-reliability) convex hull; a
+//!   heuristic between hull points — which is why the greedy pipeline's
+//!   feasible incumbent is still compared at the end there.
 
 use rpo_model::{
     assignment_from_segments, ClassView, IntervalOracle, Mapping, Platform, TaskChain,
@@ -101,19 +122,29 @@ fn class_view_within_dp_limits(view: &ClassView) -> bool {
 }
 
 /// The DP's per-boundary budget-state count `Π_c (m_c + 1)`.
-fn budget_states(view: &ClassView) -> usize {
+pub(crate) fn budget_states(view: &ClassView) -> usize {
     view.classes()
         .iter()
         .map(|c| c.members + 1)
         .fold(1usize, |acc, m| acc.saturating_mul(m))
 }
 
-fn validate_bound(period_bound: Option<f64>) -> Result<f64> {
+pub(crate) fn validate_bound(period_bound: Option<f64>) -> Result<f64> {
     match period_bound {
         None => Ok(f64::INFINITY),
         Some(bound) if bound.is_finite() && bound > 0.0 => Ok(bound),
         Some(_) => Err(AlgoError::InvalidBound("period bound")),
     }
+}
+
+/// Mixed-radix strides of the per-class budget digits: state
+/// `s = Σ_c b_c · stride_c` with `b_c ∈ 0 ..= m_c`.
+pub(crate) fn class_strides(view: &ClassView) -> Vec<usize> {
+    let mut strides = vec![1usize; view.len()];
+    for c in 1..view.len() {
+        strides[c] = strides[c - 1] * (view.class(c - 1).members + 1);
+    }
+    strides
 }
 
 /// `algo_het`: the most reliable mapping of `chain` onto the (possibly
@@ -213,6 +244,21 @@ pub fn greedy_het_with_oracle(
 ) -> Result<OptimalMapping> {
     crate::debug_assert_oracle_matches(oracle, chain, platform);
     let bound = validate_bound(period_bound)?;
+    greedy_het_bounded(oracle, chain, platform, bound, f64::INFINITY)
+}
+
+/// The shared greedy-pipeline core: Heur-L and Heur-P partitions for every
+/// interval count, each allocated with `alloc_het`, keeping the most
+/// reliable mapping whose worst-case period fits `bound` **and** worst-case
+/// latency fits `latency_bound` (pass `f64::INFINITY` for the period-only
+/// pipeline). Bounds are the callers' responsibility to validate.
+pub(crate) fn greedy_het_bounded(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    bound: f64,
+    latency_bound: f64,
+) -> Result<OptimalMapping> {
     // alloc_het rejects infinite bounds: substitute a finite value no
     // feasible interval can exceed (whole chain on the slowest processor,
     // doubled, plus the largest communication).
@@ -247,6 +293,7 @@ pub fn greedy_het_with_oracle(
             };
             let evaluation = oracle.evaluate(&mapping);
             if evaluation.worst_case_period <= bound
+                && evaluation.worst_case_latency <= latency_bound
                 && best
                     .as_ref()
                     .is_none_or(|b| evaluation.reliability > b.reliability)
@@ -262,21 +309,29 @@ pub fn greedy_het_with_oracle(
 }
 
 /// One class-level replica pattern `q = (q_1 … q_{K_c})`.
-struct Pattern {
-    counts: Vec<usize>,
+pub(crate) struct Pattern {
+    pub(crate) counts: Vec<usize>,
     /// Mixed-radix offset `Σ q_c · stride_c` — subtracting it from a budget
     /// state spends the pattern.
-    offset: usize,
+    pub(crate) offset: usize,
     /// Slowest speed among the classes the pattern uses (decides the
     /// pattern's period requirement on an interval).
-    min_speed: f64,
+    pub(crate) min_speed: f64,
+    /// Index of a class achieving [`Pattern::min_speed`] among the used
+    /// classes — the class whose boundary-indexed compute grid gives the
+    /// pattern's worst-case latency term on an interval.
+    pub(crate) min_speed_class: usize,
     /// Budget states with `b_c ≥ q_c` for every class (precomputed once).
-    valid_predecessors: Vec<u32>,
+    pub(crate) valid_predecessors: Vec<u32>,
 }
 
 /// Enumerates every replica pattern `1 ≤ Σ q_c ≤ k_max`, `q_c ≤ m_c`, in a
 /// fixed (odometer) order, with its valid predecessor states.
-fn enumerate_patterns(view: &ClassView, k_max: usize, strides: &[usize]) -> Vec<Pattern> {
+pub(crate) fn enumerate_patterns(
+    view: &ClassView,
+    k_max: usize,
+    strides: &[usize],
+) -> Vec<Pattern> {
     let kc = view.len();
     let num_states = budget_states(view);
     // Per-state digit decode, reused by every pattern's predecessor filter.
@@ -309,12 +364,18 @@ fn enumerate_patterns(view: &ClassView, k_max: usize, strides: &[usize]) -> Vec<
             continue;
         }
         let offset: usize = q.iter().zip(strides).map(|(&qc, &s)| qc * s).sum();
-        let min_speed = q
+        let (min_speed_class, min_speed) = q
             .iter()
             .enumerate()
             .filter(|&(_, &qc)| qc > 0)
-            .map(|(c, _)| view.class(c).speed)
-            .fold(f64::INFINITY, f64::min);
+            .map(|(c, _)| (c, view.class(c).speed))
+            .fold((usize::MAX, f64::INFINITY), |acc, cur| {
+                if cur.1 < acc.1 {
+                    cur
+                } else {
+                    acc
+                }
+            });
         let valid_predecessors = (0..num_states as u32)
             .filter(|&s| digits[s as usize].iter().zip(&q).all(|(&b, &qc)| b >= qc))
             .collect();
@@ -322,6 +383,7 @@ fn enumerate_patterns(view: &ClassView, k_max: usize, strides: &[usize]) -> Vec<
             counts: q.clone(),
             offset,
             min_speed,
+            min_speed_class,
             valid_predecessors,
         });
     }
@@ -334,6 +396,10 @@ const NO_CHOICE: u64 = u64::MAX;
 /// The exact class-level dynamic program. Returns `None` when no mapping
 /// fits the bound (or everything was pruned below the greedy `incumbent` —
 /// in which case the caller's greedy solution is already optimal-or-equal).
+///
+/// The admissibility prelude and block-row gather are mirrored by
+/// `algo_het_lat`'s `label_dp` and `penalized_dp` — the three DPs differ in
+/// their value type, so a fix to the shared shape must land in all three.
 fn class_dp(
     oracle: &IntervalOracle,
     chain: &TaskChain,
@@ -346,10 +412,7 @@ fn class_dp(
     let kc = view.len();
     let k_max = oracle.max_replication().min(oracle.num_processors());
 
-    let mut strides = vec![1usize; kc];
-    for c in 1..kc {
-        strides[c] = strides[c - 1] * (view.class(c - 1).members + 1);
-    }
+    let strides = class_strides(view);
     let num_states = budget_states(view);
     let patterns = enumerate_patterns(view, k_max, &strides);
     assert!(
@@ -481,7 +544,7 @@ fn class_dp(
 pub const MAX_EXHAUSTIVE_HET_TASKS: usize = 12;
 
 /// Class-level segments `(first, last, per-class counts)` of a candidate.
-type Segments = Vec<(usize, usize, Vec<usize>)>;
+pub(crate) type Segments = Vec<(usize, usize, Vec<usize>)>;
 
 /// Reference brute force for heterogeneous instances: enumerates every
 /// interval partition **and** every per-interval class pattern under the
@@ -509,13 +572,8 @@ pub fn exhaustive_het(
     );
     let oracle = IntervalOracle::new(chain, platform);
     let view = oracle.class_view();
-    let kc = view.len();
     let k_max = oracle.max_replication().min(oracle.num_processors());
-
-    let mut strides = vec![1usize; kc];
-    for c in 1..kc {
-        strides[c] = strides[c - 1] * (view.class(c - 1).members + 1);
-    }
+    let strides = class_strides(view);
     let patterns = enumerate_patterns(view, k_max, &strides);
 
     #[allow(clippy::too_many_arguments)]

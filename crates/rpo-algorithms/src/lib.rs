@@ -15,6 +15,10 @@
 //!   * [`algo_het`] — exact reliability optimization by class-level dynamic
 //!     programming (tractable whenever the platform has few distinct
 //!     processor classes; greedy fallback otherwise);
+//!   * [`algo_het_lat`] — the tri-criteria extension: exact reliability
+//!     optimization under period **and latency** bounds, by a label DP over
+//!     `(boundary, budgets, latency-so-far)` states with a Lagrangian
+//!     penalty sweep as fallback;
 //!   * [`alloc_het`] — the Section 7.2 period-aware greedy allocation of
 //!     heterogeneous processors to a fixed partition.
 //! * **Heuristics for the NP-complete cases** (latency bound on homogeneous
@@ -40,6 +44,7 @@
 pub mod algo1;
 pub mod algo2;
 pub mod algo_het;
+pub mod algo_het_lat;
 pub mod alloc;
 pub mod alloc_het;
 pub mod energy_aware;
@@ -61,6 +66,10 @@ pub use algo2::{
 pub use algo_het::{
     algo_het, algo_het_with_oracle, exhaustive_het, greedy_het_with_oracle, het_dp_applicable,
     het_dp_applicable_platform, HetMethod, HetSolution,
+};
+pub use algo_het_lat::{
+    algo_het_lat, algo_het_lat_with_oracle, exhaustive_het_lat, greedy_het_lat_with_oracle,
+    HetLatMethod, HetLatSolution, MAX_LAT_LABELS,
 };
 pub use alloc::{algo_alloc, algo_alloc_with_oracle, exhaustive_alloc};
 pub use alloc_het::{algo_alloc_heterogeneous, algo_alloc_heterogeneous_with_oracle};

@@ -9,15 +9,18 @@
 //!
 //! Usage:
 //! `cargo run --release -p rpo-bench --bin oracle_baseline \
-//!     [oracle_output] [kernel_output] [het_output] \
-//!     [--enforce-kernel-speedup] [--enforce-het-gain]`
-//! (default output paths `BENCH_oracle.json`, `BENCH_kernel.json` and
-//! `BENCH_het.json` in the working directory). With
-//! `--enforce-kernel-speedup` the process exits non-zero if the chunked
+//!     [oracle_output] [kernel_output] [het_output] [het_lat_output] \
+//!     [--enforce-kernel-speedup] [--enforce-het-gain] [--enforce-het-lat-gain]`
+//! (default output paths `BENCH_oracle.json`, `BENCH_kernel.json`,
+//! `BENCH_het.json` and `BENCH_het_lat.json` in the working directory).
+//! With `--enforce-kernel-speedup` the process exits non-zero if the chunked
 //! kernel measures slower than the scalar reference; with
 //! `--enforce-het-gain` it exits non-zero if `algo_het` ever falls below the
-//! greedy reliability (or solves fewer instances) — the CI smoke step runs
-//! both.
+//! greedy reliability (or solves fewer instances); with
+//! `--enforce-het-lat-gain` it exits non-zero unless `algo_het_lat` beats
+//! the latency-aware greedy pipeline strictly somewhere with no losses, no
+//! missed solves and no bound violations — the CI smoke step runs all
+//! three.
 //!
 //! The "naive" dynamic program reimplements the pre-oracle recurrence — it
 //! recomputes the Eq. 9 replica-block reliability (three `exp`s per
@@ -26,9 +29,10 @@
 //! oracle, kept here as the measurement baseline.
 
 use rpo_algorithms::{
-    algo_het_with_oracle, greedy_het_with_oracle, optimize_reliability_homogeneous_with_oracle,
+    algo_het_lat_with_oracle, algo_het_with_oracle, greedy_het_lat_with_oracle,
+    greedy_het_with_oracle, optimize_reliability_homogeneous_with_oracle,
     optimize_reliability_with_period_bound_with_oracle, reliability_dp_with_kernel, DpKernel,
-    HetMethod,
+    HetLatMethod, HetMethod,
 };
 use rpo_bench::{bench_chain, bench_hom_platform};
 use rpo_model::{reliability, Interval, IntervalOracle, Platform, TaskChain};
@@ -201,6 +205,133 @@ fn run_het_baseline() -> HetBaseline {
             baseline.dp_solved += 1;
             if dp.method == HetMethod::ClassDp {
                 baseline.dp_exact_solves += 1;
+            }
+        }
+        if greedy.is_ok() {
+            baseline.greedy_solved += 1;
+        }
+        if let (Ok(dp), Ok(greedy)) = (&dp, &greedy) {
+            let (f_dp, f_greedy) = (1.0 - dp.reliability, 1.0 - greedy.reliability);
+            if f_greedy > 0.0 {
+                gains.push((f_greedy - f_dp) / f_greedy);
+            }
+            if dp.reliability > greedy.reliability {
+                baseline.dp_wins += 1;
+            } else if dp.reliability < greedy.reliability {
+                baseline.dp_losses += 1;
+            }
+        }
+    }
+    if !gains.is_empty() {
+        baseline.mean_failure_gain = gains.iter().sum::<f64>() / gains.len() as f64;
+        baseline.max_failure_gain = gains.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    }
+    baseline
+}
+
+/// The `algo_het_lat` (latency-aware label DP + Lagrangian fallback) vs
+/// latency-aware greedy comparison at the paper's 10-processor 3-class
+/// setup, under the tight relative bounds of
+/// `rpo_workload::BoundsSpec::paper_het_lat` (period `0.75 × W/s_max`,
+/// latency `1.6 × W/s_max`).
+#[derive(Debug, Serialize)]
+struct HetLatBaseline {
+    instances: usize,
+    tasks: usize,
+    processors: usize,
+    classes: usize,
+    max_replication: usize,
+    period_slack: f64,
+    latency_slack: f64,
+    /// Instances each strategy solved within both bounds.
+    dp_solved: usize,
+    greedy_solved: usize,
+    /// Solves answered by the exact label DP (vs Lagrangian fallback or
+    /// greedy).
+    dp_exact_solves: usize,
+    lagrangian_solves: usize,
+    /// Total `algo_het_lat` wall-clock across all instances (includes its
+    /// internal greedy run, as in `BENCH_het.json`).
+    dp_total_millis: f64,
+    /// Total standalone latency-aware greedy wall-clock.
+    greedy_total_millis: f64,
+    /// Failure-probability gain `(F_greedy − F_dp) / F_greedy`, averaged /
+    /// maximized over the instances both strategies solved.
+    mean_failure_gain: f64,
+    max_failure_gain: f64,
+    /// Instances where the DP is strictly more reliable than the greedy —
+    /// must be positive (`--enforce-het-lat-gain` fails otherwise).
+    dp_wins: usize,
+    /// Instances where the DP is *less* reliable than the greedy — must be
+    /// zero.
+    dp_losses: usize,
+    /// Returned mappings violating a bound — must be zero.
+    bound_violations: usize,
+}
+
+fn run_het_lat_baseline() -> HetLatBaseline {
+    let spec = rpo_workload::BoundsSpec::paper_het_lat();
+    let mut baseline = HetLatBaseline {
+        instances: HET_INSTANCES,
+        tasks: 0,
+        processors: 0,
+        classes: 0,
+        max_replication: 0,
+        period_slack: spec.period_slack,
+        latency_slack: spec.latency_slack,
+        dp_solved: 0,
+        greedy_solved: 0,
+        dp_exact_solves: 0,
+        lagrangian_solves: 0,
+        dp_total_millis: 0.0,
+        greedy_total_millis: 0.0,
+        mean_failure_gain: 0.0,
+        max_failure_gain: 0.0,
+        dp_wins: 0,
+        dp_losses: 0,
+        bound_violations: 0,
+    };
+    let mut gains: Vec<f64> = Vec::new();
+    for bounded in rpo_workload::InstanceGenerator::paper_het_lat_stream(0x0AC1E, HET_INSTANCES) {
+        let chain = &bounded.instance.chain;
+        let platform = &bounded.instance.heterogeneous;
+        baseline.tasks = chain.len();
+        baseline.processors = platform.num_processors();
+        baseline.max_replication = platform.max_replication();
+        let oracle = IntervalOracle::new(chain, platform);
+        baseline.classes = oracle.classes().len();
+
+        let start = Instant::now();
+        let dp = algo_het_lat_with_oracle(
+            &oracle,
+            chain,
+            platform,
+            Some(bounded.period_bound),
+            bounded.latency_bound,
+        );
+        baseline.dp_total_millis += start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let greedy = greedy_het_lat_with_oracle(
+            &oracle,
+            chain,
+            platform,
+            Some(bounded.period_bound),
+            bounded.latency_bound,
+        );
+        baseline.greedy_total_millis += start.elapsed().as_secs_f64() * 1e3;
+
+        if let Ok(dp) = &dp {
+            baseline.dp_solved += 1;
+            match dp.method {
+                HetLatMethod::LatDp => baseline.dp_exact_solves += 1,
+                HetLatMethod::Lagrangian => baseline.lagrangian_solves += 1,
+                HetLatMethod::Greedy => {}
+            }
+            let evaluation = oracle.evaluate(&dp.mapping);
+            if evaluation.worst_case_latency > bounded.latency_bound
+                || evaluation.worst_case_period > bounded.period_bound
+            {
+                baseline.bound_violations += 1;
             }
         }
         if greedy.is_ok() {
@@ -457,12 +588,15 @@ fn write_json<T: Serialize>(path: &str, value: &T) {
 }
 
 fn main() {
-    let (mut outputs, mut enforce, mut enforce_het) = (Vec::new(), false, false);
+    let (mut outputs, mut enforce, mut enforce_het, mut enforce_het_lat) =
+        (Vec::new(), false, false, false);
     for arg in std::env::args().skip(1) {
         if arg == "--enforce-kernel-speedup" {
             enforce = true;
         } else if arg == "--enforce-het-gain" {
             enforce_het = true;
+        } else if arg == "--enforce-het-lat-gain" {
+            enforce_het_lat = true;
         } else {
             outputs.push(arg);
         }
@@ -479,6 +613,10 @@ fn main() {
         .get(2)
         .cloned()
         .unwrap_or_else(|| "BENCH_het.json".to_string());
+    let het_lat_output = outputs
+        .get(3)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_het_lat.json".to_string());
 
     let chain = bench_chain(DP_TASKS, 42);
     let platform = bench_hom_platform(DP_PROCESSORS);
@@ -575,12 +713,49 @@ fn main() {
     let het_regressed = het.dp_losses > 0 || het.dp_solved < het.greedy_solved;
     write_json(&het_output, &het);
 
+    eprintln!(
+        "running algo_het_lat vs latency-aware greedy on {HET_INSTANCES} latency-bounded \
+         class-structured instances …"
+    );
+    let het_lat = run_het_lat_baseline();
+    eprintln!(
+        "  dp solved {}/{} ({} label DP, {} lagrangian), greedy solved {}; algo_het_lat \
+         {:.1} ms (incl. its internal greedy run) vs greedy alone {:.1} ms; mean failure gain \
+         {:.1}%, {} strict wins / {} losses, {} bound violations",
+        het_lat.dp_solved,
+        het_lat.instances,
+        het_lat.dp_exact_solves,
+        het_lat.lagrangian_solves,
+        het_lat.greedy_solved,
+        het_lat.dp_total_millis,
+        het_lat.greedy_total_millis,
+        100.0 * het_lat.mean_failure_gain,
+        het_lat.dp_wins,
+        het_lat.dp_losses,
+        het_lat.bound_violations,
+    );
+    // The latency gate demands *strict* DP wins over the greedy pipeline at
+    // the paper's 10-processor 3-class setup, on top of no losses, no
+    // missed solves, and no bound violations.
+    let het_lat_regressed = het_lat.dp_losses > 0
+        || het_lat.dp_solved < het_lat.greedy_solved
+        || het_lat.dp_wins == 0
+        || het_lat.bound_violations > 0;
+    write_json(&het_lat_output, &het_lat);
+
     if enforce && slower {
         eprintln!("FAIL: the chunked kernel measured slower than the scalar reference");
         std::process::exit(1);
     }
     if enforce_het && het_regressed {
         eprintln!("FAIL: algo_het fell below the greedy baseline (losses or fewer solves)");
+        std::process::exit(1);
+    }
+    if enforce_het_lat && het_lat_regressed {
+        eprintln!(
+            "FAIL: algo_het_lat regressed against the latency-aware greedy baseline \
+             (losses, fewer solves, no strict wins, or bound violations)"
+        );
         std::process::exit(1);
     }
 }

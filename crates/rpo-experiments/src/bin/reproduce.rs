@@ -1,7 +1,7 @@
 //! Command-line entry point regenerating the paper's figures.
 //!
 //! ```text
-//! reproduce [--all] [--figure N] [--instances I] [--seed S] [--out DIR] [--list]
+//! reproduce [--all] [--figure N] [--het] [--het-lat] [--instances I] [--seed S] [--out DIR] [--list]
 //! ```
 //!
 //! Without arguments, `--all` is assumed: the five experiments run once each
@@ -12,27 +12,32 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rpo_experiments::experiments::SweepOptions;
-use rpo_experiments::figures::{run_all, run_figure, run_het_dp_figures, FigureId};
+use rpo_experiments::figures::{
+    run_all, run_figure, run_het_dp_figures, run_het_lat_figures, FigureId,
+};
 use rpo_experiments::{csv, report};
 
 struct Args {
     figures: Vec<FigureId>,
     all: bool,
     het: bool,
+    het_lat: bool,
     list: bool,
     options: SweepOptions,
     out_dir: PathBuf,
 }
 
 fn usage() -> &'static str {
-    "usage: reproduce [--all] [--figure N]... [--het] [--instances I] [--seed S] [--out DIR] \
-     [--list]\n\
+    "usage: reproduce [--all] [--figure N]... [--het] [--het-lat] [--instances I] [--seed S] \
+     [--out DIR] [--list]\n\
      \n\
      --all           run every experiment and emit Figures 6-15 plus the\n\
-     \x20               heterogeneous DP-vs-greedy sweep (default)\n\
+     \x20               heterogeneous DP-vs-greedy and latency sweeps (default)\n\
      --figure N      run only Figure N (6..=15); may be repeated\n\
      --het           run only the class-level DP vs greedy heterogeneous\n\
      \x20               sweep (fig_het_count / fig_het_failure)\n\
+     --het-lat       run only the latency-aware DP vs heuristics sweep\n\
+     \x20               (fig_het_lat_count / fig_het_lat_failure)\n\
      --instances I   number of random instances per experiment (default 100)\n\
      --seed S        base seed of the instance generator (default 20100613)\n\
      --out DIR       directory for the CSV files (default results/)\n\
@@ -44,6 +49,7 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
         figures: Vec::new(),
         all: false,
         het: false,
+        het_lat: false,
         list: false,
         options: SweepOptions::default(),
         out_dir: PathBuf::from("results"),
@@ -52,6 +58,7 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
         match arg.as_str() {
             "--all" => args.all = true,
             "--het" => args.het = true,
+            "--het-lat" => args.het_lat = true,
             "--list" => args.list = true,
             "--figure" => {
                 let value = raw.next().ok_or("--figure needs a number")?;
@@ -83,7 +90,7 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}\n\n{}", usage())),
         }
     }
-    if args.figures.is_empty() && !args.het {
+    if args.figures.is_empty() && !args.het && !args.het_lat {
         args.all = true;
     }
     Ok(args)
@@ -103,6 +110,7 @@ fn main() -> ExitCode {
             println!("{:>2}  {}", id.number(), id.title());
         }
         println!("het  class-level DP vs greedy heterogeneous sweep (--het)");
+        println!("het-lat  latency-aware DP vs heuristics sweep (--het-lat)");
         return ExitCode::SUCCESS;
     }
 
@@ -120,6 +128,9 @@ fn main() -> ExitCode {
     };
     if args.all || args.het {
         results.extend(run_het_dp_figures(&args.options));
+    }
+    if args.all || args.het_lat {
+        results.extend(run_het_lat_figures(&args.options));
     }
 
     for figure in &results {

@@ -9,7 +9,8 @@
 use rayon::prelude::*;
 use rpo_algorithms::exact::ProfileSet;
 use rpo_algorithms::{
-    algo_het_with_oracle, run_heuristic_with_oracle, HeuristicConfig, IntervalHeuristic,
+    algo_het_lat_with_oracle, algo_het_with_oracle, run_heuristic_with_oracle, HeuristicConfig,
+    IntervalHeuristic,
 };
 use rpo_model::{IntervalOracle, Platform};
 use rpo_workload::{ExperimentInstance, InstanceGenerator};
@@ -405,6 +406,79 @@ pub fn run_het_dp_sweep(options: &SweepOptions) -> ExperimentData {
     }
 }
 
+/// The latency-aware class-structured heterogeneous sweep: the exact
+/// latency DP (`algo_het_lat`) against the Section 7 heuristics under
+/// **both** real-time bounds, on the paper's 10-processor platform
+/// restricted to three processor classes. The latency bound sweeps the
+/// Figure 14/15 range (50 … 250); the period bound is the tight
+/// `BENCH_het.json` regime (`0.75 × W / s_max` per instance — a loose
+/// absolute period saturates every mapping at full replication and ties all
+/// curves at reliability ≈ 1).
+pub fn run_het_lat_sweep(options: &SweepOptions) -> ExperimentData {
+    let generator = InstanceGenerator::paper_heterogeneous_classes(options.seed);
+    let instances = generator.batch(options.num_instances);
+    let x_values = sweep(50.0, 250.0, 10.0);
+    let num_points = x_values.len();
+
+    let results: Vec<[Vec<Option<f64>>; 3]> = instances
+        .par_iter()
+        .map(|instance| {
+            let platform = &instance.heterogeneous;
+            let period = 0.75 * instance.chain.total_work() / platform.max_speed();
+            let oracle = IntervalOracle::new(&instance.chain, platform);
+            let mut dp = Vec::with_capacity(num_points);
+            let mut heur_l = Vec::with_capacity(num_points);
+            let mut heur_p = Vec::with_capacity(num_points);
+            for &latency in &x_values {
+                dp.push(
+                    algo_het_lat_with_oracle(
+                        &oracle,
+                        &instance.chain,
+                        platform,
+                        Some(period),
+                        latency,
+                    )
+                    .ok()
+                    .map(|solution| solution.reliability),
+                );
+                heur_l.push(heuristic_reliability(
+                    &oracle,
+                    instance,
+                    platform,
+                    IntervalHeuristic::MinLatency,
+                    period,
+                    latency,
+                ));
+                heur_p.push(heuristic_reliability(
+                    &oracle,
+                    instance,
+                    platform,
+                    IntervalHeuristic::MinPeriod,
+                    period,
+                    latency,
+                ));
+            }
+            [dp, heur_l, heur_p]
+        })
+        .collect();
+
+    let labels = ["Het-DP-Lat", "Heur-L", "Heur-P"];
+    let curves = labels
+        .iter()
+        .enumerate()
+        .map(|(slot, label)| {
+            let per_instance: Vec<Vec<Option<f64>>> =
+                results.iter().map(|r| r[slot].clone()).collect();
+            aggregate(label, &per_instance, num_points)
+        })
+        .collect();
+    ExperimentData {
+        x_values,
+        curves,
+        num_instances: instances.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +602,42 @@ mod tests {
                     greedy.avg_failure[point]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn het_lat_sweep_never_trails_either_heuristic() {
+        let data = run_het_lat_sweep(&small_options());
+        assert_eq!(data.curves.len(), 3);
+        let dp = &data.curves[0];
+        assert_eq!(dp.label, "Het-DP-Lat");
+        for heuristic in &data.curves[1..] {
+            for point in 0..data.x_values.len() {
+                // The DP solves at least as many instances as each
+                // heuristic (it is exact-or-better per instance under both
+                // bounds), and never averages worse when they solve the
+                // same set.
+                assert!(
+                    dp.solved[point] >= heuristic.solved[point],
+                    "point {point}: DP solved {} < {} {}",
+                    dp.solved[point],
+                    heuristic.label,
+                    heuristic.solved[point]
+                );
+                if dp.solved[point] == heuristic.solved[point] && dp.solved[point] > 0 {
+                    assert!(
+                        dp.avg_failure[point] <= heuristic.avg_failure[point] + 1e-15,
+                        "point {point}: DP failure {} above {} {}",
+                        dp.avg_failure[point],
+                        heuristic.label,
+                        heuristic.avg_failure[point]
+                    );
+                }
+            }
+        }
+        // Solution counts are monotone in the latency bound.
+        for window in dp.solved.windows(2) {
+            assert!(window[1] >= window[0]);
         }
     }
 

@@ -258,6 +258,64 @@ pub fn run_het_dp_figures(options: &SweepOptions) -> Vec<FigureResult> {
     ]
 }
 
+/// The latency-aware class-structured sweep beyond the paper's figures: the
+/// exact latency DP (`algo_het_lat`) against Heur-L and Heur-P under both
+/// real-time bounds over the Figure 14/15 latency range — both views of one
+/// run (`fig_het_lat_count` / `fig_het_lat_failure`).
+pub fn run_het_lat_figures(options: &SweepOptions) -> Vec<FigureResult> {
+    let data = crate::experiments::run_het_lat_sweep(options);
+    let count_series = data
+        .curves
+        .iter()
+        .map(|curve| {
+            Series::new(
+                curve.label.clone(),
+                data.x_values
+                    .iter()
+                    .zip(&curve.solved)
+                    .map(|(&x, &count)| (x, count as f64))
+                    .collect(),
+            )
+        })
+        .collect();
+    let failure_series = data
+        .curves
+        .iter()
+        .map(|curve| {
+            Series::new(
+                curve.label.clone(),
+                data.x_values
+                    .iter()
+                    .zip(&curve.avg_failure)
+                    .map(|(&x, &failure)| (x, failure))
+                    .collect(),
+            )
+        })
+        .collect();
+    vec![
+        FigureResult {
+            id: "fig_het_lat_count".to_string(),
+            title: "Number of solutions under P = 0.75 W/s_max: latency-aware DP vs \
+                    heuristics on 3-class heterogeneous platforms"
+                .to_string(),
+            x_label: "Bound on latency".to_string(),
+            y_label: "Number of solutions".to_string(),
+            num_instances: data.num_instances,
+            series: count_series,
+        },
+        FigureResult {
+            id: "fig_het_lat_failure".to_string(),
+            title: "Average failure rate under P = 0.75 W/s_max: latency-aware DP vs \
+                    heuristics on 3-class heterogeneous platforms"
+                .to_string(),
+            x_label: "Bound on latency".to_string(),
+            y_label: "Average failure probability".to_string(),
+            num_instances: data.num_instances,
+            series: failure_series,
+        },
+    ]
+}
+
 /// Runs every experiment once and returns all ten figures (the two views of
 /// each experiment are extracted from the same run).
 pub fn run_all(options: &SweepOptions) -> Vec<FigureResult> {
@@ -352,6 +410,25 @@ mod tests {
         for figure in &figures {
             assert!(figure.series_by_label("Het-DP").is_some());
             assert!(figure.series_by_label("Greedy").is_some());
+            assert_eq!(figure.num_instances, 2);
+        }
+    }
+
+    #[test]
+    fn het_lat_figures_compare_dp_and_heuristics() {
+        let options = SweepOptions {
+            num_instances: 2,
+            seed: 5,
+        };
+        let figures = run_het_lat_figures(&options);
+        assert_eq!(figures.len(), 2);
+        assert_eq!(figures[0].id, "fig_het_lat_count");
+        assert_eq!(figures[1].id, "fig_het_lat_failure");
+        for figure in &figures {
+            assert!(figure.series_by_label("Het-DP-Lat").is_some());
+            assert!(figure.series_by_label("Heur-L").is_some());
+            assert!(figure.series_by_label("Heur-P").is_some());
+            assert_eq!(figure.x_label, "Bound on latency");
             assert_eq!(figure.num_instances, 2);
         }
     }

@@ -83,6 +83,19 @@ pub struct ClassView {
     /// (callers fall back to exact per-interval exponentials there).
     exp_minus: Vec<Vec<f64>>,
     exp_plus: Vec<Vec<f64>>,
+    /// Per-class boundary-indexed **compute grid**:
+    /// `compute_prefix[c][i] = W_i / s_c` over the work prefix, so the
+    /// worst-case computation time of interval `τ_{j+1} … τ_i` on class `c`
+    /// replicas is a precomputed-prefix difference (no division). Backs
+    /// `IntervalOracle::class_latency_term_factored`, the latency term of
+    /// the solvers that re-score exactly afterwards (the Lagrangian penalty
+    /// sweep of `algo_het_lat`).
+    compute_prefix: Vec<Vec<f64>>,
+    /// The chain's work prefix, kept so exact (evaluator-matching) per-class
+    /// compute times `(W_i − W_j) / s_c` can be answered too — the prefix
+    /// *difference-then-divide* order is what `timing::worst_case_cost`
+    /// uses, and `W_i/s − W_j/s` can differ from it by an ulp.
+    work_prefix: Vec<f64>,
 }
 
 impl ClassView {
@@ -130,12 +143,19 @@ impl ClassView {
             })
             .unzip();
 
+        let compute_prefix = classes
+            .iter()
+            .map(|c| work_prefix.iter().map(|&w| w / c.speed).collect())
+            .collect();
+
         ClassView {
             classes,
             class_of,
             members,
             exp_minus,
             exp_plus,
+            compute_prefix,
+            work_prefix: work_prefix.to_vec(),
         }
     }
 
@@ -217,6 +237,27 @@ impl ClassView {
     #[inline]
     pub fn max_speed(&self) -> f64 {
         self.classes.iter().map(|c| c.speed).fold(0.0, f64::max)
+    }
+
+    /// The per-boundary compute grid of `class`: `W_i / s_c` for every work
+    /// prefix `W_i` (`n + 1` entries). Interval compute times are prefix
+    /// differences of this grid (see
+    /// `IntervalOracle::class_latency_term_factored`); the values can differ
+    /// from the exact [`Self::class_compute_time`] by an ulp.
+    #[inline]
+    pub fn compute_prefix(&self, class: usize) -> &[f64] {
+        &self.compute_prefix[class]
+    }
+
+    /// Worst-case computation time of interval `first ..= last` on replicas
+    /// of `class`: `(W_{last+1} − W_first) / s_c`, in exactly the
+    /// difference-then-divide operation order of
+    /// [`crate::timing::worst_case_cost`] — so a latency accumulated from
+    /// these terms is bit-identical to the evaluator's.
+    #[inline]
+    pub fn class_compute_time(&self, class: usize, first: usize, last: usize) -> f64 {
+        debug_assert!(first <= last && last < self.work_prefix.len() - 1);
+        (self.work_prefix[last + 1] - self.work_prefix[first]) / self.classes[class].speed
     }
 }
 

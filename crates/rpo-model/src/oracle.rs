@@ -494,6 +494,42 @@ impl IntervalOracle {
         self.work(first, last) / speed + self.output_comm_time(last)
     }
 
+    /// Latency contribution of interval `first ..= last` whose slowest
+    /// replica belongs to `class`: the class compute time plus the outgoing
+    /// communication time, in exactly the operation order of
+    /// [`Self::evaluate`]'s worst-case latency sum (`work/s_slowest + comm`)
+    /// — so a latency accumulated left-to-right from these terms is
+    /// bit-identical to the evaluator's `worst_case_latency`. This is what
+    /// the **exact** latency-aware dynamic program accumulates.
+    #[inline]
+    pub fn class_latency_term(&self, class: usize, first: usize, last: usize) -> f64 {
+        self.view.class_compute_time(class, first, last) + self.comm_time[last]
+    }
+
+    /// [`Self::class_latency_term`] through the precomputed boundary-indexed
+    /// compute grid ([`ClassView::compute_prefix`]): the prefix *difference*
+    /// `W_{last+1}/s_c − W_first/s_c` plus the outgoing communication time —
+    /// one subtraction and one addition, no division. Can differ from the
+    /// exact term by an ulp (`a/s − b/s` vs `(a − b)/s`), so it backs the
+    /// solvers that re-score their result exactly afterwards (the Lagrangian
+    /// penalty sweep), not the bit-exact label DP.
+    #[inline]
+    pub fn class_latency_term_factored(&self, class: usize, first: usize, last: usize) -> f64 {
+        let prefix = self.view.compute_prefix(class);
+        (prefix[last + 1] - prefix[first]) + self.comm_time[last]
+    }
+
+    /// The smallest worst-case latency any mapping of this instance can
+    /// achieve: the whole chain as one interval on a fastest-class replica,
+    /// `W_total / s_max` (the final boundary has no outgoing communication
+    /// by the `o_n = 0` convention, and every cut only adds communication).
+    /// Latency bounds strictly below this floor are infeasible; a bound
+    /// exactly at it is met by the single-interval mapping bit-for-bit.
+    #[inline]
+    pub fn latency_floor(&self) -> f64 {
+        self.total_work() / self.view.max_speed()
+    }
+
     /// Reliability of a complete mapping (Eq. 9) through the precomputed
     /// boundary reliabilities.
     pub fn mapping_reliability(&self, mapping: &Mapping) -> f64 {
@@ -780,6 +816,75 @@ mod tests {
         let slow = MappingEvaluation::evaluate(&c, &p, &mapping);
         assert_eq!(fast, slow);
         assert_eq!(fast.reliability, oracle.mapping_reliability(&mapping));
+    }
+
+    #[test]
+    fn class_latency_terms_match_the_evaluator_bit_for_bit() {
+        let c = chain();
+        let p = het_platform();
+        let oracle = IntervalOracle::new(&c, &p);
+        for class in 0..oracle.classes().len() {
+            // A member of the class as the single (slowest) replica.
+            let member = oracle.class_view().members(class)[0];
+            for first in 0..4 {
+                for last in first..4 {
+                    let term = oracle.class_latency_term(class, first, last);
+                    let direct = oracle.worst_case_cost(first, last, &[member])
+                        + oracle.output_comm_time(last);
+                    assert_eq!(term, direct);
+                }
+            }
+            // The boundary-indexed compute grid holds W_i / s_c.
+            let prefix = oracle.class_view().compute_prefix(class);
+            assert_eq!(prefix.len(), oracle.len() + 1);
+            for (i, &value) in prefix.iter().enumerate() {
+                assert_eq!(
+                    value,
+                    oracle.work_prefix()[i] / oracle.classes()[class].speed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factored_latency_terms_match_the_exact_ones() {
+        let c = chain();
+        let p = het_platform();
+        let oracle = IntervalOracle::new(&c, &p);
+        for class in 0..oracle.classes().len() {
+            for first in 0..4 {
+                for last in first..4 {
+                    assert_close(
+                        oracle.class_latency_term_factored(class, first, last),
+                        oracle.class_latency_term(class, first, last),
+                        1e-12,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_floor_is_achieved_by_the_single_interval_mapping() {
+        let c = chain();
+        let p = het_platform();
+        let oracle = IntervalOracle::new(&c, &p);
+        // Fastest class is class 0 (speed 2); map the whole chain onto one
+        // of its members.
+        let fastest = (0..p.num_processors())
+            .max_by(|&a, &b| p.speed(a).partial_cmp(&p.speed(b)).unwrap())
+            .unwrap();
+        let mapping = Mapping::new(
+            vec![MappedInterval::new(
+                Interval { first: 0, last: 3 },
+                vec![fastest],
+            )],
+            &c,
+            &p,
+        )
+        .unwrap();
+        let eval = oracle.evaluate(&mapping);
+        assert_eq!(eval.worst_case_latency, oracle.latency_floor());
     }
 
     #[test]

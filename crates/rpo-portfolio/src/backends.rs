@@ -8,12 +8,13 @@
 //! | `Heur-L` | Heur-L partitions + Algo-Alloc / Section 7.2 allocation | always |
 //! | `Heur-P` | Heur-P partitions + Algo-Alloc / Section 7.2 allocation | always |
 //! | `Het-Dp` | [`rpo_algorithms::algo_het_with_oracle`] (exact class-level DP) | heterogeneous, few classes |
+//! | `Het-Dp-Lat` | [`rpo_algorithms::algo_het_lat_with_oracle`] (latency-aware label DP + Lagrangian fallback) | heterogeneous, few classes, finite latency bound |
 //! | `Het-Sweep` | Section 7.2 allocation swept over tightened period targets | heterogeneous |
 //! | `ILP` | [`rpo_algorithms::exact::optimal_by_ilp_with_oracle`] | homogeneous, small instances |
 //! | `Exhaustive` | [`rpo_algorithms::exact::optimal_homogeneous_with_oracle`] | homogeneous, bounded size |
 //!
 //! All adapters read their interval metrics from the one
-//! [`IntervalOracle`] the engine builds per instance, so racing nine
+//! [`IntervalOracle`] the engine builds per instance, so racing ten
 //! backends costs a single metrics precomputation. The DP-based adapters
 //! additionally run on the engine's pooled
 //! [`DpScratch`](rpo_algorithms::DpScratch) arenas
@@ -29,7 +30,7 @@ use rpo_algorithms::exact;
 use rpo_algorithms::heur_l::heur_l_partition_with_oracle;
 use rpo_algorithms::heur_p::heur_p_partition_with_oracle;
 use rpo_algorithms::{
-    algo_het_with_oracle, het_dp_applicable, het_dp_applicable_platform,
+    algo_het_lat_with_oracle, algo_het_with_oracle, het_dp_applicable, het_dp_applicable_platform,
     minimize_period_with_reliability_bound_with_scratch,
     optimize_reliability_homogeneous_with_scratch, optimize_with_period_bound_scratch,
 };
@@ -39,9 +40,10 @@ const SKIP_HETEROGENEOUS: &str = "requires a homogeneous platform";
 const SKIP_HOMOGENEOUS: &str = "requires a heterogeneous platform";
 const SKIP_TOO_LARGE: &str = "instance exceeds the exact-solver size cap";
 const SKIP_NO_PERIOD_BOUND: &str = "needs a finite period bound";
+const SKIP_NO_LATENCY_BOUND: &str = "needs a finite latency bound";
 const SKIP_TOO_MANY_CLASSES: &str = "class count exceeds the heterogeneous DP cap";
 
-/// The full default portfolio: all nine backends.
+/// The full default portfolio: all ten backends.
 pub fn default_backends() -> Vec<Box<dyn SolverBackend>> {
     vec![
         Box::new(Algo1Backend),
@@ -50,6 +52,7 @@ pub fn default_backends() -> Vec<Box<dyn SolverBackend>> {
         Box::new(HeuristicBackend::heur_l()),
         Box::new(HeuristicBackend::heur_p()),
         Box::new(HetDpBackend),
+        Box::new(HetDpLatBackend),
         Box::new(HetSweepBackend),
         Box::new(IlpBackend),
         Box::new(ExhaustiveBackend),
@@ -299,6 +302,65 @@ impl SolverBackend for HetDpBackend {
     }
 }
 
+/// The latency-aware exact heterogeneous solver (`algo_het_lat`): optimal
+/// reliability under the instance's period **and latency** bounds whenever
+/// the platform has few distinct processor classes — the paper's full
+/// tri-criteria problem, the one case the period-only `Het-Dp` cannot
+/// certify. Runs the `(boundary, budgets, latency-so-far)` label DP with a
+/// Lagrangian penalty sweep as overflow fallback; its candidate is probed
+/// against the live streaming front and dropped when already strictly
+/// dominated (sound: dominance only tightens as the front grows).
+pub struct HetDpLatBackend;
+
+impl SolverBackend for HetDpLatBackend {
+    fn name(&self) -> &'static str {
+        "Het-Dp-Lat"
+    }
+
+    fn applicability(&self, instance: &ProblemInstance, _budget: &Budget) -> Applicability {
+        if instance.platform.is_homogeneous() {
+            Applicability::Skip(SKIP_HOMOGENEOUS)
+        } else if !instance.latency_bound.is_finite() {
+            Applicability::Skip(SKIP_NO_LATENCY_BOUND)
+        } else if !het_dp_applicable_platform(&instance.platform) {
+            Applicability::Skip(SKIP_TOO_MANY_CLASSES)
+        } else {
+            Applicability::Applicable
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &ProblemInstance,
+        oracle: &IntervalOracle,
+        _budget: &Budget,
+        ctx: &mut SolveContext<'_>,
+    ) -> Vec<CandidateMapping> {
+        debug_assert!(het_dp_applicable(oracle));
+        let period_bound = instance
+            .period_bound
+            .is_finite()
+            .then_some(instance.period_bound);
+        algo_het_lat_with_oracle(
+            oracle,
+            &instance.chain,
+            &instance.platform,
+            period_bound,
+            instance.latency_bound,
+        )
+        .map(|solution| {
+            let candidate =
+                CandidateMapping::evaluate_with_oracle(self.name(), oracle, solution.mapping);
+            if ctx.is_dominated(&candidate) {
+                Vec::new()
+            } else {
+                vec![candidate]
+            }
+        })
+        .unwrap_or_default()
+    }
+}
+
 /// Heterogeneous-only strategy: sweeps the Section 7.2 allocator over a
 /// geometric ladder of *tightened* period targets. Tighter targets force the
 /// allocator towards faster processors, trading reliability for period and
@@ -528,7 +590,7 @@ mod tests {
                     assert!(backend.applicability(&hom, &budget).is_applicable());
                     assert!(backend.applicability(&het, &budget).is_applicable());
                 }
-                "Het-Sweep" | "Het-Dp" => {
+                "Het-Sweep" | "Het-Dp" | "Het-Dp-Lat" => {
                     assert!(!backend.applicability(&hom, &budget).is_applicable());
                     assert!(backend.applicability(&het, &budget).is_applicable());
                 }
@@ -619,6 +681,49 @@ mod tests {
                     assert!(
                         dp[0].evaluation.reliability >= candidate.evaluation.reliability,
                         "{} produced a period-feasible candidate more reliable than the DP",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn het_dp_lat_needs_a_finite_latency_bound() {
+        let budget = Budget::default();
+        let bounded = het_instance();
+        assert!(HetDpLatBackend
+            .applicability(&bounded, &budget)
+            .is_applicable());
+        let mut unbounded = bounded.clone();
+        unbounded.latency_bound = f64::INFINITY;
+        assert_eq!(
+            HetDpLatBackend.applicability(&unbounded, &budget),
+            Applicability::Skip(SKIP_NO_LATENCY_BOUND)
+        );
+    }
+
+    #[test]
+    fn het_dp_lat_dominates_every_fully_feasible_candidate() {
+        let instance = het_instance();
+        let oracle = instance.build_oracle();
+        let budget = Budget::default();
+        let dp = solve_alone(&HetDpLatBackend, &instance, &oracle, &budget);
+        assert_eq!(dp.len(), 1, "the latency DP returns one exact candidate");
+        assert!(dp[0].evaluation.worst_case_period <= instance.period_bound);
+        assert!(dp[0].evaluation.worst_case_latency <= instance.latency_bound);
+        for backend in [
+            Box::new(HetSweepBackend) as Box<dyn SolverBackend>,
+            Box::new(HeuristicBackend::heur_l()),
+            Box::new(HeuristicBackend::heur_p()),
+            Box::new(HetDpBackend),
+        ] {
+            for candidate in solve_alone(backend.as_ref(), &instance, &oracle, &budget) {
+                if instance.admits(&candidate.evaluation) {
+                    assert!(
+                        dp[0].evaluation.reliability >= candidate.evaluation.reliability,
+                        "{} produced a fully-feasible candidate more reliable than the \
+                         latency DP",
                         backend.name()
                     );
                 }

@@ -181,6 +181,29 @@ pub struct BatchReport {
     /// Instances the adaptive split handed per-solve parallelism
     /// (0 under [`ThreadSplit::Static`]).
     pub deep_solves: usize,
+    /// Peak number of concurrently committed solver threads across the
+    /// batch (each in-flight solve counts its per-solve thread width).
+    /// Adaptive deep solves are sized by the live commitment at dispatch
+    /// ([`deep_solve_width`]), so a deep solve dispatched into a busy batch
+    /// only ever receives the idle capacity — the peak stays below
+    /// `2 × workers` (exactly: `2 × workers − permits`) regardless of the
+    /// engine's configured per-solve thread count, and transient spikes
+    /// shrink towards `workers` as the batch fills up.
+    pub max_committed_threads: usize,
+}
+
+/// Width of a deep solve dispatched while `committed` solver threads are
+/// already live across the batch: the engine's per-solve thread count,
+/// shrunk to the idle capacity `workers − committed` (plus the dispatching
+/// worker's own slot), never below an inline solve. Sizing by the *live*
+/// commitment — instead of handing every deep solve the full per-solve
+/// width — bounds the batch's transient oversubscription: a deep solve
+/// dispatched into a busy batch degrades towards an inline solve instead of
+/// stacking a full thread team on top of the busy workers.
+pub(crate) fn deep_solve_width(deep_threads: usize, workers: usize, committed: usize) -> usize {
+    deep_threads
+        .min(workers.saturating_sub(committed) + 1)
+        .max(1)
 }
 
 impl BatchReport {
@@ -224,12 +247,14 @@ impl std::fmt::Display for BatchReport {
         )?;
         writeln!(
             f,
-            "scratch pool: {} hits / {} misses ({:.0}% hit rate); split: {} wide / {} deep",
+            "scratch pool: {} hits / {} misses ({:.0}% hit rate); split: {} wide / {} deep \
+             (peak {} committed threads)",
             self.scratch_pool.hits,
             self.scratch_pool.misses,
             100.0 * self.scratch_pool.hit_ratio(),
             self.wide_solves,
             self.deep_solves,
+            self.max_committed_threads,
         )?;
         writeln!(
             f,
@@ -314,9 +339,18 @@ impl BatchDriver {
         // Adaptive mode keeps the full instance-level width, so concurrent
         // deep solves could oversubscribe by workers × deep_threads. Bound
         // them with permits: at most workers/deep_threads solves run deep at
-        // once (total live threads stay ≈ 2× the budget); a large instance
-        // that cannot get a permit falls back to an inline solve.
+        // once; a large instance that cannot get a permit falls back to an
+        // inline solve. On top of the permits, each deep solve is sized by
+        // the **live thread commitment** at dispatch (`deep_solve_width`):
+        // `committed` sums the per-solve width of every in-flight solve, and
+        // a deep solve only receives the idle capacity — so the peak
+        // commitment (reported as `max_committed_threads`) stays below
+        // `2 × workers` and a deep solve landing on a busy batch degrades
+        // towards an inline solve instead of stacking a full thread team on
+        // top of the busy workers.
         let deep_permits = AtomicUsize::new((workers / deep_threads).max(1));
+        let committed = AtomicUsize::new(0);
+        let peak_committed = AtomicUsize::new(0);
         let source = Mutex::new(instances);
 
         #[derive(Default)]
@@ -341,8 +375,19 @@ impl BatchDriver {
                             break;
                         };
                         local.count += 1;
+                        // Commit `width` solver threads for the duration of
+                        // one solve, recording the batch-wide peak.
+                        let commit = |width: usize| {
+                            let now = committed.fetch_add(width, Ordering::AcqRel) + width;
+                            peak_committed.fetch_max(now, Ordering::AcqRel);
+                        };
                         let outcome = match split {
-                            ThreadSplit::Static => engine.solve(&instance),
+                            ThreadSplit::Static => {
+                                commit(engine.threads().max(1));
+                                let outcome = engine.solve(&instance);
+                                committed.fetch_sub(engine.threads().max(1), Ordering::AcqRel);
+                                outcome
+                            }
                             ThreadSplit::Adaptive { small_volume } => {
                                 // DP volume n²·p decides the split: small
                                 // instances run inline single-threaded (the
@@ -358,13 +403,31 @@ impl BatchDriver {
                                         .is_ok();
                                 if permit {
                                     local.deep += 1;
-                                    let outcome =
-                                        engine.solve_with_threads(&instance, deep_threads);
+                                    // Size the deep solve by the live
+                                    // occupancy at dispatch, not the
+                                    // engine's full per-solve width. Sizing
+                                    // and reservation are one atomic update,
+                                    // so two concurrent deep dispatches
+                                    // cannot both claim the same idle
+                                    // capacity.
+                                    let mut width = 0;
+                                    let prev = committed
+                                        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                                            width = deep_solve_width(deep_threads, workers, c);
+                                            Some(c + width)
+                                        })
+                                        .expect("unconditional update cannot fail");
+                                    peak_committed.fetch_max(prev + width, Ordering::AcqRel);
+                                    let outcome = engine.solve_with_threads(&instance, width);
+                                    committed.fetch_sub(width, Ordering::AcqRel);
                                     deep_permits.fetch_add(1, Ordering::AcqRel);
                                     outcome
                                 } else {
                                     local.wide += 1;
-                                    engine.solve_with_threads(&instance, 1)
+                                    commit(1);
+                                    let outcome = engine.solve_with_threads(&instance, 1);
+                                    committed.fetch_sub(1, Ordering::AcqRel);
+                                    outcome
                                 }
                             }
                         };
@@ -436,6 +499,7 @@ impl BatchDriver {
             scratch_pool: engine.scratch_pool_stats(),
             wide_solves: tally.wide,
             deep_solves: tally.deep,
+            max_committed_threads: peak_committed.into_inner(),
         }
     }
 }
@@ -526,6 +590,54 @@ mod tests {
         assert_eq!(report.wide_solves, 0);
         assert_eq!(report.deep_solves, 3);
         assert!(report.feasible_instances > 0);
+    }
+
+    #[test]
+    fn deep_solve_width_is_sized_by_live_occupancy() {
+        // Idle batch: the deep solve gets the engine's full per-solve width.
+        assert_eq!(deep_solve_width(4, 8, 0), 4);
+        // Partially busy: only the idle capacity (plus the dispatching
+        // worker's own slot) is handed out.
+        assert_eq!(deep_solve_width(4, 8, 6), 3);
+        assert_eq!(deep_solve_width(4, 8, 7), 2);
+        // Saturated (or oversubscribed) batch: degrade to an inline solve.
+        assert_eq!(deep_solve_width(4, 8, 8), 1);
+        assert_eq!(deep_solve_width(4, 8, 100), 1);
+        // A deep width is never zero, whatever the configuration.
+        assert_eq!(deep_solve_width(1, 1, 0), 1);
+    }
+
+    #[test]
+    fn adaptive_deep_solves_bound_the_thread_commitment() {
+        // Engine configured far wider than the batch: without
+        // occupancy-aware sizing, every deep solve would commit the full
+        // per-solve width on top of the busy workers.
+        let engine = PortfolioEngine::default().with_threads(8);
+        let workers = 2;
+        let driver = BatchDriver::new(BatchConfig {
+            workers,
+            // Tiny threshold: every paper-scale instance counts as large.
+            split: ThreadSplit::Adaptive { small_volume: 1 },
+            ..BatchConfig::default()
+        });
+        let generator = InstanceGenerator::paper_homogeneous(17);
+        let report = driver.run(&engine, generator.stream(8));
+        assert_eq!(report.instances, 8);
+        assert!(report.deep_solves > 0, "large instances must go deep");
+        // The documented bound (2·workers − permits): here one deep permit,
+        // so one deep solve sized to the idle capacity plus the remaining
+        // worker solving inline.
+        let deep_threads = engine.threads().min(workers);
+        let permits = (workers / deep_threads).max(1);
+        assert!(
+            report.max_committed_threads <= 2 * workers - permits,
+            "peak commitment {} exceeds 2·workers − permits = {}",
+            report.max_committed_threads,
+            2 * workers - permits
+        );
+        // And in particular far below the pre-sizing worst case of one full
+        // engine width per busy worker.
+        assert!(report.max_committed_threads < workers * engine.threads());
     }
 
     #[test]

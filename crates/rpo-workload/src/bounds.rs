@@ -1,0 +1,172 @@
+//! Real-time bound derivation for generated instances: latency-bounded
+//! (and optionally period-bounded) workload streams.
+//!
+//! The paper's experiments fix *absolute* bounds, but random instances vary
+//! widely in total work and platform speed, so absolute bounds give an
+//! uncontrollable feasibility mix. [`BoundsSpec`] derives each instance's
+//! bounds **relative to its own latency floor** `W / s_max` (the whole chain
+//! on a fastest processor — the smallest worst-case latency any mapping can
+//! achieve): a latency slack of `1.0` is exactly the floor, slacks slightly
+//! above it force single-interval-like mappings, and large slacks recover
+//! the latency-unconstrained problem. This is the workload shape the
+//! latency-aware heterogeneous solvers (`algo_het_lat`, the `Het-Dp-Lat`
+//! portfolio backend) are measured on.
+
+use rpo_model::{Platform, TaskChain};
+use serde::{Deserialize, Serialize};
+
+use crate::{ExperimentInstance, InstanceGenerator, InstanceStream};
+
+/// How the real-time bounds of a generated instance are derived from its
+/// chain and platform, both relative to the instance's latency floor
+/// `W / s_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundsSpec {
+    /// Worst-case period bound = `period_slack × W / s_max`
+    /// (`f64::INFINITY` for an unbounded period).
+    pub period_slack: f64,
+    /// Worst-case latency bound = `latency_slack × W / s_max`. Slacks `< 1`
+    /// are below the floor (always infeasible); slacks slightly above `1`
+    /// are the tight regime where the latency-aware DP's choices matter.
+    pub latency_slack: f64,
+}
+
+impl BoundsSpec {
+    /// The latency-bounded heterogeneous benchmark setup: period slack 0.75
+    /// (tight enough that partition and pattern choices matter — the
+    /// `BENCH_het.json` setting) and latency slack 1.6 (well above the
+    /// floor, but far below the latency of communication-heavy many-interval
+    /// mappings).
+    pub fn paper_het_lat() -> Self {
+        BoundsSpec {
+            period_slack: 0.75,
+            latency_slack: 1.6,
+        }
+    }
+
+    /// The `(period_bound, latency_bound)` pair for one chain/platform.
+    pub fn bounds(&self, chain: &TaskChain, platform: &Platform) -> (f64, f64) {
+        let floor = chain.total_work() / platform.max_speed();
+        (self.period_slack * floor, self.latency_slack * floor)
+    }
+}
+
+/// One generated instance together with its derived real-time bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundedInstance {
+    /// The generated chain and platforms.
+    pub instance: ExperimentInstance,
+    /// Worst-case period bound `P`.
+    pub period_bound: f64,
+    /// Worst-case latency bound `L`.
+    pub latency_bound: f64,
+}
+
+/// A lazy, deterministic stream of [`BoundedInstance`]s: the underlying
+/// [`InstanceStream`] with per-instance bounds derived by a [`BoundsSpec`]
+/// against the chosen platform.
+#[derive(Debug, Clone)]
+pub struct BoundedInstanceStream {
+    stream: InstanceStream,
+    spec: BoundsSpec,
+    heterogeneous: bool,
+}
+
+impl Iterator for BoundedInstanceStream {
+    type Item = BoundedInstance;
+
+    fn next(&mut self) -> Option<BoundedInstance> {
+        let instance = self.stream.next()?;
+        let platform = if self.heterogeneous {
+            &instance.heterogeneous
+        } else {
+            &instance.homogeneous
+        };
+        let (period_bound, latency_bound) = self.spec.bounds(&instance.chain, platform);
+        Some(BoundedInstance {
+            instance,
+            period_bound,
+            latency_bound,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.stream.size_hint()
+    }
+}
+
+impl ExactSizeIterator for BoundedInstanceStream {}
+
+impl InstanceGenerator {
+    /// A lazy stream of `count` instances with per-instance bounds derived
+    /// by `spec` against the heterogeneous (`heterogeneous = true`) or
+    /// homogeneous platform. Deterministic in the generator's base seed.
+    pub fn bounded_stream(
+        &self,
+        count: usize,
+        spec: BoundsSpec,
+        heterogeneous: bool,
+    ) -> BoundedInstanceStream {
+        BoundedInstanceStream {
+            stream: self.stream(count),
+            spec,
+            heterogeneous,
+        }
+    }
+
+    /// The latency-bounded class-structured heterogeneous stream: the
+    /// paper's 10-processor 3-class setup ([`Self::paper_heterogeneous_classes`])
+    /// with [`BoundsSpec::paper_het_lat`] bounds — the workload of the
+    /// `BENCH_het_lat.json` baseline and the latency-aware differential
+    /// tests.
+    pub fn paper_het_lat_stream(base_seed: u64, count: usize) -> BoundedInstanceStream {
+        Self::paper_heterogeneous_classes(base_seed).bounded_stream(
+            count,
+            BoundsSpec::paper_het_lat(),
+            true,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_scale_with_the_latency_floor() {
+        let generator = InstanceGenerator::paper_heterogeneous_classes(11);
+        let spec = BoundsSpec::paper_het_lat();
+        for bounded in generator.bounded_stream(5, spec, true) {
+            let floor =
+                bounded.instance.chain.total_work() / bounded.instance.heterogeneous.max_speed();
+            assert_eq!(bounded.period_bound, 0.75 * floor);
+            assert_eq!(bounded.latency_bound, 1.6 * floor);
+            assert!(bounded.latency_bound > floor, "latency bound above floor");
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_sized() {
+        let a: Vec<BoundedInstance> = InstanceGenerator::paper_het_lat_stream(7, 4).collect();
+        let b: Vec<BoundedInstance> = InstanceGenerator::paper_het_lat_stream(7, 4).collect();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a, b);
+        let stream = InstanceGenerator::paper_het_lat_stream(7, 9);
+        assert_eq!(stream.len(), 9);
+    }
+
+    #[test]
+    fn homogeneous_streams_use_the_homogeneous_platform() {
+        let generator = InstanceGenerator::paper_homogeneous(3);
+        let spec = BoundsSpec {
+            period_slack: f64::INFINITY,
+            latency_slack: 2.0,
+        };
+        for bounded in generator.bounded_stream(3, spec, false) {
+            assert!(bounded.period_bound.is_infinite());
+            let floor =
+                bounded.instance.chain.total_work() / bounded.instance.homogeneous.max_speed();
+            assert_eq!(bounded.latency_bound, 2.0 * floor);
+        }
+    }
+}

@@ -15,10 +15,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bounds;
 pub mod chain_gen;
 pub mod instance;
 pub mod platform_gen;
 
+pub use bounds::{BoundedInstance, BoundedInstanceStream, BoundsSpec};
 pub use chain_gen::ChainSpec;
 pub use instance::{ExperimentInstance, InstanceGenerator, InstanceStream};
 pub use platform_gen::{HeterogeneousPlatformSpec, HomogeneousPlatformSpec};
