@@ -231,6 +231,8 @@ pub(crate) fn reliability_dp_scratch(
 ) -> Option<OptimalMapping> {
     let n = oracle.len();
     let p = oracle.num_processors();
+    let _span = rpo_obs::span!("dp.kernel", rows = n, procs = p);
+    rpo_obs::counter!("dp.kernel.row_sweeps").add(n as u64);
     assert!(
         oracle.max_replication().min(p) <= 0xFF && n < (1 << 24),
         "packed traceback supports K ≤ 255 and n < 2^24"

@@ -99,6 +99,16 @@ pub struct HetLatSolution {
     pub greedy_reliability: Option<f64>,
 }
 
+/// Counts which strategy produced each returned solution, making the
+/// once-silent Lagrangian/greedy fallbacks observable.
+fn note_path(method: HetLatMethod) {
+    match method {
+        HetLatMethod::LatDp => rpo_obs::counter!("het_lat.path.label_dp").inc(),
+        HetLatMethod::Lagrangian => rpo_obs::counter!("het_lat.path.lagrangian").inc(),
+        HetLatMethod::Greedy => rpo_obs::counter!("het_lat.path.greedy").inc(),
+    }
+}
+
 fn validate_latency_bound(latency_bound: f64) -> Result<f64> {
     if latency_bound.is_finite() && latency_bound > 0.0 {
         Ok(latency_bound)
@@ -152,6 +162,7 @@ pub fn algo_het_lat_with_oracle(
     crate::debug_assert_oracle_matches(oracle, chain, platform);
     validate_bound(period_bound)?;
     validate_latency_bound(latency_bound)?;
+    let _span = rpo_obs::span!("het_lat.solve", tasks = oracle.len());
 
     // The latency-aware greedy pipeline first: fallback when the DP cannot
     // run, upper-bound pruner when it can.
@@ -160,6 +171,7 @@ pub fn algo_het_lat_with_oracle(
     if !het_dp_applicable(oracle) {
         return greedy.map(|solution| {
             let worst_case_latency = oracle.evaluate(&solution.mapping).worst_case_latency;
+            note_path(HetLatMethod::Greedy);
             HetLatSolution {
                 mapping: solution.mapping,
                 reliability: solution.reliability,
@@ -191,6 +203,7 @@ pub fn algo_het_lat_with_oracle(
     let finish = |mapping: Mapping, reliability: f64, method: HetLatMethod| {
         let evaluation = oracle.evaluate(&mapping);
         debug_assert!(evaluation.worst_case_latency <= latency_bound);
+        note_path(method);
         HetLatSolution {
             mapping,
             reliability,
@@ -327,6 +340,7 @@ fn label_dp(
         pred_label: 0,
     });
     let mut live_labels: isize = 1;
+    let mut labels_inserted: u64 = 1;
 
     // Per-class block-row gather buffers and per-class failure powers
     // (1 − block)^q, reused across rows — same shape as the scalar class DP.
@@ -405,15 +419,20 @@ fn label_dp(
                             },
                         ) {
                             live_labels += delta;
+                            labels_inserted += 1;
                         }
                     }
                 }
             }
             if live_labels as usize > MAX_LAT_LABELS {
+                rpo_obs::counter!("het_lat.labels").add(labels_inserted);
+                rpo_obs::counter!("het_lat.label_cap_aborts").inc();
                 return LabelDpOutcome::Overflow;
             }
         }
     }
+
+    rpo_obs::counter!("het_lat.labels").add(labels_inserted);
 
     // Best label over every remaining-budget state at the final boundary.
     let mut best: Option<(usize, usize, f64)> = None;
@@ -482,6 +501,7 @@ fn penalized_dp(
     num_states: usize,
     patterns: &[Pattern],
 ) -> Option<(Mapping, f64, f64)> {
+    rpo_obs::counter!("het_lat.mu_iterations").inc();
     let n = oracle.len();
     let view = oracle.class_view();
     let kc = view.len();

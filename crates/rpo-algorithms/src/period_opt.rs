@@ -151,6 +151,7 @@ pub fn minimize_period_with_reliability_bound_with_scratch(
 
     // Binary search the smallest candidate period meeting the bound.
     let mut feasible = |period: f64| -> Option<crate::algo1::OptimalMapping> {
+        rpo_obs::counter!("period_opt.probes").inc();
         match optimize_with_period_bound_scratch(oracle, chain, platform, period, &mut *scratch) {
             Ok(solution) if solution.reliability >= reliability_bound => Some(solution),
             _ => None,

@@ -10,7 +10,8 @@
 //! Usage:
 //! `cargo run --release -p rpo-bench --bin oracle_baseline \
 //!     [oracle_output] [kernel_output] [het_output] [het_lat_output] \
-//!     [--enforce-kernel-speedup] [--enforce-het-gain] [--enforce-het-lat-gain]`
+//!     [--enforce-kernel-speedup] [--enforce-het-gain] [--enforce-het-lat-gain] \
+//!     [--enforce-obs-overhead]`
 //! (default output paths `BENCH_oracle.json`, `BENCH_kernel.json`,
 //! `BENCH_het.json` and `BENCH_het_lat.json` in the working directory).
 //! With `--enforce-kernel-speedup` the process exits non-zero if the chunked
@@ -19,8 +20,17 @@
 //! greedy reliability (or solves fewer instances); with
 //! `--enforce-het-lat-gain` it exits non-zero unless `algo_het_lat` beats
 //! the latency-aware greedy pipeline strictly somewhere with no losses, no
-//! missed solves and no bound violations — the CI smoke step runs all
-//! three.
+//! missed solves and no bound violations; with `--enforce-obs-overhead` it
+//! exits non-zero if the portfolio batch with observability recording
+//! enabled measures more than 3% slower than the same batch with the
+//! runtime toggle off — the CI smoke step runs all four.
+//!
+//! All four reports go through the shared [`rpo_obs::write_bench_report`]
+//! reporter: the payload fields stay at the top level and the cumulative
+//! [`rpo_obs::MetricsSnapshot`] of the instrumented run is embedded under
+//! `metrics`. The run also asserts unconditionally that the snapshot
+//! carries per-backend solve-time histograms, all three cache counter
+//! families, and nonzero DP-kernel span counts.
 //!
 //! The "naive" dynamic program reimplements the pre-oracle recurrence — it
 //! recomputes the Eq. 9 replica-block reliability (three `exp`s per
@@ -581,15 +591,89 @@ fn run_batch() -> BatchSummary {
     }
 }
 
-fn write_json<T: Serialize>(path: &str, value: &T) {
-    let json = serde_json::to_string_pretty(value).expect("serialization cannot fail");
-    std::fs::write(path, format!("{json}\n")).expect("writing the baseline file");
+/// Writes one `BENCH_*.json` through the shared [`rpo_obs`] reporter: the
+/// payload fields stay at the top level (existing gate consumers keep
+/// working) and the cumulative instrumented [`rpo_obs::MetricsSnapshot`]
+/// rides along under `metrics`.
+fn write_json<T: Serialize>(path: &str, bench: &str, value: &T) {
+    rpo_obs::write_bench_report(path, bench, value, &rpo_obs::global().snapshot())
+        .expect("writing the baseline file");
     eprintln!("wrote {path}");
 }
 
+/// Unconditional acceptance check of the observability plumbing: after the
+/// instrumented portfolio batch the registry must expose per-backend
+/// solve-time histograms, hit/miss counters for all three caches, and a
+/// nonzero DP-kernel span histogram.
+fn assert_observability(snapshot: &rpo_obs::MetricsSnapshot, batch: &BatchSummary) {
+    for backend in batch.backends.iter().filter(|b| b.runs > 0) {
+        let name = format!("backend.solve.{}", backend.backend);
+        let histogram = snapshot
+            .histogram(&name)
+            .unwrap_or_else(|| panic!("missing {name} histogram in the metrics snapshot"));
+        assert!(
+            histogram.count as usize >= backend.runs,
+            "{name}: {} samples < {} recorded runs",
+            histogram.count,
+            backend.runs
+        );
+        assert!(
+            histogram.p50_nanos > 0.0 && histogram.p99_nanos >= histogram.p50_nanos,
+            "{name}: degenerate percentiles (p50 {}, p99 {})",
+            histogram.p50_nanos,
+            histogram.p99_nanos
+        );
+    }
+    for family in ["cache.instance", "cache.oracle", "cache.scratch"] {
+        for leaf in ["hits", "misses"] {
+            let name = format!("{family}.{leaf}");
+            assert!(
+                snapshot.counter_value(&name).is_some(),
+                "missing {name} counter in the metrics snapshot"
+            );
+        }
+    }
+    let kernel_spans = snapshot
+        .histogram("span.dp.kernel")
+        .expect("missing span.dp.kernel histogram in the metrics snapshot");
+    assert!(
+        kernel_spans.count > 0,
+        "no dp.kernel spans recorded during the instrumented batch"
+    );
+    eprintln!(
+        "  observability: {} backend histograms, all three cache counter families, \
+         {} dp.kernel spans",
+        batch.backends.iter().filter(|b| b.runs > 0).count(),
+        kernel_spans.count
+    );
+}
+
+/// Overhead-guard repetitions per side (median filtering, like the sharing
+/// comparison).
+const OVERHEAD_REPS: usize = 5;
+
+/// Median batch throughput (instances/sec) of `OVERHEAD_REPS` fresh-engine
+/// paper-style batches with the observability runtime toggle set to
+/// `enabled`.
+fn overhead_throughput(enabled: bool) -> f64 {
+    rpo_obs::set_enabled(enabled);
+    let mut samples: Vec<f64> = (0..OVERHEAD_REPS)
+        .map(|_| {
+            let engine = PortfolioEngine::default().with_threads(1);
+            let driver = BatchDriver::new(BatchConfig::default());
+            let generator = InstanceGenerator::paper_homogeneous(0x0AC1E);
+            let report = driver.run(&engine, generator.stream(BATCH_INSTANCES));
+            report.throughput()
+        })
+        .collect();
+    rpo_obs::set_enabled(true);
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite throughputs"));
+    samples[samples.len() / 2]
+}
+
 fn main() {
-    let (mut outputs, mut enforce, mut enforce_het, mut enforce_het_lat) =
-        (Vec::new(), false, false, false);
+    let (mut outputs, mut enforce, mut enforce_het, mut enforce_het_lat, mut enforce_obs) =
+        (Vec::new(), false, false, false, false);
     for arg in std::env::args().skip(1) {
         if arg == "--enforce-kernel-speedup" {
             enforce = true;
@@ -597,6 +681,8 @@ fn main() {
             enforce_het = true;
         } else if arg == "--enforce-het-lat-gain" {
             enforce_het_lat = true;
+        } else if arg == "--enforce-obs-overhead" {
+            enforce_obs = true;
         } else {
             outputs.push(arg);
         }
@@ -647,12 +733,14 @@ fn main() {
         portfolio_batch.instances_per_sec, portfolio_batch.feasible_instances
     );
 
+    assert_observability(&rpo_obs::global().snapshot(), &portfolio_batch);
+
     let baseline = OracleBaseline {
         algo1,
         algo2,
         portfolio_batch,
     };
-    write_json(&oracle_output, &baseline);
+    write_json(&oracle_output, "oracle", &baseline);
 
     eprintln!("timing the DP kernels (scalar reference vs lane-chunked) …");
     let kernel_algo1 = compare_kernels(&chain, &platform, None);
@@ -690,7 +778,7 @@ fn main() {
         batch_shared_oracle: shared,
         batch_unshared_oracle: unshared,
     };
-    write_json(&kernel_output, &kernel);
+    write_json(&kernel_output, "kernel", &kernel);
 
     eprintln!(
         "running algo_het vs greedy on {HET_INSTANCES} class-structured heterogeneous instances …"
@@ -711,7 +799,7 @@ fn main() {
         het.dp_losses,
     );
     let het_regressed = het.dp_losses > 0 || het.dp_solved < het.greedy_solved;
-    write_json(&het_output, &het);
+    write_json(&het_output, "het", &het);
 
     eprintln!(
         "running algo_het_lat vs latency-aware greedy on {HET_INSTANCES} latency-bounded \
@@ -741,7 +829,27 @@ fn main() {
         || het_lat.dp_solved < het_lat.greedy_solved
         || het_lat.dp_wins == 0
         || het_lat.bound_violations > 0;
-    write_json(&het_lat_output, &het_lat);
+    write_json(&het_lat_output, "het_lat", &het_lat);
+
+    let mut obs_regressed = false;
+    if enforce_obs {
+        eprintln!(
+            "measuring observability overhead ({OVERHEAD_REPS} batches per side, \
+             median throughput) …"
+        );
+        // Disabled side first: any residual warm-up bias then favours the
+        // *uninstrumented* baseline, so a passing guard is not an ordering
+        // artifact.
+        let disabled = overhead_throughput(false);
+        let enabled = overhead_throughput(true);
+        let ratio = enabled / disabled;
+        eprintln!(
+            "  obs enabled {enabled:.1} instances/sec vs disabled {disabled:.1} \
+             instances/sec ({:.1}% overhead)",
+            100.0 * (1.0 - ratio)
+        );
+        obs_regressed = ratio < 0.97;
+    }
 
     if enforce && slower {
         eprintln!("FAIL: the chunked kernel measured slower than the scalar reference");
@@ -756,6 +864,10 @@ fn main() {
             "FAIL: algo_het_lat regressed against the latency-aware greedy baseline \
              (losses, fewer solves, no strict wins, or bound violations)"
         );
+        std::process::exit(1);
+    }
+    if obs_regressed {
+        eprintln!("FAIL: observability overhead exceeded 3% of the uninstrumented batch");
         std::process::exit(1);
     }
 }

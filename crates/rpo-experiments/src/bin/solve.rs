@@ -6,13 +6,26 @@
 //! solve --example                     # print an example problem file
 //! solve portfolio path/to/problem.json  # race the whole solver portfolio
 //! solve portfolio -                     # ... reading from standard input
+//! solve batch <count> [--seed N] [--het] [--workers N]  # drive a generated batch
 //! ```
 //!
 //! The default mode prints both heuristics plus, on homogeneous platforms,
 //! the exact optimum. The `portfolio` subcommand instead races every
 //! applicable backend in parallel and prints the merged tri-criteria Pareto
 //! front (reliability, worst-case period, worst-case latency), with the
-//! per-backend run/skip census.
+//! per-backend run/skip census. The `batch` subcommand streams `count`
+//! paper-style generated instances through the batch driver and prints the
+//! throughput/win-rate report.
+//!
+//! Observability flags (all modes):
+//!
+//! * `--trace <path>` (or `--trace=<path>`) — write the recorded span trace
+//!   as JSON Lines, one span object per line;
+//! * `--collapse <path>` — write the collapsed-stack export (flamegraph.pl
+//!   input) of the same spans;
+//! * `--report-json <path>` — `batch` only: write the full serialized
+//!   [`BatchReport`](rpo_portfolio::BatchReport), embedded
+//!   `MetricsSnapshot` included, for machine-to-machine diffing.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -20,6 +33,8 @@ use std::process::ExitCode;
 use rpo_experiments::problem_io::{
     portfolio_report_to_json, report_to_json, solve, solve_portfolio, ProblemSpec,
 };
+use rpo_portfolio::{BatchConfig, BatchDriver, PortfolioEngine};
+use rpo_workload::InstanceGenerator;
 
 const EXAMPLE: &str = r#"{
   "tasks": [
@@ -44,8 +59,73 @@ const EXAMPLE: &str = r#"{
   "latency_bound": 130
 }"#;
 
-const USAGE: &str =
-    "usage: solve <problem.json | -> | solve --example | solve portfolio <problem.json | ->";
+const USAGE: &str = "usage: solve <problem.json | -> | solve --example \
+     | solve portfolio <problem.json | -> \
+     | solve batch <count> [--seed N] [--het] [--workers N] [--report-json <path>]\n\
+     observability: [--trace <path>] [--collapse <path>] on any mode";
+
+/// Observability/output options shared by every mode.
+#[derive(Default)]
+struct ObsArgs {
+    trace: Option<String>,
+    collapse: Option<String>,
+    report_json: Option<String>,
+    seed: u64,
+    workers: Option<usize>,
+    heterogeneous: bool,
+}
+
+/// Strips the flag arguments out of `args`, returning the remaining
+/// positional arguments.
+fn parse_flags(args: Vec<String>) -> Result<(Vec<String>, ObsArgs), String> {
+    let mut obs = ObsArgs {
+        seed: 2024,
+        ..ObsArgs::default()
+    };
+    let mut positional = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut flag_value = |name: &str, inline: Option<&str>| -> Result<String, String> {
+            match inline {
+                Some(value) => Ok(value.to_string()),
+                None => iter
+                    .next()
+                    .ok_or_else(|| format!("{name} requires a value")),
+            }
+        };
+        match arg.split_once('=') {
+            Some(("--trace", value)) => obs.trace = Some(value.to_string()),
+            Some(("--collapse", value)) => obs.collapse = Some(value.to_string()),
+            Some(("--report-json", value)) => obs.report_json = Some(value.to_string()),
+            Some(("--seed", value)) => {
+                obs.seed = value.parse().map_err(|_| "invalid --seed".to_string())?;
+            }
+            Some(("--workers", value)) => {
+                obs.workers = Some(value.parse().map_err(|_| "invalid --workers".to_string())?);
+            }
+            _ => match arg.as_str() {
+                "--trace" => obs.trace = Some(flag_value("--trace", None)?),
+                "--collapse" => obs.collapse = Some(flag_value("--collapse", None)?),
+                "--report-json" => obs.report_json = Some(flag_value("--report-json", None)?),
+                "--seed" => {
+                    obs.seed = flag_value("--seed", None)?
+                        .parse()
+                        .map_err(|_| "invalid --seed".to_string())?;
+                }
+                "--workers" => {
+                    obs.workers = Some(
+                        flag_value("--workers", None)?
+                            .parse()
+                            .map_err(|_| "invalid --workers".to_string())?,
+                    );
+                }
+                "--het" => obs.heterogeneous = true,
+                _ => positional.push(arg),
+            },
+        }
+    }
+    Ok((positional, obs))
+}
 
 fn read_problem(path: &str) -> Result<ProblemSpec, String> {
     let text = if path == "-" {
@@ -69,23 +149,76 @@ fn run(path: &str, portfolio: bool) -> Result<String, String> {
     }
 }
 
+/// Streams `count` generated paper-style instances through the batch driver
+/// and returns the human-readable report (writing the machine-readable one
+/// to `--report-json` when requested).
+fn run_batch(count: usize, obs: &ObsArgs) -> Result<String, String> {
+    let generator = if obs.heterogeneous {
+        InstanceGenerator::paper_heterogeneous(obs.seed)
+    } else {
+        InstanceGenerator::paper_homogeneous(obs.seed)
+    };
+    let engine = PortfolioEngine::default().with_threads(1);
+    let mut config = BatchConfig {
+        heterogeneous: obs.heterogeneous,
+        ..BatchConfig::default()
+    };
+    if let Some(workers) = obs.workers {
+        config.workers = workers.max(1);
+    }
+    let report = BatchDriver::new(config).run(&engine, generator.stream(count));
+    if let Some(path) = &obs.report_json {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|error| format!("failed to serialize report: {error}"))?;
+        std::fs::write(path, json).map_err(|error| format!("failed to write {path}: {error}"))?;
+    }
+    Ok(report.to_string())
+}
+
+/// Writes the requested trace exports after the work is done.
+fn write_obs_outputs(obs: &ObsArgs) -> Result<(), String> {
+    if let Some(path) = &obs.trace {
+        rpo_obs::recorder()
+            .write_jsonl_path(path)
+            .map_err(|error| format!("failed to write trace {path}: {error}"))?;
+    }
+    if let Some(path) = &obs.collapse {
+        rpo_obs::recorder()
+            .write_collapsed_path(path)
+            .map_err(|error| format!("failed to write collapsed stacks {path}: {error}"))?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let outcome = match args.as_slice() {
+    let (positional, obs) = match parse_flags(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match positional.as_slice() {
         [flag] if flag == "--example" => {
             println!("{EXAMPLE}");
             return ExitCode::SUCCESS;
         }
+        [subcommand, count] if subcommand == "batch" => match count.parse::<usize>() {
+            Ok(count) => run_batch(count, &obs),
+            Err(_) => Err(format!("invalid batch size {count:?}")),
+        },
         [subcommand, path] if subcommand == "portfolio" => run(path, true),
-        [path] if path != "portfolio" => run(path, false),
+        [path] if path != "portfolio" && path != "batch" => run(path, false),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    let outcome = outcome.and_then(|output| write_obs_outputs(&obs).map(|()| output));
     match outcome {
-        Ok(json) => {
-            println!("{json}");
+        Ok(output) => {
+            println!("{output}");
             ExitCode::SUCCESS
         }
         Err(message) => {

@@ -46,6 +46,7 @@ pub fn solve_ilp(problem: &Problem) -> IlpSolution {
 
 /// Same as [`solve_ilp`] with an explicit node limit.
 pub fn solve_ilp_with_limit(problem: &Problem, node_limit: usize) -> IlpSolution {
+    let _span = rpo_obs::span!("lp.solve_ilp", vars = problem.num_vars());
     let mut state = Search {
         problem,
         node_limit,
@@ -54,6 +55,7 @@ pub fn solve_ilp_with_limit(problem: &Problem, node_limit: usize) -> IlpSolution
         hit_limit: false,
     };
     let root_status = state.explore(problem.clone());
+    rpo_obs::counter!("lp.bnb.nodes").add(state.nodes as u64);
     if root_status == Some(LpStatus::Unbounded) && state.incumbent.is_none() {
         return IlpSolution {
             status: IlpStatus::Unbounded,

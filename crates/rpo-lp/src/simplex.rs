@@ -308,6 +308,7 @@ impl Tableau {
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
+        rpo_obs::counter!("lp.simplex.pivots").inc();
         let pivot_value = self.a[row][col];
         debug_assert!(pivot_value.abs() > TOL, "pivot on a near-zero element");
         for j in 0..=self.cols {

@@ -122,6 +122,11 @@ pub struct IntervalOracle {
 impl IntervalOracle {
     /// Builds the oracle for one `(chain, platform)` instance in `O(n + p)`.
     pub fn new(chain: &TaskChain, platform: &Platform) -> Self {
+        let _span = rpo_obs::span!(
+            "oracle.build",
+            tasks = chain.len(),
+            procs = platform.num_processors()
+        );
         let n = chain.len();
         let link_rate = platform.link_failure_rate();
         let bandwidth = platform.bandwidth();

@@ -1,0 +1,75 @@
+//! The shared snapshot-to-JSON bench reporter.
+//!
+//! Every `BENCH_*.json` the workspace emits goes through
+//! [`write_bench_report`]: the benchmark's own payload fields stay at the
+//! top level of the object (so existing consumers keep working), and the
+//! reporter appends a `bench` name and the instrumented
+//! [`MetricsSnapshot`] under `metrics`.
+
+use crate::registry::MetricsSnapshot;
+use serde::{Serialize, Value};
+use std::io;
+use std::path::Path;
+
+/// Builds the report envelope: the serialized `payload` object with
+/// `bench` and `metrics` entries appended.
+///
+/// # Panics
+///
+/// Panics if `payload` does not serialize to a JSON object (bench payloads
+/// are structs by construction).
+pub fn bench_envelope<P: Serialize>(bench: &str, payload: &P, metrics: &MetricsSnapshot) -> Value {
+    let Value::Object(mut entries) = serde_json::to_value(payload) else {
+        panic!("bench payload for {bench:?} must serialize to a JSON object");
+    };
+    entries.push(("bench".to_string(), Value::String(bench.to_string())));
+    entries.push(("metrics".to_string(), serde_json::to_value(metrics)));
+    Value::Object(entries)
+}
+
+/// Serializes `payload` + `metrics` as a pretty-printed report at `path`.
+pub fn write_bench_report<P: Serialize>(
+    path: impl AsRef<Path>,
+    bench: &str,
+    payload: &P,
+    metrics: &MetricsSnapshot,
+) -> io::Result<()> {
+    let envelope = bench_envelope(bench, payload, metrics);
+    let text = serde_json::to_string_pretty(&envelope).expect("report envelope serializes");
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Payload {
+        speedup: f64,
+        rows: u64,
+    }
+
+    #[test]
+    fn envelope_keeps_payload_fields_at_top_level() {
+        let registry = Registry::new();
+        registry.counter("cache.instance.hits").add(2);
+        registry
+            .histogram("backend.solve.Het-Dp")
+            .record_nanos(1500);
+        let payload = Payload {
+            speedup: 2.5,
+            rows: 64,
+        };
+        let envelope = bench_envelope("kernel", &payload, &registry.snapshot());
+        let entries = envelope.as_object().unwrap();
+        let key = |k: &str| entries.iter().find(|(name, _)| name == k).map(|(_, v)| v);
+        assert!(key("speedup").is_some());
+        assert!(key("rows").is_some());
+        assert_eq!(key("bench").unwrap().as_str(), Some("kernel"));
+        let metrics: MetricsSnapshot = serde_json::from_value(key("metrics").unwrap()).unwrap();
+        assert_eq!(metrics.counter_value("cache.instance.hits"), Some(2));
+        assert_eq!(metrics.histogram("backend.solve.Het-Dp").unwrap().count, 1);
+    }
+}

@@ -349,9 +349,17 @@ impl SolverBackend for HetDpLatBackend {
             instance.latency_bound,
         )
         .map(|solution| {
+            // Surface which strategy produced the mapping (label DP,
+            // Lagrangian fallback, or greedy) in the trace — the
+            // once-silent fallback this backend is probed for.
+            let method = solution.method;
+            let _span = rpo_obs::recorder().span_fields("het_lat.result", || {
+                vec![("method".to_string(), format!("{method:?}").into())]
+            });
             let candidate =
                 CandidateMapping::evaluate_with_oracle(self.name(), oracle, solution.mapping);
             if ctx.is_dominated(&candidate) {
+                rpo_obs::counter!("backend.dominated_aborts").inc();
                 Vec::new()
             } else {
                 vec![candidate]
@@ -436,6 +444,8 @@ impl SolverBackend for HetSweepBackend {
                         // dominates: they can never enter the final front.
                         if !ctx.is_dominated(&candidate) {
                             candidates.push(candidate);
+                        } else {
+                            rpo_obs::counter!("backend.dominated_aborts").inc();
                         }
                     }
                 }

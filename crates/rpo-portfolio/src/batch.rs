@@ -5,7 +5,9 @@
 use crate::backend::ProblemInstance;
 use crate::cache::CacheStats;
 use crate::engine::{PortfolioEngine, RunStatus};
+use rpo_obs::MetricsSnapshot;
 use rpo_workload::ExperimentInstance;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -125,7 +127,7 @@ impl Default for BatchConfig {
 }
 
 /// Aggregated statistics for one backend across a batch.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct BackendStats {
     /// Backend name.
     pub backend: String,
@@ -151,8 +153,9 @@ impl BackendStats {
     }
 }
 
-/// The report of one batch run.
-#[derive(Debug, Clone, Default)]
+/// The report of one batch run. Fully serde-serializable, so runs can be
+/// exported with `--report-json` and diffed machine-to-machine.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BatchReport {
     /// Instances streamed.
     pub instances: usize,
@@ -190,6 +193,12 @@ pub struct BatchReport {
     /// engine's configured per-solve thread count, and transient spikes
     /// shrink towards `workers` as the batch fills up.
     pub max_committed_threads: usize,
+    /// The global metrics recorded *during this batch* (the registry delta
+    /// between batch start and end): per-backend solve-time histograms,
+    /// cache counters, queue-wait vs solve-time split, solver-layer
+    /// counters. Empty when observability is disabled.
+    #[serde(default)]
+    pub metrics: MetricsSnapshot,
 }
 
 /// Width of a deep solve dispatched while `committed` solver threads are
@@ -325,6 +334,10 @@ impl BatchDriver {
     where
         J: Iterator<Item = ProblemInstance> + Send,
     {
+        let _span = rpo_obs::span!("batch.drive", workers = self.config.workers);
+        // The report embeds only the metrics recorded during *this* batch:
+        // snapshot the global registry now and export the delta at the end.
+        let metrics_base = rpo_obs::global().snapshot();
         let start = Instant::now();
         // Divide the thread budget between instance-level parallelism
         // (workers here) and backend-level parallelism (engine threads).
@@ -369,12 +382,19 @@ impl BatchDriver {
                 scope.spawn(|| {
                     let mut local = Tally::default();
                     loop {
-                        let Some(instance) =
-                            source.lock().expect("instance stream lock poisoned").next()
-                        else {
+                        // Queue wait (contending for the stream lock plus
+                        // generating the next instance) vs solve time below:
+                        // the split that tells lock contention apart from
+                        // genuinely slow solves.
+                        let wait_start = Instant::now();
+                        let next = source.lock().expect("instance stream lock poisoned").next();
+                        rpo_obs::histogram!("batch.queue_wait").record(wait_start.elapsed());
+                        let Some(instance) = next else {
                             break;
                         };
                         local.count += 1;
+                        rpo_obs::counter!("batch.instances").inc();
+                        let solve_start = Instant::now();
                         // Commit `width` solver threads for the duration of
                         // one solve, recording the batch-wide peak.
                         let commit = |width: usize| {
@@ -431,6 +451,7 @@ impl BatchDriver {
                                 }
                             }
                         };
+                        rpo_obs::histogram!("batch.solve").record(solve_start.elapsed());
                         if outcome.is_feasible() {
                             local.feasible += 1;
                         }
@@ -455,6 +476,9 @@ impl BatchDriver {
                             entry.total_micros += run.micros;
                             if winner == Some(run.backend) {
                                 entry.wins += 1;
+                                rpo_obs::global()
+                                    .counter(&format!("backend.win.{}", run.backend))
+                                    .inc();
                             }
                         }
                         for point in outcome.front.points() {
@@ -500,6 +524,9 @@ impl BatchDriver {
             wide_solves: tally.wide,
             deep_solves: tally.deep,
             max_committed_threads: peak_committed.into_inner(),
+            // All workers joined above, so the delta is an exact account of
+            // this batch's activity.
+            metrics: rpo_obs::global().snapshot().delta(&metrics_base),
         }
     }
 }

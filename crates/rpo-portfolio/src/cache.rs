@@ -6,11 +6,13 @@
 use crate::backend::ProblemInstance;
 use crate::pareto::ParetoFront;
 use rpo_model::{IntervalOracle, Platform, TaskChain};
+use rpo_obs::Counter;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Cache hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
@@ -52,16 +54,39 @@ struct LruCore<T> {
     touches: VecDeque<(u64, u64)>,
     clock: u64,
     stats: CacheStats,
+    /// Global `<family>.{hits,misses,evictions}` registry counters, bumped
+    /// alongside the per-cache [`CacheStats`] (which engine-level accessors
+    /// and tests keep reading unchanged).
+    obs: ObsCounters,
+}
+
+/// Pre-resolved registry counters for one cache family.
+struct ObsCounters {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl ObsCounters {
+    fn new(family: &str) -> Self {
+        let registry = rpo_obs::global();
+        ObsCounters {
+            hits: registry.counter(&format!("{family}.hits")),
+            misses: registry.counter(&format!("{family}.misses")),
+            evictions: registry.counter(&format!("{family}.evictions")),
+        }
+    }
 }
 
 impl<T> LruCore<T> {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, family: &str) -> Self {
         LruCore {
             capacity,
             entries: HashMap::new(),
             touches: VecDeque::new(),
             clock: 0,
             stats: CacheStats::default(),
+            obs: ObsCounters::new(family),
         }
     }
 
@@ -96,9 +121,11 @@ impl<T> LruCore<T> {
         if hit {
             self.touch(key);
             self.stats.hits += 1;
+            self.obs.hits.inc();
             self.entries.get(&key).map(|entry| &entry.payload)
         } else {
             self.stats.misses += 1;
+            self.obs.misses.inc();
             None
         }
     }
@@ -131,6 +158,7 @@ impl<T> LruCore<T> {
                 Some(entry) if entry.last_used == tick => {
                     self.entries.remove(&key);
                     self.stats.evictions += 1;
+                    self.obs.evictions.inc();
                     return;
                 }
                 _ => continue, // stale touch: the entry was refreshed or evicted
@@ -152,7 +180,7 @@ impl InstanceCache {
     /// A cache holding at most `capacity` fronts (capacity 0 disables it).
     pub fn new(capacity: usize) -> Self {
         InstanceCache {
-            core: LruCore::new(capacity),
+            core: LruCore::new(capacity, "cache.instance"),
         }
     }
 
@@ -203,7 +231,7 @@ impl OracleCache {
     /// A cache holding at most `capacity` oracles (capacity 0 disables it).
     pub fn new(capacity: usize) -> Self {
         OracleCache {
-            core: LruCore::new(capacity),
+            core: LruCore::new(capacity, "cache.oracle"),
         }
     }
 

@@ -7,6 +7,7 @@ use crate::backends::default_backends;
 use crate::cache::{CacheStats, InstanceCache, OracleCache};
 use crate::pareto::{ParetoFront, StreamingFront};
 use rpo_algorithms::DpScratch;
+use rpo_obs::{Counter, Histogram};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -108,10 +109,12 @@ impl ScratchPool {
         match pooled {
             Some(scratch) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                rpo_obs::counter!("cache.scratch.hits").inc();
                 scratch
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                rpo_obs::counter!("cache.scratch.misses").inc();
                 DpScratch::new()
             }
         }
@@ -126,6 +129,7 @@ impl ScratchPool {
             stack.push(scratch);
         } else {
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            rpo_obs::counter!("cache.scratch.evictions").inc();
         }
     }
 
@@ -157,6 +161,15 @@ pub struct PortfolioEngine {
     /// DP-arena pool: one scratch per busy worker, reused across the
     /// instances of a batch (allocation reuse only).
     scratch: ScratchPool,
+    /// Per-backend registry handles (`backend.solve.<name>` histograms and
+    /// `backend.feasible.<name>` counters), resolved once at construction
+    /// so the per-run hot path never does a name lookup.
+    backend_obs: Vec<BackendObs>,
+}
+
+struct BackendObs {
+    solve: Histogram,
+    feasible: Counter,
 }
 
 impl Default for PortfolioEngine {
@@ -184,6 +197,14 @@ impl PortfolioEngine {
         let threads = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
+        let registry = rpo_obs::global();
+        let backend_obs = backends
+            .iter()
+            .map(|backend| BackendObs {
+                solve: registry.histogram(&format!("backend.solve.{}", backend.name())),
+                feasible: registry.counter(&format!("backend.feasible.{}", backend.name())),
+            })
+            .collect();
         PortfolioEngine {
             backends,
             budget,
@@ -192,6 +213,7 @@ impl PortfolioEngine {
             cache: Mutex::new(InstanceCache::new(Self::DEFAULT_CACHE_CAPACITY)),
             oracles: Mutex::new(OracleCache::new(Self::DEFAULT_ORACLE_CACHE_CAPACITY)),
             scratch: ScratchPool::new(Self::DEFAULT_SCRATCH_POOL_CAPACITY),
+            backend_obs,
         }
     }
 
@@ -284,6 +306,11 @@ impl PortfolioEngine {
             };
         }
 
+        let _solve_span = rpo_obs::span!(
+            "engine.solve",
+            tasks = instance.chain.len(),
+            threads = threads
+        );
         let start = Instant::now();
         let deadline = self.budget.time_limit.map(|limit| start + limit);
 
@@ -362,13 +389,19 @@ impl PortfolioEngine {
                 } else if deadline.is_some_and(|d| Instant::now() >= d) {
                     (RunStatus::DeadlineExpired, 0, 0, 0)
                 } else {
+                    let backend_span = rpo_obs::recorder().span_fields("backend.solve", || {
+                        vec![("backend".to_string(), backend.name().into())]
+                    });
                     let backend_start = Instant::now();
                     let mut ctx = SolveContext {
                         scratch: &mut scratch,
                         front: Some(&streaming),
                     };
                     let mut candidates = backend.solve(instance, &oracle, &self.budget, &mut ctx);
-                    let micros = backend_start.elapsed().as_micros() as u64;
+                    let elapsed = backend_start.elapsed();
+                    drop(backend_span);
+                    self.backend_obs[index].solve.record(elapsed);
+                    let micros = elapsed.as_micros() as u64;
                     let total = candidates.len();
                     // Re-certify through the shared oracle *before* the
                     // bound filter, so feasibility and front dominance judge
@@ -382,6 +415,7 @@ impl PortfolioEngine {
                         winner_found.store(true, Ordering::Release);
                     }
                     let feasible = candidates.len();
+                    self.backend_obs[index].feasible.add(feasible as u64);
                     for candidate in candidates {
                         streaming.insert(candidate);
                     }

@@ -26,6 +26,7 @@ pub fn state_enumeration(rbd: &Rbd) -> f64 {
         n <= MAX_EXACT_BLOCKS,
         "state enumeration limited to {MAX_EXACT_BLOCKS} blocks, diagram has {n}"
     );
+    rpo_obs::counter!("rbd.exact_evaluations").inc();
     let mut reliability = 0.0;
     for state in 0u64..(1u64 << n) {
         let up = |b: BlockId| state & (1 << b) != 0;
@@ -59,6 +60,7 @@ pub fn factoring(rbd: &Rbd) -> f64 {
         n <= MAX_EXACT_BLOCKS,
         "factoring limited to {MAX_EXACT_BLOCKS} blocks, diagram has {n}"
     );
+    rpo_obs::counter!("rbd.exact_evaluations").inc();
     // decided[b]: None = undecided, Some(true/false) = forced up/down.
     let mut decided: Vec<Option<bool>> = vec![None; n];
     factor_rec(rbd, &mut decided, 0)

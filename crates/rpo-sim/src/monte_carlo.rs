@@ -69,6 +69,8 @@ pub fn monte_carlo(
         config.num_datasets > 0,
         "at least one data set must be simulated"
     );
+    let _span = rpo_obs::span!("sim.monte_carlo", datasets = config.num_datasets);
+    rpo_obs::counter!("sim.monte_carlo.trials").add(config.num_datasets as u64);
     let chunk = config.chunk_size.max(1);
     let num_chunks = config.num_datasets.div_ceil(chunk);
 

@@ -71,6 +71,7 @@ impl InstanceGenerator {
     /// Generates the `index`-th instance (deterministic in `base_seed` and
     /// `index`).
     pub fn instance(&self, index: usize) -> ExperimentInstance {
+        rpo_obs::counter!("workload.instances_generated").inc();
         let mut rng = ChaCha8Rng::seed_from_u64(self.base_seed.wrapping_add(index as u64));
         let chain = self.chain.generate(&mut rng);
         let heterogeneous = self.heterogeneous.generate(&mut rng);

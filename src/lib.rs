@@ -16,6 +16,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`obs`] | lock-light metrics registry, structured spans, latency histograms |
 //! | [`model`] | chains, platforms, interval mappings, the five-criteria evaluation (Eqs. 1–9) |
 //! | [`rbd`] | reliability block diagrams: exact evaluation, minimal cut sets, routing operations |
 //! | [`lp`] | a small simplex + branch-and-bound ILP solver (the CPLEX substitute) |
@@ -77,6 +78,11 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+/// Observability: metrics registry, spans, latency histograms (re-export of `rpo-obs`).
+pub mod obs {
+    pub use rpo_obs::*;
+}
 
 /// Application, platform, failure and replication models (re-export of `rpo-model`).
 pub mod model {

@@ -17,7 +17,7 @@
 use pipelined_rt::algorithms::{
     algo_het_lat_with_oracle, algo_het_with_oracle, exact, exhaustive_het_lat,
     greedy_het_lat_with_oracle, het_dp_applicable, optimize_reliability_with_period_bound,
-    run_heuristic, AlgoError, DpScratch, HeuristicConfig, IntervalHeuristic,
+    run_heuristic, AlgoError, DpScratch, HetLatMethod, HeuristicConfig, IntervalHeuristic,
 };
 use pipelined_rt::model::{
     IntervalOracle, Mapping, MappingEvaluation, Platform, PlatformBuilder, Processor, TaskChain,
@@ -169,6 +169,16 @@ fn algo_het_lat_never_trails_greedy_on_paper_scale_instances() {
             _ => {}
         }
         if let Ok(dp) = &dp {
+            // The paper-regime stream (n = 15, p = 10, 3 classes, the tight
+            // paper_het_lat bounds) must be answered by the exact label DP
+            // itself — never the Lagrangian fallback or the greedy: a silent
+            // path downgrade would keep the ≥-greedy invariant while losing
+            // the exactness this regime is benchmarked on.
+            assert_eq!(
+                dp.method,
+                HetLatMethod::LatDp,
+                "instance {index}: paper-regime solve left the label-DP path"
+            );
             let eval = MappingEvaluation::evaluate(chain, platform, &dp.mapping);
             assert!(
                 eval.worst_case_latency <= bounded.latency_bound,

@@ -277,6 +277,31 @@ macro_rules! impl_serde_float {
 
 impl_serde_float!(f32, f64);
 
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // Matches real serde's Duration form: {"secs": u64, "nanos": u32}.
+        Value::Object(vec![
+            ("secs".to_string(), self.as_secs().to_value()),
+            ("nanos".to_string(), self.subsec_nanos().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", "Duration"))?;
+        let secs = __find(entries, "secs")
+            .ok_or_else(|| Error::expected("secs field", "Duration"))
+            .and_then(u64::from_value)?;
+        let nanos = __find(entries, "nanos")
+            .ok_or_else(|| Error::expected("nanos field", "Duration"))
+            .and_then(u32::from_value)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::String(self.clone())
