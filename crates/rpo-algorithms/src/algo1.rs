@@ -136,6 +136,10 @@ pub struct DpScratch {
     pp: Vec<usize>,
     /// The period bound `pp` was last derived for (`NAN` = never).
     prev_bound: f64,
+    /// Pooled label arenas of the latency-bounded heterogeneous DP
+    /// (`algo_het_lat`), so a scratch shared by the portfolio backends also
+    /// amortizes the per-state label vectors across latency-bounded solves.
+    pub(crate) het_lat: crate::algo_het_lat::HetLatArenas,
 }
 
 impl DpScratch {
@@ -161,6 +165,7 @@ impl DpScratch {
         self.in_ok.clear();
         self.pp.clear();
         self.prev_bound = f64::NAN;
+        self.het_lat.reset();
     }
 }
 

@@ -47,7 +47,7 @@
 use rpo_model::{assignment_from_segments, IntervalOracle, Mapping, Platform, TaskChain};
 use serde::{Deserialize, Serialize};
 
-use crate::algo1::OptimalMapping;
+use crate::algo1::{DpScratch, OptimalMapping};
 use crate::algo_het::{
     budget_states, class_strides, enumerate_patterns, greedy_het_bounded, het_dp_applicable,
     validate_bound, Pattern, Segments, MAX_EXHAUSTIVE_HET_TASKS,
@@ -159,6 +159,35 @@ pub fn algo_het_lat_with_oracle(
     period_bound: Option<f64>,
     latency_bound: f64,
 ) -> Result<HetLatSolution> {
+    let mut scratch = DpScratch::new();
+    algo_het_lat_with_scratch(
+        oracle,
+        chain,
+        platform,
+        period_bound,
+        latency_bound,
+        &mut scratch,
+    )
+}
+
+/// [`algo_het_lat_with_oracle`] against caller-owned [`DpScratch`]: the
+/// label DP's per-state label vectors and per-class gather buffers live in
+/// the scratch's pooled arenas ([`HetLatArenas`]), so a batch driver that
+/// reuses one scratch across latency-bounded solves stops churning
+/// allocations (reuse is visible through the
+/// `het_lat.label_pool.{hits,misses}` counters).
+///
+/// # Errors
+///
+/// Same as [`algo_het_lat`].
+pub fn algo_het_lat_with_scratch(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: Option<f64>,
+    latency_bound: f64,
+    scratch: &mut DpScratch,
+) -> Result<HetLatSolution> {
     crate::debug_assert_oracle_matches(oracle, chain, platform);
     validate_bound(period_bound)?;
     validate_latency_bound(latency_bound)?;
@@ -190,6 +219,7 @@ pub fn algo_het_lat_with_oracle(
         period_bound,
         latency_bound,
         incumbent,
+        &mut scratch.het_lat,
     ) {
         LabelDpOutcome::Solved(solution) => (solution, HetLatMethod::LatDp),
         LabelDpOutcome::Overflow => (
@@ -255,13 +285,71 @@ pub fn greedy_het_lat_with_oracle(
 /// One `(latency, reliability)` label of a `(boundary, budgets)` state, with
 /// its traceback: which interval start `j`, pattern, and predecessor label
 /// produced it.
-#[derive(Clone, Copy)]
-struct Label {
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Label {
     lat: f64,
     rel: f64,
     j: u32,
     pattern: u32,
     pred_label: u32,
+}
+
+/// Pooled arenas of the latency label DP, owned by [`DpScratch`] so batch
+/// callers reuse the per-state label vectors and per-class gather buffers
+/// across latency-bounded solves instead of reallocating them per instance.
+/// Every buffer is cleared (capacity kept) before use, so no label or block
+/// value ever leaks across instances.
+#[derive(Debug, Default)]
+pub(crate) struct HetLatArenas {
+    /// Per-`(boundary, budgets)` Pareto label lists.
+    states: Vec<Vec<Label>>,
+    /// Per-class block-row gather buffers.
+    rows: Vec<Vec<f64>>,
+    /// Per-class failure powers `(1 − block)^q`.
+    powers: Vec<Vec<f64>>,
+}
+
+impl HetLatArenas {
+    /// Clears every instance-specific datum while keeping all allocated
+    /// capacity — both the outer arenas and each inner vector.
+    pub(crate) fn reset(&mut self) {
+        for labels in &mut self.states {
+            labels.clear();
+        }
+        for row in &mut self.rows {
+            row.clear();
+        }
+        for pow in &mut self.powers {
+            pow.clear();
+        }
+    }
+
+    /// Prepares the arenas for one label-DP run of `len` states over `kc`
+    /// classes with replication bound `k_max`, recording pool reuse: a hit
+    /// when the state arena's capacity already covers the run, a miss when
+    /// it has to grow.
+    fn prepare(&mut self, len: usize, kc: usize, k_max: usize) {
+        if self.states.capacity() >= len {
+            rpo_obs::counter!("het_lat.label_pool.hits").inc();
+        } else {
+            rpo_obs::counter!("het_lat.label_pool.misses").inc();
+        }
+        for labels in &mut self.states {
+            labels.clear();
+        }
+        self.states.truncate(len);
+        self.states.resize_with(len, Vec::new);
+        self.rows.truncate(kc);
+        self.rows.resize_with(kc, Vec::new);
+        for pow in &mut self.powers {
+            pow.clear();
+        }
+        self.powers.truncate(kc);
+        self.powers.resize_with(kc, Vec::new);
+        for pow in &mut self.powers {
+            pow.resize(k_max + 1, 1.0);
+        }
+    }
 }
 
 /// What the exact label DP produced.
@@ -303,6 +391,7 @@ fn insert_label(labels: &mut Vec<Label>, label: Label) -> Option<isize> {
 /// The admissibility prelude and block-row gather mirror
 /// `algo_het::class_dp` and [`penalized_dp`] — the three DPs differ in
 /// their value type, so a fix to the shared shape must land in all three.
+#[allow(clippy::too_many_arguments)]
 fn label_dp(
     oracle: &IntervalOracle,
     chain: &TaskChain,
@@ -310,6 +399,7 @@ fn label_dp(
     period_bound: Option<f64>,
     latency_bound: f64,
     incumbent: f64,
+    arenas: &mut HetLatArenas,
 ) -> LabelDpOutcome {
     let n = oracle.len();
     let view = oracle.class_view();
@@ -331,7 +421,15 @@ fn label_dp(
     let in_ok: Vec<bool> = (0..n).map(|j| oracle.input_comm_time(j) <= bound).collect();
 
     let full = num_states - 1;
-    let mut states: Vec<Vec<Label>> = vec![Vec::new(); (n + 1) * num_states];
+    // Per-state label lists, per-class block-row gather buffers, and per-class
+    // failure powers (1 − block)^q all come from the pooled arenas — same
+    // shape as the scalar class DP, but reused across solves.
+    arenas.prepare((n + 1) * num_states, kc, k_max);
+    let HetLatArenas {
+        states,
+        rows,
+        powers,
+    } = arenas;
     states[full].push(Label {
         lat: 0.0,
         rel: 1.0,
@@ -341,11 +439,6 @@ fn label_dp(
     });
     let mut live_labels: isize = 1;
     let mut labels_inserted: u64 = 1;
-
-    // Per-class block-row gather buffers and per-class failure powers
-    // (1 − block)^q, reused across rows — same shape as the scalar class DP.
-    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); kc];
-    let mut powers: Vec<Vec<f64>> = vec![vec![1.0; k_max + 1]; kc];
 
     for i in 1..=n {
         if oracle.output_comm_time(i - 1) > bound {

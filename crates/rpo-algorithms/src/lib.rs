@@ -10,7 +10,10 @@
 //!   * [`period_opt`] — the converse problem (minimal period under a
 //!     reliability bound) by binary search over candidate periods;
 //!   * [`alloc`] — Algo-Alloc (Theorem 4): optimal greedy allocation of
-//!     processors to a fixed interval partition.
+//!     processors to a fixed interval partition;
+//!   * [`batch_kernel`] — the batched SoA mega-kernel: the Algorithm 1/2
+//!     recurrence over many same-shape instances in lockstep, one instance
+//!     per SIMD lane.
 //! * **Heterogeneous solvers**
 //!   * [`algo_het`] — exact reliability optimization by class-level dynamic
 //!     programming (tractable whenever the platform has few distinct
@@ -47,6 +50,7 @@ pub mod algo_het;
 pub mod algo_het_lat;
 pub mod alloc;
 pub mod alloc_het;
+pub mod batch_kernel;
 pub mod energy_aware;
 pub mod exact;
 pub mod heur_l;
@@ -57,7 +61,7 @@ pub mod period_opt;
 pub use algo1::{
     optimize_reliability_homogeneous, optimize_reliability_homogeneous_with_oracle,
     optimize_reliability_homogeneous_with_scratch, reliability_dp_with_kernel,
-    reliability_dp_with_scratch, DpKernel, DpScratch,
+    reliability_dp_with_scratch, DpKernel, DpScratch, OptimalMapping, LANES,
 };
 pub use algo2::{
     optimize_reliability_with_period_bound, optimize_reliability_with_period_bound_with_oracle,
@@ -68,11 +72,12 @@ pub use algo_het::{
     het_dp_applicable_platform, HetMethod, HetSolution,
 };
 pub use algo_het_lat::{
-    algo_het_lat, algo_het_lat_with_oracle, exhaustive_het_lat, greedy_het_lat_with_oracle,
-    HetLatMethod, HetLatSolution, MAX_LAT_LABELS,
+    algo_het_lat, algo_het_lat_with_oracle, algo_het_lat_with_scratch, exhaustive_het_lat,
+    greedy_het_lat_with_oracle, HetLatMethod, HetLatSolution, MAX_LAT_LABELS,
 };
 pub use alloc::{algo_alloc, algo_alloc_with_oracle, exhaustive_alloc};
 pub use alloc_het::{algo_alloc_heterogeneous, algo_alloc_heterogeneous_with_oracle};
+pub use batch_kernel::{solve_batch, solve_batch_with_inner, BatchInner, BatchLane, BatchScratch};
 pub use energy_aware::{run_energy_aware_heuristic, EnergyAwareConfig, EnergyAwareSolution};
 pub use heur_l::{heur_l_partition, heur_l_partition_with_oracle};
 pub use heur_p::{heur_p_partition, heur_p_partition_with_oracle};

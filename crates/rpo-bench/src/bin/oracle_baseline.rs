@@ -11,7 +11,7 @@
 //! `cargo run --release -p rpo-bench --bin oracle_baseline \
 //!     [oracle_output] [kernel_output] [het_output] [het_lat_output] \
 //!     [--enforce-kernel-speedup] [--enforce-het-gain] [--enforce-het-lat-gain] \
-//!     [--enforce-obs-overhead]`
+//!     [--enforce-obs-overhead] [--enforce-batch-speedup]`
 //! (default output paths `BENCH_oracle.json`, `BENCH_kernel.json`,
 //! `BENCH_het.json` and `BENCH_het_lat.json` in the working directory).
 //! With `--enforce-kernel-speedup` the process exits non-zero if the chunked
@@ -23,7 +23,10 @@
 //! missed solves and no bound violations; with `--enforce-obs-overhead` it
 //! exits non-zero if the portfolio batch with observability recording
 //! enabled measures more than 3% slower than the same batch with the
-//! runtime toggle off — the CI smoke step runs all four.
+//! runtime toggle off; with `--enforce-batch-speedup` it exits non-zero
+//! unless the batched SoA mega-kernel clears 2× the per-instance chunked
+//! kernel on a 512-instance same-shape homogeneous stream — the CI smoke
+//! step runs all five.
 //!
 //! All four reports go through the shared [`rpo_obs::write_bench_report`]
 //! reporter: the payload fields stay at the top level and the cumulative
@@ -41,8 +44,9 @@
 use rpo_algorithms::{
     algo_het_lat_with_oracle, algo_het_with_oracle, greedy_het_lat_with_oracle,
     greedy_het_with_oracle, optimize_reliability_homogeneous_with_oracle,
-    optimize_reliability_with_period_bound_with_oracle, reliability_dp_with_kernel, DpKernel,
-    HetLatMethod, HetMethod,
+    optimize_reliability_with_period_bound_with_oracle, reliability_dp_with_kernel,
+    reliability_dp_with_scratch, solve_batch_with_inner, BatchInner, BatchLane, BatchScratch,
+    DpKernel, DpScratch, HetLatMethod, HetMethod, LANES,
 };
 use rpo_bench::{bench_chain, bench_hom_platform};
 use rpo_model::{reliability, Interval, IntervalOracle, Platform, TaskChain};
@@ -115,6 +119,106 @@ struct SharingSummary {
     oracle_cache_misses: u64,
 }
 
+/// Instances in the batched SoA mega-kernel stream (`batch_soa` section):
+/// one shape (`DP_TASKS` × `DP_PROCESSORS`), per-instance numerics.
+const BATCH_SOA_INSTANCES: usize = 512;
+
+/// Repetitions of each timed sweep over the full SoA stream (median
+/// filtered — each sweep already aggregates `BATCH_SOA_INSTANCES` solves,
+/// so few repetitions suffice).
+const BATCH_SOA_REPS: usize = 5;
+
+/// The batched SoA mega-kernel vs the same solves run one instance at a
+/// time through the chunked kernel. Oracles are prebuilt on both sides
+/// (instance-level precomputation, measured in `BENCH_oracle.json`), so
+/// this isolates the DP sweeps — exactly the work the mega-kernel
+/// restructures into lane-major form.
+#[derive(Debug, Serialize)]
+struct BatchSoaComparison {
+    instances: usize,
+    tasks: usize,
+    processors: usize,
+    max_replication: usize,
+    /// SIMD lane width of the mega-kernel (`rpo_algorithms::LANES`).
+    lanes: usize,
+    per_instance_millis: f64,
+    /// Full-stream wall clock of the lockstep inner sweep…
+    lockstep_millis: f64,
+    /// …and of the register-blocked retry (kept for the recorded verdict:
+    /// the default inner sweep is whichever wins).
+    blocked_millis: f64,
+    per_instance_per_s: f64,
+    lockstep_per_s: f64,
+    blocked_per_s: f64,
+    /// Default batched inner sweep vs the per-instance kernel — the
+    /// `--enforce-batch-speedup` gate fails below 2×.
+    speedup: f64,
+}
+
+fn run_batch_soa() -> BatchSoaComparison {
+    let platform = bench_hom_platform(DP_PROCESSORS);
+    let chains: Vec<TaskChain> = (0..BATCH_SOA_INSTANCES)
+        .map(|seed| bench_chain(DP_TASKS, 1000 + seed as u64))
+        .collect();
+    let oracles: Vec<IntervalOracle> = chains
+        .iter()
+        .map(|chain| IntervalOracle::new(chain, &platform))
+        .collect();
+    let lanes: Vec<BatchLane> = chains
+        .iter()
+        .zip(&oracles)
+        .map(|(chain, oracle)| BatchLane {
+            oracle,
+            chain,
+            platform: &platform,
+            period_bound: None,
+        })
+        .collect();
+
+    let mut scratch = DpScratch::new();
+    let per_instance_millis = time_median(BATCH_SOA_REPS, || {
+        for lane in 0..BATCH_SOA_INSTANCES {
+            let result = reliability_dp_with_scratch(
+                &oracles[lane],
+                &chains[lane],
+                &platform,
+                None,
+                DpKernel::Chunked,
+                &mut scratch,
+            );
+            std::hint::black_box(result);
+        }
+    });
+    let mut batch_scratch = BatchScratch::new();
+    let mut measure_inner = |inner: BatchInner| {
+        time_median(BATCH_SOA_REPS, || {
+            let results = solve_batch_with_inner(&lanes, inner, &mut batch_scratch);
+            std::hint::black_box(results);
+        })
+    };
+    let lockstep_millis = measure_inner(BatchInner::Lockstep);
+    let blocked_millis = measure_inner(BatchInner::Blocked);
+    let default_millis = match BatchInner::default() {
+        BatchInner::Lockstep => lockstep_millis,
+        BatchInner::Blocked => blocked_millis,
+    };
+    let per_s = |millis: f64| BATCH_SOA_INSTANCES as f64 / (millis / 1e3);
+    BatchSoaComparison {
+        instances: BATCH_SOA_INSTANCES,
+        tasks: DP_TASKS,
+        processors: DP_PROCESSORS,
+        max_replication: platform.max_replication(),
+        lanes: LANES,
+        per_instance_millis,
+        lockstep_millis,
+        blocked_millis,
+        per_instance_per_s: per_s(per_instance_millis),
+        lockstep_per_s: per_s(lockstep_millis),
+        blocked_per_s: per_s(blocked_millis),
+        speedup: per_instance_millis / default_millis,
+    }
+}
+
 #[derive(Debug, Serialize)]
 struct KernelBaseline {
     /// Lane-chunked kernel vs the scalar reference sweep (both through the
@@ -129,6 +233,9 @@ struct KernelBaseline {
     batch_shared_oracle: SharingSummary,
     /// …and with it disabled (every solve rebuilds its oracle).
     batch_unshared_oracle: SharingSummary,
+    /// Batched SoA mega-kernel vs per-instance solves over one same-shape
+    /// homogeneous stream.
+    batch_soa: BatchSoaComparison,
 }
 
 /// Number of class-structured heterogeneous instances of the `algo_het`
@@ -674,6 +781,7 @@ fn overhead_throughput(enabled: bool) -> f64 {
 fn main() {
     let (mut outputs, mut enforce, mut enforce_het, mut enforce_het_lat, mut enforce_obs) =
         (Vec::new(), false, false, false, false);
+    let mut enforce_batch = false;
     for arg in std::env::args().skip(1) {
         if arg == "--enforce-kernel-speedup" {
             enforce = true;
@@ -683,6 +791,8 @@ fn main() {
             enforce_het_lat = true;
         } else if arg == "--enforce-obs-overhead" {
             enforce_obs = true;
+        } else if arg == "--enforce-batch-speedup" {
+            enforce_batch = true;
         } else {
             outputs.push(arg);
         }
@@ -770,6 +880,22 @@ fn main() {
         fresh_batch.instances_per_sec
     );
 
+    eprintln!(
+        "timing the batched SoA mega-kernel on a {BATCH_SOA_INSTANCES}-instance \
+         same-shape stream …"
+    );
+    let batch_soa = run_batch_soa();
+    eprintln!(
+        "  per-instance {:.1} inst/s, lockstep {:.1} inst/s, blocked {:.1} inst/s \
+         → {:.2}× (default inner {:?})",
+        batch_soa.per_instance_per_s,
+        batch_soa.lockstep_per_s,
+        batch_soa.blocked_per_s,
+        batch_soa.speedup,
+        BatchInner::default(),
+    );
+    let batch_regressed = batch_soa.speedup < 2.0;
+
     let slower = kernel_algo1.speedup < 1.0 || kernel_algo2.speedup < 1.0;
     let kernel = KernelBaseline {
         algo1: kernel_algo1,
@@ -777,6 +903,7 @@ fn main() {
         portfolio_batch: fresh_batch,
         batch_shared_oracle: shared,
         batch_unshared_oracle: unshared,
+        batch_soa,
     };
     write_json(&kernel_output, "kernel", &kernel);
 
@@ -868,6 +995,13 @@ fn main() {
     }
     if obs_regressed {
         eprintln!("FAIL: observability overhead exceeded 3% of the uninstrumented batch");
+        std::process::exit(1);
+    }
+    if enforce_batch && batch_regressed {
+        eprintln!(
+            "FAIL: the batched SoA mega-kernel measured below 2× the per-instance \
+             chunked kernel on the same-shape stream"
+        );
         std::process::exit(1);
     }
 }

@@ -6,7 +6,7 @@
 //! solve --example                     # print an example problem file
 //! solve portfolio path/to/problem.json  # race the whole solver portfolio
 //! solve portfolio -                     # ... reading from standard input
-//! solve batch <count> [--seed N] [--het] [--workers N]  # drive a generated batch
+//! solve batch <count> [--seed N] [--het] [--workers N] [--bucketed]  # drive a generated batch
 //! ```
 //!
 //! The default mode prints both heuristics plus, on homogeneous platforms,
@@ -61,7 +61,8 @@ const EXAMPLE: &str = r#"{
 
 const USAGE: &str = "usage: solve <problem.json | -> | solve --example \
      | solve portfolio <problem.json | -> \
-     | solve batch <count> [--seed N] [--het] [--workers N] [--report-json <path>]\n\
+     | solve batch <count> [--seed N] [--het] [--workers N] [--bucketed] \
+     [--report-json <path>]\n\
      observability: [--trace <path>] [--collapse <path>] on any mode";
 
 /// Observability/output options shared by every mode.
@@ -73,6 +74,7 @@ struct ObsArgs {
     seed: u64,
     workers: Option<usize>,
     heterogeneous: bool,
+    bucketed: bool,
 }
 
 /// Strips the flag arguments out of `args`, returning the remaining
@@ -120,6 +122,7 @@ fn parse_flags(args: Vec<String>) -> Result<(Vec<String>, ObsArgs), String> {
                     );
                 }
                 "--het" => obs.heterogeneous = true,
+                "--bucketed" => obs.bucketed = true,
                 _ => positional.push(arg),
             },
         }
@@ -161,6 +164,7 @@ fn run_batch(count: usize, obs: &ObsArgs) -> Result<String, String> {
     let engine = PortfolioEngine::default().with_threads(1);
     let mut config = BatchConfig {
         heterogeneous: obs.heterogeneous,
+        bucketed: obs.bucketed,
         ..BatchConfig::default()
     };
     if let Some(workers) = obs.workers {

@@ -430,6 +430,52 @@ impl IntervalOracle {
         }
     }
 
+    /// Lane-major batched variant of [`Self::fill_class_block_row`]: one
+    /// call gathers the replica-block reliabilities of every interval
+    /// **ending at `last`** with start in `first_lo ..= last`, for a whole
+    /// batch of same-shape oracles at once, writing
+    /// `out[(first − first_lo) · oracles.len() + lane] = block_lane(first, last)`.
+    ///
+    /// This is the gather phase of the batched SoA dynamic program
+    /// (`rpo_algorithms::batch_kernel`): the per-row bounds checks and the
+    /// `first_lo ..= last` loop bookkeeping are paid once per batch instead
+    /// of once per instance, and each lane's values are produced by **the
+    /// exact expressions of [`Self::fill_class_block_row`]** (same factored
+    /// guard, same multiplication order), so a lane's column is bit-identical
+    /// to the row the single-instance gather would produce for that oracle.
+    ///
+    /// Every oracle in `oracles` must have the same number of tasks; `class`
+    /// indexes each oracle's own class table (same-shape batches share the
+    /// class structure by construction).
+    pub fn fill_class_block_row_lanes(
+        oracles: &[&IntervalOracle],
+        class: usize,
+        last: usize,
+        first_lo: usize,
+        out: &mut Vec<f64>,
+    ) {
+        let lanes = oracles.len();
+        let width = last - first_lo + 1;
+        out.clear();
+        out.resize(width * lanes, 0.0);
+        for (lane, oracle) in oracles.iter().enumerate() {
+            debug_assert!(first_lo <= last && last < oracle.n);
+            let out_rel = oracle.comm_rel[last];
+            if oracle.class_factored(class) {
+                let (e_minus, e_plus) = (oracle.view.exp_minus(class), oracle.view.exp_plus(class));
+                let e_last = e_minus[last + 1];
+                for (offset, first) in (first_lo..=last).enumerate() {
+                    out[offset * lanes + lane] =
+                        oracle.input_comm_reliability(first) * (e_last * e_plus[first]) * out_rel;
+                }
+            } else {
+                for (offset, first) in (first_lo..=last).enumerate() {
+                    out[offset * lanes + lane] = oracle.class_block_reliability(class, first, last);
+                }
+            }
+        }
+    }
+
     /// Expected computation time of interval `first ..= last` on the replica
     /// set `processors` (Eq. 3), mirroring
     /// [`crate::timing::expected_cost`] operation for operation.
@@ -725,6 +771,41 @@ mod tests {
                     assert_eq!(row.len(), last - first_lo + 1);
                     for (offset, &block) in row.iter().enumerate() {
                         assert_eq!(block, table.get(first_lo + offset, last));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_major_gather_matches_per_oracle_rows() {
+        // Two different chains on the same-shape platform: each lane's
+        // column must equal its own single-instance row gather bit-for-bit.
+        let c0 = chain();
+        let c1 =
+            TaskChain::from_pairs(&[(12.0, 1.0), (18.0, 7.0), (33.0, 2.0), (37.0, 5.0)]).unwrap();
+        let p = het_platform();
+        let o0 = IntervalOracle::new(&c0, &p);
+        let o1 = IntervalOracle::new(&c1, &p);
+        let oracles = [&o0, &o1];
+        let mut lane_row = Vec::new();
+        let mut scalar_row = Vec::new();
+        for class in 0..o0.classes().len() {
+            for last in 0..4 {
+                for first_lo in 0..=last {
+                    IntervalOracle::fill_class_block_row_lanes(
+                        &oracles,
+                        class,
+                        last,
+                        first_lo,
+                        &mut lane_row,
+                    );
+                    assert_eq!(lane_row.len(), (last - first_lo + 1) * oracles.len());
+                    for (lane, oracle) in oracles.iter().enumerate() {
+                        oracle.fill_class_block_row(class, last, first_lo, &mut scalar_row);
+                        for (offset, &block) in scalar_row.iter().enumerate() {
+                            assert_eq!(block, lane_row[offset * oracles.len() + lane]);
+                        }
                     }
                 }
             }

@@ -8,7 +8,7 @@
 //! | `Heur-L` | Heur-L partitions + Algo-Alloc / Section 7.2 allocation | always |
 //! | `Heur-P` | Heur-P partitions + Algo-Alloc / Section 7.2 allocation | always |
 //! | `Het-Dp` | [`rpo_algorithms::algo_het_with_oracle`] (exact class-level DP) | heterogeneous, few classes |
-//! | `Het-Dp-Lat` | [`rpo_algorithms::algo_het_lat_with_oracle`] (latency-aware label DP + Lagrangian fallback) | heterogeneous, few classes, finite latency bound |
+//! | `Het-Dp-Lat` | [`rpo_algorithms::algo_het_lat_with_scratch`] (latency-aware label DP + Lagrangian fallback) | heterogeneous, few classes, finite latency bound |
 //! | `Het-Sweep` | Section 7.2 allocation swept over tightened period targets | heterogeneous |
 //! | `ILP` | [`rpo_algorithms::exact::optimal_by_ilp_with_oracle`] | homogeneous, small instances |
 //! | `Exhaustive` | [`rpo_algorithms::exact::optimal_homogeneous_with_oracle`] | homogeneous, bounded size |
@@ -30,7 +30,7 @@ use rpo_algorithms::exact;
 use rpo_algorithms::heur_l::heur_l_partition_with_oracle;
 use rpo_algorithms::heur_p::heur_p_partition_with_oracle;
 use rpo_algorithms::{
-    algo_het_lat_with_oracle, algo_het_with_oracle, het_dp_applicable, het_dp_applicable_platform,
+    algo_het_lat_with_scratch, algo_het_with_oracle, het_dp_applicable, het_dp_applicable_platform,
     minimize_period_with_reliability_bound_with_scratch,
     optimize_reliability_homogeneous_with_scratch, optimize_with_period_bound_scratch,
 };
@@ -341,12 +341,13 @@ impl SolverBackend for HetDpLatBackend {
             .period_bound
             .is_finite()
             .then_some(instance.period_bound);
-        algo_het_lat_with_oracle(
+        algo_het_lat_with_scratch(
             oracle,
             &instance.chain,
             &instance.platform,
             period_bound,
             instance.latency_bound,
+            ctx.scratch,
         )
         .map(|solution| {
             // Surface which strategy produced the mapping (label DP,

@@ -2,15 +2,17 @@
 //! portfolio engine across worker threads and reports throughput and
 //! per-backend win rates.
 
-use crate::backend::ProblemInstance;
+use crate::backend::{CandidateMapping, ProblemInstance};
 use crate::cache::CacheStats;
-use crate::engine::{PortfolioEngine, RunStatus};
+use crate::engine::{PortfolioEngine, PortfolioOutcome, RunStatus};
+use rpo_algorithms::{solve_batch, BatchLane, BatchScratch, LANES};
+use rpo_model::{CanonicalHasher, IntervalOracle};
 use rpo_obs::MetricsSnapshot;
 use rpo_workload::ExperimentInstance;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How the real-time bounds of a streamed instance are derived from its
@@ -111,6 +113,16 @@ pub struct BatchConfig {
     pub heterogeneous: bool,
     /// Thread-split policy (static division vs per-instance adaptive).
     pub split: ThreadSplit,
+    /// Shape-bucket the ingress stream through the batched SoA mega-kernel:
+    /// homogeneous instances of the same `(n, p, k_max, class signature)`
+    /// shape are grouped and their Algo-1/Algo-2 DP runs in lockstep, one
+    /// instance per SIMD lane; every other backend still races per instance
+    /// ([`PortfolioEngine::solve_with_precomputed`]). Heterogeneous or
+    /// otherwise ineligible instances take the per-instance path as the
+    /// remainder loop. Off by default: bucketing pays off on streams with
+    /// many same-shape instances, and delays answers until a bucket fills
+    /// (or the stream ends).
+    pub bucketed: bool,
 }
 
 impl Default for BatchConfig {
@@ -122,6 +134,7 @@ impl Default for BatchConfig {
             bounds: BoundsPolicy::default(),
             heterogeneous: false,
             split: ThreadSplit::default(),
+            bucketed: false,
         }
     }
 }
@@ -193,6 +206,19 @@ pub struct BatchReport {
     /// engine's configured per-solve thread count, and transient spikes
     /// shrink towards `workers` as the batch fills up.
     pub max_committed_threads: usize,
+    /// Shape buckets dispatched through the SoA mega-kernel — full
+    /// `LANES`-wide buckets plus the partial ones flushed at stream end
+    /// (0 when bucketing is off).
+    #[serde(default)]
+    pub buckets_dispatched: usize,
+    /// Instances answered through a mega-kernel bucket.
+    #[serde(default)]
+    pub bucketed_instances: usize,
+    /// Bucketing-ineligible instances (heterogeneous platform, out-of-range
+    /// shape) routed down the per-instance portfolio path while bucketing
+    /// was on.
+    #[serde(default)]
+    pub remainder_solves: usize,
     /// The global metrics recorded *during this batch* (the registry delta
     /// between batch start and end): per-backend solve-time histograms,
     /// cache counters, queue-wait vs solve-time split, solver-layer
@@ -213,6 +239,163 @@ pub(crate) fn deep_solve_width(deep_threads: usize, workers: usize, committed: u
     deep_threads
         .min(workers.saturating_sub(committed) + 1)
         .max(1)
+}
+
+/// Worker-local batch accounting, folded into the shared tally at the end.
+#[derive(Default)]
+struct Tally {
+    count: usize,
+    feasible: usize,
+    cache_answered: usize,
+    wide: usize,
+    deep: usize,
+    buckets: usize,
+    bucketed: usize,
+    remainder: usize,
+    stats: HashMap<&'static str, BackendStats>,
+}
+
+/// Folds one solve's outcome into the worker-local tally (feasibility,
+/// cache answers, per-backend runs/wins/front points). Shared by the
+/// per-instance path and the bucketed mega-kernel path, so both modes
+/// account identically.
+fn record_outcome(local: &mut Tally, outcome: &PortfolioOutcome) {
+    if outcome.is_feasible() {
+        local.feasible += 1;
+    }
+    if outcome.from_cache {
+        local.cache_answered += 1;
+        return; // per-backend stats were counted once
+    }
+    let winner = outcome.front.best_reliability().map(|p| p.backend);
+    for run in &outcome.runs {
+        // Precomputed runs carry the mega-kernel's candidates for this
+        // backend: same results, different executor — counted like a
+        // completed run so win rates stay comparable across modes.
+        if !matches!(run.status, RunStatus::Completed | RunStatus::Precomputed) {
+            continue;
+        }
+        let entry = local
+            .stats
+            .entry(run.backend)
+            .or_insert_with(|| BackendStats {
+                backend: run.backend.to_string(),
+                ..BackendStats::default()
+            });
+        entry.runs += 1;
+        entry.total_micros += run.micros;
+        if winner == Some(run.backend) {
+            entry.wins += 1;
+            rpo_obs::global()
+                .counter(&format!("backend.win.{}", run.backend))
+                .inc();
+        }
+    }
+    for point in outcome.front.points() {
+        if let Some(entry) = local.stats.get_mut(point.backend) {
+            entry.front_points += 1;
+        }
+    }
+}
+
+/// The mega-kernel shape key of an instance, or `None` when it must take
+/// the per-instance remainder path. Eligible instances are homogeneous and
+/// within the kernel's packed-traceback ranges; the key hashes the DP shape
+/// `(n, p, k_max)` plus the platform-class signature (always one class
+/// here), so only shape-identical instances share a bucket — their
+/// work/failure/speed numerics are free to differ per lane.
+fn bucket_key(instance: &ProblemInstance) -> Option<u64> {
+    if !instance.platform.is_homogeneous() {
+        return None;
+    }
+    let n = instance.chain.len();
+    let p = instance.platform.num_processors();
+    let k_max = instance.platform.max_replication().min(p);
+    if n == 0 || n >= (1 << 24) || k_max > 0xFF {
+        return None;
+    }
+    let mut hasher = CanonicalHasher::new();
+    hasher.write_usize(n);
+    hasher.write_usize(p);
+    hasher.write_usize(k_max);
+    hasher.write_usize(1); // class signature: homogeneous = one class
+    Some(hasher.finish())
+}
+
+/// Dispatches one shape bucket: the SoA mega-kernel solves the Algo-1 DP
+/// (all lanes unbounded) and, where period bounds are finite, the Algo-2 DP
+/// (actual per-lane bounds) for every instance at once; each instance then
+/// finishes through [`PortfolioEngine::solve_with_precomputed`], which
+/// re-certifies the lane results and races the remaining backends.
+fn solve_bucket(
+    engine: &PortfolioEngine,
+    instances: &[ProblemInstance],
+    scratch: &mut BatchScratch,
+    local: &mut Tally,
+) {
+    rpo_obs::counter!("dp.batch.buckets").inc();
+    local.buckets += 1;
+    let oracles: Vec<Arc<IntervalOracle>> = instances
+        .iter()
+        .map(|inst| engine.oracle_for(inst))
+        .collect();
+
+    // Algo-1 pass: the unconstrained reliability DP on every lane.
+    let lanes: Vec<BatchLane> = instances
+        .iter()
+        .zip(&oracles)
+        .map(|(inst, oracle)| BatchLane {
+            oracle,
+            chain: &inst.chain,
+            platform: &inst.platform,
+            period_bound: None,
+        })
+        .collect();
+    let mut algo1 = solve_batch(&lanes, scratch).into_iter();
+
+    // Algo-2 pass: the period-bounded DP, only for lanes with a finite
+    // bound (matching the Algo-2 backend's applicability gate). Lanes
+    // without one would just repeat the Algo-1 result.
+    let any_bounded = instances.iter().any(|inst| inst.period_bound.is_finite());
+    let mut algo2 = if any_bounded {
+        let lanes: Vec<BatchLane> = instances
+            .iter()
+            .zip(&oracles)
+            .map(|(inst, oracle)| BatchLane {
+                oracle,
+                chain: &inst.chain,
+                platform: &inst.platform,
+                period_bound: inst.period_bound.is_finite().then_some(inst.period_bound),
+            })
+            .collect();
+        solve_batch(&lanes, scratch)
+    } else {
+        vec![None; instances.len()]
+    }
+    .into_iter();
+
+    for (instance, oracle) in instances.iter().zip(&oracles) {
+        let mut precomputed: Vec<(&'static str, Vec<CandidateMapping>)> = Vec::new();
+        let candidates = |solution: Option<rpo_algorithms::OptimalMapping>, name| {
+            solution
+                .map(|s| {
+                    vec![CandidateMapping::evaluate_with_oracle(
+                        name, oracle, s.mapping,
+                    )]
+                })
+                .unwrap_or_default()
+        };
+        precomputed.push(("Algo-1", candidates(algo1.next().flatten(), "Algo-1")));
+        let algo2_result = algo2.next().flatten();
+        if instance.period_bound.is_finite() {
+            precomputed.push(("Algo-2", candidates(algo2_result, "Algo-2")));
+        }
+        let solve_start = Instant::now();
+        let outcome = engine.solve_with_precomputed(instance, 1, precomputed);
+        rpo_obs::histogram!("batch.solve").record(solve_start.elapsed());
+        record_outcome(local, &outcome);
+        local.bucketed += 1;
+    }
 }
 
 impl BatchReport {
@@ -265,6 +448,17 @@ impl std::fmt::Display for BatchReport {
             self.deep_solves,
             self.max_committed_threads,
         )?;
+        if self.buckets_dispatched > 0 || self.remainder_solves > 0 {
+            writeln!(
+                f,
+                "buckets: {} dispatched covering {} instances ({:.1} lanes/bucket), \
+                 {} remainder solves",
+                self.buckets_dispatched,
+                self.bucketed_instances,
+                self.bucketed_instances as f64 / self.buckets_dispatched.max(1) as f64,
+                self.remainder_solves,
+            )?;
+        }
         writeln!(
             f,
             "{:<12} {:>6} {:>6} {:>9} {:>13} {:>11}",
@@ -365,22 +559,20 @@ impl BatchDriver {
         let committed = AtomicUsize::new(0);
         let peak_committed = AtomicUsize::new(0);
         let source = Mutex::new(instances);
-
-        #[derive(Default)]
-        struct Tally {
-            count: usize,
-            feasible: usize,
-            cache_answered: usize,
-            wide: usize,
-            deep: usize,
-            stats: HashMap<&'static str, BackendStats>,
-        }
+        let bucketed_mode = self.config.bucketed;
+        // Shape buckets filling towards LANES-wide mega-kernel dispatches,
+        // shared by all workers; whichever worker completes a bucket
+        // dispatches it (outside the map lock).
+        let buckets: Mutex<HashMap<u64, Vec<ProblemInstance>>> = Mutex::new(HashMap::new());
 
         let tally: Mutex<Tally> = Mutex::new(Tally::default());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut local = Tally::default();
+                    // Worker-local SoA arenas for bucketed dispatches,
+                    // reused across every bucket this worker solves.
+                    let mut batch_scratch = BatchScratch::new();
                     loop {
                         // Queue wait (contending for the stream lock plus
                         // generating the next instance) vs solve time below:
@@ -394,6 +586,25 @@ impl BatchDriver {
                         };
                         local.count += 1;
                         rpo_obs::counter!("batch.instances").inc();
+                        if bucketed_mode {
+                            if let Some(key) = bucket_key(&instance) {
+                                // Park the instance in its shape bucket; a
+                                // full bucket is taken (inside the lock) and
+                                // dispatched (outside it) by this worker.
+                                let full = {
+                                    let mut map = buckets.lock().expect("bucket map lock poisoned");
+                                    let bucket = map.entry(key).or_default();
+                                    bucket.push(instance);
+                                    (bucket.len() >= LANES).then(|| std::mem::take(bucket))
+                                };
+                                if let Some(batch) = full {
+                                    solve_bucket(engine, &batch, &mut batch_scratch, &mut local);
+                                }
+                                continue;
+                            }
+                            local.remainder += 1;
+                            rpo_obs::counter!("dp.batch.remainder_solves").inc();
+                        }
                         let solve_start = Instant::now();
                         // Commit `width` solver threads for the duration of
                         // one solve, recording the batch-wide peak.
@@ -452,38 +663,25 @@ impl BatchDriver {
                             }
                         };
                         rpo_obs::histogram!("batch.solve").record(solve_start.elapsed());
-                        if outcome.is_feasible() {
-                            local.feasible += 1;
-                        }
-                        if outcome.from_cache {
-                            local.cache_answered += 1;
-                            continue; // per-backend stats were counted once
-                        }
-                        let winner = outcome.front.best_reliability().map(|p| p.backend);
-                        for run in &outcome.runs {
-                            if run.status != RunStatus::Completed {
-                                continue;
-                            }
-                            let entry =
-                                local
-                                    .stats
-                                    .entry(run.backend)
-                                    .or_insert_with(|| BackendStats {
-                                        backend: run.backend.to_string(),
-                                        ..BackendStats::default()
-                                    });
-                            entry.runs += 1;
-                            entry.total_micros += run.micros;
-                            if winner == Some(run.backend) {
-                                entry.wins += 1;
-                                rpo_obs::global()
-                                    .counter(&format!("backend.win.{}", run.backend))
-                                    .inc();
-                            }
-                        }
-                        for point in outcome.front.points() {
-                            if let Some(entry) = local.stats.get_mut(point.backend) {
-                                entry.front_points += 1;
+                        record_outcome(&mut local, &outcome);
+                    }
+                    // Stream exhausted: flush the remaining (partial) shape
+                    // buckets through the mega-kernel, sharing the work
+                    // across whichever workers finish first. Every bucketed
+                    // instance is flushed: a worker only exits its solve
+                    // loop after its last insert, and flushes afterwards.
+                    if bucketed_mode {
+                        loop {
+                            let batch = {
+                                let mut map = buckets.lock().expect("bucket map lock poisoned");
+                                let key = map.keys().next().copied();
+                                key.and_then(|k| map.remove(&k))
+                            };
+                            let Some(batch) = batch else {
+                                break;
+                            };
+                            if !batch.is_empty() {
+                                solve_bucket(engine, &batch, &mut batch_scratch, &mut local);
                             }
                         }
                     }
@@ -494,6 +692,9 @@ impl BatchDriver {
                     shared.cache_answered += local.cache_answered;
                     shared.wide += local.wide;
                     shared.deep += local.deep;
+                    shared.buckets += local.buckets;
+                    shared.bucketed += local.bucketed;
+                    shared.remainder += local.remainder;
                     for (name, stats) in local.stats {
                         let entry = shared.stats.entry(name).or_insert_with(|| BackendStats {
                             backend: stats.backend.clone(),
@@ -524,6 +725,9 @@ impl BatchDriver {
             wide_solves: tally.wide,
             deep_solves: tally.deep,
             max_committed_threads: peak_committed.into_inner(),
+            buckets_dispatched: tally.buckets,
+            bucketed_instances: tally.bucketed,
+            remainder_solves: tally.remainder,
             // All workers joined above, so the delta is an exact account of
             // this batch's activity.
             metrics: rpo_obs::global().snapshot().delta(&metrics_base),
@@ -544,6 +748,7 @@ mod tests {
             bounds: BoundsPolicy::default(),
             heterogeneous: false,
             split: ThreadSplit::default(),
+            bucketed: false,
         });
         let generator = InstanceGenerator::paper_homogeneous(2024);
         let report = driver.run(&engine, generator.stream(12));
@@ -668,6 +873,76 @@ mod tests {
     }
 
     #[test]
+    fn bucketed_batches_match_the_unbucketed_front_for_front() {
+        let generator = InstanceGenerator::paper_homogeneous(31);
+        let instances: Vec<ExperimentInstance> = generator.batch(20);
+        let policy = BoundsPolicy::default();
+        let problems: Vec<ProblemInstance> = instances
+            .iter()
+            .map(|experiment| policy.instance(experiment, false))
+            .collect();
+        // Run the same stream through a bucketed and an unbucketed driver,
+        // then read every instance's front back out of each engine's cache.
+        let run = |bucketed: bool| {
+            let engine = PortfolioEngine::default().with_threads(1);
+            let driver = BatchDriver::new(BatchConfig {
+                workers: 2,
+                bucketed,
+                ..BatchConfig::default()
+            });
+            let report = driver.run(&engine, instances.clone());
+            let fronts: Vec<_> = problems
+                .iter()
+                .map(|problem| engine.solve(problem).front)
+                .collect();
+            (report, fronts)
+        };
+        let (plain_report, plain_fronts) = run(false);
+        let (bucket_report, bucket_fronts) = run(true);
+
+        assert_eq!(plain_report.buckets_dispatched, 0);
+        assert!(bucket_report.buckets_dispatched > 0);
+        assert_eq!(
+            bucket_report.bucketed_instances + bucket_report.remainder_solves,
+            bucket_report.instances
+        );
+        assert_eq!(
+            plain_report.feasible_instances,
+            bucket_report.feasible_instances
+        );
+        // The wins invariant holds in both modes (precomputed mega-kernel
+        // runs are accounted like completed backend runs).
+        for report in [&plain_report, &bucket_report] {
+            let total_wins: usize = report.backend_stats.iter().map(|s| s.wins).sum();
+            assert_eq!(
+                total_wins,
+                report.feasible_instances - report.cache_answered
+            );
+        }
+
+        // Front-for-front: identical mappings (fingerprints), producing
+        // backends, and criteria, instance by instance.
+        for (plain, bucket) in plain_fronts.iter().zip(&bucket_fronts) {
+            let key = |front: &crate::pareto::ParetoFront| -> Vec<_> {
+                front
+                    .points()
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.fingerprint(),
+                            p.backend,
+                            p.evaluation.reliability.to_bits(),
+                            p.evaluation.worst_case_period.to_bits(),
+                            p.evaluation.worst_case_latency.to_bits(),
+                        )
+                    })
+                    .collect()
+            };
+            assert_eq!(key(plain), key(bucket));
+        }
+    }
+
+    #[test]
     fn heterogeneous_batches_use_the_heterogeneous_platform() {
         let engine = PortfolioEngine::default().with_threads(1);
         let driver = BatchDriver::new(BatchConfig {
@@ -678,6 +953,7 @@ mod tests {
             },
             heterogeneous: true,
             split: ThreadSplit::default(),
+            bucketed: false,
         });
         let generator = InstanceGenerator::paper_heterogeneous(11);
         let report = driver.run(&engine, generator.stream(6));

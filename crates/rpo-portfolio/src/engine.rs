@@ -37,6 +37,10 @@ pub enum RunStatus {
     DeadlineExpired,
     /// First-feasible mode: a winner emerged before this backend started.
     Preempted,
+    /// The caller supplied this backend's candidates precomputed (e.g. from
+    /// the batched SoA mega-kernel), so the backend was not dispatched; its
+    /// candidates were re-certified and merged like a completed run's.
+    Precomputed,
 }
 
 /// Per-backend outcome of one portfolio solve.
@@ -293,6 +297,61 @@ impl PortfolioEngine {
         instance: &ProblemInstance,
         threads: usize,
     ) -> PortfolioOutcome {
+        self.solve_inner(instance, threads, Vec::new())
+    }
+
+    /// [`PortfolioEngine::solve_with_threads`] with externally precomputed
+    /// backend results: each `(backend name, candidates)` pair replaces that
+    /// backend's dispatch. The precomputed candidates flow through exactly
+    /// the same pipeline as a live backend's — re-certified through the
+    /// shared oracle, filtered by the instance bounds, merged into the
+    /// streaming front — so the portfolio contract (bit-exact reliability,
+    /// Pareto front semantics) is unchanged. This is the seam the batch
+    /// driver's shape-bucketing uses: the SoA mega-kernel solves the
+    /// Algo-1/Algo-2 DP for a whole bucket at once and hands each instance's
+    /// lane results here, while every other backend still races normally.
+    ///
+    /// A backend named with an *empty* candidate list is still suppressed —
+    /// that marks "the precomputed path ran this solver and found nothing",
+    /// which a rerun could only reproduce.
+    pub fn solve_with_precomputed(
+        &self,
+        instance: &ProblemInstance,
+        threads: usize,
+        precomputed: Vec<(&'static str, Vec<crate::backend::CandidateMapping>)>,
+    ) -> PortfolioOutcome {
+        self.solve_inner(instance, threads, precomputed)
+    }
+
+    /// Resolves the instance's shared interval-metrics oracle through the
+    /// chain-keyed cache, building it outside the lock on a miss (concurrent
+    /// batch workers must not serialize on construction; a rare duplicate
+    /// build is cheaper than a critical section around it).
+    pub(crate) fn oracle_for(&self, instance: &ProblemInstance) -> Arc<rpo_model::IntervalOracle> {
+        let cached = self
+            .oracles
+            .lock()
+            .expect("oracle cache lock poisoned")
+            .get(instance);
+        match cached {
+            Some(oracle) => oracle,
+            None => {
+                let oracle = instance.build_oracle();
+                self.oracles
+                    .lock()
+                    .expect("oracle cache lock poisoned")
+                    .put(instance, Arc::clone(&oracle));
+                oracle
+            }
+        }
+    }
+
+    fn solve_inner(
+        &self,
+        instance: &ProblemInstance,
+        threads: usize,
+        precomputed: Vec<(&'static str, Vec<crate::backend::CandidateMapping>)>,
+    ) -> PortfolioOutcome {
         if let Some(front) = self
             .cache
             .lock()
@@ -314,14 +373,19 @@ impl PortfolioEngine {
         let start = Instant::now();
         let deadline = self.budget.time_limit.map(|limit| start + limit);
 
-        // Applicability pass: fixed backend order.
+        // Applicability pass: fixed backend order. Backends whose results
+        // arrive precomputed are not dispatched.
         let mut runs: Vec<BackendRun> = self
             .backends
             .iter()
             .map(|backend| {
-                let status = match backend.applicability(instance, &self.budget) {
-                    Applicability::Applicable => RunStatus::Completed, // provisional
-                    Applicability::Skip(reason) => RunStatus::Skipped(reason),
+                let status = if precomputed.iter().any(|(name, _)| *name == backend.name()) {
+                    RunStatus::Precomputed
+                } else {
+                    match backend.applicability(instance, &self.budget) {
+                        Applicability::Applicable => RunStatus::Completed, // provisional
+                        Applicability::Skip(reason) => RunStatus::Skipped(reason),
+                    }
                 };
                 BackendRun {
                     backend: backend.name(),
@@ -339,26 +403,8 @@ impl PortfolioEngine {
         // One interval-metrics oracle per instance, shared by every backend —
         // resolved through the chain-keyed cache, so near-duplicate instances
         // (same chain/platform, different bounds) reuse a previous solve's
-        // oracle instead of rebuilding the Eq. 5–9 precomputation. On a miss
-        // the oracle is built *outside* the lock (concurrent batch workers
-        // must not serialize on construction; a rare duplicate build is
-        // cheaper than a critical section around it).
-        let cached = self
-            .oracles
-            .lock()
-            .expect("oracle cache lock poisoned")
-            .get(instance);
-        let oracle = match cached {
-            Some(oracle) => oracle,
-            None => {
-                let oracle = instance.build_oracle();
-                self.oracles
-                    .lock()
-                    .expect("oracle cache lock poisoned")
-                    .put(instance, Arc::clone(&oracle));
-                oracle
-            }
-        };
+        // oracle instead of rebuilding the Eq. 5–9 precomputation.
+        let oracle = self.oracle_for(instance);
 
         // Race the runnable backends: worker threads pull indices from a
         // shared queue, so a slow backend never blocks the others. Feasible
@@ -368,6 +414,30 @@ impl PortfolioEngine {
         let queue = AtomicUsize::new(0);
         let winner_found = AtomicBool::new(false);
         let streaming = StreamingFront::new();
+
+        // Seed the front with the precomputed results, through the same
+        // re-certify → bound-filter → merge pipeline a live backend's
+        // candidates take. Seeding before the race also lets FirstFeasible
+        // mode preempt on a precomputed winner.
+        for (name, mut candidates) in precomputed {
+            let total = candidates.len();
+            for candidate in &mut candidates {
+                candidate.evaluation = oracle.evaluate(&candidate.mapping);
+            }
+            candidates.retain(|c| instance.admits(&c.evaluation));
+            if !candidates.is_empty() {
+                winner_found.store(true, Ordering::Release);
+            }
+            let feasible = candidates.len();
+            if let Some(index) = self.backends.iter().position(|b| b.name() == name) {
+                runs[index].candidates = total;
+                runs[index].feasible = feasible;
+                self.backend_obs[index].feasible.add(feasible as u64);
+            }
+            for candidate in candidates {
+                streaming.insert(candidate);
+            }
+        }
         let results: Mutex<Vec<WorkerResult>> = Mutex::new(Vec::with_capacity(runnable.len()));
         let workers = threads.max(1).min(runnable.len().max(1));
 

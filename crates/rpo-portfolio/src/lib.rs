@@ -29,7 +29,11 @@
 //!   chain-keyed [`OracleCache`] that lets near-duplicate instances (same
 //!   chain/platform, different bounds) share one [`rpo_model::IntervalOracle`];
 //! * [`BatchDriver`] ([`batch`]) — streams `rpo-workload` instance batches
-//!   through the engine and reports throughput and per-backend win rates.
+//!   through the engine and reports throughput and per-backend win rates;
+//!   with [`BatchConfig::bucketed`] it shape-buckets homogeneous instances
+//!   through the batched SoA mega-kernel
+//!   ([`rpo_algorithms::solve_batch`]), one instance per SIMD lane, and
+//!   routes everything else down the per-instance remainder path.
 //!
 //! ```
 //! use rpo_model::{Platform, TaskChain};

@@ -140,6 +140,101 @@ fn global_registry_sees_the_solver_stack() {
 }
 
 #[test]
+fn bucketed_batch_records_the_mega_kernel_metrics() {
+    let _guard = BATCH_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    let engine = PortfolioEngine::default().with_threads(1);
+    let driver = BatchDriver::new(BatchConfig {
+        workers: 2,
+        bucketed: true,
+        ..BatchConfig::default()
+    });
+    let generator = InstanceGenerator::paper_homogeneous(0x0B54);
+    let report = driver.run(&engine, generator.stream(10));
+    assert_eq!(report.instances, 10);
+    // Every homogeneous paper instance is bucket-eligible.
+    assert!(report.buckets_dispatched > 0);
+    assert_eq!(report.bucketed_instances, 10);
+    assert_eq!(report.remainder_solves, 0);
+    let metrics = &report.metrics;
+    assert_eq!(
+        metrics.counter_value("dp.batch.buckets"),
+        Some(report.buckets_dispatched as u64)
+    );
+    // One lanes_occupied sample per kernel chunk dispatch; each bucketed
+    // instance occupies a lane in at least the Algo-1 pass.
+    assert!(
+        metrics
+            .counter_value("dp.batch.lanes_occupied")
+            .unwrap_or(0)
+            >= report.bucketed_instances as u64
+    );
+    assert_eq!(
+        metrics
+            .counter_value("dp.batch.remainder_solves")
+            .unwrap_or(0),
+        0
+    );
+    let kernel_span = metrics
+        .histogram("span.dp.batch_kernel")
+        .expect("span.dp.batch_kernel histogram in the embedded delta");
+    assert!(
+        kernel_span.count as usize >= report.buckets_dispatched,
+        "at least one mega-kernel span per dispatched bucket"
+    );
+    let occupancy = metrics
+        .histogram("batch.lane_occupancy")
+        .expect("batch.lane_occupancy histogram in the embedded delta");
+    assert_eq!(kernel_span.count, occupancy.count);
+}
+
+#[test]
+fn het_lat_label_arenas_are_pooled_through_the_scratch() {
+    let _guard = BATCH_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    let chain = pipelined_rt::model::TaskChain::from_pairs(&[
+        (30.0, 2.0),
+        (10.0, 8.0),
+        (25.0, 1.0),
+        (40.0, 3.0),
+    ])
+    .expect("valid chain");
+    let platform = pipelined_rt::model::PlatformBuilder::new()
+        .processor(4.0, 1e-3)
+        .processor(2.0, 1e-3)
+        .processor(1.0, 1e-3)
+        .processor(3.0, 1e-3)
+        .bandwidth(1.0)
+        .link_failure_rate(1e-4)
+        .max_replication(2)
+        .build()
+        .expect("valid platform");
+    let oracle = pipelined_rt::model::IntervalOracle::new(&chain, &platform);
+
+    let before = obs::global().snapshot();
+    let mut scratch = pipelined_rt::algorithms::DpScratch::new();
+    for _ in 0..3 {
+        let solution = pipelined_rt::algorithms::algo_het_lat_with_scratch(
+            &oracle,
+            &chain,
+            &platform,
+            Some(50.0),
+            150.0,
+            &mut scratch,
+        )
+        .expect("tri-criteria instance is solvable");
+        assert!(solution.reliability > 0.0);
+    }
+    let delta = obs::global().snapshot().delta(&before);
+    // First solve grows the label arenas (miss); the two repeats reuse the
+    // pooled allocations through the shared scratch (hits).
+    assert_eq!(delta.counter_value("het_lat.label_pool.misses"), Some(1));
+    assert_eq!(delta.counter_value("het_lat.label_pool.hits"), Some(2));
+}
+
+#[test]
 fn span_recorder_captures_nested_solver_spans() {
     let registry = Registry::new();
     let recorder = SpanRecorder::new(registry, 1024);
