@@ -136,6 +136,12 @@ pub struct DpScratch {
     pp: Vec<usize>,
     /// The period bound `pp` was last derived for (`NAN` = never).
     prev_bound: f64,
+    /// Shape of the last completed fill of `f`: number of rows (`n + 1`) and
+    /// row stride (`p + 1`). Zero until the first sweep. The repair entry
+    /// points check this before reusing the grid — a scratch whose shape does
+    /// not match the pre-delta instance silently falls back to a full solve.
+    dp_rows: usize,
+    dp_stride: usize,
     /// Pooled label arenas of the latency-bounded heterogeneous DP
     /// (`algo_het_lat`), so a scratch shared by the portfolio backends also
     /// amortizes the per-state label vectors across latency-bounded solves.
@@ -165,6 +171,8 @@ impl DpScratch {
         self.in_ok.clear();
         self.pp.clear();
         self.prev_bound = f64::NAN;
+        self.dp_rows = 0;
+        self.dp_stride = 0;
         self.het_lat.reset();
     }
 }
@@ -223,6 +231,137 @@ pub fn reliability_dp_with_scratch(
     reliability_dp_scratch(oracle, chain, platform, filter, kernel, scratch)
 }
 
+/// How a repair DP call obtained its answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmPath {
+    /// The prior boundary grid was reused: re-picked directly after a
+    /// platform shrink, or re-swept only above the first affected row after
+    /// a work revision.
+    ReusedGrid,
+    /// The warm preconditions did not hold; a full cold sweep ran instead.
+    Resolved,
+}
+
+/// Warm-started **repair** run of the shared dynamic program after a
+/// [`rpo_model::PlatformDelta`], reusing the unchanged prefix of the
+/// boundary grid left in `scratch` by the pre-delta solve.
+///
+/// `keep_rows` is the number of leading boundary rows of the prior grid
+/// known to be bit-valid for the post-delta instance — the
+/// `first_affected_task` of [`rpo_model::AppliedDelta`]:
+///
+/// * **Platform shrink** (a processor failed on a homogeneous platform,
+///   `keep_rows = n`): every row survives. `f[i][k]` — the best reliability
+///   of the first `i` tasks on `k` processors — never depends on how many
+///   processors exist beyond `k`, so the whole grid remains exact for the
+///   smaller platform; the repair just re-picks the best final state over
+///   `k ≤ p_new` and retraces through the old (wider-stride) grid.
+/// * **Work revision of task `t`** (`keep_rows = t`): row `i` only reads
+///   block reliabilities of intervals ending at task `i − 1`, which involve
+///   only works of tasks `< i` — so rows `≤ t` are bit-identical and only
+///   rows `t + 1 ..= n` are wiped and re-swept (same kernel, same
+///   evaluation order, hence bit-identical to a cold solve).
+///
+/// Falls back to a full cold solve — reported as [`WarmPath::Resolved`] —
+/// whenever the preconditions do not hold: scratch shape mismatch (never
+/// filled, or filled for a different `n`/`p`), a platform shrink combined
+/// with row invalidation, or the scalar reference kernel being the crate
+/// default. **The caller must pass the same `period_bound` the scratch was
+/// filled under and must not reuse a grid across a factored-path flip**
+/// (see `AppliedDelta::factored_changed`) — the repair ladder in
+/// `rpo-repair` enforces both.
+///
+/// Returns `None` when no feasible mapping exists on the post-delta
+/// platform (all final states unreachable), exactly like the cold DP.
+pub fn repair_reliability_dp_with_scratch(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: Option<f64>,
+    keep_rows: usize,
+    scratch: &mut DpScratch,
+) -> Option<(OptimalMapping, WarmPath)> {
+    let n = oracle.len();
+    let p = oracle.num_processors();
+    let bound = period_bound.unwrap_or(f64::INFINITY);
+    let stride_prev = scratch.dp_stride;
+    let shape_ok = DpKernel::crate_default() == DpKernel::Chunked
+        && scratch.dp_rows == n + 1
+        && stride_prev > p
+        && scratch.f.len() == scratch.dp_rows * stride_prev;
+    if !shape_ok || (stride_prev > p + 1 && keep_rows < n) {
+        return reliability_dp_with_scratch(
+            oracle,
+            chain,
+            platform,
+            period_bound,
+            DpKernel::crate_default(),
+            scratch,
+        )
+        .map(|solution| (solution, WarmPath::Resolved));
+    }
+
+    let _span = rpo_obs::span!("dp.repair", rows = n - keep_rows.min(n), procs = p);
+    if stride_prev == p + 1 && keep_rows < n {
+        // Wipe only the invalidated suffix of the grid and resweep it; the
+        // kept rows are never touched, so they stay bit-identical.
+        let row_lo = keep_rows + 1;
+        for value in &mut scratch.f[row_lo * stride_prev..] {
+            *value = f64::NEG_INFINITY;
+        }
+        rpo_obs::counter!("dp.kernel.row_sweeps").add((n - keep_rows) as u64);
+        chunked_sweep(oracle, bound, scratch, row_lo);
+    }
+
+    // The traceback needs current admissibility flags (the scratch may hold
+    // another probe's, and a shrink repair skips the sweep that would
+    // rebuild them). Communication times are delta-invariant, so these are
+    // the same comparisons the original sweep made.
+    scratch.in_ok.clear();
+    scratch
+        .in_ok
+        .extend((0..n).map(|j| oracle.input_comm_time(j) <= bound));
+
+    let row_n = n * stride_prev;
+    let (best_k, best_rel) = (1..=p).map(|k| (k, scratch.f[row_n + k])).max_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("totally ordered reliabilities")
+    })?;
+    if !best_rel.is_finite() {
+        return None;
+    }
+
+    let mut segments: Vec<(usize, usize, usize)> = Vec::new();
+    let (mut i, mut k) = (n, best_k);
+    while i > 0 {
+        let (j, q) = recover_choice(oracle, bound, scratch, stride_prev, i, k);
+        segments.push((j, i - 1, q));
+        i = j;
+        k -= q;
+    }
+    segments.reverse();
+
+    let mut next_processor = 0;
+    let mapped = segments
+        .into_iter()
+        .map(|(first, last, q)| {
+            let processors: Vec<usize> = (next_processor..next_processor + q).collect();
+            next_processor += q;
+            MappedInterval::new(Interval { first, last }, processors)
+        })
+        .collect();
+    let mapping = Mapping::new(mapped, chain, platform)
+        .expect("dynamic program only builds structurally valid mappings");
+    let reliability = oracle.mapping_reliability(&mapping);
+    Some((
+        OptimalMapping {
+            mapping,
+            reliability,
+        },
+        WarmPath::ReusedGrid,
+    ))
+}
+
 /// The dynamic program against caller-owned scratch: the period minimizer
 /// passes the same scratch to every binary-search probe, reusing the arenas
 /// and warm-starting the admissibility cuts.
@@ -246,9 +385,11 @@ pub(crate) fn reliability_dp_scratch(
     scratch.f.clear();
     scratch.f.resize((n + 1) * stride, f64::NEG_INFINITY);
     scratch.f[0] = 1.0;
+    scratch.dp_rows = n + 1;
+    scratch.dp_stride = stride;
 
     match kernel {
-        DpKernel::Chunked => chunked_sweep(oracle, filter.bound(), scratch),
+        DpKernel::Chunked => chunked_sweep(oracle, filter.bound(), scratch, 1),
         DpKernel::Scalar => {
             // Only the scalar reference sweep records explicit traceback
             // choices; the chunked kernel keeps its hot loop value-only and
@@ -274,7 +415,7 @@ pub(crate) fn reliability_dp_scratch(
     let (mut i, mut k) = (n, best_k);
     while i > 0 {
         let (j, q) = match kernel {
-            DpKernel::Chunked => recover_choice(oracle, filter.bound(), scratch, i, k),
+            DpKernel::Chunked => recover_choice(oracle, filter.bound(), scratch, stride, i, k),
             DpKernel::Scalar => {
                 let packed_f = scratch.choice[i * stride + k];
                 debug_assert!(
@@ -321,7 +462,10 @@ pub(crate) fn reliability_dp_scratch(
 /// starts with their replication-level reliabilities, then run the `(q, k)`
 /// max-update through the value-only [`lane_max_update`] kernel (traceback
 /// winners are recovered on demand by [`recover_choice`]).
-fn chunked_sweep(oracle: &IntervalOracle, bound: f64, scratch: &mut DpScratch) {
+/// `row_lo` is the first row to (re)compute — 1 for a full sweep; the warm
+/// repair path passes `keep_rows + 1` to resweep only the rows invalidated
+/// by a task-work revision (rows below it keep their bit-identical values).
+fn chunked_sweep(oracle: &IntervalOracle, bound: f64, scratch: &mut DpScratch, row_lo: usize) {
     let n = oracle.len();
     let p = oracle.num_processors();
     let k_max = oracle.max_replication().min(p);
@@ -353,7 +497,7 @@ fn chunked_sweep(oracle: &IntervalOracle, bound: f64, scratch: &mut DpScratch) {
         pp.resize(n + 1, 0);
     }
 
-    for i in 1..=n {
+    for i in row_lo..=n {
         if oracle.output_comm_time(i - 1) > bound {
             continue; // no interval ending at task i−1 fits the period
         }
@@ -534,17 +678,23 @@ fn update_state(row_j: &[f64], row_i: &mut [f64], k: usize, rels: &[f64]) {
 /// the scalar reference sweep \u{2014} would produce. Cost: `O(i\u{b7}K)` per segment
 /// of the reconstructed mapping, paid only along the optimal path instead
 /// of bookkeeping every state of the `O(n\u{b2} p K)` sweep.
+///
+/// `stride` is the row stride of `scratch.f` — `p + 1` on the normal path,
+/// but the **pre-delta** `p_old + 1` when the shrunken-platform repair path
+/// tracebacks through a grid filled before a processor failure (the grid
+/// rows stay valid for any `k ≤ p_new`; only their layout remembers the old
+/// platform width).
 fn recover_choice(
     oracle: &IntervalOracle,
     bound: f64,
     scratch: &mut DpScratch,
+    stride: usize,
     i: usize,
     k: usize,
 ) -> (usize, usize) {
     let p = oracle.num_processors();
     let k_max = oracle.max_replication().min(p);
     let speed = oracle.classes()[0].speed;
-    let stride = p + 1;
     let work_prefix = oracle.work_prefix();
     let j_lo = if bound.is_finite() {
         work_prefix[..i]

@@ -61,7 +61,8 @@ pub mod period_opt;
 pub use algo1::{
     optimize_reliability_homogeneous, optimize_reliability_homogeneous_with_oracle,
     optimize_reliability_homogeneous_with_scratch, reliability_dp_with_kernel,
-    reliability_dp_with_scratch, DpKernel, DpScratch, OptimalMapping, LANES,
+    reliability_dp_with_scratch, repair_reliability_dp_with_scratch, DpKernel, DpScratch,
+    OptimalMapping, WarmPath, LANES,
 };
 pub use algo2::{
     optimize_reliability_with_period_bound, optimize_reliability_with_period_bound_with_oracle,
@@ -86,7 +87,7 @@ pub use heuristic::{
 };
 pub use period_opt::{
     minimize_period_with_reliability_bound, minimize_period_with_reliability_bound_with_oracle,
-    minimize_period_with_reliability_bound_with_scratch,
+    minimize_period_with_reliability_bound_with_scratch, repair_minimize_period_with_scratch,
 };
 
 /// Errors reported by the algorithms of this crate.

@@ -176,6 +176,112 @@ pub fn minimize_period_with_reliability_bound_with_scratch(
     })
 }
 
+/// Warm-started period re-minimization after a platform or workload delta:
+/// instead of binary-searching the full candidate ladder from cold, the
+/// search **brackets around the previous optimum** `prev_period` with an
+/// exponential gallop. Deltas usually move the optimum by only a few
+/// candidate positions, so the common case pays `O(log Δ)` Algorithm 2
+/// probes (Δ = how far the optimum moved) instead of `O(log n²)` — and each
+/// probe additionally reuses `scratch`'s warm admissibility cuts, exactly
+/// like the cold search.
+///
+/// Returns the **same certified optimum** as
+/// [`minimize_period_with_reliability_bound_with_scratch`]: feasibility is
+/// monotone in the period, both searches select the smallest feasible
+/// candidate, they differ only in which probes are evaluated along the way.
+///
+/// # Errors
+///
+/// Same as [`minimize_period_with_reliability_bound`].
+pub fn repair_minimize_period_with_scratch(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    reliability_bound: f64,
+    prev_period: f64,
+    scratch: &mut DpScratch,
+) -> Result<PeriodOptimal> {
+    crate::debug_assert_oracle_matches(oracle, chain, platform);
+    if !oracle.is_homogeneous() {
+        return Err(AlgoError::HeterogeneousPlatform);
+    }
+    if !(reliability_bound.is_finite() && reliability_bound > 0.0 && reliability_bound <= 1.0) {
+        return Err(AlgoError::InvalidBound("reliability bound"));
+    }
+
+    let candidates = candidate_periods(oracle, platform.speed(0));
+    let len = candidates.len();
+    let mut feasible = |period: f64| -> Option<crate::algo1::OptimalMapping> {
+        rpo_obs::counter!("period_opt.probes").inc();
+        match optimize_with_period_bound_scratch(oracle, chain, platform, period, &mut *scratch) {
+            Ok(solution) if solution.reliability >= reliability_bound => Some(solution),
+            _ => None,
+        }
+    };
+
+    // Start at the candidate nearest the previous optimum (degenerate
+    // `prev_period` just means a worse start, never a wrong answer).
+    let start = if prev_period.is_finite() {
+        candidates
+            .partition_point(|&c| c < prev_period * (1.0 - CANDIDATE_REL_TOL))
+            .min(len - 1)
+    } else {
+        len - 1
+    };
+
+    // Gallop up until a feasible candidate brackets the optimum from above.
+    let mut hi = start;
+    let mut lo_infeasible: Option<usize> = None;
+    let mut solution = feasible(candidates[hi]);
+    let mut step = 1;
+    while solution.is_none() {
+        if hi == len - 1 {
+            return Err(AlgoError::NoFeasibleMapping);
+        }
+        lo_infeasible = Some(hi);
+        hi = (hi + step).min(len - 1);
+        step *= 2;
+        solution = feasible(candidates[hi]);
+    }
+    // If the start itself was feasible, gallop down for an infeasible floor.
+    if lo_infeasible.is_none() {
+        let mut step = 1;
+        while hi > 0 {
+            let probe = hi.saturating_sub(step);
+            match feasible(candidates[probe]) {
+                Some(better) => {
+                    solution = Some(better);
+                    hi = probe;
+                    step *= 2;
+                }
+                None => {
+                    lo_infeasible = Some(probe);
+                    break;
+                }
+            }
+        }
+    }
+    // Close the bracket: invariant `hi` feasible, `lo` infeasible.
+    if let Some(mut lo) = lo_infeasible {
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            match feasible(candidates[mid]) {
+                Some(better) => {
+                    solution = Some(better);
+                    hi = mid;
+                }
+                None => lo = mid,
+            }
+        }
+    }
+    let best = solution.expect("bracket always holds a feasible candidate");
+    Ok(PeriodOptimal {
+        period: candidates[hi],
+        mapping: best.mapping,
+        reliability: best.reliability,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,7 @@
 //! solve portfolio path/to/problem.json  # race the whole solver portfolio
 //! solve portfolio -                     # ... reading from standard input
 //! solve batch <count> [--seed N] [--het] [--workers N] [--bucketed]  # drive a generated batch
+//! solve repair <count> [--churn] [--seed N] [--het] [--workers N]    # replay platform churn
 //! ```
 //!
 //! The default mode prints both heuristics plus, on homogeneous platforms,
@@ -15,7 +16,12 @@
 //! front (reliability, worst-case period, worst-case latency), with the
 //! per-backend run/skip census. The `batch` subcommand streams `count`
 //! paper-style generated instances through the batch driver and prints the
-//! throughput/win-rate report.
+//! throughput/win-rate report. The `repair` subcommand opens one live
+//! repair session per generated instance and replays a seeded platform-churn
+//! trace through the graded repair ladder (local patch → warm DP → full
+//! solve), printing the per-tier census and the repair-vs-cold-solve
+//! latency; `--churn` switches from the paper's natural failure model to an
+//! aggressive short-horizon trace with a mid-run kill burst.
 //!
 //! Observability flags (all modes):
 //!
@@ -33,8 +39,8 @@ use std::process::ExitCode;
 use rpo_experiments::problem_io::{
     portfolio_report_to_json, report_to_json, solve, solve_portfolio, ProblemSpec,
 };
-use rpo_portfolio::{BatchConfig, BatchDriver, PortfolioEngine};
-use rpo_workload::InstanceGenerator;
+use rpo_portfolio::{BatchConfig, BatchDriver, ChurnConfig, PortfolioEngine};
+use rpo_workload::{ChurnSpec, InstanceGenerator};
 
 const EXAMPLE: &str = r#"{
   "tasks": [
@@ -62,6 +68,8 @@ const EXAMPLE: &str = r#"{
 const USAGE: &str = "usage: solve <problem.json | -> | solve --example \
      | solve portfolio <problem.json | -> \
      | solve batch <count> [--seed N] [--het] [--workers N] [--bucketed] \
+     [--report-json <path>] \
+     | solve repair <count> [--churn] [--seed N] [--het] [--workers N] \
      [--report-json <path>]\n\
      observability: [--trace <path>] [--collapse <path>] on any mode";
 
@@ -75,6 +83,7 @@ struct ObsArgs {
     workers: Option<usize>,
     heterogeneous: bool,
     bucketed: bool,
+    churn: bool,
 }
 
 /// Strips the flag arguments out of `args`, returning the remaining
@@ -123,6 +132,7 @@ fn parse_flags(args: Vec<String>) -> Result<(Vec<String>, ObsArgs), String> {
                 }
                 "--het" => obs.heterogeneous = true,
                 "--bucketed" => obs.bucketed = true,
+                "--churn" => obs.churn = true,
                 _ => positional.push(arg),
             },
         }
@@ -179,6 +189,48 @@ fn run_batch(count: usize, obs: &ObsArgs) -> Result<String, String> {
     Ok(report.to_string())
 }
 
+/// Opens one repair session per generated instance and replays a seeded
+/// platform-churn trace through the graded repair ladder.
+fn run_repair(count: usize, obs: &ObsArgs) -> Result<String, String> {
+    let generator = if obs.heterogeneous {
+        InstanceGenerator::paper_heterogeneous(obs.seed)
+    } else {
+        InstanceGenerator::paper_homogeneous(obs.seed)
+    };
+    let mut batch = BatchConfig {
+        heterogeneous: obs.heterogeneous,
+        ..BatchConfig::default()
+    };
+    if let Some(workers) = obs.workers {
+        batch.workers = workers.max(1);
+    }
+    let config = ChurnConfig {
+        spec: if obs.churn {
+            // Aggressive mode: a short horizon plus a 3-kill mid-run burst,
+            // so every session sees back-to-back repairs.
+            ChurnSpec {
+                horizon: 1e6,
+                max_events: 6,
+                min_alive: 2,
+                burst_kills: 3,
+                burst_at: 0.5,
+            }
+        } else {
+            ChurnSpec::paper()
+        },
+        seed: obs.seed,
+        heterogeneous: obs.heterogeneous,
+        period_bound: None,
+    };
+    let report = BatchDriver::default().run_churn(&batch, &config, generator.stream(count));
+    if let Some(path) = &obs.report_json {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|error| format!("failed to serialize report: {error}"))?;
+        std::fs::write(path, json).map_err(|error| format!("failed to write {path}: {error}"))?;
+    }
+    Ok(report.to_string())
+}
+
 /// Writes the requested trace exports after the work is done.
 fn write_obs_outputs(obs: &ObsArgs) -> Result<(), String> {
     if let Some(path) = &obs.trace {
@@ -212,8 +264,12 @@ fn main() -> ExitCode {
             Ok(count) => run_batch(count, &obs),
             Err(_) => Err(format!("invalid batch size {count:?}")),
         },
+        [subcommand, count] if subcommand == "repair" => match count.parse::<usize>() {
+            Ok(count) => run_repair(count, &obs),
+            Err(_) => Err(format!("invalid repair batch size {count:?}")),
+        },
         [subcommand, path] if subcommand == "portfolio" => run(path, true),
-        [path] if path != "portfolio" && path != "batch" => run(path, false),
+        [path] if path != "portfolio" && path != "batch" && path != "repair" => run(path, false),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;

@@ -259,6 +259,168 @@ impl ClassView {
         debug_assert!(first <= last && last < self.work_prefix.len() - 1);
         (self.work_prefix[last + 1] - self.work_prefix[first]) / self.classes[class].speed
     }
+
+    /// Incrementally rebuilds the view for a changed `platform` (same chain).
+    ///
+    /// The class *structure* (table, member lists, `class_of`) is re-derived
+    /// in `O(p·K_c)` without a single transcendental; the expensive per-class
+    /// arrays (`exp_minus`/`exp_plus`/`compute_prefix`) are **moved over**
+    /// from every class whose `(speed, failure rate)` pair survives the
+    /// change. The move is sound and bit-identical by construction: the
+    /// arrays are pure functions of the class parameters and the unchanged
+    /// work prefix, and class parameters are unique within a view (the dedup
+    /// invariant), so the match is injective. Classes with genuinely new
+    /// parameters get freshly computed arrays.
+    ///
+    /// Returns `true` when the class *table* changed (count, parameters or
+    /// order of the classes) — class-indexed warm state downstream must then
+    /// be discarded. Member-only changes (a processor leaving a surviving
+    /// class) return `false`.
+    pub(crate) fn apply_platform_change(&mut self, platform: &Platform) -> bool {
+        let mut classes: Vec<ProcessorClass> = Vec::new();
+        let mut class_of = Vec::with_capacity(platform.num_processors());
+        let mut members: Vec<Vec<ProcessorId>> = Vec::new();
+        for (u, processor) in platform.processors().iter().enumerate() {
+            let class = classes.iter().position(|c| {
+                c.speed == processor.speed && c.failure_rate == processor.failure_rate
+            });
+            let class = match class {
+                Some(c) => c,
+                None => {
+                    classes.push(ProcessorClass {
+                        speed: processor.speed,
+                        failure_rate: processor.failure_rate,
+                        members: 0,
+                    });
+                    members.push(Vec::new());
+                    classes.len() - 1
+                }
+            };
+            classes[class].members += 1;
+            members[class].push(u);
+            class_of.push(class as u32);
+        }
+
+        let table_changed = classes.len() != self.classes.len()
+            || classes
+                .iter()
+                .zip(&self.classes)
+                .any(|(new, old)| new.speed != old.speed || new.failure_rate != old.failure_rate);
+
+        let total_work = *self.work_prefix.last().expect("non-empty work prefix");
+        let mut exp_minus = Vec::with_capacity(classes.len());
+        let mut exp_plus = Vec::with_capacity(classes.len());
+        let mut compute_prefix = Vec::with_capacity(classes.len());
+        for c in &classes {
+            let surviving = self
+                .classes
+                .iter()
+                .position(|old| old.speed == c.speed && old.failure_rate == c.failure_rate);
+            match surviving {
+                Some(old) => {
+                    exp_minus.push(std::mem::take(&mut self.exp_minus[old]));
+                    exp_plus.push(std::mem::take(&mut self.exp_plus[old]));
+                    compute_prefix.push(std::mem::take(&mut self.compute_prefix[old]));
+                }
+                None => {
+                    let rho = c.rho();
+                    if rho * total_work <= FACTORED_EXPONENT_LIMIT {
+                        exp_minus
+                            .push(self.work_prefix.iter().map(|&w| (-rho * w).exp()).collect());
+                        exp_plus.push(self.work_prefix.iter().map(|&w| (rho * w).exp()).collect());
+                    } else {
+                        exp_minus.push(Vec::new());
+                        exp_plus.push(Vec::new());
+                    }
+                    compute_prefix.push(self.work_prefix.iter().map(|&w| w / c.speed).collect());
+                }
+            }
+        }
+
+        self.classes = classes;
+        self.class_of = class_of;
+        self.members = members;
+        self.exp_minus = exp_minus;
+        self.exp_plus = exp_plus;
+        self.compute_prefix = compute_prefix;
+
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.bitwise_eq(&ClassView::new(platform, &self.work_prefix)),
+            "incremental class view diverged from a fresh rebuild"
+        );
+        table_changed
+    }
+
+    /// Incrementally rebuilds the per-class prefixes after the chain's work
+    /// prefix changed from index `first_changed` on (entries
+    /// `0 .. first_changed` must be bit-identical — only the suffix is
+    /// recomputed, which keeps the untouched prefix entries bit-identical by
+    /// not touching them at all).
+    ///
+    /// Returns `true` when some class crossed the factored-exponent guard
+    /// (`ρ_c·W_total` moved across [`FACTORED_EXPONENT_LIMIT`]): that class's
+    /// arrays were rebuilt (or cleared) wholesale, and downstream consumers
+    /// of *factored* block reliabilities switch code paths, so bit-exact
+    /// prefix reuse in their own state is no longer sound.
+    pub(crate) fn apply_work_prefix_change(
+        &mut self,
+        work_prefix: &[f64],
+        first_changed: usize,
+    ) -> bool {
+        debug_assert_eq!(work_prefix.len(), self.work_prefix.len());
+        debug_assert_eq!(
+            &work_prefix[..first_changed],
+            &self.work_prefix[..first_changed]
+        );
+        self.work_prefix[first_changed..].copy_from_slice(&work_prefix[first_changed..]);
+        let total_work = *self.work_prefix.last().expect("non-empty work prefix");
+        let len = self.work_prefix.len();
+        let mut factored_changed = false;
+        for c in 0..self.classes.len() {
+            let class = self.classes[c];
+            let rho = class.rho();
+            let was_factored = !self.exp_minus[c].is_empty();
+            let now_factored = rho * total_work <= FACTORED_EXPONENT_LIMIT;
+            if now_factored {
+                if was_factored {
+                    for i in first_changed..len {
+                        let w = self.work_prefix[i];
+                        self.exp_minus[c][i] = (-rho * w).exp();
+                        self.exp_plus[c][i] = (rho * w).exp();
+                    }
+                } else {
+                    factored_changed = true;
+                    self.exp_minus[c] =
+                        self.work_prefix.iter().map(|&w| (-rho * w).exp()).collect();
+                    self.exp_plus[c] = self.work_prefix.iter().map(|&w| (rho * w).exp()).collect();
+                }
+            } else {
+                if was_factored {
+                    factored_changed = true;
+                }
+                self.exp_minus[c].clear();
+                self.exp_plus[c].clear();
+            }
+            for i in first_changed..len {
+                self.compute_prefix[c][i] = self.work_prefix[i] / class.speed;
+            }
+        }
+        factored_changed
+    }
+
+    /// Exact structural equality — bitwise on every float — used to assert
+    /// that incremental updates reproduce a fresh rebuild.
+    #[cfg(debug_assertions)]
+    pub(crate) fn bitwise_eq(&self, other: &ClassView) -> bool {
+        self.classes == other.classes
+            && self.class_of == other.class_of
+            && self.members == other.members
+            && self.exp_minus == other.exp_minus
+            && self.exp_plus == other.exp_plus
+            && self.compute_prefix == other.compute_prefix
+            && self.work_prefix == other.work_prefix
+    }
 }
 
 /// A class-level mapping description: for each interval of a partition, how

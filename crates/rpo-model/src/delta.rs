@@ -1,0 +1,334 @@
+//! Platform and workload **delta events** for incremental re-solve.
+//!
+//! Production platforms churn: a processor dies (fail-stop), a processor is
+//! throttled, a failure-rate estimate is revised after field data comes in, a
+//! task's work estimate changes. Rebuilding every model artifact from scratch
+//! on each event is wasteful — the [`crate::IntervalOracle`] costs `O(n·K_c)`
+//! transcendentals to build, and the solver state downstream is far larger.
+//! A [`PlatformDelta`] names the change precisely enough that
+//! [`IntervalOracle::apply_delta`](crate::IntervalOracle::apply_delta) can
+//! rebuild **only the affected rows** of the oracle and keep every unaffected
+//! array bit-identical (asserted against a fresh rebuild in debug builds).
+//!
+//! The [`AppliedDelta`] returned by `apply_delta` also tells solvers how much
+//! of *their* warm state survives: the first affected task index (DP rows
+//! left of it keep their values), whether the class table changed, and
+//! whether some class crossed the factored-exponent guard (after which block
+//! reliabilities come from a different, ulp-distinct code path).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, Platform, ProcessorId, Result, TaskChain};
+
+/// One atomic change to a `(chain, platform)` instance.
+///
+/// Processor-indexed variants refer to **current** platform indices; after a
+/// [`ProcessorFailed`](PlatformDelta::ProcessorFailed) event the ids above
+/// the failed processor shift down by one (see
+/// [`remap_processor`](PlatformDelta::remap_processor)), so a sequence of
+/// deltas must be interpreted left to right.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlatformDelta {
+    /// Processor `u` failed (fail-stop, the paper's failure model) and
+    /// leaves the platform. Ids above `u` shift down by one.
+    ProcessorFailed(ProcessorId),
+    /// Processor `u` is throttled: its speed is multiplied by `factor`
+    /// (which must yield a positive finite speed).
+    SpeedDegraded {
+        /// The affected processor.
+        processor: ProcessorId,
+        /// Multiplier applied to the speed (`0 < factor`, finite).
+        factor: f64,
+    },
+    /// Processor `u`'s failure-rate estimate is revised.
+    RateRevised {
+        /// The affected processor.
+        processor: ProcessorId,
+        /// The new failure rate `λ_u` (non-negative).
+        rate: f64,
+    },
+    /// Task `t`'s work estimate is revised.
+    TaskWorkRevised {
+        /// The affected task (0-based).
+        task: usize,
+        /// The new amount of work `w_t` (strictly positive).
+        work: f64,
+    },
+}
+
+impl PlatformDelta {
+    /// Applies the delta to a `(chain, platform)` pair, returning the
+    /// post-delta pair. The inputs are not modified.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownProcessor`] if a processor-indexed delta names
+    ///   an index outside the platform;
+    /// * any validation error of the post-delta chain or platform — notably
+    ///   [`ModelError::EmptyPlatform`] when the last processor fails,
+    ///   [`ModelError::NonPositiveSpeed`] / [`ModelError::NotFinite`] for a
+    ///   degenerate speed factor, [`ModelError::NegativeFailureRate`] for a
+    ///   negative revised rate, and [`ModelError::NonPositiveWork`] for a
+    ///   non-positive revised work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`TaskWorkRevised`](PlatformDelta::TaskWorkRevised) names
+    /// a task outside the chain (the chain length never changes, so this is
+    /// always a caller bug rather than a stale-trace race).
+    pub fn apply(&self, chain: &TaskChain, platform: &Platform) -> Result<(TaskChain, Platform)> {
+        match *self {
+            PlatformDelta::ProcessorFailed(u) => {
+                let mut processors = platform.processors().to_vec();
+                if u >= processors.len() {
+                    return Err(ModelError::UnknownProcessor(u));
+                }
+                processors.remove(u);
+                let platform = Platform::new(
+                    processors,
+                    platform.bandwidth(),
+                    platform.link_failure_rate(),
+                    platform.max_replication(),
+                )?;
+                Ok((chain.clone(), platform))
+            }
+            PlatformDelta::SpeedDegraded { processor, factor } => {
+                let mut processors = platform.processors().to_vec();
+                let target = processors
+                    .get_mut(processor)
+                    .ok_or(ModelError::UnknownProcessor(processor))?;
+                target.speed *= factor;
+                let platform = Platform::new(
+                    processors,
+                    platform.bandwidth(),
+                    platform.link_failure_rate(),
+                    platform.max_replication(),
+                )?;
+                Ok((chain.clone(), platform))
+            }
+            PlatformDelta::RateRevised { processor, rate } => {
+                let mut processors = platform.processors().to_vec();
+                let target = processors
+                    .get_mut(processor)
+                    .ok_or(ModelError::UnknownProcessor(processor))?;
+                target.failure_rate = rate;
+                let platform = Platform::new(
+                    processors,
+                    platform.bandwidth(),
+                    platform.link_failure_rate(),
+                    platform.max_replication(),
+                )?;
+                Ok((chain.clone(), platform))
+            }
+            PlatformDelta::TaskWorkRevised { task, work } => {
+                let mut tasks = chain.tasks().to_vec();
+                assert!(task < tasks.len(), "task index {task} outside the chain");
+                tasks[task].work = work;
+                Ok((TaskChain::new(tasks)?, platform.clone()))
+            }
+        }
+    }
+
+    /// Maps a **pre-delta** processor id to its **post-delta** id: `None` if
+    /// the processor failed, the id shifted down by one if a lower-indexed
+    /// processor failed, the id itself otherwise.
+    pub fn remap_processor(&self, u: ProcessorId) -> Option<ProcessorId> {
+        match *self {
+            PlatformDelta::ProcessorFailed(failed) => match u.cmp(&failed) {
+                std::cmp::Ordering::Less => Some(u),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some(u - 1),
+            },
+            _ => Some(u),
+        }
+    }
+
+    /// The processor that failed, when this is a fail-stop event.
+    pub fn failed_processor(&self) -> Option<ProcessorId> {
+        match *self {
+            PlatformDelta::ProcessorFailed(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Whether the delta changes the platform (as opposed to the chain).
+    pub fn affects_platform(&self) -> bool {
+        !matches!(self, PlatformDelta::TaskWorkRevised { .. })
+    }
+}
+
+/// The outcome of [`IntervalOracle::apply_delta`](crate::IntervalOracle::apply_delta):
+/// the post-delta chain and platform plus a summary of what the incremental
+/// update actually had to touch. Solvers read the summary to decide how much
+/// of their own warm state (DP rows, class-indexed tables) survives.
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// The post-delta task chain.
+    pub chain: TaskChain,
+    /// The post-delta platform.
+    pub platform: Platform,
+    /// First (0-based) task index whose interval metrics may have changed;
+    /// `chain.len()` when no interval metric changed at all. Every interval
+    /// made only of tasks strictly before this index — and therefore every
+    /// row `i ≤ first_affected_task` of a boundary-indexed dynamic program —
+    /// is bit-identical to its pre-delta value.
+    pub first_affected_task: usize,
+    /// Whether the class *table* changed (count, parameters or order of the
+    /// deduplicated classes). Class-indexed warm state must be discarded;
+    /// member-only changes (a processor leaving a surviving class) keep it.
+    pub classes_changed: bool,
+    /// Whether some class crossed the factored-exponent guard (`ρ·W ≤ 40`,
+    /// see [`crate::class_view`]): block reliabilities are then produced by
+    /// a different, ulp-distinct code path, so prefix reuse inside a
+    /// bit-exact dynamic program is no longer sound.
+    pub factored_changed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IntervalOracle, PlatformBuilder};
+
+    fn chain() -> TaskChain {
+        TaskChain::from_pairs(&[(10.0, 2.0), (20.0, 6.0), (30.0, 4.0), (40.0, 3.0)]).unwrap()
+    }
+
+    fn platform() -> Platform {
+        PlatformBuilder::new()
+            .processor(2.0, 0.01)
+            .processor(1.0, 0.02)
+            .processor(2.0, 0.01)
+            .processor(1.0, 0.02)
+            .bandwidth(2.0)
+            .link_failure_rate(1e-3)
+            .max_replication(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn processor_failure_removes_and_shifts() {
+        let (c, p) = (chain(), platform());
+        let delta = PlatformDelta::ProcessorFailed(1);
+        let (c2, p2) = delta.apply(&c, &p).unwrap();
+        assert_eq!(c2, c);
+        assert_eq!(p2.num_processors(), 3);
+        assert_eq!(p2.speed(1), 2.0); // old processor 2 shifted down
+        assert_eq!(delta.remap_processor(0), Some(0));
+        assert_eq!(delta.remap_processor(1), None);
+        assert_eq!(delta.remap_processor(3), Some(2));
+    }
+
+    #[test]
+    fn failing_the_last_processor_is_a_clean_error() {
+        let c = chain();
+        let p = Platform::homogeneous(1, 1.0, 1e-3, 1.0, 1e-4, 2).unwrap();
+        assert_eq!(
+            PlatformDelta::ProcessorFailed(0).apply(&c, &p).unwrap_err(),
+            ModelError::EmptyPlatform
+        );
+    }
+
+    #[test]
+    fn out_of_range_processor_is_reported() {
+        let (c, p) = (chain(), platform());
+        for delta in [
+            PlatformDelta::ProcessorFailed(9),
+            PlatformDelta::SpeedDegraded {
+                processor: 9,
+                factor: 0.5,
+            },
+            PlatformDelta::RateRevised {
+                processor: 9,
+                rate: 0.1,
+            },
+        ] {
+            assert_eq!(
+                delta.apply(&c, &p).unwrap_err(),
+                ModelError::UnknownProcessor(9)
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_revisions_are_rejected_by_validation() {
+        let (c, p) = (chain(), platform());
+        assert!(matches!(
+            PlatformDelta::SpeedDegraded {
+                processor: 0,
+                factor: 0.0
+            }
+            .apply(&c, &p)
+            .unwrap_err(),
+            ModelError::NonPositiveSpeed(0)
+        ));
+        assert!(matches!(
+            PlatformDelta::RateRevised {
+                processor: 0,
+                rate: -1.0
+            }
+            .apply(&c, &p)
+            .unwrap_err(),
+            ModelError::NegativeFailureRate(_)
+        ));
+        assert_eq!(
+            PlatformDelta::TaskWorkRevised { task: 2, work: 0.0 }
+                .apply(&c, &p)
+                .unwrap_err(),
+            ModelError::NonPositiveWork(2)
+        );
+    }
+
+    #[test]
+    fn task_work_revision_changes_only_the_chain() {
+        let (c, p) = (chain(), platform());
+        let (c2, p2) = PlatformDelta::TaskWorkRevised {
+            task: 1,
+            work: 25.0,
+        }
+        .apply(&c, &p)
+        .unwrap();
+        assert_eq!(c2.work(1), 25.0);
+        assert_eq!(c2.output_size(1), c.output_size(1));
+        assert_eq!(p2.num_processors(), p.num_processors());
+        // Prefix sums left of the revision are bit-identical.
+        assert_eq!(c2.work_prefix()[..2], c.work_prefix()[..2]);
+    }
+
+    #[test]
+    fn applied_deltas_round_trip_through_a_fresh_oracle() {
+        let (c, p) = (chain(), platform());
+        for delta in [
+            PlatformDelta::ProcessorFailed(2),
+            PlatformDelta::SpeedDegraded {
+                processor: 1,
+                factor: 0.5,
+            },
+            PlatformDelta::RateRevised {
+                processor: 0,
+                rate: 0.05,
+            },
+            PlatformDelta::TaskWorkRevised {
+                task: 2,
+                work: 33.0,
+            },
+        ] {
+            let mut oracle = IntervalOracle::new(&c, &p);
+            let applied = oracle.apply_delta(&c, &p, &delta).unwrap();
+            let fresh = IntervalOracle::new(&applied.chain, &applied.platform);
+            assert_eq!(oracle.len(), fresh.len());
+            assert_eq!(oracle.num_processors(), fresh.num_processors());
+            for first in 0..oracle.len() {
+                for last in first..oracle.len() {
+                    assert_eq!(oracle.work(first, last), fresh.work(first, last));
+                    for class in 0..oracle.classes().len() {
+                        assert_eq!(
+                            oracle.class_block_reliability(class, first, last),
+                            fresh.class_block_reliability(class, first, last)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod canonical;
 pub mod class_view;
+pub mod delta;
 pub mod energy;
 pub mod error;
 pub mod evaluate;
@@ -44,6 +45,7 @@ pub mod timing;
 
 pub use canonical::{Canonical, CanonicalHasher};
 pub use class_view::{assignment_from_segments, ClassAssignment, ClassView, ProcessorClass};
+pub use delta::{AppliedDelta, PlatformDelta};
 pub use energy::{EnergyEvaluation, PowerModel};
 pub use error::ModelError;
 pub use evaluate::{BoundCheck, MappingEvaluation};

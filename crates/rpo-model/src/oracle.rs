@@ -33,7 +33,8 @@ use std::sync::Arc;
 
 use crate::class_view::ClassView;
 use crate::{
-    CanonicalHasher, Mapping, MappingEvaluation, Platform, ProcessorClass, ProcessorId, TaskChain,
+    AppliedDelta, CanonicalHasher, Mapping, MappingEvaluation, Platform, PlatformDelta,
+    ProcessorClass, ProcessorId, TaskChain,
 };
 
 /// Chain-level cache key of an oracle: the canonical digest of
@@ -622,6 +623,90 @@ impl IntervalOracle {
             expected_period: max_comm.max(max_expected),
             worst_case_period: max_comm.max(max_worst),
         }
+    }
+
+    /// Applies a [`PlatformDelta`] **incrementally**: only the arrays the
+    /// delta actually touches are rebuilt, everything else is left in place
+    /// (and therefore bit-identical — debug builds assert the whole oracle
+    /// against a fresh rebuild).
+    ///
+    /// * Processor deltas (`ProcessorFailed` / `SpeedDegraded` /
+    ///   `RateRevised`) leave the chain-derived arrays (`work_prefix`,
+    ///   output sizes, communication times/reliabilities) untouched and only
+    ///   re-derive the class layer, moving the expensive per-class exponent
+    ///   prefixes over from every surviving class (see
+    ///   `ClassView::apply_platform_change`).
+    /// * `TaskWorkRevised { task, .. }` recomputes the work prefix and
+    ///   per-class prefixes **from boundary `task + 1` on only** — entries up
+    ///   to `task` are bit-identical because [`TaskChain::new`] accumulates
+    ///   the prefix left to right, so the same floating-point additions
+    ///   produce the same bits.
+    ///
+    /// `chain` and `platform` must be the pre-delta pair this oracle was
+    /// built for. On success the oracle answers queries for the returned
+    /// post-delta pair; the [`AppliedDelta`] summary tells solvers how much
+    /// of their own warm state survives.
+    ///
+    /// # Errors
+    ///
+    /// Any validation error of the post-delta chain/platform (e.g.
+    /// [`crate::ModelError::EmptyPlatform`] when the last processor fails).
+    /// The oracle is left untouched on error.
+    pub fn apply_delta(
+        &mut self,
+        chain: &TaskChain,
+        platform: &Platform,
+        delta: &PlatformDelta,
+    ) -> crate::Result<AppliedDelta> {
+        let _span = rpo_obs::span!("oracle.apply_delta", tasks = self.n);
+        debug_assert_eq!(chain.len(), self.n, "oracle built for a different chain");
+        let (new_chain, new_platform) = delta.apply(chain, platform)?;
+        let (first_affected_task, classes_changed, factored_changed) = match *delta {
+            PlatformDelta::ProcessorFailed(..)
+            | PlatformDelta::SpeedDegraded { .. }
+            | PlatformDelta::RateRevised { .. } => {
+                let table_changed = self.view.apply_platform_change(&new_platform);
+                // A parameter change invalidates every interval's block
+                // reliabilities; a member-only change invalidates none.
+                let first = if table_changed { 0 } else { self.n };
+                (first, table_changed, false)
+            }
+            PlatformDelta::TaskWorkRevised { task, .. } => {
+                let new_prefix = new_chain.work_prefix();
+                debug_assert_eq!(&new_prefix[..=task], &self.work_prefix[..=task]);
+                self.work_prefix[task + 1..].copy_from_slice(&new_prefix[task + 1..]);
+                let factored_changed = self.view.apply_work_prefix_change(new_prefix, task + 1);
+                (task, false, factored_changed)
+            }
+        };
+        // max_replication, bandwidth-derived communication arrays and output
+        // sizes are unchanged by every delta kind.
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.bitwise_eq(&IntervalOracle::new(&new_chain, &new_platform)),
+            "incremental oracle diverged from a fresh rebuild"
+        );
+        Ok(AppliedDelta {
+            chain: new_chain,
+            platform: new_platform,
+            first_affected_task,
+            classes_changed,
+            factored_changed,
+        })
+    }
+
+    /// Exact structural equality — bitwise on every float — backing the
+    /// debug assertion that [`apply_delta`](Self::apply_delta) reproduces a
+    /// fresh rebuild.
+    #[cfg(debug_assertions)]
+    fn bitwise_eq(&self, other: &IntervalOracle) -> bool {
+        self.n == other.n
+            && self.work_prefix == other.work_prefix
+            && self.output_size == other.output_size
+            && self.comm_time == other.comm_time
+            && self.comm_rel == other.comm_rel
+            && self.max_replication == other.max_replication
+            && self.view.bitwise_eq(&other.view)
     }
 }
 

@@ -33,7 +33,11 @@
 //!   with [`BatchConfig::bucketed`] it shape-buckets homogeneous instances
 //!   through the batched SoA mega-kernel
 //!   ([`rpo_algorithms::solve_batch`]), one instance per SIMD lane, and
-//!   routes everything else down the per-instance remainder path.
+//!   routes everything else down the per-instance remainder path;
+//! * [`BatchDriver::run_churn`] ([`churn`]) — the self-healing mode: one
+//!   live [`rpo_repair::RepairSession`] per instance, replaying a seeded
+//!   platform-churn trace through the graded repair ladder and tallying
+//!   which tier absorbed each event.
 //!
 //! ```
 //! use rpo_model::{Platform, TaskChain};
@@ -56,6 +60,7 @@ pub mod backend;
 pub mod backends;
 pub mod batch;
 pub mod cache;
+pub mod churn;
 pub mod engine;
 pub mod pareto;
 
@@ -65,5 +70,6 @@ pub use backend::{
 pub use backends::default_backends;
 pub use batch::{BackendStats, BatchConfig, BatchDriver, BatchReport, BoundsPolicy, ThreadSplit};
 pub use cache::{CacheStats, InstanceCache, OracleCache};
+pub use churn::{ChurnConfig, ChurnReport};
 pub use engine::{BackendRun, PortfolioEngine, PortfolioOutcome, RaceMode, RunStatus};
 pub use pareto::{ParetoFront, StreamingFront};

@@ -1,0 +1,105 @@
+//! Closing the loop: fault-injecting Monte-Carlo with the repair ladder as
+//! the live repair callback.
+
+use rpo_model::{Mapping, Platform, TaskChain};
+use rpo_sim::{monte_carlo_with_faults, FaultPlan, FaultSimReport, MonteCarloConfig};
+
+use crate::session::{RepairReport, RepairSession};
+
+/// Runs the fault-injecting Monte-Carlo of `rpo-sim` with `session`'s
+/// ladder repairing the mapping at every injected fault.
+///
+/// Each [`FaultPlan`] event interrupts the simulation, flows through
+/// [`RepairSession::apply`], and the simulation resumes on the repaired
+/// `(chain, platform, mapping)`. Returns the per-segment simulation report
+/// together with one [`RepairReport`] per successfully repaired event; an
+/// unrepairable event (e.g. the last processor failing) stops the run early,
+/// which the report's `events_unrepaired` counter records.
+pub fn monte_carlo_with_repair(
+    session: &mut RepairSession,
+    config: &MonteCarloConfig,
+    plan: &FaultPlan,
+) -> (FaultSimReport, Vec<RepairReport>) {
+    let chain: TaskChain = session.chain().clone();
+    let platform: Platform = session.platform().clone();
+    let mapping: Mapping = session.mapping().clone();
+    let mut reports = Vec::new();
+    let sim =
+        monte_carlo_with_faults(
+            &chain,
+            &platform,
+            &mapping,
+            config,
+            plan,
+            |delta| match session.apply(delta) {
+                Ok(report) => {
+                    reports.push(report);
+                    Some((
+                        session.chain().clone(),
+                        session.platform().clone(),
+                        session.mapping().clone(),
+                    ))
+                }
+                Err(_) => None,
+            },
+        );
+    (sim, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpo_model::{PlatformDelta, TaskChain};
+    use rpo_sim::FaultEvent;
+
+    #[test]
+    fn injected_failure_is_repaired_and_the_sim_finishes_on_the_new_mapping() {
+        let chain = TaskChain::from_pairs(&[(30.0, 1.0), (20.0, 2.0), (25.0, 1.0)]).unwrap();
+        let platform = Platform::homogeneous(4, 1.0, 1e-3, 1.0, 1e-4, 2).unwrap();
+        let mut session = RepairSession::new(chain, platform, None).unwrap();
+        let plan = FaultPlan::scripted(vec![FaultEvent {
+            at_fraction: 0.5,
+            delta: PlatformDelta::ProcessorFailed(0),
+        }]);
+        let config = MonteCarloConfig {
+            num_datasets: 4_000,
+            seed: 99,
+            chunk_size: 512,
+        };
+        let (report, repairs) = monte_carlo_with_repair(&mut session, &config, &plan);
+        assert_eq!(report.segments.len(), 2);
+        assert_eq!(report.events_applied, 1);
+        assert_eq!(report.events_unrepaired, 0);
+        assert_eq!(report.datasets, 4_000);
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].delta, PlatformDelta::ProcessorFailed(0));
+        // The session advanced to the shrunken platform.
+        assert_eq!(session.platform().num_processors(), 3);
+        // And the post-fault segment simulated the repaired mapping — its
+        // analytic reliability is the session's, which both segments' Monte
+        // Carlo estimates should be loosely consistent with.
+        assert!(report.overall_reliability > 0.0);
+    }
+
+    #[test]
+    fn unrepairable_fault_stops_the_run_and_is_counted() {
+        let chain = TaskChain::from_pairs(&[(10.0, 1.0), (20.0, 1.0)]).unwrap();
+        let platform = Platform::homogeneous(1, 1.0, 1e-3, 1.0, 1e-4, 1).unwrap();
+        let mut session = RepairSession::new(chain, platform, None).unwrap();
+        let plan = FaultPlan::scripted(vec![FaultEvent {
+            at_fraction: 0.5,
+            delta: PlatformDelta::ProcessorFailed(0),
+        }]);
+        let config = MonteCarloConfig {
+            num_datasets: 1_000,
+            seed: 7,
+            chunk_size: 256,
+        };
+        let (report, repairs) = monte_carlo_with_repair(&mut session, &config, &plan);
+        assert_eq!(report.events_unrepaired, 1);
+        assert!(repairs.is_empty());
+        assert_eq!(report.datasets, 500);
+        // The session is still usable on its pre-delta state.
+        assert_eq!(session.platform().num_processors(), 1);
+    }
+}

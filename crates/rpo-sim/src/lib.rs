@@ -14,7 +14,10 @@
 //!   stream of data sets, measuring the achieved period and per-data-set
 //!   latencies;
 //! * [`monte_carlo`] — parallel Monte-Carlo estimation (Rayon) with seeded,
-//!   reproducible streams.
+//!   reproducible streams;
+//! * [`fault`] — mid-run fault injection: scripted/seeded [`FaultPlan`]s fire
+//!   platform deltas at chosen trial fractions and a caller-supplied repair
+//!   loop keeps the simulation going on the repaired mapping.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,11 +25,13 @@
 pub mod dataset;
 pub mod engine;
 pub mod failure;
+pub mod fault;
 pub mod monte_carlo;
 pub mod pipeline;
 
 pub use dataset::{simulate_dataset, CompiledMapping, DatasetOutcome};
 pub use engine::{Event, EventQueue};
 pub use failure::FailureModel;
+pub use fault::{monte_carlo_with_faults, FaultEvent, FaultPlan, FaultSegment, FaultSimReport};
 pub use monte_carlo::{monte_carlo, MonteCarloConfig, MonteCarloEstimate};
 pub use pipeline::{simulate_pipeline, PipelineConfig, PipelineReport};

@@ -23,6 +23,7 @@
 //! | [`algorithms`] | Algorithms 1–4, Algo-Alloc, the Section 7 heuristics, exact solvers |
 //! | [`sim`] | discrete-event Monte-Carlo failure-injection simulator |
 //! | [`workload`] | seeded random instance generators matching the paper's setup |
+//! | [`repair`] | self-healing pipeline: platform deltas, graded mapping repair, fault-injected simulation |
 //! | [`portfolio`] | parallel solver-portfolio engine: backend racing, Pareto aggregation, instance cache, batch driver |
 //! | [`experiments`] | the harness regenerating Figures 6–15 |
 //!
@@ -112,6 +113,11 @@ pub mod sim {
 /// Workload and platform generators (re-export of `rpo-workload`).
 pub mod workload {
     pub use rpo_workload::*;
+}
+
+/// Self-healing pipeline: live mapping repair under platform churn (re-export of `rpo-repair`).
+pub mod repair {
+    pub use rpo_repair::*;
 }
 
 /// Parallel solver-portfolio engine (re-export of `rpo-portfolio`).
