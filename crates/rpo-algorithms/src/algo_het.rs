@@ -27,13 +27,37 @@
 //! of the reliability product is ≤ 1, so any DP prefix already below the
 //! greedy incumbent can never catch up and is cut.
 //!
-//! Per-interval class blocks are gathered row-wise through
-//! [`IntervalOracle::fill_class_block_row`] — the same contiguous,
-//! multiplication-only gather the lane-chunked homogeneous kernel uses, one
-//! row per class. The winning class-level solution is a
-//! [`rpo_model::ClassAssignment`] and lowers to a concrete [`Mapping`]
-//! deterministically; the reported reliability is recomputed through the
-//! oracle's exact Eq. 9 path, so it always agrees with the evaluator.
+//! # Kernel layout: gather / compact / sweep
+//!
+//! The DP body runs through one of two kernels ([`crate::DpKernel`]):
+//!
+//! * The **chunked kernel** ([`crate::het_kernel`], the default) mirrors
+//!   the homogeneous Algorithm 1 kernel's shape. Per DP row it **gathers**
+//!   each replica pattern's reliabilities `1 − Π_c (1 − block_c)^{q_c}`
+//!   over every admissible interval start into one contiguous scratch row
+//!   ([`IntervalOracle::fill_pattern_block_row`] — multiplication-only on
+//!   classes passing the factored-exponent guard), walks the **compacted**
+//!   dense predecessor-state ranges precomputed per pattern
+//!   ([`Pattern::runs`], replacing the per-state index-list walk that
+//!   defeats vectorization), and folds each range with a fixed-width
+//!   `[f64; 8]` value-only multiply-and-max **sweep**. Winning
+//!   `(j, pattern)` choices are recovered post hoc by bit-exact candidate
+//!   re-scan in sweep order, so its DP table and lowered mappings are
+//!   identical to the scalar kernel's.
+//! * The **scalar kernel** (the original per-state list walk with inline
+//!   choice recording) remains the differential reference, and is the
+//!   pinned default under the `scalar-kernel` feature. It also still runs
+//!   whenever a caller requests it explicitly through
+//!   [`class_dp_with_kernel`].
+//!
+//! Both kernels preserve the greedy-incumbent pruning cut, and both gather
+//! class blocks through the oracle's contiguous row fills
+//! ([`IntervalOracle::fill_class_block_row`] /
+//! [`IntervalOracle::fill_pattern_block_row`]). The winning class-level
+//! solution is a [`rpo_model::ClassAssignment`] and lowers to a concrete
+//! [`Mapping`] deterministically; the reported reliability is recomputed
+//! through the oracle's exact Eq. 9 path, so it always agrees with the
+//! evaluator.
 //!
 //! # Adding the latency criterion
 //!
@@ -61,7 +85,7 @@ use rpo_model::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::algo1::OptimalMapping;
+use crate::algo1::{DpKernel, OptimalMapping};
 use crate::alloc_het::{algo_alloc_heterogeneous_with_oracle, AllocationConstraints};
 use crate::heur_l::heur_l_partition_with_oracle;
 use crate::heur_p::heur_p_partition_with_oracle;
@@ -323,6 +347,14 @@ pub(crate) struct Pattern {
     pub(crate) min_speed_class: usize,
     /// Budget states with `b_c ≥ q_c` for every class (precomputed once).
     pub(crate) valid_predecessors: Vec<u32>,
+    /// [`Pattern::valid_predecessors`] compacted into dense `(start, len)`
+    /// ranges of consecutive states. Valid predecessors form contiguous
+    /// stride-1 runs along the class-0 budget digit (one run per
+    /// combination of upper digits ≥ their `q_c`, merging wherever the gaps
+    /// vanish — a pattern drawing nothing from the low classes yields a few
+    /// long runs), so the chunked kernel sweeps each range with contiguous
+    /// loads instead of the per-state list walk that defeats vectorization.
+    pub(crate) runs: Vec<(u32, u32)>,
 }
 
 /// Enumerates every replica pattern `1 ≤ Σ q_c ≤ k_max`, `q_c ≤ m_c`, in a
@@ -376,15 +408,25 @@ pub(crate) fn enumerate_patterns(
                     acc
                 }
             });
-        let valid_predecessors = (0..num_states as u32)
+        let valid_predecessors: Vec<u32> = (0..num_states as u32)
             .filter(|&s| digits[s as usize].iter().zip(&q).all(|(&b, &qc)| b >= qc))
             .collect();
+        // Coalesce the (ascending) predecessor list into dense ranges for
+        // the chunked kernel's contiguous sweeps.
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for &s in &valid_predecessors {
+            match runs.last_mut() {
+                Some((start, len)) if *start + *len == s => *len += 1,
+                _ => runs.push((s, 1)),
+            }
+        }
         patterns.push(Pattern {
             counts: q.clone(),
             offset,
             min_speed,
             min_speed_class,
             valid_predecessors,
+            runs,
         });
     }
     patterns
@@ -393,14 +435,76 @@ pub(crate) fn enumerate_patterns(
 /// No recorded choice sentinel of the DP's packed `(j, pattern)` traceback.
 const NO_CHOICE: u64 = u64::MAX;
 
-/// The exact class-level dynamic program. Returns `None` when no mapping
-/// fits the bound (or everything was pruned below the greedy `incumbent` —
-/// in which case the caller's greedy solution is already optimal-or-equal).
+/// The exact class-level dynamic program, dispatched to the crate-default
+/// kernel: the chunked gather/compact/sweep kernel of [`crate::het_kernel`],
+/// or the scalar reference inner loop when the `scalar-kernel` feature pins
+/// it. Returns `None` when no mapping fits the bound (or everything was
+/// pruned below the greedy `incumbent` — in which case the caller's greedy
+/// solution is already optimal-or-equal).
+fn class_dp(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: Option<f64>,
+    incumbent: f64,
+) -> Option<OptimalMapping> {
+    class_dp_with_kernel(
+        oracle,
+        chain,
+        platform,
+        period_bound,
+        incumbent,
+        DpKernel::crate_default(),
+    )
+}
+
+/// The class-level DP with an explicit kernel choice: the measurement and
+/// differential-testing entry point behind [`algo_het`]'s exact path.
+///
+/// Both kernels maximize over bit-identical candidate values and recover
+/// bit-identical traceback choices, so their lowered mappings are equal —
+/// the workspace `het` suite asserts exactly that. `incumbent` is the greedy
+/// pruning cut (pass `0.0` to disable pruning).
+///
+/// # Panics
+///
+/// Panics if [`het_dp_applicable`] does not hold for the oracle, or the
+/// bound is not `None` or a positive finite number (callers go through
+/// [`validate_bound`](self) / [`algo_het`] in production).
+pub fn class_dp_with_kernel(
+    oracle: &IntervalOracle,
+    chain: &TaskChain,
+    platform: &Platform,
+    period_bound: Option<f64>,
+    incumbent: f64,
+    kernel: DpKernel,
+) -> Option<OptimalMapping> {
+    crate::debug_assert_oracle_matches(oracle, chain, platform);
+    assert!(
+        het_dp_applicable(oracle),
+        "the class-level DP requires het_dp_applicable platforms"
+    );
+    assert!(
+        validate_bound(period_bound).is_ok(),
+        "period bound must be None or a positive finite number"
+    );
+    match kernel {
+        DpKernel::Chunked => {
+            crate::het_kernel::class_dp_chunked(oracle, chain, platform, period_bound, incumbent)
+        }
+        DpKernel::Scalar => class_dp_scalar(oracle, chain, platform, period_bound, incumbent),
+    }
+}
+
+/// The scalar reference inner loop of the class DP (the original per-state
+/// list walk), kept as the chunked kernel's differential reference and the
+/// `scalar-kernel` feature's pinned implementation.
 ///
 /// The admissibility prelude and block-row gather are mirrored by
-/// `algo_het_lat`'s `label_dp` and `penalized_dp` — the three DPs differ in
-/// their value type, so a fix to the shared shape must land in all three.
-fn class_dp(
+/// `algo_het_lat`'s `label_dp` and `penalized_dp`, and by the chunked
+/// kernel in [`crate::het_kernel`] — the DPs differ in their value type,
+/// so a fix to the shared shape must land in all of them.
+fn class_dp_scalar(
     oracle: &IntervalOracle,
     chain: &TaskChain,
     platform: &Platform,

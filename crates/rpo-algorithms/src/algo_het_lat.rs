@@ -79,6 +79,19 @@ pub enum HetLatMethod {
     Greedy,
 }
 
+/// One point of the latency–reliability Pareto front surfaced by
+/// [`algo_het_lat`]'s label DP: a lowered mapping with its exact Eq. 9
+/// reliability and Eq. 7 worst-case latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HetLatFrontPoint {
+    /// The lowered mapping of this front point.
+    pub mapping: Mapping,
+    /// Its reliability, recomputed exactly through the oracle.
+    pub reliability: f64,
+    /// Its worst-case latency, recomputed exactly through the oracle.
+    pub worst_case_latency: f64,
+}
+
 /// An [`algo_het_lat`] solution: the mapping, its exact Eq. 9 reliability
 /// and Eq. 7 worst-case latency, and the strategy that produced it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,6 +110,14 @@ pub struct HetLatSolution {
     /// fallback and pruner, so sweeps comparing DP vs greedy read both from
     /// one solve).
     pub greedy_reliability: Option<f64>,
+    /// The merged latency–reliability Pareto front of the label DP's final
+    /// boundary: every non-dominated `(latency, reliability)` trade-off the
+    /// DP discovered while optimizing, each lowered to a concrete mapping —
+    /// not just the max-reliability point the solver returns. Singleton
+    /// (the chosen mapping) on the Lagrangian and greedy paths, which
+    /// optimize a single point. Always contains the chosen mapping.
+    #[serde(default)]
+    pub front: Vec<HetLatFrontPoint>,
 }
 
 /// Counts which strategy produced each returned solution, making the
@@ -202,6 +223,11 @@ pub fn algo_het_lat_with_scratch(
             let worst_case_latency = oracle.evaluate(&solution.mapping).worst_case_latency;
             note_path(HetLatMethod::Greedy);
             HetLatSolution {
+                front: vec![HetLatFrontPoint {
+                    mapping: solution.mapping.clone(),
+                    reliability: solution.reliability,
+                    worst_case_latency,
+                }],
                 mapping: solution.mapping,
                 reliability: solution.reliability,
                 worst_case_latency,
@@ -223,36 +249,52 @@ pub fn algo_het_lat_with_scratch(
     ) {
         LabelDpOutcome::Solved(solution) => (solution, HetLatMethod::LatDp),
         LabelDpOutcome::Overflow => (
-            lagrangian_sweep(oracle, chain, platform, period_bound, latency_bound),
+            lagrangian_sweep(oracle, chain, platform, period_bound, latency_bound)
+                .map(|solution| (solution, Vec::new())),
             HetLatMethod::Lagrangian,
         ),
     };
 
     // Both reliabilities are recomputed exactly, so picking the larger one
-    // guarantees the "never below greedy" invariant bit-for-bit.
-    let finish = |mapping: Mapping, reliability: f64, method: HetLatMethod| {
+    // guarantees the "never below greedy" invariant bit-for-bit. The chosen
+    // mapping always joins the surfaced front (the label DP's merged front
+    // when it ran, a singleton otherwise).
+    let finish = |mapping: Mapping,
+                  reliability: f64,
+                  method: HetLatMethod,
+                  mut front: Vec<HetLatFrontPoint>| {
         let evaluation = oracle.evaluate(&mapping);
         debug_assert!(evaluation.worst_case_latency <= latency_bound);
         note_path(method);
+        if !front.iter().any(|point| point.mapping == mapping) {
+            front.push(HetLatFrontPoint {
+                mapping: mapping.clone(),
+                reliability,
+                worst_case_latency: evaluation.worst_case_latency,
+            });
+        }
         HetLatSolution {
             mapping,
             reliability,
             worst_case_latency: evaluation.worst_case_latency,
             method,
             greedy_reliability,
+            front,
         }
     };
     match (dp, greedy) {
-        (Some(dp), Ok(greedy)) if greedy.reliability > dp.reliability => Ok(finish(
+        (Some((dp, front)), Ok(greedy)) if greedy.reliability > dp.reliability => Ok(finish(
             greedy.mapping,
             greedy.reliability,
             HetLatMethod::Greedy,
+            front,
         )),
-        (Some(dp), _) => Ok(finish(dp.mapping, dp.reliability, method)),
+        (Some((dp, front)), _) => Ok(finish(dp.mapping, dp.reliability, method, front)),
         (None, Ok(greedy)) => Ok(finish(
             greedy.mapping,
             greedy.reliability,
             HetLatMethod::Greedy,
+            Vec::new(),
         )),
         (None, Err(e)) => Err(e),
     }
@@ -354,8 +396,10 @@ impl HetLatArenas {
 
 /// What the exact label DP produced.
 enum LabelDpOutcome {
-    /// The DP ran to completion (`None`: no feasible mapping).
-    Solved(Option<OptimalMapping>),
+    /// The DP ran to completion (`None`: no feasible mapping). A solution
+    /// carries the merged final-boundary Pareto front alongside the
+    /// max-reliability optimum.
+    Solved(Option<(OptimalMapping, Vec<HetLatFrontPoint>)>),
     /// The label population exceeded [`MAX_LAT_LABELS`]; the caller falls
     /// back to the Lagrangian sweep.
     Overflow,
@@ -527,45 +571,79 @@ fn label_dp(
 
     rpo_obs::counter!("het_lat.labels").add(labels_inserted);
 
-    // Best label over every remaining-budget state at the final boundary.
-    let mut best: Option<(usize, usize, f64)> = None;
+    // Merge the final boundary's per-state Pareto label lists into one
+    // latency–reliability front: each list is already non-dominated within
+    // its budget state; the cross-state merge sorts by (latency asc,
+    // reliability desc) and keeps the strictly-improving reliabilities.
+    let mut finals: Vec<(usize, usize, f64, f64)> = Vec::new(); // (s, idx, lat, rel)
     for s in 0..num_states {
         for (idx, label) in states[n * num_states + s].iter().enumerate() {
-            if best.is_none_or(|(_, _, rel)| label.rel > rel) {
-                best = Some((s, idx, label.rel));
-            }
+            finals.push((s, idx, label.lat, label.rel));
         }
     }
-    let Some((mut s, mut label_idx, _)) = best else {
+    if finals.is_empty() {
         return LabelDpOutcome::Solved(None);
-    };
-
-    // Traceback through the predecessor labels, then lower.
-    let mut segments: Segments = Vec::new();
-    let mut i = n;
-    while i > 0 {
-        let label = states[i * num_states + s][label_idx];
-        let pattern = &patterns[label.pattern as usize];
-        let j = label.j as usize;
-        segments.push((j, i - 1, pattern.counts.clone()));
-        s += pattern.offset;
-        label_idx = label.pred_label as usize;
-        i = j;
     }
-    segments.reverse();
-    let (partition, assignment) =
-        assignment_from_segments(&segments, n).expect("DP segments form a valid partition");
-    let mapping = assignment
-        .lower(oracle.class_view(), &partition, chain, platform)
-        .expect("DP respects every class budget");
-    // Exact re-score: Eq. 9 reliability of the lowered mapping (the DP
+    finals.sort_by(|a, b| {
+        a.2.partial_cmp(&b.2)
+            .expect("finite label latencies")
+            .then(b.3.partial_cmp(&a.3).expect("finite label reliabilities"))
+    });
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    let mut best_rel = f64::NEG_INFINITY;
+    for &(s, idx, _lat, rel) in &finals {
+        if rel > best_rel {
+            best_rel = rel;
+            merged.push((s, idx));
+        }
+    }
+
+    // Traceback a final label through its predecessors, then lower. Every
+    // merged front point gets its own mapping; the last one (max DP
+    // reliability) is the returned optimum.
+    let states = &*states;
+    let traceback = |(mut s, mut label_idx): (usize, usize)| -> Mapping {
+        let mut segments: Segments = Vec::new();
+        let mut i = n;
+        while i > 0 {
+            let label = states[i * num_states + s][label_idx];
+            let pattern = &patterns[label.pattern as usize];
+            let j = label.j as usize;
+            segments.push((j, i - 1, pattern.counts.clone()));
+            s += pattern.offset;
+            label_idx = label.pred_label as usize;
+            i = j;
+        }
+        segments.reverse();
+        let (partition, assignment) =
+            assignment_from_segments(&segments, n).expect("DP segments form a valid partition");
+        assignment
+            .lower(oracle.class_view(), &partition, chain, platform)
+            .expect("DP respects every class budget")
+    };
+    // Exact re-score: Eq. 9 reliability of every lowered mapping (the DP
     // maximized factored values that can differ by an ulp; the latency is
-    // bit-identical by construction).
-    let reliability = oracle.mapping_reliability(&mapping);
-    LabelDpOutcome::Solved(Some(OptimalMapping {
-        mapping,
-        reliability,
-    }))
+    // bit-identical by construction but re-read from the evaluator anyway).
+    let front: Vec<HetLatFrontPoint> = merged
+        .into_iter()
+        .map(|ids| {
+            let mapping = traceback(ids);
+            let reliability = oracle.mapping_reliability(&mapping);
+            let worst_case_latency = oracle.evaluate(&mapping).worst_case_latency;
+            HetLatFrontPoint {
+                mapping,
+                reliability,
+                worst_case_latency,
+            }
+        })
+        .collect();
+    rpo_obs::counter!("het_lat.front_points").add(front.len() as u64);
+    let best = front.last().expect("the merged front is non-empty");
+    let optimum = OptimalMapping {
+        mapping: best.mapping.clone(),
+        reliability: best.reliability,
+    };
+    LabelDpOutcome::Solved(Some((optimum, front)))
 }
 
 /// One scalar penalized class DP: maximizes `Π rel · e^{−μ·lat}` over the
@@ -977,6 +1055,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn the_label_dp_surfaces_a_consistent_pareto_front() {
+        let c = chain();
+        let p = class_platform();
+        let mut saw_multi_point_front = false;
+        for latency in [35.0, 45.0, 60.0, 120.0] {
+            let Ok(sol) = algo_het_lat(&c, &p, None, latency) else {
+                continue;
+            };
+            assert!(!sol.front.is_empty(), "latency {latency}: empty front");
+            // The chosen mapping is always on the surfaced front.
+            assert!(
+                sol.front.iter().any(|point| point.mapping == sol.mapping),
+                "latency {latency}: chosen mapping missing from the front"
+            );
+            saw_multi_point_front |= sol.front.len() > 1;
+            for point in &sol.front {
+                // Every point respects the latency bound and its metrics
+                // are the oracle's exact re-evaluation.
+                assert!(point.worst_case_latency <= latency);
+                let eval = MappingEvaluation::evaluate(&c, &p, &point.mapping);
+                assert_eq!(point.reliability, eval.reliability);
+                assert_eq!(point.worst_case_latency, eval.worst_case_latency);
+            }
+            // No point dominates another (strictly better in one criterion,
+            // no worse in the other) by the DP's own label values; exact
+            // re-scoring can perturb by ulps, so allow equality.
+            for a in &sol.front {
+                for b in &sol.front {
+                    if std::ptr::eq(a, b) {
+                        continue;
+                    }
+                    assert!(
+                        !(a.reliability >= b.reliability
+                            && a.worst_case_latency < b.worst_case_latency
+                            && a.reliability > b.reliability * (1.0 + 1e-12)),
+                        "latency {latency}: front point strictly dominated"
+                    );
+                }
+            }
+        }
+        assert!(
+            saw_multi_point_front,
+            "the relaxed bounds must surface a real latency–reliability trade-off"
+        );
     }
 
     #[test]

@@ -4,10 +4,22 @@
 //! The lane-chunked kernel of [`crate::algo1`] vectorizes *within* one solve:
 //! its fixed-width `[f64; LANES]` window holds LANES *states* of one
 //! instance. At batch scale the win is vectorizing *across* solves: this
-//! module runs up to [`LANES`] homogeneous instances of identical shape
-//! (same task count `n`, processor count `p` and replication bound `K`,
-//! differing work/failure/speed numerics) through the same recurrence
-//! simultaneously, one instance per SIMD lane.
+//! module runs up to [`LANES`] homogeneous instances of near-identical shape
+//! (same processor count `p` and replication bound `K`, possibly differing
+//! task counts `n`, differing work/failure/speed numerics) through the same
+//! recurrence simultaneously, one instance per SIMD lane.
+//!
+//! # Near-shape lane padding
+//!
+//! Lanes need not share the task count: arenas are sized for the longest
+//! lane (`n_max`), and a shorter lane simply stops participating past its
+//! own final row. The gather NaN-poisons a finished lane's columns
+//! ([`IntervalOracle::fill_class_block_row_lanes`]), its row liveness goes
+//! false (so its candidates are masked exactly like a period-excluded row),
+//! its DP rows past its own `n` stay at the `−∞` sentinel, and its finish
+//! reads the best final state at row `n_lane`, not `n_max`. Results are
+//! therefore bit-identical to the same-shape case; the only cost is the
+//! dead arena slack, which the `dp.batch.padded_lanes` counter reports.
 //!
 //! # Lane-major layout
 //!
@@ -167,7 +179,8 @@ impl BatchScratch {
 /// # Panics
 ///
 /// Panics if any lane's platform is heterogeneous or its shape
-/// `(n, p, k_max)` differs from the first lane's.
+/// `(p, k_max)` differs from the first lane's (task counts may differ:
+/// shorter lanes run padded; see the module docs).
 pub fn solve_batch(
     lanes: &[BatchLane<'_>],
     scratch: &mut BatchScratch,
@@ -198,15 +211,28 @@ fn solve_chunk(
 ) {
     let width = chunk.len();
     let lead = &chunk[0];
-    let n = lead.oracle.len();
     let p = lead.oracle.num_processors();
     let k_max = lead.oracle.max_replication().min(p);
     let stride = p + 1;
-    let _span = rpo_obs::span!("dp.batch_kernel", rows = n, procs = p, lanes = width);
+    // Near-shape padding: lanes must agree on (p, k_max) but may differ in
+    // task count. Arenas are sized for the longest lane; shorter lanes run
+    // padded — their rows past their own n stay −∞ (their candidates are
+    // NaN-masked), and each lane finishes at its *own* final row.
+    let n_max = chunk
+        .iter()
+        .map(|lane| lane.oracle.len())
+        .max()
+        .expect("chunks are non-empty");
+    let padded = chunk
+        .iter()
+        .filter(|lane| lane.oracle.len() < n_max)
+        .count();
+    let _span = rpo_obs::span!("dp.batch_kernel", rows = n_max, procs = p, lanes = width);
     rpo_obs::counter!("dp.batch.lanes_occupied").add(width as u64);
+    rpo_obs::counter!("dp.batch.padded_lanes").add(padded as u64);
     rpo_obs::histogram!("batch.lane_occupancy").record_nanos(width as u64);
     assert!(
-        k_max <= 0xFF && n < (1 << 24),
+        k_max <= 0xFF && n_max < (1 << 24),
         "packed traceback supports K ≤ 255 and n < 2^24"
     );
     for lane in chunk {
@@ -215,10 +241,8 @@ fn solve_chunk(
             "the batch kernel requires homogeneous lanes"
         );
         assert!(
-            lane.oracle.len() == n
-                && lane.oracle.num_processors() == p
-                && lane.oracle.max_replication().min(p) == k_max,
-            "every lane of a batch must share the (n, p, k_max) shape"
+            lane.oracle.num_processors() == p && lane.oracle.max_replication().min(p) == k_max,
+            "every lane of a batch must share the (p, k_max) shape"
         );
     }
 
@@ -230,35 +254,40 @@ fn solve_chunk(
     let mut bounds = [f64::INFINITY; LANES];
     let mut speeds = [1.0f64; LANES];
     let mut active = [false; LANES];
+    let mut ns = [0usize; LANES];
     for (lane, instance) in chunk.iter().enumerate() {
         bounds[lane] = instance.period_bound.unwrap_or(f64::INFINITY);
         speeds[lane] = instance.oracle.classes()[0].speed;
         active[lane] = true;
+        ns[lane] = instance.oracle.len();
     }
 
     scratch.f.clear();
     scratch
         .f
-        .resize((n + 1) * stride * LANES, f64::NEG_INFINITY);
+        .resize((n_max + 1) * stride * LANES, f64::NEG_INFINITY);
     for lane in 0..width {
         scratch.f[lane] = 1.0; // state (i=0, k=0), per lane
     }
     scratch.in_ok.clear();
-    for j in 0..n {
+    for j in 0..n_max {
         for lane in 0..LANES {
-            scratch
-                .in_ok
-                .push(active[lane] && oracles[lane].input_comm_time(j) <= bounds[lane]);
+            scratch.in_ok.push(
+                active[lane] && j < ns[lane] && oracles[lane].input_comm_time(j) <= bounds[lane],
+            );
         }
     }
 
-    // Full-width chunk with no period bound anywhere: every (start, lane)
-    // candidate is admissible, so the per-row masking machinery (liveness,
-    // per-lane cuts, NaN poisoning) is dead weight — the compaction takes a
-    // branch-free vectorized fast path instead.
-    let unmasked = width == LANES && chunk.iter().all(|lane| lane.period_bound.is_none());
+    // Full-width equal-length chunk with no period bound anywhere: every
+    // (start, lane) candidate is admissible, so the per-row masking
+    // machinery (liveness, per-lane cuts, NaN poisoning) is dead weight —
+    // the compaction takes a branch-free vectorized fast path instead.
+    let unmasked = width == LANES
+        && chunk
+            .iter()
+            .all(|lane| lane.period_bound.is_none() && lane.oracle.len() == n_max);
 
-    for i in 1..=n {
+    for i in 1..=n_max {
         // Per-lane row liveness and first admissible start (the bounded
         // lanes' work-prefix cuts, exactly as the single-instance sweep
         // derives them: a conservative binary-search point minus one, with
@@ -273,8 +302,8 @@ fn solve_chunk(
             any_live = true;
         } else {
             for lane in 0..LANES {
-                if !active[lane] {
-                    continue;
+                if !active[lane] || i > ns[lane] {
+                    continue; // dead or padded-out lane: row stays −∞
                 }
                 let oracle = oracles[lane];
                 if oracle.output_comm_time(i - 1) > bounds[lane] {
@@ -371,10 +400,11 @@ fn solve_chunk(
         }
     }
 
-    // Per-lane finish: best final state, then post-hoc traceback.
+    // Per-lane finish: best final state (at the lane's *own* final row, not
+    // the padded arena's), then post-hoc traceback.
     let BatchScratch { f, in_ok, row, .. } = scratch;
     for (lane, instance) in chunk.iter().enumerate() {
-        out.push(finish_lane(instance, lane, f, in_ok, row, n, p, k_max));
+        out.push(finish_lane(instance, lane, f, in_ok, row, p, k_max));
     }
 }
 
@@ -649,11 +679,11 @@ fn finish_lane(
     f: &[f64],
     in_ok: &[bool],
     row: &mut Vec<f64>,
-    n: usize,
     p: usize,
     k_max: usize,
 ) -> Option<OptimalMapping> {
     let stride = p + 1;
+    let n = instance.oracle.len(); // the lane's own n, not the padded arena's
     let row_n = n * stride * LANES;
     let (best_k, best_rel) = (1..=p)
         .map(|k| (k, f[row_n + k * LANES + lane]))
@@ -750,6 +780,71 @@ mod tests {
     #[test]
     fn batched_lanes_match_the_per_instance_kernel() {
         let chains = chains();
+        let platforms: Vec<Platform> = [1e-3, 2e-3, 5e-4].iter().map(|&r| platform(r)).collect();
+        let oracles: Vec<IntervalOracle> = chains
+            .iter()
+            .zip(&platforms)
+            .map(|(c, p)| IntervalOracle::new(c, p))
+            .collect();
+        for bounds in [
+            [None, None, None],
+            [Some(45.0), None, Some(90.0)],
+            [Some(30.0), Some(1e9), Some(5.0)],
+        ] {
+            let lanes: Vec<BatchLane<'_>> = (0..3)
+                .map(|idx| BatchLane {
+                    oracle: &oracles[idx],
+                    chain: &chains[idx],
+                    platform: &platforms[idx],
+                    period_bound: bounds[idx],
+                })
+                .collect();
+            for inner in [BatchInner::Lockstep, BatchInner::Blocked] {
+                let mut scratch = BatchScratch::new();
+                let batched = solve_batch_with_inner(&lanes, inner, &mut scratch);
+                for (idx, lane) in lanes.iter().enumerate() {
+                    let solo = reliability_dp_with_kernel(
+                        lane.oracle,
+                        lane.chain,
+                        lane.platform,
+                        lane.period_bound,
+                        DpKernel::Chunked,
+                    );
+                    match (&batched[idx], &solo) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.reliability, b.reliability, "lane {idx} ({inner:?})");
+                            assert_eq!(a.mapping, b.mapping, "lane {idx} ({inner:?})");
+                        }
+                        (None, None) => {}
+                        (a, b) => panic!(
+                            "lane {idx} feasibility mismatch ({inner:?}): batched={} solo={}",
+                            a.is_some(),
+                            b.is_some()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padded_mixed_length_lanes_match_the_per_instance_kernel() {
+        // Lanes of 3, 4 and 6 tasks over the same (p, k_max) shape: the two
+        // shorter lanes run padded against the 6-task lane and must still
+        // reproduce the per-instance kernel bit for bit.
+        let chains = [
+            TaskChain::from_pairs(&[(30.0, 2.0), (10.0, 8.0), (25.0, 1.0)]).unwrap(),
+            TaskChain::from_pairs(&[(12.0, 1.0), (48.0, 4.0), (19.0, 6.0), (21.0, 2.0)]).unwrap(),
+            TaskChain::from_pairs(&[
+                (5.0, 9.0),
+                (5.0, 9.0),
+                (80.0, 0.5),
+                (11.0, 7.0),
+                (33.0, 2.5),
+                (8.0, 4.0),
+            ])
+            .unwrap(),
+        ];
         let platforms: Vec<Platform> = [1e-3, 2e-3, 5e-4].iter().map(|&r| platform(r)).collect();
         let oracles: Vec<IntervalOracle> = chains
             .iter()

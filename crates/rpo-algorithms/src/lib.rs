@@ -18,6 +18,9 @@
 //!   * [`algo_het`] — exact reliability optimization by class-level dynamic
 //!     programming (tractable whenever the platform has few distinct
 //!     processor classes; greedy fallback otherwise);
+//!   * [`het_kernel`] — the chunked gather/compact/sweep kernel behind
+//!     `algo_het`'s class DP (the scalar inner loop stays available behind
+//!     the `scalar-kernel` feature as the differential reference);
 //!   * [`algo_het_lat`] — the tri-criteria extension: exact reliability
 //!     optimization under period **and latency** bounds, by a label DP over
 //!     `(boundary, budgets, latency-so-far)` states with a Lagrangian
@@ -53,6 +56,7 @@ pub mod alloc_het;
 pub mod batch_kernel;
 pub mod energy_aware;
 pub mod exact;
+pub mod het_kernel;
 pub mod heur_l;
 pub mod heur_p;
 pub mod heuristic;
@@ -69,12 +73,12 @@ pub use algo2::{
     optimize_with_period_bound_scratch,
 };
 pub use algo_het::{
-    algo_het, algo_het_with_oracle, exhaustive_het, greedy_het_with_oracle, het_dp_applicable,
-    het_dp_applicable_platform, HetMethod, HetSolution,
+    algo_het, algo_het_with_oracle, class_dp_with_kernel, exhaustive_het, greedy_het_with_oracle,
+    het_dp_applicable, het_dp_applicable_platform, HetMethod, HetSolution,
 };
 pub use algo_het_lat::{
     algo_het_lat, algo_het_lat_with_oracle, algo_het_lat_with_scratch, exhaustive_het_lat,
-    greedy_het_lat_with_oracle, HetLatMethod, HetLatSolution, MAX_LAT_LABELS,
+    greedy_het_lat_with_oracle, HetLatFrontPoint, HetLatMethod, HetLatSolution, MAX_LAT_LABELS,
 };
 pub use alloc::{algo_alloc, algo_alloc_with_oracle, exhaustive_alloc};
 pub use alloc_het::{algo_alloc_heterogeneous, algo_alloc_heterogeneous_with_oracle};
@@ -86,8 +90,10 @@ pub use heuristic::{
     run_heuristic, run_heuristic_with_oracle, HeuristicConfig, HeuristicSolution, IntervalHeuristic,
 };
 pub use period_opt::{
-    minimize_period_with_reliability_bound, minimize_period_with_reliability_bound_with_oracle,
+    minimize_period_batch, minimize_period_with_reliability_bound,
+    minimize_period_with_reliability_bound_with_oracle,
     minimize_period_with_reliability_bound_with_scratch, repair_minimize_period_with_scratch,
+    PeriodLane,
 };
 
 /// Errors reported by the algorithms of this crate.

@@ -431,6 +431,69 @@ impl IntervalOracle {
         }
     }
 
+    /// Fills `out` with the **pattern-replicated** reliabilities of every
+    /// interval **ending at `last`** whose start lies in `first_lo ..= last`,
+    /// for one class-level replica pattern `counts` (`counts[c]` = replicas
+    /// drawn from class `c`):
+    /// `out[first − first_lo] = 1 − Π_c (1 − block_c(first, last))^{counts[c]}`
+    /// — the heterogeneous Eq. 9 inner term of the pattern.
+    ///
+    /// This is the gather phase of the chunked heterogeneous class DP
+    /// (`rpo_algorithms::het_kernel`): one contiguous reliability row per
+    /// `(boundary, pattern)` pair, produced **bit-identically** to the scalar
+    /// DP's per-start computation — each class block uses the exact factored
+    /// (or exact-`exp` fallback) expression of
+    /// [`Self::fill_class_block_row`], each power `(1 − block)^q` is built by
+    /// the same repeated multiplication, and the per-class powers are folded
+    /// in ascending class order, so the chunked sweep maximizes over exactly
+    /// the values the scalar inner loop produces.
+    pub fn fill_pattern_block_row(
+        &self,
+        counts: &[usize],
+        last: usize,
+        first_lo: usize,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert!(first_lo <= last && last < self.n);
+        debug_assert_eq!(counts.len(), self.view.len());
+        let width = last - first_lo + 1;
+        out.clear();
+        out.resize(width, 1.0); // per-start survive accumulator Π_c (1−block_c)^q_c
+        let out_rel = self.comm_rel[last];
+        for (class, &q) in counts.iter().enumerate() {
+            if q == 0 {
+                continue; // (1 − block)^0 = 1.0 exactly: a bit-exact no-op
+            }
+            if self.class_factored(class) {
+                let (e_minus, e_plus) = (self.view.exp_minus(class), self.view.exp_plus(class));
+                let e_last = e_minus[last + 1];
+                for (slot, first) in (first_lo..=last).enumerate() {
+                    let block =
+                        self.input_comm_reliability(first) * (e_last * e_plus[first]) * out_rel;
+                    let all_fail = 1.0 - block;
+                    let mut pow = 1.0;
+                    for _ in 0..q {
+                        pow *= all_fail;
+                    }
+                    out[slot] *= pow;
+                }
+            } else {
+                for (slot, first) in (first_lo..=last).enumerate() {
+                    let block = self.class_block_reliability(class, first, last);
+                    let all_fail = 1.0 - block;
+                    let mut pow = 1.0;
+                    for _ in 0..q {
+                        pow *= all_fail;
+                    }
+                    out[slot] *= pow;
+                }
+            }
+        }
+        for survive in out.iter_mut() {
+            *survive = 1.0 - *survive;
+        }
+    }
+
     /// Lane-major batched variant of [`Self::fill_class_block_row`]: one
     /// call gathers the replica-block reliabilities of every interval
     /// **ending at `last`** with start in `first_lo ..= last`, for a whole
@@ -445,9 +508,12 @@ impl IntervalOracle {
     /// guard, same multiplication order), so a lane's column is bit-identical
     /// to the row the single-instance gather would produce for that oracle.
     ///
-    /// Every oracle in `oracles` must have the same number of tasks; `class`
-    /// indexes each oracle's own class table (same-shape batches share the
-    /// class structure by construction).
+    /// Oracles may have **fewer** tasks than `last + 1` (near-shape batches
+    /// pad shorter lanes to the bucket-max task count): a lane whose chain
+    /// has no task `last` gets `NaN`-poisoned entries, which the batched DP's
+    /// masking discipline makes lose every select, so padded rows never
+    /// contribute candidates. `class` indexes each oracle's own class table
+    /// (same-shape batches share the class structure by construction).
     pub fn fill_class_block_row_lanes(
         oracles: &[&IntervalOracle],
         class: usize,
@@ -460,7 +526,15 @@ impl IntervalOracle {
         out.clear();
         out.resize(width * lanes, 0.0);
         for (lane, oracle) in oracles.iter().enumerate() {
-            debug_assert!(first_lo <= last && last < oracle.n);
+            if last >= oracle.n {
+                // Padded row for this lane: poison it so every candidate
+                // built from it loses (see the batch kernel's masking rules).
+                for offset in 0..width {
+                    out[offset * lanes + lane] = f64::NAN;
+                }
+                continue;
+            }
+            debug_assert!(first_lo <= last);
             let out_rel = oracle.comm_rel[last];
             if oracle.class_factored(class) {
                 let (e_minus, e_plus) = (oracle.view.exp_minus(class), oracle.view.exp_plus(class));

@@ -357,14 +357,27 @@ impl SolverBackend for HetDpLatBackend {
             let _span = rpo_obs::recorder().span_fields("het_lat.result", || {
                 vec![("method".to_string(), format!("{method:?}").into())]
             });
-            let candidate =
-                CandidateMapping::evaluate_with_oracle(self.name(), oracle, solution.mapping);
-            if ctx.is_dominated(&candidate) {
-                rpo_obs::counter!("backend.dominated_aborts").inc();
-                Vec::new()
-            } else {
-                vec![candidate]
-            }
+            // Feed the *whole* merged latency–reliability front into the
+            // streaming front, not just the max-reliability optimum: the
+            // label DP discovers every non-dominated trade-off anyway, and
+            // the faster-but-less-reliable points enrich the portfolio's
+            // Pareto front for free. Points the live front already strictly
+            // dominates are dropped (sound: dominance only tightens).
+            let candidates: Vec<CandidateMapping> = solution
+                .front
+                .into_iter()
+                .map(|point| {
+                    CandidateMapping::evaluate_with_oracle(self.name(), oracle, point.mapping)
+                })
+                .filter(|candidate| {
+                    let dominated = ctx.is_dominated(candidate);
+                    if dominated {
+                        rpo_obs::counter!("backend.dominated_aborts").inc();
+                    }
+                    !dominated
+                })
+                .collect();
+            candidates
         })
         .unwrap_or_default()
     }

@@ -214,6 +214,14 @@ pub struct BatchReport {
     /// Instances answered through a mega-kernel bucket.
     #[serde(default)]
     pub bucketed_instances: usize,
+    /// Bucketed instances that ran as *padded* lanes — shorter than their
+    /// bucket's longest instance under the near-shape `(p, K)` bucketing,
+    /// so part of their DP arena was dead rows. The honest occupancy
+    /// companion to `batch.lane_occupancy`: a full 8-lane bucket with 5
+    /// padded lanes did real work in all 8 lanes but wasted arena slack
+    /// proportional to the length spread.
+    #[serde(default)]
+    pub padded_lanes: usize,
     /// Bucketing-ineligible instances (heterogeneous platform, out-of-range
     /// shape) routed down the per-instance portfolio path while bucketing
     /// was on.
@@ -251,6 +259,7 @@ struct Tally {
     deep: usize,
     buckets: usize,
     bucketed: usize,
+    padded: usize,
     remainder: usize,
     stats: HashMap<&'static str, BackendStats>,
 }
@@ -300,10 +309,13 @@ fn record_outcome(local: &mut Tally, outcome: &PortfolioOutcome) {
 
 /// The mega-kernel shape key of an instance, or `None` when it must take
 /// the per-instance remainder path. Eligible instances are homogeneous and
-/// within the kernel's packed-traceback ranges; the key hashes the DP shape
-/// `(n, p, k_max)` plus the platform-class signature (always one class
-/// here), so only shape-identical instances share a bucket — their
-/// work/failure/speed numerics are free to differ per lane.
+/// within the kernel's packed-traceback ranges; the key hashes the
+/// **near-shape** `(p, k_max)` plus the platform-class signature (always
+/// one class here) — the task count is deliberately left out, because the
+/// kernel pads shorter lanes to the bucket's longest instance (NaN-masked
+/// dead rows), so mixed-`n` streams still fill `LANES`-wide buckets instead
+/// of fragmenting into one bucket per length. Work/failure/speed numerics
+/// are free to differ per lane as before.
 fn bucket_key(instance: &ProblemInstance) -> Option<u64> {
     if !instance.platform.is_homogeneous() {
         return None;
@@ -315,7 +327,6 @@ fn bucket_key(instance: &ProblemInstance) -> Option<u64> {
         return None;
     }
     let mut hasher = CanonicalHasher::new();
-    hasher.write_usize(n);
     hasher.write_usize(p);
     hasher.write_usize(k_max);
     hasher.write_usize(1); // class signature: homogeneous = one class
@@ -335,6 +346,17 @@ fn solve_bucket(
 ) {
     rpo_obs::counter!("dp.batch.buckets").inc();
     local.buckets += 1;
+    // Near-shape accounting: lanes shorter than the bucket's longest
+    // instance run padded in the kernel.
+    let n_max = instances
+        .iter()
+        .map(|inst| inst.chain.len())
+        .max()
+        .unwrap_or(0);
+    local.padded += instances
+        .iter()
+        .filter(|inst| inst.chain.len() < n_max)
+        .count();
     let oracles: Vec<Arc<IntervalOracle>> = instances
         .iter()
         .map(|inst| engine.oracle_for(inst))
@@ -451,11 +473,12 @@ impl std::fmt::Display for BatchReport {
         if self.buckets_dispatched > 0 || self.remainder_solves > 0 {
             writeln!(
                 f,
-                "buckets: {} dispatched covering {} instances ({:.1} lanes/bucket), \
-                 {} remainder solves",
+                "buckets: {} dispatched covering {} instances ({:.1} lanes/bucket, \
+                 {} padded), {} remainder solves",
                 self.buckets_dispatched,
                 self.bucketed_instances,
                 self.bucketed_instances as f64 / self.buckets_dispatched.max(1) as f64,
+                self.padded_lanes,
                 self.remainder_solves,
             )?;
         }
@@ -694,6 +717,7 @@ impl BatchDriver {
                     shared.deep += local.deep;
                     shared.buckets += local.buckets;
                     shared.bucketed += local.bucketed;
+                    shared.padded += local.padded;
                     shared.remainder += local.remainder;
                     for (name, stats) in local.stats {
                         let entry = shared.stats.entry(name).or_insert_with(|| BackendStats {
@@ -727,6 +751,7 @@ impl BatchDriver {
             max_committed_threads: peak_committed.into_inner(),
             buckets_dispatched: tally.buckets,
             bucketed_instances: tally.bucketed,
+            padded_lanes: tally.padded,
             remainder_solves: tally.remainder,
             // All workers joined above, so the delta is an exact account of
             // this batch's activity.

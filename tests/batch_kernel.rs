@@ -158,6 +158,100 @@ fn batched_kernel_matches_the_per_instance_chunked_kernel() {
     );
 }
 
+/// Near-shape padding: batches whose lanes share `(p, k_max)` but have
+/// **different task counts** — shorter lanes padded to the longest lane
+/// with NaN-masked dead rows — agree with the per-instance chunked kernel
+/// bit for bit on every lane, across widths straddling LANES (partial
+/// chunk, full chunk, multi-chunk) and a per-lane mix of unbounded and
+/// period-bounded solves.
+#[test]
+fn padded_mixed_length_batches_match_the_per_instance_chunked_kernel() {
+    let widths = [2, LANES - 1, LANES, LANES + 3, 2 * LANES + 1];
+    let mut scratch = BatchScratch::new();
+    for_random_cases(
+        "padded_mixed_length_batches_match_the_per_instance_chunked_kernel",
+        |rng| {
+            let width = widths[rng.gen_range(0..widths.len())];
+            let p = rng.gen_range(2usize..=8);
+            let k_max = rng.gen_range(1usize..=3);
+
+            let mut chains = Vec::with_capacity(width);
+            let mut platforms = Vec::with_capacity(width);
+            let mut bounds = Vec::with_capacity(width);
+            for _ in 0..width {
+                // Per-lane n: the near-shape relaxation under test.
+                let n = rng.gen_range(2usize..=12);
+                let chain = random_chain(rng, n);
+                let platform = random_homogeneous_platform(rng, p, k_max);
+                let bound = rng
+                    .gen_bool(0.5)
+                    .then(|| random_period_bound(rng, &chain, &platform));
+                chains.push(chain);
+                platforms.push(platform);
+                bounds.push(bound);
+            }
+            let oracles: Vec<IntervalOracle> = chains
+                .iter()
+                .zip(&platforms)
+                .map(|(chain, platform)| IntervalOracle::new(chain, platform))
+                .collect();
+            let lanes: Vec<BatchLane> = (0..width)
+                .map(|lane| BatchLane {
+                    oracle: &oracles[lane],
+                    chain: &chains[lane],
+                    platform: &platforms[lane],
+                    period_bound: bounds[lane],
+                })
+                .collect();
+
+            for inner in [BatchInner::Lockstep, BatchInner::Blocked] {
+                let batched = solve_batch_with_inner(&lanes, inner, &mut scratch);
+                assert_eq!(batched.len(), width);
+                for lane in 0..width {
+                    let reference = reliability_dp_with_kernel(
+                        &oracles[lane],
+                        &chains[lane],
+                        &platforms[lane],
+                        bounds[lane],
+                        DpKernel::Chunked,
+                    );
+                    match (&batched[lane], &reference) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(
+                                a.reliability.to_bits(),
+                                b.reliability.to_bits(),
+                                "lane {lane}/{width} n={} ({inner:?}) diverged: batched {} vs \
+                                 per-instance {} (bound {:?})",
+                                chains[lane].len(),
+                                a.reliability,
+                                b.reliability,
+                                bounds[lane]
+                            );
+                            assert_eq!(
+                                a.mapping,
+                                b.mapping,
+                                "lane {lane}/{width} n={} ({inner:?}) reconstructed a different \
+                                 mapping (bound {:?})",
+                                chains[lane].len(),
+                                bounds[lane]
+                            );
+                        }
+                        (None, None) => {}
+                        (a, b) => panic!(
+                            "lane {lane}/{width} n={} ({inner:?}) feasibility mismatch \
+                             (bound {:?}): batched={} per-instance={}",
+                            chains[lane].len(),
+                            bounds[lane],
+                            a.is_some(),
+                            b.is_some()
+                        ),
+                    }
+                }
+            }
+        },
+    );
+}
+
 /// The shape-bucketed batch driver — full buckets through the mega-kernel,
 /// partial buckets flushed at stream end, heterogeneous instances down the
 /// per-instance remainder loop — reproduces the unbucketed run's Pareto

@@ -9,8 +9,8 @@
 //! that reproduces it.
 
 use pipelined_rt::algorithms::{
-    algo_het, algo_het_with_oracle, exhaustive_het, greedy_het_with_oracle, het_dp_applicable,
-    HetMethod,
+    algo_het, algo_het_with_oracle, class_dp_with_kernel, exhaustive_het, greedy_het_with_oracle,
+    het_dp_applicable, DpKernel, HetMethod,
 };
 use pipelined_rt::model::{
     ClassAssignment, IntervalOracle, IntervalPartition, MappingEvaluation, Platform, Processor,
@@ -192,6 +192,110 @@ fn the_exact_dp_wins_strictly_on_some_instances() {
         strict_wins > 0,
         "the exact DP never strictly beat the greedy across 30 instances"
     );
+}
+
+#[test]
+fn chunked_class_dp_matches_the_scalar_kernel_mapping_for_mapping() {
+    // The chunked het kernel maximizes over bit-identical candidate values
+    // and recovers the scalar kernel's first-winner choices post hoc, so
+    // feasibility verdicts, reliabilities (well within the 1e-12 contract)
+    // and lowered mappings must all be identical — with and without the
+    // greedy-incumbent pruning cut, bounded and unbounded.
+    for_random_cases("chunked class DP == scalar class DP", |rng| {
+        let chain = random_chain(rng, 12);
+        let platform = random_class_platform(rng, 8);
+        let oracle = IntervalOracle::new(&chain, &platform);
+        assert!(
+            het_dp_applicable(&oracle),
+            "≤ 3 classes over ≤ 8 processors"
+        );
+        let bound = if rng.gen_bool(0.3) {
+            None
+        } else {
+            Some(period_bound(rng, &chain, &platform))
+        };
+        let greedy_incumbent = greedy_het_with_oracle(&oracle, &chain, &platform, bound)
+            .map(|g| g.reliability)
+            .unwrap_or(0.0);
+        for incumbent in [0.0, greedy_incumbent] {
+            let scalar = class_dp_with_kernel(
+                &oracle,
+                &chain,
+                &platform,
+                bound,
+                incumbent,
+                DpKernel::Scalar,
+            );
+            let chunked = class_dp_with_kernel(
+                &oracle,
+                &chain,
+                &platform,
+                bound,
+                incumbent,
+                DpKernel::Chunked,
+            );
+            match (scalar, chunked) {
+                (Some(scalar), Some(chunked)) => {
+                    assert!(
+                        (scalar.reliability - chunked.reliability).abs()
+                            <= 1e-12 * scalar.reliability.max(chunked.reliability),
+                        "bound {bound:?} incumbent {incumbent}: scalar {} vs chunked {}",
+                        scalar.reliability,
+                        chunked.reliability
+                    );
+                    assert_eq!(
+                        scalar.mapping, chunked.mapping,
+                        "bound {bound:?} incumbent {incumbent}: lowered mappings diverged"
+                    );
+                    assert_eq!(scalar.reliability, chunked.reliability);
+                }
+                (None, None) => {}
+                (scalar, chunked) => panic!(
+                    "bound {bound:?} incumbent {incumbent}: feasibility mismatch \
+                     (scalar {}, chunked {})",
+                    scalar.is_some(),
+                    chunked.is_some()
+                ),
+            }
+        }
+    });
+    // Paper-scale class-structured instances (n = 15, p = 10, 3 classes):
+    // the regime the portfolio's Het-Dp backend actually runs in.
+    let generator = InstanceGenerator::paper_heterogeneous_classes(0x0C1A55);
+    for (index, instance) in generator.batch(20).into_iter().enumerate() {
+        let oracle = IntervalOracle::new(&instance.chain, &instance.heterogeneous);
+        let mut rng = ChaCha8Rng::seed_from_u64(0x0C1A_5700 + index as u64);
+        let bound = Some(period_bound(
+            &mut rng,
+            &instance.chain,
+            &instance.heterogeneous,
+        ));
+        let incumbent =
+            greedy_het_with_oracle(&oracle, &instance.chain, &instance.heterogeneous, bound)
+                .map(|g| g.reliability)
+                .unwrap_or(0.0);
+        let run = |kernel| {
+            class_dp_with_kernel(
+                &oracle,
+                &instance.chain,
+                &instance.heterogeneous,
+                bound,
+                incumbent,
+                kernel,
+            )
+        };
+        let (scalar, chunked) = (run(DpKernel::Scalar), run(DpKernel::Chunked));
+        assert_eq!(
+            scalar.as_ref().map(|s| &s.mapping),
+            chunked.as_ref().map(|s| &s.mapping),
+            "instance {index}: kernels diverged"
+        );
+        assert_eq!(
+            scalar.map(|s| s.reliability),
+            chunked.map(|s| s.reliability),
+            "instance {index}"
+        );
+    }
 }
 
 #[test]
