@@ -8,6 +8,7 @@
 //! solve portfolio -                     # ... reading from standard input
 //! solve batch <count> [--seed N] [--het] [--workers N] [--bucketed]  # drive a generated batch
 //! solve repair <count> [--churn] [--seed N] [--het] [--workers N]    # replay platform churn
+//! solve serve [--tcp ADDR] [--workers N] [--queue N] [--deadline-ms F]  # long-lived service
 //! ```
 //!
 //! The default mode prints both heuristics plus, on homogeneous platforms,
@@ -21,7 +22,11 @@
 //! trace through the graded repair ladder (local patch → warm DP → full
 //! solve), printing the per-tier census and the repair-vs-cold-solve
 //! latency; `--churn` switches from the paper's natural failure model to an
-//! aggressive short-horizon trace with a mid-run kill burst.
+//! aggressive short-horizon trace with a mid-run kill burst. The `serve`
+//! subcommand starts the long-lived solver service (`rpo-serve`): one JSON
+//! request per stdin line, one JSON response per stdout line (or the same
+//! protocol over TCP with `--tcp ADDR`), with bounded-queue admission
+//! control, per-request deadlines, and duplicate coalescing.
 //!
 //! Observability flags (all modes):
 //!
@@ -35,11 +40,14 @@
 
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use rpo_experiments::problem_io::{
     portfolio_report_to_json, report_to_json, solve, solve_portfolio, ProblemSpec,
 };
 use rpo_portfolio::{BatchConfig, BatchDriver, ChurnConfig, PortfolioEngine};
+use rpo_serve::{serve_lines, ServeConfig, SolverService, TcpServer};
 use rpo_workload::{ChurnSpec, InstanceGenerator};
 
 const EXAMPLE: &str = r#"{
@@ -70,7 +78,8 @@ const USAGE: &str = "usage: solve <problem.json | -> | solve --example \
      | solve batch <count> [--seed N] [--het] [--workers N] [--bucketed] \
      [--report-json <path>] \
      | solve repair <count> [--churn] [--seed N] [--het] [--workers N] \
-     [--report-json <path>]\n\
+     [--report-json <path>] \
+     | solve serve [--tcp ADDR] [--workers N] [--queue N] [--deadline-ms F]\n\
      observability: [--trace <path>] [--collapse <path>] on any mode";
 
 /// Observability/output options shared by every mode.
@@ -84,6 +93,9 @@ struct ObsArgs {
     heterogeneous: bool,
     bucketed: bool,
     churn: bool,
+    tcp: Option<String>,
+    queue: Option<usize>,
+    deadline_ms: Option<f64>,
 }
 
 /// Strips the flag arguments out of `args`, returning the remaining
@@ -114,6 +126,17 @@ fn parse_flags(args: Vec<String>) -> Result<(Vec<String>, ObsArgs), String> {
             Some(("--workers", value)) => {
                 obs.workers = Some(value.parse().map_err(|_| "invalid --workers".to_string())?);
             }
+            Some(("--tcp", value)) => obs.tcp = Some(value.to_string()),
+            Some(("--queue", value)) => {
+                obs.queue = Some(value.parse().map_err(|_| "invalid --queue".to_string())?);
+            }
+            Some(("--deadline-ms", value)) => {
+                obs.deadline_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| "invalid --deadline-ms".to_string())?,
+                );
+            }
             _ => match arg.as_str() {
                 "--trace" => obs.trace = Some(flag_value("--trace", None)?),
                 "--collapse" => obs.collapse = Some(flag_value("--collapse", None)?),
@@ -128,6 +151,21 @@ fn parse_flags(args: Vec<String>) -> Result<(Vec<String>, ObsArgs), String> {
                         flag_value("--workers", None)?
                             .parse()
                             .map_err(|_| "invalid --workers".to_string())?,
+                    );
+                }
+                "--tcp" => obs.tcp = Some(flag_value("--tcp", None)?),
+                "--queue" => {
+                    obs.queue = Some(
+                        flag_value("--queue", None)?
+                            .parse()
+                            .map_err(|_| "invalid --queue".to_string())?,
+                    );
+                }
+                "--deadline-ms" => {
+                    obs.deadline_ms = Some(
+                        flag_value("--deadline-ms", None)?
+                            .parse()
+                            .map_err(|_| "invalid --deadline-ms".to_string())?,
                     );
                 }
                 "--het" => obs.heterogeneous = true,
@@ -231,6 +269,58 @@ fn run_repair(count: usize, obs: &ObsArgs) -> Result<String, String> {
     Ok(report.to_string())
 }
 
+/// Runs the long-lived solver service: JSON-lines over stdin/stdout by
+/// default, or over TCP with `--tcp ADDR` (stdin EOF is the stop signal).
+/// Responses stream to stdout; the drain summary goes to stderr so stdout
+/// stays machine-parseable.
+fn run_serve(obs: &ObsArgs) -> Result<String, String> {
+    let engine = Arc::new(PortfolioEngine::default().with_threads(1));
+    let mut config = ServeConfig::default();
+    if let Some(workers) = obs.workers {
+        config.workers = workers;
+    }
+    if let Some(queue) = obs.queue {
+        config.queue_capacity = queue.max(1);
+    }
+    if let Some(ms) = obs.deadline_ms {
+        config.default_deadline = if ms.is_finite() && ms > 0.0 {
+            Some(Duration::from_secs_f64(ms / 1000.0))
+        } else {
+            None
+        };
+    }
+    let service = Arc::new(SolverService::start(engine, config));
+    match &obs.tcp {
+        Some(addr) => {
+            let server = TcpServer::spawn(Arc::clone(&service), addr)
+                .map_err(|error| format!("failed to bind {addr}: {error}"))?;
+            eprintln!("serving JSON lines on tcp://{}", server.local_addr());
+            eprintln!("close standard input (ctrl-D) to stop");
+            let mut sink = String::new();
+            let _ = std::io::stdin().read_to_string(&mut sink);
+            server.stop();
+        }
+        None => {
+            let stdin = std::io::stdin();
+            serve_lines(&service, stdin.lock(), std::io::stdout())
+                .map_err(|error| format!("stdin serve loop failed: {error}"))?;
+        }
+    }
+    let stats = service.shutdown();
+    eprintln!(
+        "serve: {} admitted, {} coalesced, {} cache hits, {} shed, {} overloaded, \
+         {} rejected draining, {} solves",
+        stats.admitted,
+        stats.coalesced,
+        stats.cache_hits,
+        stats.shed,
+        stats.overloaded,
+        stats.drained,
+        stats.solved,
+    );
+    Ok(String::new())
+}
+
 /// Writes the requested trace exports after the work is done.
 fn write_obs_outputs(obs: &ObsArgs) -> Result<(), String> {
     if let Some(path) = &obs.trace {
@@ -268,8 +358,11 @@ fn main() -> ExitCode {
             Ok(count) => run_repair(count, &obs),
             Err(_) => Err(format!("invalid repair batch size {count:?}")),
         },
+        [subcommand] if subcommand == "serve" => run_serve(&obs),
         [subcommand, path] if subcommand == "portfolio" => run(path, true),
-        [path] if path != "portfolio" && path != "batch" && path != "repair" => run(path, false),
+        [path] if path != "portfolio" && path != "batch" && path != "repair" && path != "serve" => {
+            run(path, false)
+        }
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;

@@ -421,13 +421,16 @@ fn solve_bucket(
 }
 
 impl BatchReport {
-    /// Instances solved per second of wall-clock time.
+    /// Instances solved per second of wall-clock time. Empty or
+    /// zero-duration batches report 0.0 — never a non-finite value, which
+    /// would corrupt the serde JSON report envelope (JSON has no
+    /// `Infinity`/`NaN` literals).
     pub fn throughput(&self) -> f64 {
         let seconds = self.elapsed.as_secs_f64();
-        if seconds > 0.0 {
+        if seconds > 0.0 && self.instances > 0 {
             self.instances as f64 / seconds
         } else {
-            f64::INFINITY
+            0.0
         }
     }
 }
@@ -797,6 +800,32 @@ mod tests {
         let pool = &report.scratch_pool;
         assert!(pool.misses <= 2, "expected ≤ 1 fresh scratch per worker");
         assert!(pool.hits > 0, "expected pooled arenas to be reused");
+    }
+
+    #[test]
+    fn empty_batch_report_round_trips_through_json() {
+        // Regression: an empty (or zero-duration) batch used to report
+        // `f64::INFINITY` throughput, and a non-finite float anywhere in the
+        // report corrupts the JSON envelope. The report must stay finite and
+        // survive a serialize → parse → deserialize round trip.
+        let report = BatchReport::default();
+        assert_eq!(report.instances, 0);
+        assert_eq!(report.throughput(), 0.0);
+        assert!(report.throughput().is_finite());
+
+        let json = serde_json::to_string(&report).expect("empty report serializes");
+        let value: serde_json::Value = serde_json::from_str(&json).expect("envelope is valid JSON");
+        let fields = value.as_object().expect("report envelope is an object");
+        assert!(fields.iter().any(|(key, _)| key == "instances"));
+
+        let back: BatchReport = serde_json::from_value(&value).expect("report round-trips");
+        assert_eq!(back.instances, 0);
+        assert_eq!(back.elapsed, Duration::ZERO);
+        assert_eq!(back.throughput(), 0.0);
+
+        // The Display path funnels through throughput() too — it must not
+        // print "inf instances/sec" for a zero-duration report.
+        assert!(!format!("{report}").contains("inf"));
     }
 
     #[test]

@@ -68,6 +68,13 @@ pub struct PortfolioOutcome {
     pub runs: Vec<BackendRun>,
     /// Whether the front came from the instance cache.
     pub from_cache: bool,
+    /// Whether the solve's deadline (budget time limit or an explicit
+    /// [`PortfolioEngine::solve_until`] deadline) expired before every
+    /// runnable backend could be dispatched. An expired solve's front is
+    /// *partial* — whatever the backends that did run produced — and is
+    /// deliberately not cached, so a later unconstrained solve of the same
+    /// instance is not poisoned by it.
+    pub deadline_expired: bool,
 }
 
 impl PortfolioOutcome {
@@ -297,7 +304,7 @@ impl PortfolioEngine {
         instance: &ProblemInstance,
         threads: usize,
     ) -> PortfolioOutcome {
-        self.solve_inner(instance, threads, Vec::new())
+        self.solve_inner(instance, threads, Vec::new(), None)
     }
 
     /// [`PortfolioEngine::solve_with_threads`] with externally precomputed
@@ -320,7 +327,23 @@ impl PortfolioEngine {
         threads: usize,
         precomputed: Vec<(&'static str, Vec<crate::backend::CandidateMapping>)>,
     ) -> PortfolioOutcome {
-        self.solve_inner(instance, threads, precomputed)
+        self.solve_inner(instance, threads, precomputed, None)
+    }
+
+    /// [`PortfolioEngine::solve_with_threads`] with an explicit wall-clock
+    /// deadline for this call, tightening (never loosening) the budget's
+    /// time limit. Backends not yet dispatched when the deadline passes are
+    /// marked [`RunStatus::DeadlineExpired`] and the outcome's
+    /// [`PortfolioOutcome::deadline_expired`] flag is set; the (partial)
+    /// front is returned but not cached. This is the serving layer's
+    /// entry point: a request's residual deadline maps directly onto it.
+    pub fn solve_until(
+        &self,
+        instance: &ProblemInstance,
+        threads: usize,
+        deadline: Option<Instant>,
+    ) -> PortfolioOutcome {
+        self.solve_inner(instance, threads, Vec::new(), deadline)
     }
 
     /// Resolves the instance's shared interval-metrics oracle through the
@@ -351,6 +374,7 @@ impl PortfolioEngine {
         instance: &ProblemInstance,
         threads: usize,
         precomputed: Vec<(&'static str, Vec<crate::backend::CandidateMapping>)>,
+        deadline_override: Option<Instant>,
     ) -> PortfolioOutcome {
         if let Some(front) = self
             .cache
@@ -362,6 +386,7 @@ impl PortfolioEngine {
                 front,
                 runs: Vec::new(),
                 from_cache: true,
+                deadline_expired: false,
             };
         }
 
@@ -371,7 +396,15 @@ impl PortfolioEngine {
             threads = threads
         );
         let start = Instant::now();
-        let deadline = self.budget.time_limit.map(|limit| start + limit);
+        // Effective deadline: the tighter of the budget's time limit and the
+        // caller's explicit deadline (a serve request's residual deadline).
+        let deadline = match (
+            self.budget.time_limit.map(|limit| start + limit),
+            deadline_override,
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
 
         // Applicability pass: fixed backend order. Backends whose results
         // arrive precomputed are not dispatched.
@@ -413,6 +446,7 @@ impl PortfolioEngine {
         // the front still never depends on thread scheduling).
         let queue = AtomicUsize::new(0);
         let winner_found = AtomicBool::new(false);
+        let expired = AtomicBool::new(false);
         let streaming = StreamingFront::new();
 
         // Seed the front with the precomputed results, through the same
@@ -446,6 +480,14 @@ impl PortfolioEngine {
             // this worker runs, and returned to the pool (reset) at the end.
             let mut scratch = self.scratch.acquire();
             loop {
+                // Deadline check *before* dequeuing the next slot: when the
+                // budget expires mid-backend, the worker returning from that
+                // backend latches the expiry here, so every undispatched slot
+                // — including ones other workers are about to pull — is shed
+                // promptly and reported instead of silently starting late.
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    expired.store(true, Ordering::Release);
+                }
                 let slot = queue.fetch_add(1, Ordering::Relaxed);
                 let Some(&index) = runnable.get(slot) else {
                     break;
@@ -456,7 +498,10 @@ impl PortfolioEngine {
                     && winner_found.load(Ordering::Acquire)
                 {
                     (RunStatus::Preempted, 0, 0, 0)
-                } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                } else if expired.load(Ordering::Acquire)
+                    || deadline.is_some_and(|d| Instant::now() >= d)
+                {
+                    expired.store(true, Ordering::Release);
                     (RunStatus::DeadlineExpired, 0, 0, 0)
                 } else {
                     let backend_span = rpo_obs::recorder().span_fields("backend.solve", || {
@@ -521,15 +566,28 @@ impl PortfolioEngine {
             runs[index].micros = micros;
         }
 
+        let deadline_expired = expired.load(Ordering::Acquire)
+            || runs
+                .iter()
+                .any(|run| run.status == RunStatus::DeadlineExpired);
         let front = Arc::new(streaming.into_front());
-        self.cache
-            .lock()
-            .expect("cache lock poisoned")
-            .put(instance, Arc::clone(&front));
+        if deadline_expired {
+            // A deadline-expired front is partial: caching it would poison
+            // later unconstrained solves (and coalesced duplicate requests in
+            // the serving layer) with whatever subset of backends happened to
+            // finish in time.
+            rpo_obs::counter!("engine.deadline_expired").inc();
+        } else {
+            self.cache
+                .lock()
+                .expect("cache lock poisoned")
+                .put(instance, Arc::clone(&front));
+        }
         PortfolioOutcome {
             front,
             runs,
             from_cache: false,
+            deadline_expired,
         }
     }
 }

@@ -1,0 +1,123 @@
+//! Wire frontends: newline-delimited JSON over any `BufRead`/`Write` pair
+//! (stdin/stdout) and over TCP.
+
+use crate::proto::{ResponseStatus, ServeRequest, ServeResponse};
+use crate::service::SolverService;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Serves one JSON-lines connection: reads a request per line from
+/// `reader`, writes one response line per request to `writer` (responses
+/// are correlated by `id`, not by order — a cache hit overtakes an earlier
+/// queued solve). Returns when the reader hits EOF; queued work submitted
+/// through this call may still be settling when it returns, so callers own
+/// the service lifecycle (drain via [`SolverService::shutdown`]).
+///
+/// Unparseable lines get a [`ResponseStatus::Invalid`] response with id 0;
+/// blank lines are ignored.
+pub fn serve_lines<R: BufRead, W: Write + Send + 'static>(
+    service: &SolverService,
+    reader: R,
+    writer: W,
+) -> std::io::Result<()> {
+    let writer = Arc::new(Mutex::new(writer));
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<ServeRequest>(&line) {
+            Ok(request) => {
+                let sink = Arc::clone(&writer);
+                service.submit_with(
+                    request,
+                    Box::new(move |response| {
+                        write_response(&sink, &response);
+                    }),
+                );
+            }
+            Err(error) => {
+                write_response(
+                    &writer,
+                    &ServeResponse::rejection(
+                        0,
+                        ResponseStatus::Invalid,
+                        format!("unparseable request: {error}"),
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_response<W: Write>(writer: &Mutex<W>, response: &ServeResponse) {
+    let json = serde_json::to_string(response)
+        .expect("responses contain no non-finite floats and always serialize");
+    let mut writer = writer.lock().expect("response writer poisoned");
+    // A dead peer is not an error worth crashing the service over; the
+    // submission loop notices EOF on its own side.
+    let _ = writeln!(writer, "{json}");
+    let _ = writer.flush();
+}
+
+/// A TCP frontend: accepts connections and runs [`serve_lines`] on each in
+/// its own thread, against one shared [`SolverService`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting. The service must outlive the server; it is shared via
+    /// `Arc` so connection threads can submit after `spawn` returns.
+    pub fn spawn(service: Arc<SolverService>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_loop = std::thread::spawn(move || {
+            for connection in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = connection else { continue };
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let reader = match stream.try_clone() {
+                        Ok(read_half) => BufReader::new(read_half),
+                        Err(_) => return,
+                    };
+                    let _ = serve_lines(&service, reader, stream);
+                });
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            stop,
+            accept_loop: Some(accept_loop),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept loop. Existing
+    /// connections keep being served until their peers hang up; drain the
+    /// underlying service afterwards for a full shutdown.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept_loop) = self.accept_loop.take() {
+            let _ = accept_loop.join();
+        }
+    }
+}

@@ -20,9 +20,11 @@ pub mod chain_gen;
 pub mod churn;
 pub mod instance;
 pub mod platform_gen;
+pub mod requests;
 
 pub use bounds::{BoundedInstance, BoundedInstanceStream, BoundsSpec};
 pub use chain_gen::ChainSpec;
 pub use churn::{ChurnEvent, ChurnSpec, ChurnTrace};
 pub use instance::{ExperimentInstance, InstanceGenerator, InstanceStream};
 pub use platform_gen::{HeterogeneousPlatformSpec, HomogeneousPlatformSpec};
+pub use requests::{GeneratedRequest, RequestSpec, RequestStream};

@@ -25,6 +25,7 @@
 //! | [`workload`] | seeded random instance generators matching the paper's setup |
 //! | [`repair`] | self-healing pipeline: platform deltas, graded mapping repair, fault-injected simulation |
 //! | [`portfolio`] | parallel solver-portfolio engine: backend racing, Pareto aggregation, instance cache, batch driver |
+//! | [`serve`] | long-lived solver service: JSON-lines facades, bounded ingress, deadline shedding, request coalescing |
 //! | [`experiments`] | the harness regenerating Figures 6–15 |
 //!
 //! ## Quick start
@@ -123,6 +124,11 @@ pub mod repair {
 /// Parallel solver-portfolio engine (re-export of `rpo-portfolio`).
 pub mod portfolio {
     pub use rpo_portfolio::*;
+}
+
+/// Long-lived solver service with admission control (re-export of `rpo-serve`).
+pub mod serve {
+    pub use rpo_serve::*;
 }
 
 /// Experiment harness for Figures 6–15 (re-export of `rpo-experiments`).
